@@ -1,0 +1,121 @@
+#ifndef WHYPROV_BENCH_BENCH_COMMON_H_
+#define WHYPROV_BENCH_BENCH_COMMON_H_
+
+// Shared definitions for the benchmark harness: the canonical scenario
+// suite (the repository's scaled-down stand-in for the paper's Table 1
+// datasets) and helpers to run the two measured pipelines.
+//
+// Scale note: the paper's databases range from 26.5K to 44M facts and were
+// processed by DLV + Glucose on a 32GB machine; this repository's
+// generators are scaled so the whole suite runs in minutes in CI while
+// spanning more than an order of magnitude per scenario. EXPERIMENTS.md
+// records the mapping.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenarios/scenarios.h"
+
+namespace whyprov::bench {
+
+/// One database configuration of a scenario family.
+struct SuiteEntry {
+  std::string scenario;   ///< e.g. "Andersen"
+  std::string database;   ///< e.g. "D3"
+  std::function<scenarios::GeneratedScenario()> make;
+};
+
+inline constexpr std::uint64_t kSuiteSeed = 20240611;
+
+/// The TransClosure family: a sparse transaction-like graph (Bitcoin
+/// stand-in) and a dense social-circles graph (Facebook stand-in).
+inline std::vector<SuiteEntry> TransClosureSuite() {
+  return {
+      {"TransClosure", "Dbitcoin~",
+       [] {
+         return scenarios::MakeTransClosure(scenarios::GraphKind::kSparse,
+                                            3000, 4500, kSuiteSeed);
+       }},
+      {"TransClosure", "Dfacebook~",
+       [] {
+         return scenarios::MakeTransClosure(scenarios::GraphKind::kSocial,
+                                            192, 600, kSuiteSeed);
+       }},
+  };
+}
+
+/// Doctors-1..7 share one database scale.
+inline std::vector<SuiteEntry> DoctorsSuite() {
+  std::vector<SuiteEntry> suite;
+  for (int variant = 1; variant <= 7; ++variant) {
+    suite.push_back(SuiteEntry{
+        "Doctors-" + std::to_string(variant), "D1", [variant] {
+          return scenarios::MakeDoctors(variant, 2000, kSuiteSeed);
+        }});
+  }
+  return suite;
+}
+
+/// Galen at four ontology sizes (the paper's D1..D4).
+inline std::vector<SuiteEntry> GalenSuite() {
+  std::vector<SuiteEntry> suite;
+  const std::size_t sizes[] = {40, 70, 100, 140};
+  int index = 0;
+  for (std::size_t size : sizes) {
+    suite.push_back(SuiteEntry{"Galen", "D" + std::to_string(++index),
+                               [size] {
+                                 return scenarios::MakeGalen(size, kSuiteSeed);
+                               }});
+  }
+  return suite;
+}
+
+/// Andersen at five program sizes (the paper's D1..D5).
+inline std::vector<SuiteEntry> AndersenSuite() {
+  std::vector<SuiteEntry> suite;
+  const std::size_t sizes[] = {2000, 4000, 8000, 16000, 32000};
+  int index = 0;
+  for (std::size_t size : sizes) {
+    suite.push_back(
+        SuiteEntry{"Andersen", "D" + std::to_string(++index), [size] {
+                     return scenarios::MakeAndersen(size, kSuiteSeed);
+                   }});
+  }
+  return suite;
+}
+
+/// CSDA at three system sizes (httpd / postgresql / linux stand-ins).
+inline std::vector<SuiteEntry> CsdaSuite() {
+  return {
+      {"CSDA", "Dhttpd~",
+       [] { return scenarios::MakeCsda("httpd", 4000, kSuiteSeed); }},
+      {"CSDA", "Dpostgresql~",
+       [] { return scenarios::MakeCsda("postgresql", 8000, kSuiteSeed); }},
+      {"CSDA", "Dlinux~",
+       [] { return scenarios::MakeCsda("linux", 16000, kSuiteSeed); }},
+  };
+}
+
+/// Everything, in the paper's Table 1 order.
+inline std::vector<SuiteEntry> FullSuite() {
+  std::vector<SuiteEntry> suite;
+  for (auto& entry : TransClosureSuite()) suite.push_back(entry);
+  for (auto& entry : DoctorsSuite()) suite.push_back(entry);
+  for (auto& entry : GalenSuite()) suite.push_back(entry);
+  for (auto& entry : AndersenSuite()) suite.push_back(entry);
+  for (auto& entry : CsdaSuite()) suite.push_back(entry);
+  return suite;
+}
+
+/// The paper samples five answer tuples per database, uniformly.
+inline constexpr std::size_t kTuplesPerDatabase = 5;
+
+/// Enumeration caps (the paper: 10K members or 5 minutes; scaled down).
+inline constexpr std::size_t kMaxMembersPerTuple = 1000;
+inline constexpr double kEnumerationTimeoutSeconds = 30.0;
+
+}  // namespace whyprov::bench
+
+#endif  // WHYPROV_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,42 @@
+// Figure 1 of the paper: time to build the downward closure and the
+// Boolean formula, for each database of the Andersen scenario (five bars
+// per database, one per uniformly sampled answer tuple).
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_runners.h"
+
+namespace {
+
+using namespace whyprov::bench;  // NOLINT(build/namespaces)
+
+void BM_Construction(benchmark::State& state, const SuiteEntry entry) {
+  for (auto _ : state) {
+    const auto runs = RunSuiteEntry(entry, /*enumerate=*/false);
+    double total = 0;
+    for (const auto& run : runs) total += run.construction.total_seconds();
+    state.counters["mean_total_s"] =
+        runs.empty() ? 0 : total / static_cast<double>(runs.size());
+    PrintConstructionRows(entry, runs);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Figure 1: building the downward closure and the Boolean formula "
+      "(Andersen, 5 random tuples per database)\n\n");
+  for (const auto& entry : AndersenSuite()) {
+    benchmark::RegisterBenchmark(
+        ("Fig1/" + entry.scenario + "/" + entry.database).c_str(),
+        BM_Construction, entry)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

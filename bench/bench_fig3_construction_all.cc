@@ -1,0 +1,42 @@
+// Figure 3 of the paper (appendix): downward-closure + formula
+// construction time across *all* scenarios — plots (a) Doctors,
+// (b) TransClosure, (c) Galen, (d) Andersen, (e) CSDA.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_runners.h"
+
+namespace {
+
+using namespace whyprov::bench;  // NOLINT(build/namespaces)
+
+void BM_Construction(benchmark::State& state, const SuiteEntry entry) {
+  for (auto _ : state) {
+    const auto runs = RunSuiteEntry(entry, /*enumerate=*/false);
+    double total = 0;
+    for (const auto& run : runs) total += run.construction.total_seconds();
+    state.counters["mean_total_s"] =
+        runs.empty() ? 0 : total / static_cast<double>(runs.size());
+    PrintConstructionRows(entry, runs);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Figure 3: building the downward closure and the Boolean formula "
+      "(all scenarios, 5 random tuples per database)\n\n");
+  for (const auto& entry : FullSuite()) {
+    benchmark::RegisterBenchmark(
+        ("Fig3/" + entry.scenario + "/" + entry.database).c_str(),
+        BM_Construction, entry)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 4 of the paper (appendix): incremental why-provenance
+// computation delays across *all* scenarios — plots (a) Doctors,
+// (b) TransClosure, (c) Galen, (d) Andersen, (e) CSDA.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_runners.h"
+
+namespace {
+
+using namespace whyprov::bench;  // NOLINT(build/namespaces)
+
+void BM_Delays(benchmark::State& state, const SuiteEntry entry) {
+  for (auto _ : state) {
+    const auto runs = RunSuiteEntry(entry, /*enumerate=*/true);
+    double median_sum = 0;
+    std::size_t boxes = 0;
+    for (const auto& run : runs) {
+      if (run.delays.summary_ms.count > 0) {
+        median_sum += run.delays.summary_ms.median;
+        ++boxes;
+      }
+    }
+    state.counters["mean_median_ms"] =
+        boxes == 0 ? 0 : median_sum / static_cast<double>(boxes);
+    PrintDelayRows(entry, runs);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Figure 4: incremental computation of the why-provenance (all "
+      "scenarios; delays per member, up to %zu members or %.0fs per "
+      "tuple)\n\n",
+      kMaxMembersPerTuple, kEnumerationTimeoutSeconds);
+  for (const auto& entry : FullSuite()) {
+    benchmark::RegisterBenchmark(
+        ("Fig4/" + entry.scenario + "/" + entry.database).c_str(), BM_Delays,
+        entry)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table 1 of the paper: the experimental scenarios — databases and sizes,
+// query type, and number of rules. This binary regenerates the table from
+// the actual scenario suite (sizes are the scaled stand-ins documented in
+// EXPERIMENTS.md).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using whyprov::bench::FullSuite;
+
+void PrintTable1() {
+  std::printf("Table 1: Experimental scenarios (scaled reproduction)\n");
+  std::printf("%-14s | %-44s | %-22s | %s\n", "Scenario", "Databases (facts)",
+              "Query Type", "Number of Rules");
+  std::printf("%s\n", std::string(104, '-').c_str());
+
+  // Group databases per scenario, preserving suite order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<std::string>> databases;
+  std::map<std::string, std::string> query_type;
+  std::map<std::string, std::size_t> rules;
+  for (const auto& entry : FullSuite()) {
+    const auto scenario = entry.make();
+    if (!databases.contains(entry.scenario)) order.push_back(entry.scenario);
+    databases[entry.scenario].push_back(
+        entry.database + " (" + std::to_string(scenario.database.size()) +
+        ")");
+    query_type[entry.scenario] = scenario.query_type;
+    rules[entry.scenario] = scenario.num_rules;
+  }
+  // Doctors-1..7 collapse into one row, as in the paper.
+  bool doctors_printed = false;
+  for (const std::string& name : order) {
+    std::string row_name = name;
+    if (name.rfind("Doctors-", 0) == 0) {
+      if (doctors_printed) continue;
+      doctors_printed = true;
+      row_name = "Doctors-i, i in [7]";
+    }
+    std::string dbs;
+    for (std::size_t i = 0; i < databases[name].size(); ++i) {
+      if (i > 0) dbs += ", ";
+      dbs += databases[name][i];
+    }
+    std::printf("%-14s | %-44s | %-22s | %zu\n", row_name.c_str(),
+                dbs.c_str(), query_type[name].c_str(), rules[name]);
+  }
+  std::printf("\n");
+}
+
+// A benchmark per scenario family measuring generation + evaluation, so
+// the binary also reports how expensive materialising each scenario is.
+void BM_GenerateAndEvaluate(benchmark::State& state,
+                            const whyprov::bench::SuiteEntry entry) {
+  for (auto _ : state) {
+    auto scenario = entry.make();
+    auto pipeline = scenario.MakePipeline();
+    benchmark::DoNotOptimize(pipeline.model().size());
+    state.counters["db_facts"] =
+        static_cast<double>(scenario.database.size());
+    state.counters["model_facts"] =
+        static_cast<double>(pipeline.model().size());
+    state.counters["answers"] =
+        static_cast<double>(pipeline.AnswerFactIds().size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable1();
+  for (const auto& entry : whyprov::bench::FullSuite()) {
+    benchmark::RegisterBenchmark(
+        ("Table1/" + entry.scenario + "/" + entry.database).c_str(),
+        BM_GenerateAndEvaluate, entry)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// explain_cli: a command-line why-provenance explainer.
+//
+// Usage:
+//   explain_cli <program.dl> <database.dl> <answer_predicate> [options]
+//
+// Options:
+//   --fact "tc(a, b)"   explain this answer (default: first 3 answers)
+//   --max N             emit at most N members per answer (default 10)
+//   --tree              print a witnessing proof tree per member
+//   --dot               print a Graphviz rendering of the first tree
+//
+// The files use the repository's Datalog dialect (see README.md).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "provenance/dot_export.h"
+#include "provenance/proof_dag.h"
+#include "provenance/why_provenance.h"
+#include "util/rng.h"
+
+namespace pv = whyprov::provenance;
+namespace dl = whyprov::datalog;
+
+namespace {
+
+bool ReadFile(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: explain_cli <program.dl> <database.dl> "
+               "<answer_predicate> [--fact F] [--max N] [--tree] [--dot]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string program_text;
+  std::string database_text;
+  if (!ReadFile(argv[1], program_text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  if (!ReadFile(argv[2], database_text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[2]);
+    return 1;
+  }
+  const char* answer_predicate = argv[3];
+  const char* fact_text = nullptr;
+  std::size_t max_members = 10;
+  bool print_tree = false;
+  bool print_dot = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fact") == 0 && i + 1 < argc) {
+      fact_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--max") == 0 && i + 1 < argc) {
+      max_members = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--tree") == 0) {
+      print_tree = true;
+    } else if (std::strcmp(argv[i], "--dot") == 0) {
+      print_dot = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  auto pipeline = pv::WhyProvenancePipeline::FromText(
+      program_text, database_text, answer_predicate);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "error: %s\n", pipeline.status().message().c_str());
+    return 1;
+  }
+  std::printf("%zu database facts, %zu derived answers for '%s'\n",
+              pipeline.value().database().size(),
+              pipeline.value().AnswerFactIds().size(), answer_predicate);
+
+  std::vector<dl::FactId> targets;
+  if (fact_text != nullptr) {
+    auto target = pipeline.value().FactIdOf(fact_text);
+    if (!target.ok()) {
+      std::fprintf(stderr, "error: %s\n", target.status().message().c_str());
+      return 1;
+    }
+    targets.push_back(target.value());
+  } else {
+    whyprov::util::Rng rng(0);
+    targets = pipeline.value().SampleAnswers(3, rng);
+  }
+
+  for (dl::FactId target : targets) {
+    std::printf("\nwhy %s ?\n", pipeline.value().FactToText(target).c_str());
+    auto enumerator = pipeline.value().MakeEnumerator(target);
+    std::size_t count = 0;
+    bool dot_done = false;
+    for (auto member = enumerator->Next();
+         member.has_value() && count < max_members;
+         member = enumerator->Next()) {
+      std::printf("  [%zu] {", ++count);
+      for (std::size_t i = 0; i < member->size(); ++i) {
+        std::printf("%s%s", i > 0 ? ", " : "",
+                    dl::FactToString((*member)[i],
+                                     pipeline.value().model().symbols())
+                        .c_str());
+      }
+      std::printf("}\n");
+      if (print_tree || (print_dot && !dot_done)) {
+        const pv::CompressedDag dag(&enumerator->closure(),
+                                    enumerator->last_witness_choices());
+        auto tree = dag.UnravelToProofTree(pipeline.value().program(),
+                                           pipeline.value().model());
+        if (tree.ok()) {
+          if (print_tree) {
+            std::printf("%s", tree.value()
+                                  .ToString(pipeline.value().model().symbols())
+                                  .c_str());
+          }
+          if (print_dot && !dot_done) {
+            std::printf("%s", pv::ProofTreeToDot(
+                                  tree.value(),
+                                  pipeline.value().model().symbols())
+                                  .c_str());
+            dot_done = true;
+          }
+        }
+      }
+    }
+    if (count == 0) std::printf("  (no explanations)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ontology example: explain subsumptions inferred by an EL-style
+// completion calculus (the paper's Galen scenario, in miniature).
+//
+// A toy medical ontology is completed with the 14-rule calculus from
+// src/scenarios; the why-provenance of an inferred subsumption is the set
+// of *axioms* responsible for it — exactly the "justifications" ontology
+// engineers debug with.
+
+#include <cstdio>
+
+#include "provenance/why_provenance.h"
+
+namespace pv = whyprov::provenance;
+
+int main() {
+  // A miniature EL calculus (three of the rules suffice for this demo).
+  const char* program = R"(
+    s(C, C) :- init(C).
+    s(C, E) :- s(C, D), subclassof(D, E).
+    link(C, R, D) :- s(C, E), subclassexists(E, R, D).
+    s(C, E) :- link(C, R, D), s(D, D2), existssubclass(R, D2, E).
+  )";
+  // Axioms:
+  //   endocarditis  subclassof  heartdisease       (told)
+  //   heartdisease  subclassof  disease            (told)
+  //   endocarditis  <=  exists hassite . heartvalve
+  //   heartvalve    subclassof  criticalorgan
+  //   exists hassite . criticalorgan  <=  criticalcondition
+  const char* database = R"(
+    init(endocarditis). init(heartdisease). init(heartvalve).
+    subclassof(endocarditis, heartdisease).
+    subclassof(heartdisease, disease).
+    subclassexists(endocarditis, hassite, heartvalve).
+    subclassof(heartvalve, criticalorgan).
+    existssubclass(hassite, criticalorgan, criticalcondition).
+  )";
+
+  auto pipeline = pv::WhyProvenancePipeline::FromText(program, database, "s");
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "error: %s\n", pipeline.status().message().c_str());
+    return 1;
+  }
+
+  std::printf("Inferred subsumptions:\n");
+  for (auto id : pipeline.value().AnswerFactIds()) {
+    std::printf("  %s\n", pipeline.value().FactToText(id).c_str());
+  }
+
+  // The interesting inference: endocarditis is a critical condition, via
+  // the existential axiom chain — ask for its justifications.
+  auto target = pipeline.value().FactIdOf("s(endocarditis, criticalcondition)");
+  if (!target.ok()) {
+    std::fprintf(stderr, "expected inference missing: %s\n",
+                 target.status().message().c_str());
+    return 1;
+  }
+  std::printf("\nJustifications of s(endocarditis, criticalcondition):\n");
+  auto enumerator = pipeline.value().MakeEnumerator(target.value());
+  int index = 0;
+  for (auto member = enumerator->Next(); member.has_value();
+       member = enumerator->Next()) {
+    std::printf("  justification %d: {", ++index);
+    for (std::size_t i = 0; i < member->size(); ++i) {
+      std::printf("%s%s", i > 0 ? ", " : "",
+                  whyprov::datalog::FactToString(
+                      (*member)[i], pipeline.value().model().symbols())
+                      .c_str());
+    }
+    std::printf("}\n");
+  }
+  std::printf(
+      "\nEach justification lists the told axioms (and init markers) that\n"
+      "suffice to rederive the subsumption — remove all of them from every\n"
+      "justification and the inference disappears.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "datalog/ast.h"
+
+#include <unordered_set>
+
+namespace whyprov::datalog {
+
+util::Status Rule::CheckSafety() const {
+  if (body.empty()) {
+    return util::Status::Error("rule has an empty body");
+  }
+  std::unordered_set<std::uint32_t> body_vars;
+  for (const Atom& atom : body) {
+    for (Term t : atom.terms) {
+      if (t.is_variable()) body_vars.insert(t.variable());
+    }
+  }
+  for (Term t : head.terms) {
+    if (t.is_variable() && !body_vars.contains(t.variable())) {
+      const std::uint32_t v = t.variable();
+      const std::string name = v < variable_names.size()
+                                   ? variable_names[v]
+                                   : "V" + std::to_string(v);
+      return util::Status::Error("unsafe rule: head variable '" + name +
+                                 "' does not occur in the body");
+    }
+  }
+  return util::Status::Ok();
+}
+
+std::string TermToString(Term term, const SymbolTable& symbols,
+                         const std::vector<std::string>& variable_names) {
+  if (term.is_constant()) return symbols.ConstantName(term.constant());
+  const std::uint32_t v = term.variable();
+  if (v < variable_names.size()) return variable_names[v];
+  return "V" + std::to_string(v);
+}
+
+std::string AtomToString(const Atom& atom, const SymbolTable& symbols,
+                         const std::vector<std::string>& variable_names) {
+  std::string out = symbols.Predicate(atom.predicate).name;
+  if (atom.terms.empty()) return out;
+  out += '(';
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TermToString(atom.terms[i], symbols, variable_names);
+  }
+  out += ')';
+  return out;
+}
+
+std::string FactToString(const Fact& fact, const SymbolTable& symbols) {
+  std::string out = symbols.Predicate(fact.predicate).name;
+  if (fact.args.empty()) return out;
+  out += '(';
+  for (std::size_t i = 0; i < fact.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += symbols.ConstantName(fact.args[i]);
+  }
+  out += ')';
+  return out;
+}
+
+std::string RuleToString(const Rule& rule, const SymbolTable& symbols) {
+  std::string out = AtomToString(rule.head, symbols, rule.variable_names);
+  out += " :- ";
+  for (std::size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AtomToString(rule.body[i], symbols, rule.variable_names);
+  }
+  out += '.';
+  return out;
+}
+
+}  // namespace whyprov::datalog

@@ -1,0 +1,113 @@
+#ifndef WHYPROV_DATALOG_AST_H_
+#define WHYPROV_DATALOG_AST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "util/status.h"
+
+namespace whyprov::datalog {
+
+/// A term is either an interned constant or a rule-scoped variable
+/// (variables are numbered 0..n-1 within each rule). Packed into a single
+/// 32-bit word: the low bit is the kind tag.
+class Term {
+ public:
+  /// Builds a constant term.
+  static Term Constant(SymbolId id) { return Term((id << 1) | 0u); }
+
+  /// Builds a variable term with rule-scoped index `var`.
+  static Term Variable(std::uint32_t var) { return Term((var << 1) | 1u); }
+
+  /// True iff this term is a constant.
+  bool is_constant() const { return (code_ & 1u) == 0; }
+
+  /// True iff this term is a variable.
+  bool is_variable() const { return (code_ & 1u) == 1; }
+
+  /// The constant id. Requires `is_constant()`.
+  SymbolId constant() const { return code_ >> 1; }
+
+  /// The variable index. Requires `is_variable()`.
+  std::uint32_t variable() const { return code_ >> 1; }
+
+  friend bool operator==(Term a, Term b) { return a.code_ == b.code_; }
+  friend bool operator!=(Term a, Term b) { return a.code_ != b.code_; }
+
+ private:
+  explicit Term(std::uint32_t code) : code_(code) {}
+  std::uint32_t code_;
+};
+
+/// A (possibly non-ground) relational atom R(t1, ..., tn).
+struct Atom {
+  PredicateId predicate = 0;
+  std::vector<Term> terms;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.terms == b.terms;
+  }
+};
+
+/// A ground atom (fact): a predicate applied to constants only.
+struct Fact {
+  PredicateId predicate = 0;
+  std::vector<SymbolId> args;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.predicate == b.predicate && a.args == b.args;
+  }
+  friend bool operator<(const Fact& a, const Fact& b) {
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    return a.args < b.args;
+  }
+};
+
+/// Hash functor for `Fact`, usable with unordered containers.
+struct FactHash {
+  std::size_t operator()(const Fact& f) const {
+    std::size_t h = std::hash<std::uint32_t>{}(f.predicate);
+    for (SymbolId a : f.args) {
+      // 64-bit splittable hash combine.
+      h ^= std::hash<std::uint32_t>{}(a) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// A Datalog rule  head :- body_1, ..., body_n.  Variables are numbered
+/// densely 0..num_variables-1; `variable_names` keeps their spellings for
+/// diagnostics and pretty printing.
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+  std::uint32_t num_variables = 0;
+  std::vector<std::string> variable_names;
+
+  /// Checks the Datalog safety condition: every variable of the head occurs
+  /// in the body, and the body is non-empty.
+  util::Status CheckSafety() const;
+};
+
+/// Renders a term using `symbols` for constant spellings and
+/// `variable_names` (may be empty; falls back to `V<i>`).
+std::string TermToString(Term term, const SymbolTable& symbols,
+                         const std::vector<std::string>& variable_names);
+
+/// Renders an atom, e.g. `Edge(X, y)`.
+std::string AtomToString(const Atom& atom, const SymbolTable& symbols,
+                         const std::vector<std::string>& variable_names);
+
+/// Renders a fact, e.g. `Edge(a, b)`.
+std::string FactToString(const Fact& fact, const SymbolTable& symbols);
+
+/// Renders a rule, e.g. `Path(X, Y) :- Edge(X, Z), Path(Z, Y).`.
+std::string RuleToString(const Rule& rule, const SymbolTable& symbols);
+
+}  // namespace whyprov::datalog
+
+#endif  // WHYPROV_DATALOG_AST_H_

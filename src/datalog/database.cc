@@ -1,0 +1,32 @@
+#include "datalog/database.h"
+
+#include <algorithm>
+
+namespace whyprov::datalog {
+
+bool Database::Insert(Fact fact) {
+  auto [it, inserted] = set_.insert(std::move(fact));
+  if (inserted) facts_.push_back(*it);
+  return inserted;
+}
+
+std::vector<SymbolId> Database::ActiveDomain() const {
+  std::vector<SymbolId> domain;
+  for (const Fact& fact : facts_) {
+    domain.insert(domain.end(), fact.args.begin(), fact.args.end());
+  }
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const Fact& fact : facts_) {
+    out += FactToString(fact, *symbols_);
+    out += ".\n";
+  }
+  return out;
+}
+
+}  // namespace whyprov::datalog

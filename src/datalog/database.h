@@ -1,0 +1,56 @@
+#ifndef WHYPROV_DATALOG_DATABASE_H_
+#define WHYPROV_DATALOG_DATABASE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/symbol_table.h"
+
+namespace whyprov::datalog {
+
+/// A database: a finite, duplicate-free set of facts over a shared symbol
+/// table. Insertion order is preserved (useful for deterministic output).
+class Database {
+ public:
+  /// Creates an empty database over `symbols`.
+  explicit Database(std::shared_ptr<SymbolTable> symbols)
+      : symbols_(std::move(symbols)) {}
+
+  /// Adds a fact; returns true if it was new.
+  bool Insert(Fact fact);
+
+  /// True iff the fact is present.
+  bool Contains(const Fact& fact) const { return set_.contains(fact); }
+
+  /// All facts in insertion order.
+  const std::vector<Fact>& facts() const { return facts_; }
+
+  /// Number of facts.
+  std::size_t size() const { return facts_.size(); }
+
+  /// The shared symbol table.
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  /// The shared symbol table handle.
+  const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
+
+  /// The active domain: every constant appearing in some fact (deduplicated,
+  /// ascending by id).
+  std::vector<SymbolId> ActiveDomain() const;
+
+  /// Renders all facts, one per line, `Fact.` style.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  std::vector<Fact> facts_;
+  std::unordered_set<Fact, FactHash> set_;
+};
+
+}  // namespace whyprov::datalog
+
+#endif  // WHYPROV_DATALOG_DATABASE_H_

@@ -1,0 +1,304 @@
+#include "datalog/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+#include <utility>
+
+namespace whyprov::datalog {
+
+Model::Model(std::shared_ptr<SymbolTable> symbols)
+    : symbols_(std::move(symbols)) {}
+
+std::vector<SymbolId> Model::ProjectKey(const Fact& fact,
+                                        std::uint32_t mask) {
+  std::vector<SymbolId> key;
+  for (std::size_t i = 0; i < fact.args.size(); ++i) {
+    if (mask & (1u << i)) key.push_back(fact.args[i]);
+  }
+  return key;
+}
+
+std::pair<FactId, bool> Model::Add(Fact fact, int rank) {
+  auto it = fact_ids_.find(fact);
+  if (it != fact_ids_.end()) {
+    // Ranks only shrink; the first derivation round is definitive because
+    // evaluation proceeds round by round, so this is defensive.
+    ranks_[it->second] = std::min(ranks_[it->second], rank);
+    return {it->second, false};
+  }
+  const FactId id = static_cast<FactId>(facts_.size());
+  const PredicateId pred = fact.predicate;
+  facts_.push_back(fact);
+  ranks_.push_back(rank);
+  fact_ids_.emplace(std::move(fact), id);
+  if (relations_.size() <= pred) relations_.resize(pred + 1);
+  relations_[pred].push_back(id);
+  // Keep existing lazy indexes on this predicate fresh.
+  const Fact& stored = facts_[id];
+  for (auto& [key, index] : indexes_) {
+    if (static_cast<PredicateId>(key >> 32) != pred) continue;
+    const std::uint32_t mask = static_cast<std::uint32_t>(key);
+    index[ProjectKey(stored, mask)].push_back(id);
+  }
+  return {id, true};
+}
+
+std::optional<FactId> Model::Find(const Fact& fact) const {
+  auto it = fact_ids_.find(fact);
+  if (it == fact_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<FactId>& Model::Relation(PredicateId p) const {
+  static const std::vector<FactId> kEmpty;
+  if (p >= relations_.size()) return kEmpty;
+  return relations_[p];
+}
+
+const std::vector<FactId>& Model::Lookup(
+    PredicateId p, std::uint32_t mask,
+    const std::vector<SymbolId>& key) const {
+  static const std::vector<FactId> kEmpty;
+  if (mask == 0) return Relation(p);
+  const IndexKey index_key = MakeIndexKey(p, mask);
+  auto it = indexes_.find(index_key);
+  if (it == indexes_.end()) {
+    // Build the index over the current relation contents.
+    Index index;
+    for (FactId id : Relation(p)) {
+      index[ProjectKey(facts_[id], mask)].push_back(id);
+    }
+    it = indexes_.emplace(index_key, std::move(index)).first;
+  }
+  auto bucket = it->second.find(key);
+  if (bucket == it->second.end()) return kEmpty;
+  return bucket->second;
+}
+
+std::vector<std::vector<SymbolId>> Model::AnswerTuples(PredicateId p) const {
+  std::vector<std::vector<SymbolId>> tuples;
+  for (FactId id : Relation(p)) tuples.push_back(facts_[id].args);
+  return tuples;
+}
+
+Fact GroundAtom(const Atom& atom, const std::vector<SymbolId>& binding) {
+  Fact fact;
+  fact.predicate = atom.predicate;
+  fact.args.reserve(atom.terms.size());
+  for (Term t : atom.terms) {
+    if (t.is_constant()) {
+      fact.args.push_back(t.constant());
+    } else {
+      assert(binding[t.variable()] != kUnboundSymbol);
+      fact.args.push_back(binding[t.variable()]);
+    }
+  }
+  return fact;
+}
+
+namespace {
+
+/// Attempts to match `fact` against `atom` under `binding`; on success
+/// binds the atom's previously-unbound variables and appends them to
+/// `trail` (for undo). Returns false (binding unchanged beyond trail
+/// entries, which the caller undoes) on mismatch.
+bool MatchAtom(const Atom& atom, const Fact& fact,
+               std::vector<SymbolId>& binding,
+               std::vector<std::uint32_t>& trail) {
+  const std::size_t start = trail.size();
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term t = atom.terms[i];
+    const SymbolId value = fact.args[i];
+    if (t.is_constant()) {
+      if (t.constant() != value) goto mismatch;
+    } else {
+      SymbolId& slot = binding[t.variable()];
+      if (slot == kUnboundSymbol) {
+        slot = value;
+        trail.push_back(t.variable());
+      } else if (slot != value) {
+        goto mismatch;
+      }
+    }
+  }
+  return true;
+mismatch:
+  while (trail.size() > start) {
+    binding[trail.back()] = kUnboundSymbol;
+    trail.pop_back();
+  }
+  return false;
+}
+
+struct MatchContext {
+  const Model& model;
+  const std::vector<Atom>& body;
+  std::optional<std::size_t> delta_position;
+  const std::vector<FactId>* delta;
+  std::vector<SymbolId>& binding;
+  const MatchCallback& on_match;
+  std::vector<FactId> matched;
+};
+
+void MatchRecursive(MatchContext& ctx, std::size_t atom_index) {
+  if (atom_index == ctx.body.size()) {
+    ctx.on_match(ctx.matched);
+    return;
+  }
+  const Atom& atom = ctx.body[atom_index];
+  // Candidate set: the delta for the delta position, otherwise an index
+  // lookup keyed on the positions bound by the current binding.
+  const std::vector<FactId>* candidates = nullptr;
+  std::vector<FactId> no_candidates;
+  if (ctx.delta_position.has_value() && *ctx.delta_position == atom_index) {
+    candidates = ctx.delta;
+  } else {
+    std::uint32_t mask = 0;
+    std::vector<SymbolId> key;
+    for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term t = atom.terms[i];
+      if (t.is_constant()) {
+        mask |= (1u << i);
+        key.push_back(t.constant());
+      } else if (ctx.binding[t.variable()] != kUnboundSymbol) {
+        mask |= (1u << i);
+        key.push_back(ctx.binding[t.variable()]);
+      }
+    }
+    // Masks only support the first 32 positions; arities beyond that fall
+    // back to a full scan (no workload in this repo comes close).
+    if (atom.terms.size() > 32) mask = 0;
+    candidates = &ctx.model.Lookup(atom.predicate, mask, key);
+  }
+  std::vector<std::uint32_t> trail;
+  for (FactId id : *candidates) {
+    const Fact& fact = ctx.model.fact(id);
+    if (fact.predicate != atom.predicate) continue;
+    if (!MatchAtom(atom, fact, ctx.binding, trail)) continue;
+    ctx.matched.push_back(id);
+    MatchRecursive(ctx, atom_index + 1);
+    ctx.matched.pop_back();
+    while (!trail.empty()) {
+      ctx.binding[trail.back()] = kUnboundSymbol;
+      trail.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void MatchBody(const Model& model, const std::vector<Atom>& body,
+               std::optional<std::size_t> delta_position,
+               const std::vector<FactId>* delta,
+               std::vector<SymbolId>& binding, const MatchCallback& on_match) {
+  MatchContext ctx{model,  body,    delta_position, delta,
+                   binding, on_match, {}};
+  ctx.matched.reserve(body.size());
+  MatchRecursive(ctx, 0);
+}
+
+namespace {
+
+Model MakeInitialModel(const Database& database) {
+  Model model(database.symbols_ptr());
+  for (const Fact& fact : database.facts()) model.Add(fact, /*rank=*/0);
+  return model;
+}
+
+}  // namespace
+
+Model Evaluator::Evaluate(const Program& program, const Database& database,
+                          EvalStats* stats) {
+  Model model = MakeInitialModel(database);
+
+  // Per-predicate delta: facts first derived in the previous round.
+  std::vector<std::vector<FactId>> delta(program.symbols().NumPredicates());
+  for (const Fact& fact : database.facts()) {
+    delta[fact.predicate].push_back(*model.Find(fact));
+  }
+
+  // Rules that can only fire from extensional data fire exactly once, in
+  // round one; all other rules are driven by deltas afterwards.
+  std::size_t round = 0;
+  std::size_t derived = 0;
+  bool changed = true;
+  while (changed) {
+    ++round;
+    changed = false;
+    // Buffer new facts; they become visible (and the next delta) only after
+    // the round completes, which is what makes rank = fixpoint round.
+    std::unordered_set<Fact, FactHash> buffer;
+    for (const Rule& rule : program.rules()) {
+      std::vector<SymbolId> binding(rule.num_variables, kUnboundSymbol);
+      auto emit = [&](const std::vector<FactId>&) {
+        Fact head = GroundAtom(rule.head, binding);
+        if (!model.Contains(head)) buffer.insert(std::move(head));
+      };
+      if (round == 1) {
+        // Full pass over the (extensional) model.
+        MatchBody(model, rule.body, std::nullopt, nullptr, binding, emit);
+      } else {
+        // Semi-naive: one pass per intensional body position, with that
+        // position restricted to the previous round's delta.
+        for (std::size_t i = 0; i < rule.body.size(); ++i) {
+          if (!program.IsIntensional(rule.body[i].predicate)) continue;
+          const std::vector<FactId>& d = delta[rule.body[i].predicate];
+          if (d.empty()) continue;
+          MatchBody(model, rule.body, i, &d, binding, emit);
+        }
+      }
+    }
+    for (auto& d : delta) d.clear();
+    for (const Fact& fact : buffer) {
+      auto [id, inserted] = model.Add(fact, static_cast<int>(round));
+      if (inserted) {
+        delta[fact.predicate].push_back(id);
+        ++derived;
+        changed = true;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->rounds = round;
+    stats->derived_facts = derived;
+  }
+  return model;
+}
+
+Model Evaluator::EvaluateNaive(const Program& program,
+                               const Database& database, EvalStats* stats) {
+  Model model = MakeInitialModel(database);
+  std::size_t round = 0;
+  std::size_t derived = 0;
+  bool changed = true;
+  while (changed) {
+    ++round;
+    changed = false;
+    std::unordered_set<Fact, FactHash> buffer;
+    for (const Rule& rule : program.rules()) {
+      std::vector<SymbolId> binding(rule.num_variables, kUnboundSymbol);
+      MatchBody(model, rule.body, std::nullopt, nullptr, binding,
+                [&](const std::vector<FactId>&) {
+                  Fact head = GroundAtom(rule.head, binding);
+                  if (!model.Contains(head)) buffer.insert(std::move(head));
+                });
+    }
+    for (const Fact& fact : buffer) {
+      auto [id, inserted] = model.Add(fact, static_cast<int>(round));
+      (void)id;
+      if (inserted) {
+        ++derived;
+        changed = true;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->rounds = round;
+    stats->derived_facts = derived;
+  }
+  return model;
+}
+
+}  // namespace whyprov::datalog

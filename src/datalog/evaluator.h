@@ -1,0 +1,150 @@
+#ifndef WHYPROV_DATALOG_EVALUATOR_H_
+#define WHYPROV_DATALOG_EVALUATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "datalog/program.h"
+#include "datalog/symbol_table.h"
+
+namespace whyprov::datalog {
+
+/// Dense identifier of a fact interned in a `Model`.
+using FactId = std::uint32_t;
+
+/// Sentinel for "no fact".
+inline constexpr FactId kInvalidFact = std::numeric_limits<FactId>::max();
+
+/// Sentinel for an unbound variable in a join binding.
+inline constexpr SymbolId kUnboundSymbol =
+    std::numeric_limits<SymbolId>::max();
+
+/// The materialised least model Sigma(D): every fact derivable from the
+/// database, interned to dense ids, with per-fact *rank* — the first round
+/// of the immediate-consequence operator at which the fact appears
+/// (rank 0 = database facts). By Proposition 28 / Lemma 29 of the paper,
+/// rank(alpha) equals min-dag-depth(alpha, D, Sigma).
+///
+/// The model also owns the hash indexes used by the join machinery; indexes
+/// are built lazily per (predicate, bound-position mask) and maintained
+/// incrementally as facts are added.
+class Model {
+ public:
+  /// Creates an empty model over `symbols`.
+  explicit Model(std::shared_ptr<SymbolTable> symbols);
+
+  /// Interns `fact` with the given rank. If the fact already exists, keeps
+  /// the existing (smaller) rank. Returns the fact id and whether it was new.
+  std::pair<FactId, bool> Add(Fact fact, int rank);
+
+  /// Finds a fact's id, if present.
+  std::optional<FactId> Find(const Fact& fact) const;
+
+  /// True iff `fact` is in the model.
+  bool Contains(const Fact& fact) const { return Find(fact).has_value(); }
+
+  /// The fact with id `id`.
+  const Fact& fact(FactId id) const { return facts_[id]; }
+
+  /// The rank (first derivation round) of fact `id`.
+  int rank(FactId id) const { return ranks_[id]; }
+
+  /// Number of facts in the model.
+  std::size_t size() const { return facts_.size(); }
+
+  /// All fact ids with predicate `p`, in insertion order.
+  const std::vector<FactId>& Relation(PredicateId p) const;
+
+  /// All fact ids whose predicate is `p` and whose argument at each position
+  /// in `mask` (bit i set = position i bound) equals the corresponding entry
+  /// of `key` (values of bound positions, ascending position order).
+  /// Builds the index on first use.
+  const std::vector<FactId>& Lookup(PredicateId p, std::uint32_t mask,
+                                    const std::vector<SymbolId>& key) const;
+
+  /// The answer tuples of predicate `p`: argument vectors of its facts.
+  std::vector<std::vector<SymbolId>> AnswerTuples(PredicateId p) const;
+
+  /// The shared symbol table.
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  /// The shared symbol table handle.
+  const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
+
+ private:
+  struct VectorHash {
+    std::size_t operator()(const std::vector<SymbolId>& v) const {
+      std::size_t h = 0xcbf29ce484222325ULL;
+      for (SymbolId s : v) {
+        h ^= s;
+        h *= 0x100000001b3ULL;
+      }
+      return h;
+    }
+  };
+  using Index =
+      std::unordered_map<std::vector<SymbolId>, std::vector<FactId>,
+                         VectorHash>;
+  using IndexKey = std::uint64_t;  // (predicate << 32) | mask
+
+  static IndexKey MakeIndexKey(PredicateId p, std::uint32_t mask) {
+    return (static_cast<std::uint64_t>(p) << 32) | mask;
+  }
+  static std::vector<SymbolId> ProjectKey(const Fact& fact,
+                                          std::uint32_t mask);
+
+  std::shared_ptr<SymbolTable> symbols_;
+  std::vector<Fact> facts_;
+  std::vector<int> ranks_;
+  std::unordered_map<Fact, FactId, FactHash> fact_ids_;
+  std::vector<std::vector<FactId>> relations_;  // by predicate
+  mutable std::unordered_map<IndexKey, Index> indexes_;
+};
+
+/// Callback receiving, for each homomorphism from a rule body into the
+/// model, the matched fact id per body atom (parallel to the body vector).
+using MatchCallback = std::function<void(const std::vector<FactId>&)>;
+
+/// Enumerates all homomorphisms h from `body` into `model` extending the
+/// initial `binding` (size = rule's num_variables, `kUnboundSymbol` for
+/// unbound). If `delta_position` is set, the atom at that index only
+/// matches facts in `delta` (semi-naive evaluation). The binding vector is
+/// restored to its input state on return.
+void MatchBody(const Model& model, const std::vector<Atom>& body,
+               std::optional<std::size_t> delta_position,
+               const std::vector<FactId>* delta,
+               std::vector<SymbolId>& binding, const MatchCallback& on_match);
+
+/// Applies a binding to an atom, producing the ground fact. All variables
+/// of the atom must be bound.
+Fact GroundAtom(const Atom& atom, const std::vector<SymbolId>& binding);
+
+/// Statistics of one evaluation run.
+struct EvalStats {
+  std::size_t rounds = 0;          ///< fixpoint rounds executed
+  std::size_t derived_facts = 0;   ///< facts derived (beyond the database)
+};
+
+/// Bottom-up Datalog evaluation.
+class Evaluator {
+ public:
+  /// Semi-naive evaluation: computes Sigma(D) with ranks. The workhorse.
+  static Model Evaluate(const Program& program, const Database& database,
+                        EvalStats* stats = nullptr);
+
+  /// Naive (full re-derivation per round) evaluation. Used to cross-check
+  /// the semi-naive implementation in tests.
+  static Model EvaluateNaive(const Program& program, const Database& database,
+                             EvalStats* stats = nullptr);
+};
+
+}  // namespace whyprov::datalog
+
+#endif  // WHYPROV_DATALOG_EVALUATOR_H_

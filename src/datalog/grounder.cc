@@ -1,0 +1,83 @@
+#include "datalog/grounder.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace whyprov::datalog {
+
+namespace {
+
+/// Unifies the (possibly non-linear, possibly constant-carrying) head atom
+/// with a ground fact. On success fills `binding` for head variables.
+bool UnifyHead(const Atom& head, const Fact& fact,
+               std::vector<SymbolId>& binding) {
+  for (std::size_t i = 0; i < head.terms.size(); ++i) {
+    const Term t = head.terms[i];
+    const SymbolId value = fact.args[i];
+    if (t.is_constant()) {
+      if (t.constant() != value) return false;
+    } else {
+      SymbolId& slot = binding[t.variable()];
+      if (slot == kUnboundSymbol) {
+        slot = value;
+      } else if (slot != value) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<FactId> SortedUnique(std::vector<FactId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+std::vector<RuleInstance> Grounder::InstancesWithHead(FactId head) const {
+  std::vector<RuleInstance> instances;
+  std::set<std::pair<std::size_t, std::vector<FactId>>> seen;
+  const Fact& head_fact = model_.fact(head);
+  for (std::size_t rule_index : program_.RulesForHead(head_fact.predicate)) {
+    const Rule& rule = program_.rules()[rule_index];
+    std::vector<SymbolId> binding(rule.num_variables, kUnboundSymbol);
+    if (!UnifyHead(rule.head, head_fact, binding)) continue;
+    MatchBody(model_, rule.body, std::nullopt, nullptr, binding,
+              [&](const std::vector<FactId>& matched) {
+                std::vector<FactId> body = SortedUnique(matched);
+                if (seen.emplace(rule_index, body).second) {
+                  instances.push_back(
+                      RuleInstance{rule_index, head, std::move(body)});
+                }
+              });
+  }
+  return instances;
+}
+
+std::vector<RuleInstance> Grounder::AllInstances() const {
+  std::vector<RuleInstance> instances;
+  std::set<std::pair<FactId, std::vector<FactId>>> seen;
+  for (std::size_t rule_index = 0; rule_index < program_.rules().size();
+       ++rule_index) {
+    const Rule& rule = program_.rules()[rule_index];
+    std::vector<SymbolId> binding(rule.num_variables, kUnboundSymbol);
+    MatchBody(model_, rule.body, std::nullopt, nullptr, binding,
+              [&](const std::vector<FactId>& matched) {
+                Fact head = GroundAtom(rule.head, binding);
+                auto head_id = model_.Find(head);
+                // The model is a fixpoint, so every derivable head is in it.
+                if (!head_id.has_value()) return;
+                std::vector<FactId> body = SortedUnique(matched);
+                if (seen.emplace(*head_id, body).second) {
+                  instances.push_back(RuleInstance{rule_index, *head_id,
+                                                   std::move(body)});
+                }
+              });
+  }
+  return instances;
+}
+
+}  // namespace whyprov::datalog

@@ -1,0 +1,52 @@
+#ifndef WHYPROV_DATALOG_GROUNDER_H_
+#define WHYPROV_DATALOG_GROUNDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+
+namespace whyprov::datalog {
+
+/// A ground rule instance: a rule of the program whose variables have been
+/// replaced by constants such that every body fact is in the model. The
+/// body is kept as a duplicate-free, sorted set of fact ids — exactly a
+/// hyperedge (head, {body facts}) of the graph of rule instances
+/// gri(D, Sigma) (Definition 42 of the paper).
+struct RuleInstance {
+  std::size_t rule_index = 0;
+  FactId head = kInvalidFact;
+  std::vector<FactId> body;  // sorted, unique
+
+  friend bool operator==(const RuleInstance& a, const RuleInstance& b) {
+    return a.head == b.head && a.body == b.body;
+  }
+};
+
+/// Enumerates rule instances over an evaluated model. This is the engine
+/// behind the downward closure: the paper computes the same hyperedges by
+/// evaluating a rewritten query Q-down over D-down with an external Datalog
+/// engine; here we ask the grounder directly.
+class Grounder {
+ public:
+  /// Both `program` and `model` must outlive the grounder.
+  Grounder(const Program& program, const Model& model)
+      : program_(program), model_(model) {}
+
+  /// All rule instances whose head is the fact `head` (deduplicated by
+  /// body-set; two homomorphisms producing the same body set collapse).
+  std::vector<RuleInstance> InstancesWithHead(FactId head) const;
+
+  /// All rule instances of the whole model: gri(D, Sigma). Deduplicated by
+  /// (head, body-set).
+  std::vector<RuleInstance> AllInstances() const;
+
+ private:
+  const Program& program_;
+  const Model& model_;
+};
+
+}  // namespace whyprov::datalog
+
+#endif  // WHYPROV_DATALOG_GROUNDER_H_

@@ -1,0 +1,363 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace whyprov::datalog {
+namespace {
+
+enum class TokenKind {
+  kIdentifier,  // bare word or number or quoted string
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kImplies,  // :-
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  bool is_variable_like = false;  // starts with uppercase or '_'
+  int line = 1;
+  int column = 1;
+};
+
+/// Single-pass tokenizer with `%` line comments.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  util::Result<Token> Next() {
+    SkipWhitespaceAndComments();
+    Token token;
+    token.line = line_;
+    token.column = column_;
+    if (pos_ >= text_.size()) {
+      token.kind = TokenKind::kEnd;
+      return token;
+    }
+    const char c = text_[pos_];
+    if (c == '(') return Punct(TokenKind::kLParen, token);
+    if (c == ')') return Punct(TokenKind::kRParen, token);
+    if (c == ',') return Punct(TokenKind::kComma, token);
+    if (c == '.') return Punct(TokenKind::kDot, token);
+    if (c == ':') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+        Advance();
+        Advance();
+        token.kind = TokenKind::kImplies;
+        return token;
+      }
+      return Error("expected ':-'");
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      Advance();
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        value += text_[pos_];
+        Advance();
+      }
+      if (pos_ >= text_.size()) return Error("unterminated string literal");
+      Advance();  // closing quote
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::move(value);
+      token.is_variable_like = false;
+      return token;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        word += text_[pos_];
+        Advance();
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.is_variable_like =
+          std::isupper(static_cast<unsigned char>(word[0])) || word[0] == '_';
+      token.text = std::move(word);
+      return token;
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+ private:
+  util::Result<Token> Punct(TokenKind kind, Token token) {
+    Advance();
+    token.kind = kind;
+    return token;
+  }
+
+  util::Status Error(const std::string& message) const {
+    return util::Status::Error("parse error at " + std::to_string(line_) +
+                               ":" + std::to_string(column_) + ": " + message);
+  }
+
+  void Advance() {
+    if (pos_ < text_.size()) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+      ++pos_;
+    }
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+/// A raw (pre-resolution) atom: predicate name + term spellings.
+struct RawTerm {
+  std::string text;
+  bool is_variable = false;
+};
+struct RawAtom {
+  std::string predicate;
+  std::vector<RawTerm> terms;
+  int line = 1;
+  int column = 1;
+};
+
+class ParserImpl {
+ public:
+  ParserImpl(std::shared_ptr<SymbolTable> symbols, std::string_view text)
+      : symbols_(std::move(symbols)), lexer_(text) {}
+
+  util::Result<ParsedUnit> Run() {
+    ParsedUnit unit;
+    util::Status status = Prime();
+    if (!status.ok()) return status;
+    while (current_.kind != TokenKind::kEnd) {
+      util::Result<RawAtom> head = ParseRawAtom();
+      if (!head.ok()) return head.status();
+      if (current_.kind == TokenKind::kDot) {
+        // Ground fact.
+        util::Result<Fact> fact = ResolveFact(head.value());
+        if (!fact.ok()) return fact.status();
+        unit.facts.push_back(std::move(fact).value());
+        status = Consume(TokenKind::kDot, "expected '.'");
+        if (!status.ok()) return status;
+        continue;
+      }
+      status = Consume(TokenKind::kImplies, "expected ':-' or '.'");
+      if (!status.ok()) return status;
+      std::vector<RawAtom> body;
+      while (true) {
+        util::Result<RawAtom> atom = ParseRawAtom();
+        if (!atom.ok()) return atom.status();
+        body.push_back(std::move(atom).value());
+        if (current_.kind == TokenKind::kComma) {
+          status = Consume(TokenKind::kComma, "expected ','");
+          if (!status.ok()) return status;
+          continue;
+        }
+        break;
+      }
+      status = Consume(TokenKind::kDot, "expected '.' after rule body");
+      if (!status.ok()) return status;
+      util::Result<Rule> rule = ResolveRule(head.value(), body);
+      if (!rule.ok()) return rule.status();
+      unit.rules.push_back(std::move(rule).value());
+    }
+    return unit;
+  }
+
+ private:
+  util::Status Prime() {
+    util::Result<Token> token = lexer_.Next();
+    if (!token.ok()) return token.status();
+    current_ = std::move(token).value();
+    return util::Status::Ok();
+  }
+
+  util::Status Consume(TokenKind kind, const std::string& message) {
+    if (current_.kind != kind) {
+      return util::Status::Error("parse error at " +
+                                 std::to_string(current_.line) + ":" +
+                                 std::to_string(current_.column) + ": " +
+                                 message);
+    }
+    return Prime();
+  }
+
+  util::Result<RawAtom> ParseRawAtom() {
+    if (current_.kind != TokenKind::kIdentifier) {
+      return util::Status::Error(
+          "parse error at " + std::to_string(current_.line) + ":" +
+          std::to_string(current_.column) + ": expected a predicate name");
+    }
+    RawAtom atom;
+    atom.predicate = current_.text;
+    atom.line = current_.line;
+    atom.column = current_.column;
+    util::Status status = Prime();
+    if (!status.ok()) return status;
+    if (current_.kind != TokenKind::kLParen) return atom;  // 0-ary
+    status = Consume(TokenKind::kLParen, "expected '('");
+    if (!status.ok()) return status;
+    while (true) {
+      if (current_.kind != TokenKind::kIdentifier) {
+        return util::Status::Error(
+            "parse error at " + std::to_string(current_.line) + ":" +
+            std::to_string(current_.column) + ": expected a term");
+      }
+      atom.terms.push_back(
+          RawTerm{current_.text, current_.is_variable_like});
+      status = Prime();
+      if (!status.ok()) return status;
+      if (current_.kind == TokenKind::kComma) {
+        status = Consume(TokenKind::kComma, "expected ','");
+        if (!status.ok()) return status;
+        continue;
+      }
+      break;
+    }
+    status = Consume(TokenKind::kRParen, "expected ')'");
+    if (!status.ok()) return status;
+    return atom;
+  }
+
+  util::Result<Fact> ResolveFact(const RawAtom& raw) {
+    for (const RawTerm& term : raw.terms) {
+      if (term.is_variable) {
+        return util::Status::Error(
+            "parse error at " + std::to_string(raw.line) + ":" +
+            std::to_string(raw.column) + ": fact '" + raw.predicate +
+            "' contains variable '" + term.text + "'");
+      }
+    }
+    util::Result<PredicateId> pred = symbols_->RegisterPredicate(
+        raw.predicate, static_cast<int>(raw.terms.size()));
+    if (!pred.ok()) return pred.status();
+    Fact fact;
+    fact.predicate = pred.value();
+    fact.args.reserve(raw.terms.size());
+    for (const RawTerm& term : raw.terms) {
+      fact.args.push_back(symbols_->InternConstant(term.text));
+    }
+    return fact;
+  }
+
+  util::Result<Rule> ResolveRule(const RawAtom& raw_head,
+                                 const std::vector<RawAtom>& raw_body) {
+    Rule rule;
+    std::unordered_map<std::string, std::uint32_t> var_ids;
+    auto resolve_atom = [&](const RawAtom& raw) -> util::Result<Atom> {
+      util::Result<PredicateId> pred = symbols_->RegisterPredicate(
+          raw.predicate, static_cast<int>(raw.terms.size()));
+      if (!pred.ok()) return pred.status();
+      Atom atom;
+      atom.predicate = pred.value();
+      atom.terms.reserve(raw.terms.size());
+      for (const RawTerm& term : raw.terms) {
+        if (term.is_variable) {
+          // '_' is an anonymous variable: every occurrence is fresh.
+          if (term.text == "_") {
+            const std::uint32_t id = rule.num_variables++;
+            rule.variable_names.push_back("_" + std::to_string(id));
+            atom.terms.push_back(Term::Variable(id));
+            continue;
+          }
+          auto [it, inserted] = var_ids.emplace(term.text, rule.num_variables);
+          if (inserted) {
+            ++rule.num_variables;
+            rule.variable_names.push_back(term.text);
+          }
+          atom.terms.push_back(Term::Variable(it->second));
+        } else {
+          atom.terms.push_back(
+              Term::Constant(symbols_->InternConstant(term.text)));
+        }
+      }
+      return atom;
+    };
+
+    util::Result<Atom> head = resolve_atom(raw_head);
+    if (!head.ok()) return head.status();
+    rule.head = std::move(head).value();
+    for (const RawAtom& raw : raw_body) {
+      util::Result<Atom> atom = resolve_atom(raw);
+      if (!atom.ok()) return atom.status();
+      rule.body.push_back(std::move(atom).value());
+    }
+    util::Status safety = rule.CheckSafety();
+    if (!safety.ok()) {
+      return util::Status::Error("at " + std::to_string(raw_head.line) + ":" +
+                                 std::to_string(raw_head.column) + ": " +
+                                 safety.message());
+    }
+    return rule;
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+  Lexer lexer_;
+  Token current_;
+};
+
+}  // namespace
+
+util::Result<ParsedUnit> Parser::ParseUnit(
+    const std::shared_ptr<SymbolTable>& symbols, std::string_view text) {
+  ParserImpl impl(symbols, text);
+  return impl.Run();
+}
+
+util::Result<Program> Parser::ParseProgram(
+    const std::shared_ptr<SymbolTable>& symbols, std::string_view text) {
+  util::Result<ParsedUnit> unit = ParseUnit(symbols, text);
+  if (!unit.ok()) return unit.status();
+  if (!unit.value().facts.empty()) {
+    return util::Status::Error(
+        "expected rules only, but the text contains ground facts");
+  }
+  return Program::Create(symbols, std::move(unit.value().rules));
+}
+
+util::Result<Database> Parser::ParseDatabase(
+    const std::shared_ptr<SymbolTable>& symbols, std::string_view text) {
+  util::Result<ParsedUnit> unit = ParseUnit(symbols, text);
+  if (!unit.ok()) return unit.status();
+  if (!unit.value().rules.empty()) {
+    return util::Status::Error(
+        "expected facts only, but the text contains rules");
+  }
+  Database db(symbols);
+  for (Fact& fact : unit.value().facts) db.Insert(std::move(fact));
+  return db;
+}
+
+util::Result<Fact> Parser::ParseFact(
+    const std::shared_ptr<SymbolTable>& symbols, std::string_view text) {
+  util::Result<ParsedUnit> unit =
+      ParseUnit(symbols, std::string(text) + ".");
+  if (!unit.ok()) return unit.status();
+  if (unit.value().facts.size() != 1 || !unit.value().rules.empty()) {
+    return util::Status::Error("expected exactly one ground atom");
+  }
+  return std::move(unit.value().facts.front());
+}
+
+}  // namespace whyprov::datalog

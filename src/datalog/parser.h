@@ -1,0 +1,55 @@
+#ifndef WHYPROV_DATALOG_PARSER_H_
+#define WHYPROV_DATALOG_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "datalog/program.h"
+#include "datalog/symbol_table.h"
+#include "util/status.h"
+
+namespace whyprov::datalog {
+
+/// Result of parsing a mixed unit: the rules and the ground facts found.
+struct ParsedUnit {
+  std::vector<Rule> rules;
+  std::vector<Fact> facts;
+};
+
+/// Recursive-descent parser for the textual Datalog dialect used across
+/// the repository (DLV-style):
+///
+///   path(X, Y) :- edge(X, Y).        % rule; variables start uppercase/_
+///   path(X, Y) :- edge(X, Z), path(Z, Y).
+///   edge(a, b).                      % ground fact; constants lowercase,
+///   edge(1, "two").                  % numeric, or quoted
+///
+/// Comments run from `%` to end of line. Statements end with `.`.
+class Parser {
+ public:
+  /// Parses a mixed unit of rules and facts. Reports the first error with
+  /// line/column position.
+  static util::Result<ParsedUnit> ParseUnit(
+      const std::shared_ptr<SymbolTable>& symbols, std::string_view text);
+
+  /// Parses rules only (facts present in `text` are an error) and builds a
+  /// classified `Program`.
+  static util::Result<Program> ParseProgram(
+      const std::shared_ptr<SymbolTable>& symbols, std::string_view text);
+
+  /// Parses ground facts only (rules present in `text` are an error) and
+  /// builds a `Database`.
+  static util::Result<Database> ParseDatabase(
+      const std::shared_ptr<SymbolTable>& symbols, std::string_view text);
+
+  /// Parses a single ground atom such as `edge(a, b)` (no trailing dot).
+  static util::Result<Fact> ParseFact(
+      const std::shared_ptr<SymbolTable>& symbols, std::string_view text);
+};
+
+}  // namespace whyprov::datalog
+
+#endif  // WHYPROV_DATALOG_PARSER_H_

@@ -1,0 +1,139 @@
+#include "datalog/program.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+namespace whyprov::datalog {
+
+std::string ProgramClassName(ProgramClass c) {
+  switch (c) {
+    case ProgramClass::kNonRecursive:
+      return "non-recursive";
+    case ProgramClass::kLinearRecursive:
+      return "linear, recursive";
+    case ProgramClass::kNonLinearRecursive:
+      return "non-linear, recursive";
+  }
+  return "unknown";
+}
+
+util::Result<Program> Program::Create(std::shared_ptr<SymbolTable> symbols,
+                                      std::vector<Rule> rules) {
+  Program program;
+  program.symbols_ = std::move(symbols);
+  program.rules_ = std::move(rules);
+
+  const std::size_t num_preds = program.symbols_->NumPredicates();
+  program.is_intensional_.assign(num_preds, false);
+  program.occurs_.assign(num_preds, false);
+  program.rules_for_head_.assign(num_preds, {});
+
+  for (std::size_t i = 0; i < program.rules_.size(); ++i) {
+    const Rule& rule = program.rules_[i];
+    util::Status safety = rule.CheckSafety();
+    if (!safety.ok()) {
+      return util::Status::Error("rule " + std::to_string(i) + ": " +
+                                 safety.message());
+    }
+    program.is_intensional_[rule.head.predicate] = true;
+    program.occurs_[rule.head.predicate] = true;
+    program.rules_for_head_[rule.head.predicate].push_back(i);
+    program.max_body_size_ =
+        std::max(program.max_body_size_, rule.body.size());
+    for (const Atom& atom : rule.body) program.occurs_[atom.predicate] = true;
+  }
+
+  program.AnalyzeGraph();
+  return program;
+}
+
+void Program::AnalyzeGraph() {
+  const std::size_t n = symbols_->NumPredicates();
+
+  // Predicate graph: edge R -> P when R occurs in the body of a rule with
+  // head P. Adjacency as "P depends on R" lists for the cycle check.
+  std::vector<std::vector<PredicateId>> deps(n);
+  for (const Rule& rule : rules_) {
+    std::size_t intensional_body_atoms = 0;
+    for (const Atom& atom : rule.body) {
+      deps[rule.head.predicate].push_back(atom.predicate);
+      if (is_intensional_[atom.predicate]) ++intensional_body_atoms;
+    }
+    if (intensional_body_atoms > 1) linear_ = false;
+  }
+
+  // Iterative three-colour DFS for cycle detection and reverse
+  // post-order (gives a dependencies-first topological order when acyclic;
+  // for cyclic graphs the order is still usable as a heuristic).
+  enum : char { kWhite, kGrey, kBlack };
+  std::vector<char> colour(n, kWhite);
+  std::vector<PredicateId> post_order;
+  post_order.reserve(n);
+
+  for (PredicateId root = 0; root < n; ++root) {
+    if (!occurs_[root] || colour[root] != kWhite) continue;
+    // Stack of (node, next-child-index).
+    std::vector<std::pair<PredicateId, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    colour[root] = kGrey;
+    while (!stack.empty()) {
+      auto& [node, child_index] = stack.back();
+      if (child_index < deps[node].size()) {
+        const PredicateId child = deps[node][child_index++];
+        if (colour[child] == kGrey) {
+          recursive_ = true;
+        } else if (colour[child] == kWhite) {
+          colour[child] = kGrey;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        colour[node] = kBlack;
+        post_order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  // post_order lists dependencies before dependents already (children are
+  // finished before their parents).
+  stratum_order_ = std::move(post_order);
+}
+
+std::vector<PredicateId> Program::ExtensionalPredicates() const {
+  std::vector<PredicateId> result;
+  for (PredicateId p = 0; p < occurs_.size(); ++p) {
+    if (occurs_[p] && !is_intensional_[p]) result.push_back(p);
+  }
+  return result;
+}
+
+std::vector<PredicateId> Program::IntensionalPredicates() const {
+  std::vector<PredicateId> result;
+  for (PredicateId p = 0; p < is_intensional_.size(); ++p) {
+    if (is_intensional_[p]) result.push_back(p);
+  }
+  return result;
+}
+
+const std::vector<std::size_t>& Program::RulesForHead(PredicateId p) const {
+  static const std::vector<std::size_t> kEmpty;
+  if (p >= rules_for_head_.size()) return kEmpty;
+  return rules_for_head_[p];
+}
+
+ProgramClass Program::Classification() const {
+  if (!recursive_) return ProgramClass::kNonRecursive;
+  return linear_ ? ProgramClass::kLinearRecursive
+                 : ProgramClass::kNonLinearRecursive;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += RuleToString(rule, *symbols_);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace whyprov::datalog

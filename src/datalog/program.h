@@ -1,0 +1,110 @@
+#ifndef WHYPROV_DATALOG_PROGRAM_H_
+#define WHYPROV_DATALOG_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/symbol_table.h"
+#include "util/status.h"
+
+namespace whyprov::datalog {
+
+/// Syntactic class of a Datalog program (Section 2 of the paper).
+enum class ProgramClass {
+  /// Acyclic predicate graph: no recursion at all (NRDat).
+  kNonRecursive,
+  /// Recursive, but every rule has at most one intensional body atom (LDat).
+  kLinearRecursive,
+  /// Recursive with some rule containing >= 2 intensional body atoms (Dat).
+  kNonLinearRecursive,
+};
+
+/// Human-readable name of a program class, e.g. "linear, recursive".
+std::string ProgramClassName(ProgramClass c);
+
+/// A Datalog program: a finite set of safe rules over a shared symbol
+/// table, with the derived schema information (extensional/intensional
+/// predicates, predicate dependency graph, classification) precomputed.
+class Program {
+ public:
+  /// Builds a program from `rules`. Fails if any rule is unsafe.
+  static util::Result<Program> Create(std::shared_ptr<SymbolTable> symbols,
+                                      std::vector<Rule> rules);
+
+  /// The shared symbol table.
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  /// The shared symbol table handle (for constructing sibling objects).
+  const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
+
+  /// The rules, in source order.
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// True iff `p` occurs in the head of some rule (intensional predicate).
+  bool IsIntensional(PredicateId p) const {
+    return p < is_intensional_.size() && is_intensional_[p];
+  }
+
+  /// True iff `p` occurs in the program but never in a head.
+  bool IsExtensional(PredicateId p) const {
+    return p < occurs_.size() && occurs_[p] && !IsIntensional(p);
+  }
+
+  /// All extensional predicates, ascending by id (edb(Sigma)).
+  std::vector<PredicateId> ExtensionalPredicates() const;
+
+  /// All intensional predicates, ascending by id (idb(Sigma)).
+  std::vector<PredicateId> IntensionalPredicates() const;
+
+  /// Rule indices whose head predicate is `p`.
+  const std::vector<std::size_t>& RulesForHead(PredicateId p) const;
+
+  /// True iff every rule has at most one intensional body atom.
+  bool IsLinear() const { return linear_; }
+
+  /// True iff the predicate graph has a cycle.
+  bool IsRecursive() const { return recursive_; }
+
+  /// The syntactic classification.
+  ProgramClass Classification() const;
+
+  /// Maximum number of body atoms over all rules (the `b` of the proofs).
+  std::size_t MaxBodySize() const { return max_body_size_; }
+
+  /// Predicates in a topological order of the predicate graph's strongly
+  /// connected components (dependencies first). For non-recursive programs
+  /// this is a plain topological order.
+  const std::vector<PredicateId>& StratumOrder() const {
+    return stratum_order_;
+  }
+
+  /// Renders all rules, one per line.
+  std::string ToString() const;
+
+ private:
+  Program() = default;
+  void AnalyzeGraph();
+
+  std::shared_ptr<SymbolTable> symbols_;
+  std::vector<Rule> rules_;
+  std::vector<bool> is_intensional_;  // indexed by PredicateId
+  std::vector<bool> occurs_;          // predicate occurs in the program
+  std::vector<std::vector<std::size_t>> rules_for_head_;
+  std::vector<PredicateId> stratum_order_;
+  bool linear_ = true;
+  bool recursive_ = false;
+  std::size_t max_body_size_ = 0;
+};
+
+/// A Datalog query Q = (Sigma, R): a program plus a distinguished
+/// intensional answer predicate.
+struct Query {
+  Program program;
+  PredicateId answer_predicate = 0;
+};
+
+}  // namespace whyprov::datalog
+
+#endif  // WHYPROV_DATALOG_PROGRAM_H_

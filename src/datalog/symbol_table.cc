@@ -1,0 +1,45 @@
+#include "datalog/symbol_table.h"
+
+#include <utility>
+
+namespace whyprov::datalog {
+
+SymbolId SymbolTable::InternConstant(std::string_view name) {
+  auto it = constant_ids_.find(std::string(name));
+  if (it != constant_ids_.end()) return it->second;
+  const SymbolId id = static_cast<SymbolId>(constants_.size());
+  constants_.emplace_back(name);
+  constant_ids_.emplace(constants_.back(), id);
+  return id;
+}
+
+util::Result<PredicateId> SymbolTable::RegisterPredicate(std::string_view name,
+                                                         int arity) {
+  auto it = predicate_ids_.find(std::string(name));
+  if (it != predicate_ids_.end()) {
+    const PredicateInfo& info = predicates_[it->second];
+    if (info.arity != arity) {
+      return util::Status::Error("predicate '" + std::string(name) +
+                                 "' used with arity " + std::to_string(arity) +
+                                 " but registered with arity " +
+                                 std::to_string(info.arity));
+    }
+    return it->second;
+  }
+  const PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(PredicateInfo{std::string(name), arity});
+  predicate_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+util::Result<PredicateId> SymbolTable::FindPredicate(
+    std::string_view name) const {
+  auto it = predicate_ids_.find(std::string(name));
+  if (it == predicate_ids_.end()) {
+    return util::Status::Error("unknown predicate '" + std::string(name) +
+                               "'");
+  }
+  return it->second;
+}
+
+}  // namespace whyprov::datalog

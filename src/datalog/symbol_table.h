@@ -1,0 +1,75 @@
+#ifndef WHYPROV_DATALOG_SYMBOL_TABLE_H_
+#define WHYPROV_DATALOG_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace whyprov::datalog {
+
+/// Dense identifier of an interned constant.
+using SymbolId = std::uint32_t;
+
+/// Dense identifier of a registered predicate (name + arity).
+using PredicateId = std::uint32_t;
+
+/// Metadata of a registered predicate.
+struct PredicateInfo {
+  std::string name;
+  int arity = 0;
+};
+
+/// Interning table for the constants and predicates of one Datalog
+/// workspace. All `Program`, `Database`, and derived structures of a
+/// workspace share one table (usually via `std::shared_ptr`), so constants
+/// and predicates compare by dense integer id everywhere.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // The table is referenced by id from many places; accidental copies would
+  // silently fork the id space, so copying is disabled.
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Interns a constant, returning its id (existing or fresh).
+  SymbolId InternConstant(std::string_view name);
+
+  /// Returns the spelling of constant `id`.
+  const std::string& ConstantName(SymbolId id) const {
+    return constants_[id];
+  }
+
+  /// Number of interned constants.
+  std::size_t NumConstants() const { return constants_.size(); }
+
+  /// Registers (or finds) a predicate with the given name and arity.
+  /// Fails if `name` was previously registered with a different arity.
+  util::Result<PredicateId> RegisterPredicate(std::string_view name,
+                                              int arity);
+
+  /// Looks up a predicate by name; returns nullopt-like failure when absent.
+  util::Result<PredicateId> FindPredicate(std::string_view name) const;
+
+  /// Returns metadata of predicate `id`.
+  const PredicateInfo& Predicate(PredicateId id) const {
+    return predicates_[id];
+  }
+
+  /// Number of registered predicates.
+  std::size_t NumPredicates() const { return predicates_.size(); }
+
+ private:
+  std::vector<std::string> constants_;
+  std::unordered_map<std::string, SymbolId> constant_ids_;
+  std::vector<PredicateInfo> predicates_;
+  std::unordered_map<std::string, PredicateId> predicate_ids_;
+};
+
+}  // namespace whyprov::datalog
+
+#endif  // WHYPROV_DATALOG_SYMBOL_TABLE_H_

@@ -1,0 +1,197 @@
+#include "provenance/acyclicity.h"
+
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+namespace whyprov::provenance {
+
+std::string AcyclicityEncodingName(AcyclicityEncoding e) {
+  switch (e) {
+    case AcyclicityEncoding::kTransitiveClosure:
+      return "transitive-closure";
+    case AcyclicityEncoding::kVertexElimination:
+      return "vertex-elimination";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Collapses parallel arcs into one literal per ordered pair (creating an
+/// OR variable where needed) and handles self-loops. The result maps
+/// (from, to) -> literal.
+std::map<std::pair<int, int>, sat::Lit> NormalizeArcs(
+    const std::vector<Arc>& arcs, sat::Solver& solver,
+    AcyclicityStats& stats) {
+  std::map<std::pair<int, int>, sat::Lit> merged;
+  for (const Arc& arc : arcs) {
+    if (arc.from == arc.to) {
+      // A selected self-loop is a cycle outright.
+      solver.AddUnit(~arc.lit);
+      ++stats.clauses;
+      continue;
+    }
+    const auto key = std::make_pair(arc.from, arc.to);
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(key, arc.lit);
+      continue;
+    }
+    // Second arc on the same pair: introduce (or extend) an OR variable.
+    const sat::Var o = solver.NewVar();
+    ++stats.auxiliary_variables;
+    const sat::Lit or_lit = sat::Lit::Make(o, false);
+    solver.AddBinary(~it->second, or_lit);
+    solver.AddBinary(~arc.lit, or_lit);
+    stats.clauses += 2;
+    it->second = or_lit;
+  }
+  return merged;
+}
+
+AcyclicityStats EncodeTransitiveClosure(int num_nodes,
+                                        const std::vector<Arc>& arcs,
+                                        sat::Solver& solver) {
+  AcyclicityStats stats;
+  auto merged = NormalizeArcs(arcs, solver, stats);
+
+  // t(u, v) for every ordered pair of distinct nodes.
+  std::unordered_map<std::int64_t, sat::Lit> t;
+  auto t_lit = [&](int u, int v) {
+    const std::int64_t key = static_cast<std::int64_t>(u) * num_nodes + v;
+    auto it = t.find(key);
+    if (it == t.end()) {
+      const sat::Var var = solver.NewVar();
+      ++stats.auxiliary_variables;
+      it = t.emplace(key, sat::Lit::Make(var, false)).first;
+    }
+    return it->second;
+  };
+
+  for (const auto& [pair, lit] : merged) {
+    const auto [u, v] = pair;
+    // Arc implies closure.
+    solver.AddBinary(~lit, t_lit(u, v));
+    ++stats.clauses;
+    // Arc composes with closure: z(u,v) & t(v,w) -> t(u,w); w == u closes
+    // a cycle, which is forbidden.
+    for (int w = 0; w < num_nodes; ++w) {
+      if (w == v) continue;
+      if (w == u) {
+        solver.AddBinary(~lit, ~t_lit(v, u));
+      } else {
+        solver.AddTernary(~lit, ~t_lit(v, w), t_lit(u, w));
+      }
+      ++stats.clauses;
+    }
+  }
+  return stats;
+}
+
+AcyclicityStats EncodeVertexElimination(int num_nodes,
+                                        const std::vector<Arc>& arcs,
+                                        sat::Solver& solver) {
+  AcyclicityStats stats;
+  auto merged = NormalizeArcs(arcs, solver, stats);
+
+  // Shadow every arc with a one-way reachability literal r(u,v) and run
+  // the elimination on the shadow layer. Shortcuts must never force the
+  // *selection* literal of a coincident original arc — only reachability.
+  std::vector<std::unordered_map<int, sat::Lit>> out(num_nodes);
+  std::vector<std::unordered_map<int, sat::Lit>> in(num_nodes);
+  for (const auto& [pair, lit] : merged) {
+    const sat::Var var = solver.NewVar();
+    ++stats.auxiliary_variables;
+    const sat::Lit shadow = sat::Lit::Make(var, false);
+    solver.AddBinary(~lit, shadow);
+    ++stats.clauses;
+    out[pair.first].emplace(pair.second, shadow);
+    in[pair.second].emplace(pair.first, shadow);
+  }
+
+  // Min-degree elimination order via a lazy priority queue (stale entries
+  // are skipped when popped).
+  using Entry = std::pair<std::size_t, int>;  // (degree, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::vector<bool> eliminated(num_nodes, false);
+  auto degree = [&](int v) { return out[v].size() + in[v].size(); };
+  for (int v = 0; v < num_nodes; ++v) queue.emplace(degree(v), v);
+
+  for (int round = 0; round < num_nodes; ++round) {
+    int x = -1;
+    while (!queue.empty()) {
+      auto [d, v] = queue.top();
+      queue.pop();
+      if (eliminated[v]) continue;
+      if (d != degree(v)) {
+        queue.emplace(degree(v), v);  // stale; reinsert with fresh degree
+        continue;
+      }
+      x = v;
+      break;
+    }
+    if (x < 0) break;
+    eliminated[x] = true;
+
+    // Shortcut every in-arc/out-arc pair through x.
+    for (const auto& [u, in_lit] : in[x]) {
+      if (eliminated[u]) continue;
+      for (const auto& [w, out_lit] : out[x]) {
+        if (eliminated[w]) continue;
+        if (u == w) {
+          // u -> x -> u is a cycle.
+          solver.AddBinary(~in_lit, ~out_lit);
+          ++stats.clauses;
+          continue;
+        }
+        auto it = out[u].find(w);
+        sat::Lit shortcut;
+        if (it != out[u].end()) {
+          shortcut = it->second;
+        } else {
+          const sat::Var var = solver.NewVar();
+          ++stats.auxiliary_variables;
+          shortcut = sat::Lit::Make(var, false);
+          out[u].emplace(w, shortcut);
+          in[w].emplace(u, shortcut);
+          queue.emplace(degree(u), u);
+          queue.emplace(degree(w), w);
+        }
+        solver.AddTernary(~in_lit, ~out_lit, shortcut);
+        ++stats.clauses;
+      }
+    }
+    // Detach x from its neighbours.
+    for (const auto& [u, lit] : in[x]) {
+      (void)lit;
+      out[u].erase(x);
+      queue.emplace(degree(u), u);
+    }
+    for (const auto& [w, lit] : out[x]) {
+      (void)lit;
+      in[w].erase(x);
+      queue.emplace(degree(w), w);
+    }
+    in[x].clear();
+    out[x].clear();
+  }
+  return stats;
+}
+
+}  // namespace
+
+AcyclicityStats EncodeAcyclicity(AcyclicityEncoding kind, int num_nodes,
+                                 const std::vector<Arc>& arcs,
+                                 sat::Solver& solver) {
+  switch (kind) {
+    case AcyclicityEncoding::kTransitiveClosure:
+      return EncodeTransitiveClosure(num_nodes, arcs, solver);
+    case AcyclicityEncoding::kVertexElimination:
+      return EncodeVertexElimination(num_nodes, arcs, solver);
+  }
+  return AcyclicityStats{};
+}
+
+}  // namespace whyprov::provenance

@@ -1,0 +1,50 @@
+#ifndef WHYPROV_PROVENANCE_ACYCLICITY_H_
+#define WHYPROV_PROVENANCE_ACYCLICITY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace whyprov::provenance {
+
+/// Which CNF acyclicity encoding phi_acyclic uses.
+enum class AcyclicityEncoding {
+  /// The appendix's simple encoding: materialise the transitive closure
+  /// with one variable per ordered node pair. O(n^2) variables,
+  /// O(|E| * n) clauses. Simple but heavy on connected graphs.
+  kTransitiveClosure,
+  /// Vertex elimination (Rankooh & Rintanen, AAAI 2022), the encoding the
+  /// paper's implementation uses: O(n * delta) variables where delta is
+  /// the elimination width of the graph.
+  kVertexElimination,
+};
+
+/// Human-readable name.
+std::string AcyclicityEncodingName(AcyclicityEncoding e);
+
+/// A potential arc of the graph: selected iff `lit` is true.
+struct Arc {
+  int from = 0;
+  int to = 0;
+  sat::Lit lit;
+};
+
+/// Statistics of one acyclicity encoding.
+struct AcyclicityStats {
+  std::size_t auxiliary_variables = 0;
+  std::size_t clauses = 0;
+};
+
+/// Adds clauses to `solver` forcing that the arcs whose literals are true
+/// form an acyclic graph over nodes 0..num_nodes-1. Parallel arcs and
+/// self-loops are handled. Returns encoding statistics.
+AcyclicityStats EncodeAcyclicity(AcyclicityEncoding kind, int num_nodes,
+                                 const std::vector<Arc>& arcs,
+                                 sat::Solver& solver);
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_ACYCLICITY_H_

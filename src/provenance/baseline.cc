@@ -1,0 +1,112 @@
+#include "provenance/baseline.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "provenance/downward_closure.h"
+
+namespace whyprov::provenance {
+
+namespace dl = whyprov::datalog;
+
+namespace {
+
+using IdSet = std::vector<dl::FactId>;        // sorted, unique
+using IdFamily = std::set<IdSet>;
+
+IdSet UnionSets(const IdSet& a, const IdSet& b) {
+  IdSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+util::Result<ProvenanceFamily> ComputeWhyAllAtOnce(
+    const dl::Program& program, const dl::Model& model, dl::FactId target,
+    const BaselineLimits& limits) {
+  const DownwardClosure closure =
+      DownwardClosure::Build(program, model, target);
+  if (!closure.derivable()) return ProvenanceFamily{};
+
+  std::unordered_map<dl::FactId, IdFamily> supports;
+  for (dl::FactId leaf : closure.DatabaseLeaves()) {
+    supports[leaf] = IdFamily{IdSet{leaf}};
+  }
+
+  // Least fixpoint: keep applying every hyperedge until nothing grows.
+  std::size_t combination_budget = limits.max_combinations;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const DownwardClosure::Hyperedge& edge : closure.edges()) {
+      // Product of the body families, unioning the supports.
+      IdFamily additions;
+      bool feasible = true;
+      std::vector<const IdFamily*> body_families;
+      for (dl::FactId body_fact : edge.body) {
+        auto it = supports.find(body_fact);
+        if (it == supports.end() || it->second.empty()) {
+          feasible = false;
+          break;
+        }
+        body_families.push_back(&it->second);
+      }
+      if (!feasible) continue;
+
+      // Depth-first product over the body families.
+      IdSet current;
+      bool overflow = false;
+      auto product = [&](auto&& self, std::size_t index,
+                         const IdSet& acc) -> void {
+        if (overflow) return;
+        if (combination_budget == 0) {
+          overflow = true;
+          return;
+        }
+        --combination_budget;
+        if (index == body_families.size()) {
+          additions.insert(acc);
+          return;
+        }
+        for (const IdSet& s : *body_families[index]) {
+          self(self, index + 1, UnionSets(acc, s));
+        }
+      };
+      product(product, 0, IdSet{});
+      if (overflow) {
+        return util::Status::Error(
+            "all-at-once baseline exceeded its combination budget "
+            "(family materialisation blow-up)");
+      }
+
+      IdFamily& head_family = supports[edge.head];
+      for (const IdSet& s : additions) {
+        if (head_family.insert(s).second) changed = true;
+      }
+      if (head_family.size() > limits.max_family_size) {
+        return util::Status::Error(
+            "all-at-once baseline exceeded its family-size budget "
+            "(out-of-memory analogue)");
+      }
+    }
+  }
+
+  ProvenanceFamily family;
+  auto it = supports.find(target);
+  if (it != supports.end()) {
+    for (const IdSet& s : it->second) {
+      std::vector<dl::Fact> member;
+      member.reserve(s.size());
+      for (dl::FactId id : s) member.push_back(model.fact(id));
+      std::sort(member.begin(), member.end());
+      family.insert(std::move(member));
+    }
+  }
+  return family;
+}
+
+}  // namespace whyprov::provenance

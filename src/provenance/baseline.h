@@ -1,0 +1,45 @@
+#ifndef WHYPROV_PROVENANCE_BASELINE_H_
+#define WHYPROV_PROVENANCE_BASELINE_H_
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "util/status.h"
+
+namespace whyprov::provenance {
+
+/// A why-provenance family: a set of members, each a sorted set of
+/// database facts.
+using ProvenanceFamily = std::set<std::vector<datalog::Fact>>;
+
+/// Resource limits for the materialising algorithms. They are exponential
+/// in the worst case (the problem is NP-hard), so explosion is reported as
+/// an error instead of hanging.
+struct BaselineLimits {
+  std::size_t max_family_size = 1u << 20;    ///< per-fact support families
+  std::size_t max_combinations = 1u << 24;   ///< product steps per round
+};
+
+/// The "all-at-once" baseline (the paper's Figure 5 comparator, standing
+/// in for the existential-rules approach of Elhalawati et al.): computes
+/// the *entire* set why(t, D, Q) in one least-fixpoint pass over the
+/// downward closure, interpreting each fact's annotation in the
+/// set-of-supports semiring:
+///
+///   W(alpha) = {{alpha}}                                alpha in D
+///   W(alpha) >= { S_1 u ... u S_k :  (alpha,{b_1..b_k}) a rule instance,
+///                                     S_i in W(b_i) }
+///
+/// For arbitrary proof trees this fixpoint is exactly the why-provenance
+/// (each member is the support of some proof tree and vice versa).
+util::Result<ProvenanceFamily> ComputeWhyAllAtOnce(
+    const datalog::Program& program, const datalog::Model& model,
+    datalog::FactId target, const BaselineLimits& limits = BaselineLimits());
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_BASELINE_H_

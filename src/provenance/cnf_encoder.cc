@@ -1,0 +1,124 @@
+#include "provenance/cnf_encoder.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace whyprov::provenance {
+
+namespace dl = whyprov::datalog;
+
+Encoding CnfEncoder::Encode(const DownwardClosure& closure,
+                            sat::Solver& solver, const Options& options) {
+  Encoding enc;
+  enc.database_leaves = closure.DatabaseLeaves();
+  if (!closure.derivable()) {
+    solver.AddClause({});  // empty clause: unsatisfiable
+    enc.trivially_unsat = true;
+    return enc;
+  }
+
+  // --- variables ---
+  // x_alpha per closure node.
+  for (dl::FactId fact : closure.nodes()) {
+    enc.node_vars.emplace(fact, solver.NewVar());
+  }
+  // y_e per hyperedge.
+  enc.hyperedge_vars.reserve(closure.edges().size());
+  for (std::size_t e = 0; e < closure.edges().size(); ++e) {
+    enc.hyperedge_vars.push_back(solver.NewVar());
+  }
+  // z_(alpha,beta) per distinct (head, body-fact) pair over all hyperedges.
+  std::map<std::pair<dl::FactId, dl::FactId>, sat::Var> edge_var_of;
+  for (const DownwardClosure::Hyperedge& edge : closure.edges()) {
+    for (dl::FactId body_fact : edge.body) {
+      const auto key = std::make_pair(edge.head, body_fact);
+      if (!edge_var_of.contains(key)) {
+        const sat::Var var = solver.NewVar();
+        edge_var_of.emplace(key, var);
+        enc.edge_vars.push_back(Encoding::EdgeVar{edge.head, body_fact, var});
+      }
+    }
+  }
+  auto pos = [](sat::Var v) { return sat::Lit::Make(v, false); };
+  auto neg = [](sat::Var v) { return sat::Lit::Make(v, true); };
+
+  // --- phi_graph: z_(a,b) -> x_a and z_(a,b) -> x_b ---
+  for (const Encoding::EdgeVar& z : enc.edge_vars) {
+    solver.AddBinary(neg(z.var), pos(enc.node_vars.at(z.from)));
+    solver.AddBinary(neg(z.var), pos(enc.node_vars.at(z.to)));
+    enc.num_clauses += 2;
+  }
+
+  // --- phi_root ---
+  const dl::FactId root = closure.target();
+  solver.AddUnit(pos(enc.node_vars.at(root)));
+  ++enc.num_clauses;
+  // No incoming arcs into the root; every other present node needs one.
+  std::unordered_map<dl::FactId, std::vector<sat::Var>> incoming;
+  for (const Encoding::EdgeVar& z : enc.edge_vars) {
+    incoming[z.to].push_back(z.var);
+  }
+  for (sat::Var var : incoming[root]) {
+    solver.AddUnit(neg(var));
+    ++enc.num_clauses;
+  }
+  for (dl::FactId fact : closure.nodes()) {
+    if (fact == root) continue;
+    std::vector<sat::Lit> clause;
+    clause.push_back(neg(enc.node_vars.at(fact)));
+    for (sat::Var var : incoming[fact]) clause.push_back(pos(var));
+    solver.AddClause(std::move(clause));
+    ++enc.num_clauses;
+  }
+
+  // --- phi_proof ---
+  // Intensional nodes must select a hyperedge...
+  for (dl::FactId fact : closure.nodes()) {
+    const std::vector<std::size_t>& edges = closure.EdgesWithHead(fact);
+    if (edges.empty()) continue;  // database leaf
+    std::vector<sat::Lit> clause;
+    clause.push_back(neg(enc.node_vars.at(fact)));
+    for (std::size_t e : edges) clause.push_back(pos(enc.hyperedge_vars[e]));
+    solver.AddClause(std::move(clause));
+    ++enc.num_clauses;
+  }
+  // ... and the selected hyperedge pins down exactly its arcs: for every
+  // z_(a,b) variable with a = head(e): y_e -> z_(a,b) if b in body(e),
+  // y_e -> ~z_(a,b) otherwise.
+  std::unordered_map<dl::FactId, std::vector<std::pair<dl::FactId, sat::Var>>>
+      arcs_from;
+  for (const Encoding::EdgeVar& z : enc.edge_vars) {
+    arcs_from[z.from].emplace_back(z.to, z.var);
+  }
+  for (std::size_t e = 0; e < closure.edges().size(); ++e) {
+    const DownwardClosure::Hyperedge& edge = closure.edges()[e];
+    const std::set<dl::FactId> body(edge.body.begin(), edge.body.end());
+    for (const auto& [to, z_var] : arcs_from[edge.head]) {
+      if (body.contains(to)) {
+        solver.AddBinary(neg(enc.hyperedge_vars[e]), pos(z_var));
+      } else {
+        solver.AddBinary(neg(enc.hyperedge_vars[e]), neg(z_var));
+      }
+      ++enc.num_clauses;
+    }
+  }
+
+  // --- phi_acyclic over the z arcs ---
+  // Dense node renumbering for the acyclicity encoder.
+  std::unordered_map<dl::FactId, int> dense;
+  for (dl::FactId fact : closure.nodes()) {
+    dense.emplace(fact, static_cast<int>(dense.size()));
+  }
+  std::vector<Arc> arcs;
+  arcs.reserve(enc.edge_vars.size());
+  for (const Encoding::EdgeVar& z : enc.edge_vars) {
+    arcs.push_back(Arc{dense.at(z.from), dense.at(z.to), pos(z.var)});
+  }
+  enc.acyclicity = EncodeAcyclicity(options.acyclicity,
+                                    static_cast<int>(dense.size()), arcs,
+                                    solver);
+  return enc;
+}
+
+}  // namespace whyprov::provenance

@@ -1,0 +1,61 @@
+#ifndef WHYPROV_PROVENANCE_CNF_ENCODER_H_
+#define WHYPROV_PROVENANCE_CNF_ENCODER_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "provenance/acyclicity.h"
+#include "provenance/downward_closure.h"
+#include "sat/solver.h"
+
+namespace whyprov::provenance {
+
+/// The variable layout of the Boolean formula phi(t, D, Q) of Section 5.1 /
+/// Appendix D.2, plus encoding statistics. The formula itself lives inside
+/// the solver the encoder filled.
+struct Encoding {
+  /// x_alpha: "fact alpha is a node of the compressed DAG".
+  std::unordered_map<datalog::FactId, sat::Var> node_vars;
+  /// y_e, parallel to closure.edges(): "hyperedge e is alpha's derivation".
+  std::vector<sat::Var> hyperedge_vars;
+  /// z_(alpha,beta) arcs, as (from fact, to fact, var).
+  struct EdgeVar {
+    datalog::FactId from;
+    datalog::FactId to;
+    sat::Var var;
+  };
+  std::vector<EdgeVar> edge_vars;
+  /// The database facts of the closure (the blocking-clause set S).
+  std::vector<datalog::FactId> database_leaves;
+
+  std::size_t num_clauses = 0;           ///< clauses emitted (excl. acyclicity)
+  AcyclicityStats acyclicity;            ///< phi_acyclic statistics
+  bool trivially_unsat = false;          ///< formula collapsed at encode time
+};
+
+/// Builds phi(t, D, Q) = phi_graph & phi_root & phi_proof & phi_acyclic
+/// into `solver`, following Appendix D.2 of the paper. Satisfying
+/// assignments correspond one-to-one (Lemma 44) to compressed proof DAGs
+/// of the closure's target fact, and hence (Proposition 41) db(tau) ranges
+/// exactly over whyUN(t, D, Q).
+class CnfEncoder {
+ public:
+  struct Options {
+    AcyclicityEncoding acyclicity = AcyclicityEncoding::kVertexElimination;
+  };
+
+  /// Encodes the closure into `solver`. If the closure's target is not
+  /// derivable the encoding is marked trivially unsatisfiable.
+  static Encoding Encode(const DownwardClosure& closure, sat::Solver& solver,
+                         const Options& options);
+  static Encoding Encode(const DownwardClosure& closure, sat::Solver& solver) {
+    return Encode(closure, solver, Options());
+  }
+};
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_CNF_ENCODER_H_

@@ -1,0 +1,48 @@
+#ifndef WHYPROV_PROVENANCE_DECISION_H_
+#define WHYPROV_PROVENANCE_DECISION_H_
+
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "provenance/acyclicity.h"
+#include "provenance/baseline.h"
+#include "provenance/proof_tree.h"
+#include "util/status.h"
+
+namespace whyprov::provenance {
+
+/// The decision problem Why-Provenance[Q] (Section 3): given the least
+/// model of (Q, D), an answer fact R(t), and a candidate explanation D',
+/// decide membership of D' in the why-provenance family. Two kinds of
+/// procedures are provided:
+///
+///  * a SAT-based decision for unambiguous proof trees (the NP witness of
+///    Theorem 14(1): a compressed proof DAG with support exactly D'), and
+///  * exhaustive reference algorithms for all four proof-tree classes,
+///    used as ground truth in tests (exponential; limit-guarded).
+
+/// SAT decision of D' in whyUN(t, D, Q): encodes phi(t, D, Q) and pins the
+/// leaf variables to D'. `dprime` facts outside the closure's database
+/// leaves make the answer trivially false.
+bool IsWhyUnMemberSat(
+    const datalog::Program& program, const datalog::Model& model,
+    datalog::FactId target, const std::vector<datalog::Fact>& dprime,
+    AcyclicityEncoding acyclicity = AcyclicityEncoding::kVertexElimination);
+
+/// Exhaustively materialises the why-provenance family of `target` for the
+/// given proof-tree class:
+///   kAny          — set-of-supports fixpoint (equals the baseline),
+///   kNonRecursive — path-avoiding enumeration over the closure,
+///   kMinimalDepth — depth-budgeted dynamic program (budget = rank),
+///   kUnambiguous  — enumeration of compressed DAGs (choice functions).
+/// Exponential in general; explosion is reported via the limits.
+util::Result<ProvenanceFamily> EnumerateWhyExhaustive(
+    const datalog::Program& program, const datalog::Model& model,
+    datalog::FactId target, TreeClass tree_class,
+    const BaselineLimits& limits = BaselineLimits());
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_DECISION_H_

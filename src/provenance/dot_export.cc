@@ -1,0 +1,66 @@
+#include "provenance/dot_export.h"
+
+namespace whyprov::provenance {
+
+namespace dl = whyprov::datalog;
+
+namespace {
+
+/// Escapes a label for DOT double-quoted strings.
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ProofTreeToDot(const ProofTree& tree,
+                           const dl::SymbolTable& symbols) {
+  std::string out = "digraph proof_tree {\n  rankdir=TB;\n";
+  for (std::size_t i = 0; i < tree.nodes().size(); ++i) {
+    const auto& node = tree.nodes()[i];
+    out += "  n" + std::to_string(i) + " [label=\"" +
+           Escape(dl::FactToString(node.fact, symbols)) + "\"";
+    if (node.children.empty()) out += ", shape=box";
+    out += "];\n";
+  }
+  for (std::size_t i = 0; i < tree.nodes().size(); ++i) {
+    for (std::size_t child : tree.nodes()[i].children) {
+      out += "  n" + std::to_string(i) + " -> n" + std::to_string(child) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string DownwardClosureToDot(const DownwardClosure& closure,
+                                 const dl::Model& model) {
+  std::string out = "digraph downward_closure {\n  rankdir=TB;\n";
+  for (dl::FactId fact : closure.nodes()) {
+    out += "  f" + std::to_string(fact) + " [label=\"" +
+           Escape(dl::FactToString(model.fact(fact), model.symbols())) +
+           "\"";
+    if (model.rank(fact) == 0) out += ", shape=box";
+    if (fact == closure.target()) out += ", style=bold";
+    out += "];\n";
+  }
+  for (std::size_t e = 0; e < closure.edges().size(); ++e) {
+    const auto& edge = closure.edges()[e];
+    const std::string junction = "e" + std::to_string(e);
+    out += "  " + junction + " [shape=point];\n";
+    out += "  f" + std::to_string(edge.head) + " -> " + junction + ";\n";
+    for (dl::FactId body : edge.body) {
+      out += "  " + junction + " -> f" + std::to_string(body) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace whyprov::provenance

@@ -1,0 +1,25 @@
+#ifndef WHYPROV_PROVENANCE_DOT_EXPORT_H_
+#define WHYPROV_PROVENANCE_DOT_EXPORT_H_
+
+#include <string>
+
+#include "datalog/evaluator.h"
+#include "provenance/downward_closure.h"
+#include "provenance/proof_tree.h"
+
+namespace whyprov::provenance {
+
+/// Renders a proof tree as Graphviz DOT (facts as nodes, parent->child
+/// edges; database facts drawn as boxes).
+std::string ProofTreeToDot(const ProofTree& tree,
+                           const datalog::SymbolTable& symbols);
+
+/// Renders a downward closure as Graphviz DOT: facts as nodes, hyperedges
+/// as small junction points connecting a head to its body facts (the
+/// standard bipartite rendering of a hypergraph).
+std::string DownwardClosureToDot(const DownwardClosure& closure,
+                                 const datalog::Model& model);
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_DOT_EXPORT_H_

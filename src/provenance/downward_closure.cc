@@ -1,0 +1,67 @@
+#include "provenance/downward_closure.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace whyprov::provenance {
+
+namespace dl = whyprov::datalog;
+
+DownwardClosure DownwardClosure::Build(const dl::Program& program,
+                                       const dl::Model& model,
+                                       dl::FactId target) {
+  DownwardClosure closure;
+  closure.target_ = target;
+  if (target >= model.size()) return closure;
+  closure.derivable_ = true;
+
+  const dl::Grounder grounder(program, model);
+
+  std::deque<dl::FactId> queue;
+  queue.push_back(target);
+  closure.edge_index_.emplace(target, std::vector<std::size_t>{});
+  closure.nodes_.push_back(target);
+
+  // Hyperedge identity is (head, body-set); rule indices are witnesses.
+  std::set<std::pair<dl::FactId, std::vector<dl::FactId>>> seen_edges;
+
+  while (!queue.empty()) {
+    const dl::FactId fact = queue.front();
+    queue.pop_front();
+    // Database facts are leaves of the closure: no expansion. (A database
+    // is over edb(Sigma), so no rule can rederive them anyway; checking the
+    // rank is the cheap equivalent.)
+    if (model.rank(fact) == 0) {
+      closure.database_leaves_.push_back(fact);
+      continue;
+    }
+    for (dl::RuleInstance& instance : grounder.InstancesWithHead(fact)) {
+      if (!seen_edges.emplace(instance.head, instance.body).second) continue;
+      const std::size_t edge_id = closure.edges_.size();
+      closure.edge_index_[fact].push_back(edge_id);
+      for (dl::FactId body_fact : instance.body) {
+        auto [it, inserted] = closure.edge_index_.emplace(
+            body_fact, std::vector<std::size_t>{});
+        if (inserted) {
+          closure.nodes_.push_back(body_fact);
+          queue.push_back(body_fact);
+        }
+      }
+      closure.edges_.push_back(Hyperedge{instance.head,
+                                         std::move(instance.body),
+                                         instance.rule_index});
+    }
+  }
+  return closure;
+}
+
+const std::vector<std::size_t>& DownwardClosure::EdgesWithHead(
+    dl::FactId fact) const {
+  static const auto& kEmpty = *new std::vector<std::size_t>();
+  auto it = edge_index_.find(fact);
+  if (it == edge_index_.end()) return kEmpty;
+  return it->second;
+}
+
+}  // namespace whyprov::provenance

@@ -1,0 +1,80 @@
+#ifndef WHYPROV_PROVENANCE_DOWNWARD_CLOSURE_H_
+#define WHYPROV_PROVENANCE_DOWNWARD_CLOSURE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/evaluator.h"
+#include "datalog/grounder.h"
+#include "datalog/program.h"
+
+namespace whyprov::provenance {
+
+/// The downward closure down(D, Sigma, alpha) of a target fact
+/// (Definition 42 and the surrounding discussion): the sub-hypergraph of
+/// the graph of rule instances gri(D, Sigma) restricted to the facts
+/// backward-reachable from alpha. Nodes are model fact ids; hyperedges are
+/// deduplicated rule instances (head, {body facts}).
+///
+/// The paper computes this object by evaluating a rewritten Datalog query
+/// Q-down over an extended database D-down with DLV; here the engine's
+/// grounder enumerates the same hyperedges on demand during a backward
+/// breadth-first traversal from the target.
+class DownwardClosure {
+ public:
+  /// One hyperedge (alpha, T): `head` = alpha, `body` = T (sorted, unique).
+  struct Hyperedge {
+    datalog::FactId head = datalog::kInvalidFact;
+    std::vector<datalog::FactId> body;
+    std::size_t rule_index = 0;  ///< a witnessing rule (diagnostics only)
+  };
+
+  /// Builds the closure of `target` (a fact id of `model`). `model` must
+  /// be the least model of (program, database). Both must outlive the
+  /// returned object.
+  static DownwardClosure Build(const datalog::Program& program,
+                               const datalog::Model& model,
+                               datalog::FactId target);
+
+  /// The target fact id.
+  datalog::FactId target() const { return target_; }
+
+  /// True iff the target is derivable (i.e. present in the model); an
+  /// underivable target yields an empty closure.
+  bool derivable() const { return derivable_; }
+
+  /// All facts of the closure (backward-reachable from the target),
+  /// in BFS discovery order (the target is first).
+  const std::vector<datalog::FactId>& nodes() const { return nodes_; }
+
+  /// All hyperedges.
+  const std::vector<Hyperedge>& edges() const { return edges_; }
+
+  /// Indices into edges() of the hyperedges with head `fact`; empty for
+  /// leaves and unknown facts.
+  const std::vector<std::size_t>& EdgesWithHead(datalog::FactId fact) const;
+
+  /// True iff `fact` is a node of the closure.
+  bool ContainsNode(datalog::FactId fact) const {
+    return edge_index_.contains(fact);
+  }
+
+  /// The database facts (rank 0 in the model) appearing in the closure —
+  /// the set S over which blocking clauses are formed.
+  const std::vector<datalog::FactId>& DatabaseLeaves() const {
+    return database_leaves_;
+  }
+
+ private:
+  datalog::FactId target_ = datalog::kInvalidFact;
+  bool derivable_ = false;
+  std::vector<datalog::FactId> nodes_;
+  std::vector<Hyperedge> edges_;
+  std::unordered_map<datalog::FactId, std::vector<std::size_t>> edge_index_;
+  std::vector<datalog::FactId> database_leaves_;
+};
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_DOWNWARD_CLOSURE_H_

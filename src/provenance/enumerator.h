@@ -1,0 +1,101 @@
+#ifndef WHYPROV_PROVENANCE_ENUMERATOR_H_
+#define WHYPROV_PROVENANCE_ENUMERATOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "provenance/cnf_encoder.h"
+#include "provenance/downward_closure.h"
+#include "sat/solver.h"
+#include "util/stats.h"
+
+namespace whyprov::provenance {
+
+/// Incremental enumeration of whyUN(t, D, Q) via a SAT solver with
+/// blocking clauses (Section 5.1/5.2 of the paper):
+///
+///   1. build the downward closure of the target fact,
+///   2. encode phi(t, D, Q) into the CDCL solver,
+///   3. repeatedly ask for a model, emit db(tau), and add the blocking
+///      clause over the closure's database facts S until unsatisfiable.
+///
+/// The per-member wall-clock delays (the paper's Figures 2/4) are recorded
+/// on the fly.
+class WhyProvenanceEnumerator {
+ public:
+  struct Options {
+    AcyclicityEncoding acyclicity = AcyclicityEncoding::kVertexElimination;
+  };
+
+  /// Phase timings, for the construction-time figures (Figures 1/3).
+  struct Timings {
+    double closure_seconds = 0;   ///< downward-closure construction
+    double encode_seconds = 0;    ///< Boolean-formula construction
+  };
+
+  /// Builds the closure and the formula for `target` (a fact id of
+  /// `model`, which must be the least model of (program, database)).
+  /// `program` and `model` must outlive the enumerator.
+  WhyProvenanceEnumerator(const datalog::Program& program,
+                          const datalog::Model& model,
+                          datalog::FactId target, const Options& options);
+  WhyProvenanceEnumerator(const datalog::Program& program,
+                          const datalog::Model& model, datalog::FactId target)
+      : WhyProvenanceEnumerator(program, model, target, Options()) {}
+
+  /// Returns the next member of whyUN(t, D, Q) as a sorted set of database
+  /// facts, or nullopt when the enumeration is exhausted. Never repeats a
+  /// member (blocking clauses).
+  std::optional<std::vector<datalog::Fact>> Next();
+
+  /// Drains the enumeration (up to `max_members`) and returns all members.
+  std::vector<std::vector<datalog::Fact>> All(
+      std::size_t max_members = static_cast<std::size_t>(-1));
+
+  /// Per-member delays in milliseconds, one entry per emitted member.
+  const std::vector<double>& delays_ms() const { return delays_ms_; }
+
+  /// Phase timings of the constructor.
+  const Timings& timings() const { return timings_; }
+
+  /// The downward closure (e.g. for size reporting).
+  const DownwardClosure& closure() const { return closure_; }
+
+  /// The encoding layout (e.g. for variable/clause counts).
+  const Encoding& encoding() const { return encoding_; }
+
+  /// The underlying SAT solver (e.g. for statistics).
+  const sat::Solver& solver() const { return *solver_; }
+
+  /// The witness of the most recent member: for every internal fact of the
+  /// compressed proof DAG, the index (into closure().edges()) of its chosen
+  /// hyperedge. Feed into `CompressedDag` to reconstruct an unambiguous
+  /// proof tree for the member. Empty before the first Next().
+  const std::unordered_map<datalog::FactId, std::size_t>&
+  last_witness_choices() const {
+    return last_witness_choices_;
+  }
+
+ private:
+  void SeedCanonicalWitness();
+
+  const datalog::Model& model_;
+  DownwardClosure closure_;
+  std::unique_ptr<sat::Solver> solver_;
+  Encoding encoding_;
+  Timings timings_;
+  std::vector<double> delays_ms_;
+  std::unordered_map<datalog::FactId, std::size_t> last_witness_choices_;
+  bool exhausted_ = false;
+};
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_ENUMERATOR_H_

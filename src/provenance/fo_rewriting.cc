@@ -1,0 +1,288 @@
+#include "provenance/fo_rewriting.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "datalog/evaluator.h"
+
+namespace whyprov::provenance {
+
+namespace dl = whyprov::datalog;
+
+namespace {
+
+/// A partial unfolding: a goal list of atoms (mixed extensional and
+/// intensional) plus the head terms, over a private variable space.
+struct State {
+  std::vector<dl::Term> head_terms;
+  std::vector<dl::Atom> atoms;
+  std::uint32_t num_variables = 0;
+};
+
+/// Applies `subst` (variable -> term) to a term.
+dl::Term Apply(const std::map<std::uint32_t, dl::Term>& subst, dl::Term t) {
+  while (t.is_variable()) {
+    auto it = subst.find(t.variable());
+    if (it == subst.end()) return t;
+    t = it->second;
+  }
+  return t;
+}
+
+/// Unifies two terms under `subst`; binds variables as needed. Returns
+/// false on a constant clash.
+bool Unify(std::map<std::uint32_t, dl::Term>& subst, dl::Term a, dl::Term b) {
+  a = Apply(subst, a);
+  b = Apply(subst, b);
+  if (a == b) return true;
+  if (a.is_variable()) {
+    subst.emplace(a.variable(), b);
+    return true;
+  }
+  if (b.is_variable()) {
+    subst.emplace(b.variable(), a);
+    return true;
+  }
+  return false;  // distinct constants
+}
+
+/// Cheap canonical form for deduplication: atoms sorted, variables
+/// renumbered by first occurrence, iterated once. (Imperfect — CQ
+/// isomorphism is graph-isomorphism-hard — but missing a duplicate only
+/// costs time in Decide, never correctness.)
+std::string CanonicalKey(const State& state) {
+  // First pass: stable pattern sort of atoms ignoring variable names.
+  std::vector<std::string> patterns;
+  std::vector<std::size_t> order(state.atoms.size());
+  for (std::size_t i = 0; i < state.atoms.size(); ++i) {
+    std::string p = std::to_string(state.atoms[i].predicate);
+    for (dl::Term t : state.atoms[i].terms) {
+      p += t.is_constant() ? "c" + std::to_string(t.constant()) : "v";
+    }
+    patterns.push_back(std::move(p));
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return patterns[a] < patterns[b];
+  });
+  // Second pass: renumber variables in traversal order.
+  std::map<std::uint32_t, int> renumber;
+  auto term_key = [&](dl::Term t) {
+    if (t.is_constant()) return "c" + std::to_string(t.constant());
+    auto [it, inserted] =
+        renumber.emplace(t.variable(), static_cast<int>(renumber.size()));
+    return "v" + std::to_string(it->second);
+  };
+  std::string key;
+  for (dl::Term t : state.head_terms) key += term_key(t) + ",";
+  key += "|";
+  for (std::size_t i : order) {
+    key += std::to_string(state.atoms[i].predicate) + "(";
+    for (dl::Term t : state.atoms[i].terms) key += term_key(t) + ",";
+    key += ")";
+  }
+  return key;
+}
+
+/// Rewrites a state's terms through a substitution and renumbers the
+/// variables densely.
+State Normalize(const State& state,
+                const std::map<std::uint32_t, dl::Term>& subst) {
+  State out;
+  std::map<std::uint32_t, std::uint32_t> dense;
+  auto map_term = [&](dl::Term t) {
+    t = Apply(subst, t);
+    if (t.is_constant()) return t;
+    auto [it, inserted] = dense.emplace(
+        t.variable(), static_cast<std::uint32_t>(dense.size()));
+    return dl::Term::Variable(it->second);
+  };
+  out.head_terms.reserve(state.head_terms.size());
+  for (dl::Term t : state.head_terms) out.head_terms.push_back(map_term(t));
+  out.atoms.reserve(state.atoms.size());
+  for (const dl::Atom& atom : state.atoms) {
+    dl::Atom mapped;
+    mapped.predicate = atom.predicate;
+    mapped.terms.reserve(atom.terms.size());
+    for (dl::Term t : atom.terms) mapped.terms.push_back(map_term(t));
+    out.atoms.push_back(std::move(mapped));
+  }
+  out.num_variables = static_cast<std::uint32_t>(dense.size());
+  return out;
+}
+
+}  // namespace
+
+util::Result<FoRewriting> FoRewriting::Build(
+    const dl::Program& program, dl::PredicateId answer_predicate,
+    const Options& options) {
+  if (program.IsRecursive()) {
+    return util::Status::Error(
+        "first-order rewriting requires a non-recursive program");
+  }
+  if (!program.IsIntensional(answer_predicate)) {
+    return util::Status::Error("the answer predicate is not intensional");
+  }
+
+  FoRewriting rewriting;
+  const int arity = program.symbols().Predicate(answer_predicate).arity;
+
+  State initial;
+  initial.num_variables = static_cast<std::uint32_t>(arity);
+  dl::Atom goal;
+  goal.predicate = answer_predicate;
+  for (int i = 0; i < arity; ++i) {
+    goal.terms.push_back(dl::Term::Variable(static_cast<std::uint32_t>(i)));
+    initial.head_terms.push_back(
+        dl::Term::Variable(static_cast<std::uint32_t>(i)));
+  }
+  initial.atoms.push_back(std::move(goal));
+
+  std::deque<State> worklist;
+  worklist.push_back(std::move(initial));
+  std::unordered_set<std::string> seen_complete;
+  std::size_t states_explored = 0;
+
+  while (!worklist.empty()) {
+    if (++states_explored > options.max_states) {
+      return util::Status::Error("unfolding exceeded the state budget");
+    }
+    State state = std::move(worklist.front());
+    worklist.pop_front();
+
+    // Find the first intensional atom.
+    std::size_t pick = state.atoms.size();
+    for (std::size_t i = 0; i < state.atoms.size(); ++i) {
+      if (program.IsIntensional(state.atoms[i].predicate)) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == state.atoms.size()) {
+      // Complete unfolding: all atoms extensional.
+      if (seen_complete.insert(CanonicalKey(state)).second) {
+        ConjunctiveQuery cq;
+        cq.head_terms = state.head_terms;
+        cq.atoms = state.atoms;
+        cq.num_variables = state.num_variables;
+        rewriting.unfoldings_.push_back(std::move(cq));
+      }
+      continue;
+    }
+
+    const dl::Atom picked = state.atoms[pick];
+    for (std::size_t rule_index :
+         program.RulesForHead(picked.predicate)) {
+      const dl::Rule& rule = program.rules()[rule_index];
+      // Rename rule variables into the state's space (offset).
+      const std::uint32_t offset = state.num_variables;
+      auto rename = [&](dl::Term t) {
+        return t.is_constant() ? t
+                               : dl::Term::Variable(t.variable() + offset);
+      };
+      // Unify the renamed rule head with the picked atom.
+      std::map<std::uint32_t, dl::Term> subst;
+      bool ok = true;
+      for (std::size_t i = 0; i < picked.terms.size(); ++i) {
+        if (!Unify(subst, rename(rule.head.terms[i]), picked.terms[i])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      // Build the successor: goal atoms with `picked` replaced by the
+      // renamed rule body, all under the substitution.
+      State next;
+      next.head_terms = state.head_terms;
+      next.num_variables = state.num_variables + rule.num_variables;
+      for (std::size_t i = 0; i < state.atoms.size(); ++i) {
+        if (i == pick) {
+          for (const dl::Atom& body_atom : rule.body) {
+            dl::Atom renamed;
+            renamed.predicate = body_atom.predicate;
+            renamed.terms.reserve(body_atom.terms.size());
+            for (dl::Term t : body_atom.terms) {
+              renamed.terms.push_back(rename(t));
+            }
+            next.atoms.push_back(std::move(renamed));
+          }
+        } else {
+          next.atoms.push_back(state.atoms[i]);
+        }
+      }
+      worklist.push_back(Normalize(next, subst));
+    }
+  }
+  return rewriting;
+}
+
+bool FoRewriting::Decide(const dl::Database& dprime,
+                         const std::vector<dl::SymbolId>& tuple) const {
+  // A model over just D' gives us the join machinery.
+  dl::Model model(dprime.symbols_ptr());
+  for (const dl::Fact& fact : dprime.facts()) model.Add(fact, 0);
+
+  for (const ConjunctiveQuery& cq : unfoldings_) {
+    if (cq.head_terms.size() != tuple.size()) continue;
+    // Bind head terms to the tuple.
+    std::vector<dl::SymbolId> binding(cq.num_variables, dl::kUnboundSymbol);
+    bool ok = true;
+    for (std::size_t i = 0; i < tuple.size(); ++i) {
+      const dl::Term t = cq.head_terms[i];
+      if (t.is_constant()) {
+        if (t.constant() != tuple[i]) {
+          ok = false;
+          break;
+        }
+      } else {
+        dl::SymbolId& slot = binding[t.variable()];
+        if (slot == dl::kUnboundSymbol) {
+          slot = tuple[i];
+        } else if (slot != tuple[i]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+
+    // Look for a homomorphism whose image covers D' exactly.
+    bool found = false;
+    dl::MatchBody(model, cq.atoms, std::nullopt, nullptr, binding,
+                  [&](const std::vector<dl::FactId>& matched) {
+                    if (found) return;
+                    std::set<dl::FactId> used(matched.begin(), matched.end());
+                    if (used.size() == dprime.size()) found = true;
+                  });
+    if (found) return true;
+  }
+  return false;
+}
+
+std::string FoRewriting::ToString(const dl::SymbolTable& symbols) const {
+  std::string out;
+  for (const ConjunctiveQuery& cq : unfoldings_) {
+    out += "ans(";
+    std::vector<std::string> names;
+    for (std::uint32_t v = 0; v < cq.num_variables; ++v) {
+      names.push_back("X" + std::to_string(v));
+    }
+    for (std::size_t i = 0; i < cq.head_terms.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += dl::TermToString(cq.head_terms[i], symbols, names);
+    }
+    out += ") <- ";
+    for (std::size_t i = 0; i < cq.atoms.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += dl::AtomToString(cq.atoms[i], symbols, names);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace whyprov::provenance

@@ -1,0 +1,72 @@
+#ifndef WHYPROV_PROVENANCE_FO_REWRITING_H_
+#define WHYPROV_PROVENANCE_FO_REWRITING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "datalog/program.h"
+#include "util/status.h"
+
+namespace whyprov::provenance {
+
+/// The executable counterpart of the paper's AC0 upper bound for
+/// non-recursive queries (Theorem 9 / Lemma 12). A non-recursive Datalog
+/// query (Sigma, R) is unfolded into a finite union of conjunctive queries
+/// over edb(Sigma) — the CQs induced by Q-trees (Definition 10, modulo
+/// variable identification, which the membership check absorbs by allowing
+/// non-injective homomorphisms). Membership of D' in why(t, D, Q) is then
+/// decided per Lemma 12: some unfolding phi admits a homomorphism h into
+/// D' with h(head) = t whose image *covers D' exactly* (the phi_1..phi_3
+/// exact-match semantics).
+class FoRewriting {
+ public:
+  /// One unfolding: a CQ over extensional predicates. Variables are
+  /// numbered densely; `head_terms` are the answer terms.
+  struct ConjunctiveQuery {
+    std::vector<datalog::Term> head_terms;
+    std::vector<datalog::Atom> atoms;
+    std::uint32_t num_variables = 0;
+  };
+
+  struct Options {
+    /// Cap on the number of unfolding states explored (the UCQ can be
+    /// exponential in the program size — program size is fixed in data
+    /// complexity, but guard anyway).
+    std::size_t max_states = 1u << 20;
+  };
+
+  /// Unfolds the non-recursive query (program, answer_predicate). Fails on
+  /// recursive programs or when the cap is exceeded.
+  static util::Result<FoRewriting> Build(const datalog::Program& program,
+                                         datalog::PredicateId answer_predicate,
+                                         const Options& options);
+  static util::Result<FoRewriting> Build(
+      const datalog::Program& program,
+      datalog::PredicateId answer_predicate) {
+    return Build(program, answer_predicate, Options());
+  }
+
+  /// The deduplicated unfoldings.
+  const std::vector<ConjunctiveQuery>& unfoldings() const {
+    return unfoldings_;
+  }
+
+  /// Decides D' in why(t, D, Q): true iff some unfolding maps onto D'
+  /// exactly with the head bound to `tuple`. Runs entirely over D'
+  /// (the defining property of the first-order rewriting).
+  bool Decide(const datalog::Database& dprime,
+              const std::vector<datalog::SymbolId>& tuple) const;
+
+  /// Renders the UCQ, one CQ per line.
+  std::string ToString(const datalog::SymbolTable& symbols) const;
+
+ private:
+  std::vector<ConjunctiveQuery> unfoldings_;
+};
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_FO_REWRITING_H_

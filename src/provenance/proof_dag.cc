@@ -1,0 +1,283 @@
+#include "provenance/proof_dag.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+namespace whyprov::provenance {
+
+namespace dl = whyprov::datalog;
+
+ProofDag::ProofDag(dl::Fact root_fact) {
+  nodes_.push_back(Node{std::move(root_fact), {}});
+}
+
+std::size_t ProofDag::AddNode(dl::Fact fact) {
+  nodes_.push_back(Node{std::move(fact), {}});
+  return nodes_.size() - 1;
+}
+
+void ProofDag::AddEdge(std::size_t parent, std::size_t child) {
+  nodes_[parent].children.push_back(child);
+}
+
+std::set<dl::Fact> ProofDag::Support() const {
+  std::set<dl::Fact> support;
+  for (const Node& node : nodes_) {
+    if (node.children.empty()) support.insert(node.fact);
+  }
+  return support;
+}
+
+namespace {
+
+/// Topological order of a DAG given as children lists; empty when cyclic.
+std::vector<std::size_t> TopologicalOrder(
+    const std::vector<ProofDag::Node>& nodes) {
+  std::vector<std::size_t> in_degree(nodes.size(), 0);
+  for (const auto& node : nodes) {
+    for (std::size_t child : node.children) ++in_degree[child];
+  }
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(nodes.size());
+  while (!ready.empty()) {
+    const std::size_t n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (std::size_t child : nodes[n].children) {
+      if (--in_degree[child] == 0) ready.push_back(child);
+    }
+  }
+  if (order.size() != nodes.size()) order.clear();  // cycle
+  return order;
+}
+
+}  // namespace
+
+std::size_t ProofDag::Depth() const {
+  const std::vector<std::size_t> order = TopologicalOrder(nodes_);
+  std::vector<std::size_t> depth(nodes_.size(), 0);
+  std::size_t result = 0;
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const std::size_t n = order[i];
+    for (std::size_t child : nodes_[n].children) {
+      depth[n] = std::max(depth[n], depth[child] + 1);
+    }
+    result = std::max(result, depth[n]);
+  }
+  return result;
+}
+
+util::Status ProofDag::Validate(const dl::Program& program,
+                                const dl::Database& database,
+                                const dl::Fact& expected_root) const {
+  if (!(nodes_[0].fact == expected_root)) {
+    return util::Status::Error("root label mismatch");
+  }
+  // Node 0 must be the unique source.
+  std::vector<bool> has_incoming(nodes_.size(), false);
+  for (const Node& node : nodes_) {
+    for (std::size_t child : node.children) has_incoming[child] = true;
+  }
+  if (has_incoming[0]) {
+    return util::Status::Error("the root has an incoming edge");
+  }
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (!has_incoming[i]) {
+      return util::Status::Error(
+          "node " + dl::FactToString(nodes_[i].fact, program.symbols()) +
+          " is a second source");
+    }
+  }
+  if (TopologicalOrder(nodes_).empty() && !nodes_.empty()) {
+    return util::Status::Error("the graph has a cycle");
+  }
+  for (const Node& node : nodes_) {
+    if (node.children.empty()) {
+      if (!database.Contains(node.fact)) {
+        return util::Status::Error(
+            "leaf " + dl::FactToString(node.fact, program.symbols()) +
+            " is not a database fact");
+      }
+      continue;
+    }
+    std::vector<const dl::Fact*> child_facts;
+    child_facts.reserve(node.children.size());
+    for (std::size_t child : node.children) {
+      child_facts.push_back(&nodes_[child].fact);
+    }
+    if (!IsRuleInstance(program, node.fact, child_facts)) {
+      return util::Status::Error(
+          "node " + dl::FactToString(node.fact, program.symbols()) +
+          " is not a rule instance");
+    }
+  }
+  return util::Status::Ok();
+}
+
+bool ProofDag::IsNonRecursive() const {
+  // DFS over the DAG keeping the label multiset of the current path.
+  // Each node may be visited several times (once per path), so this is
+  // worst-case exponential; fine for the test-sized DAGs it serves.
+  std::map<dl::Fact, int> on_path;
+  bool ok = true;
+  auto dfs = [&](auto&& self, std::size_t node) -> void {
+    if (!ok) return;
+    if (++on_path[nodes_[node].fact] > 1) {
+      ok = false;
+      return;
+    }
+    for (std::size_t child : nodes_[node].children) self(self, child);
+    if (--on_path[nodes_[node].fact] == 0) on_path.erase(nodes_[node].fact);
+  };
+  dfs(dfs, 0);
+  return ok;
+}
+
+std::optional<ProofTree> ProofDag::Unravel(std::size_t max_nodes) const {
+  ProofTree tree(nodes_[0].fact);
+  bool overflow = false;
+  auto clone = [&](auto&& self, std::size_t dag_node,
+                   std::size_t tree_node) -> void {
+    if (overflow) return;
+    for (std::size_t child : nodes_[dag_node].children) {
+      if (tree.size() >= max_nodes) {
+        overflow = true;
+        return;
+      }
+      const std::size_t t = tree.AddChild(tree_node, nodes_[child].fact);
+      self(self, child, t);
+    }
+  };
+  clone(clone, 0, 0);
+  if (overflow) return std::nullopt;
+  return tree;
+}
+
+util::Result<std::vector<dl::FactId>> CompressedDag::ReachableFacts() const {
+  std::vector<dl::FactId> reachable;
+  std::deque<dl::FactId> queue;
+  std::unordered_map<dl::FactId, bool> visited;
+  queue.push_back(closure_->target());
+  visited[closure_->target()] = true;
+  while (!queue.empty()) {
+    const dl::FactId fact = queue.front();
+    queue.pop_front();
+    reachable.push_back(fact);
+    if (closure_->EdgesWithHead(fact).empty()) continue;  // leaf
+    auto it = choice_.find(fact);
+    if (it == choice_.end()) {
+      return util::Status::Error("reachable internal fact has no choice");
+    }
+    const DownwardClosure::Hyperedge& edge = closure_->edges()[it->second];
+    if (edge.head != fact) {
+      return util::Status::Error("choice maps a fact to a foreign edge");
+    }
+    for (dl::FactId body_fact : edge.body) {
+      if (!visited[body_fact]) {
+        visited[body_fact] = true;
+        queue.push_back(body_fact);
+      }
+    }
+  }
+  return reachable;
+}
+
+util::Status CompressedDag::Validate() const {
+  util::Result<std::vector<dl::FactId>> reachable = ReachableFacts();
+  if (!reachable.ok()) return reachable.status();
+  // Acyclicity of the reachable chosen subgraph via three-colour DFS.
+  enum : char { kWhite, kGrey, kBlack };
+  std::unordered_map<dl::FactId, char> colour;
+  auto dfs = [&](auto&& self, dl::FactId fact) -> bool {
+    colour[fact] = kGrey;
+    if (!closure_->EdgesWithHead(fact).empty()) {
+      const DownwardClosure::Hyperedge& edge =
+          closure_->edges()[choice_.at(fact)];
+      for (dl::FactId body_fact : edge.body) {
+        const char c = colour.contains(body_fact) ? colour[body_fact]
+                                                  : static_cast<char>(kWhite);
+        if (c == kGrey) return false;
+        if (c == kWhite && !self(self, body_fact)) return false;
+      }
+    }
+    colour[fact] = kBlack;
+    return true;
+  };
+  if (!dfs(dfs, closure_->target())) {
+    return util::Status::Error("the chosen subgraph has a cycle");
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::vector<dl::FactId>> CompressedDag::Support(
+    const dl::Model& model) const {
+  util::Result<std::vector<dl::FactId>> reachable = ReachableFacts();
+  if (!reachable.ok()) return reachable.status();
+  std::vector<dl::FactId> support;
+  for (dl::FactId fact : reachable.value()) {
+    if (model.rank(fact) == 0) support.push_back(fact);
+  }
+  std::sort(support.begin(), support.end());
+  return support;
+}
+
+util::Result<ProofTree> CompressedDag::UnravelToProofTree(
+    const dl::Program& program, const dl::Model& model,
+    std::size_t max_nodes) const {
+  util::Status valid = Validate();
+  if (!valid.ok()) return valid;
+
+  // Precompute, per reachable internal fact, a fixed ground body in
+  // rule-body order (re-expanding facts a rule instance uses twice).
+  util::Result<std::vector<dl::FactId>> reachable = ReachableFacts();
+  if (!reachable.ok()) return reachable.status();
+  std::unordered_map<dl::FactId, std::vector<dl::Fact>> expansion;
+  for (dl::FactId fact : reachable.value()) {
+    if (closure_->EdgesWithHead(fact).empty()) continue;
+    const DownwardClosure::Hyperedge& edge =
+        closure_->edges()[choice_.at(fact)];
+    std::vector<dl::Fact> children_set;
+    children_set.reserve(edge.body.size());
+    for (dl::FactId body_fact : edge.body) {
+      children_set.push_back(model.fact(body_fact));
+    }
+    auto witness =
+        FindRuleWitnessForSet(program, model.fact(fact), children_set);
+    if (!witness.has_value()) {
+      return util::Status::Error(
+          "hyperedge is not witnessed by any rule (corrupt closure)");
+    }
+    expansion.emplace(fact, std::move(witness->second));
+  }
+
+  ProofTree tree(model.fact(closure_->target()));
+  bool overflow = false;
+  auto expand = [&](auto&& self, dl::FactId fact,
+                    std::size_t tree_node) -> void {
+    if (overflow) return;
+    auto it = expansion.find(fact);
+    if (it == expansion.end()) return;  // leaf
+    for (const dl::Fact& child_fact : it->second) {
+      if (tree.size() >= max_nodes) {
+        overflow = true;
+        return;
+      }
+      const std::size_t t = tree.AddChild(tree_node, child_fact);
+      // Children facts are closure nodes; look up their ids for recursion.
+      self(self, *model.Find(child_fact), t);
+    }
+  };
+  expand(expand, closure_->target(), 0);
+  if (overflow) {
+    return util::Status::Error("unravelled tree exceeds the node budget");
+  }
+  return tree;
+}
+
+}  // namespace whyprov::provenance

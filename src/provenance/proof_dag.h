@@ -1,0 +1,109 @@
+#ifndef WHYPROV_PROVENANCE_PROOF_DAG_H_
+#define WHYPROV_PROVENANCE_PROOF_DAG_H_
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "datalog/program.h"
+#include "provenance/downward_closure.h"
+#include "provenance/proof_tree.h"
+#include "util/status.h"
+
+namespace whyprov::provenance {
+
+/// A proof DAG (Definition 4): like a proof tree, but nodes may be shared.
+/// Node 0 is the root. Children are ordered (they correspond positionally
+/// to the body atoms of a witnessing rule).
+class ProofDag {
+ public:
+  struct Node {
+    datalog::Fact fact;
+    std::vector<std::size_t> children;
+  };
+
+  /// Creates a DAG with just a root labelled `root_fact`.
+  explicit ProofDag(datalog::Fact root_fact);
+
+  /// Appends a detached node labelled `fact`; returns its index.
+  std::size_t AddNode(datalog::Fact fact);
+
+  /// Adds an edge parent -> child (indices from AddNode / 0 for the root).
+  void AddEdge(std::size_t parent, std::size_t child);
+
+  /// All nodes; index 0 is the root.
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// The support: facts labelling the sink (child-less) nodes.
+  std::set<datalog::Fact> Support() const;
+
+  /// Length of the longest root-to-leaf path.
+  std::size_t Depth() const;
+
+  /// Checks Definition 4: node 0 is the unique source and is labelled
+  /// `expected_root`, the graph is acyclic, leaves are database facts, and
+  /// each internal node's ordered children form a rule instance.
+  util::Status Validate(const datalog::Program& program,
+                        const datalog::Database& database,
+                        const datalog::Fact& expected_root) const;
+
+  /// True iff no two nodes on a directed path share a label (Def. 20).
+  bool IsNonRecursive() const;
+
+  /// Unravels the DAG into a proof tree with the same root, the same
+  /// support, and the same depth (the (2) => (1) direction of
+  /// Propositions 5, 21, 31, and 39). Exponential in the worst case;
+  /// `max_nodes` guards against blow-up (returns nullopt when exceeded).
+  std::optional<ProofTree> Unravel(std::size_t max_nodes = 1u << 20) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// A compressed DAG (Definition 40): at most one node per fact, each
+/// internal fact derived by exactly one hyperedge of a downward closure.
+/// This is the object the SAT encoding searches for; by Proposition 41 its
+/// existence with support D' is equivalent to the existence of an
+/// unambiguous proof tree with support D'.
+class CompressedDag {
+ public:
+  /// `choice` maps each internal (intensional) fact to the index of its
+  /// hyperedge in `closure.edges()`. Facts not reachable from the target
+  /// under the choices are ignored.
+  CompressedDag(const DownwardClosure* closure,
+                std::unordered_map<datalog::FactId, std::size_t> choice)
+      : closure_(closure), choice_(std::move(choice)) {}
+
+  /// The facts reachable from the target under the choices, or an error if
+  /// a reachable internal fact has no choice.
+  util::Result<std::vector<datalog::FactId>> ReachableFacts() const;
+
+  /// Checks Definition 40 on the reachable part: every reachable internal
+  /// fact has a chosen hyperedge and the reachable subgraph is acyclic.
+  util::Status Validate() const;
+
+  /// The support: reachable database facts (model rank 0), sorted.
+  util::Result<std::vector<datalog::FactId>> Support(
+      const datalog::Model& model) const;
+
+  /// Unravels the compressed DAG into an unambiguous proof tree with the
+  /// same root and support (the (2) => (1) direction of Proposition 41):
+  /// per reachable fact, one fixed (rule, substitution) witness of the
+  /// chosen hyperedge is re-expanded everywhere the fact occurs. The tree
+  /// can be exponentially larger than the DAG; `max_nodes` bounds it.
+  util::Result<ProofTree> UnravelToProofTree(
+      const datalog::Program& program, const datalog::Model& model,
+      std::size_t max_nodes = 1u << 20) const;
+
+ private:
+  const DownwardClosure* closure_;
+  std::unordered_map<datalog::FactId, std::size_t> choice_;
+};
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_PROOF_DAG_H_

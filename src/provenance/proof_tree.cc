@@ -1,0 +1,319 @@
+#include "provenance/proof_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace whyprov::provenance {
+
+namespace dl = whyprov::datalog;
+
+std::string TreeClassName(TreeClass c) {
+  switch (c) {
+    case TreeClass::kAny:
+      return "arbitrary";
+    case TreeClass::kNonRecursive:
+      return "non-recursive";
+    case TreeClass::kMinimalDepth:
+      return "minimal-depth";
+    case TreeClass::kUnambiguous:
+      return "unambiguous";
+  }
+  return "unknown";
+}
+
+ProofTree::ProofTree(dl::Fact root_fact) {
+  nodes_.push_back(Node{std::move(root_fact), {}});
+}
+
+std::size_t ProofTree::AddChild(std::size_t parent, dl::Fact fact) {
+  const std::size_t index = nodes_.size();
+  nodes_.push_back(Node{std::move(fact), {}});
+  nodes_[parent].children.push_back(index);
+  return index;
+}
+
+std::set<dl::Fact> ProofTree::Support() const {
+  std::set<dl::Fact> support;
+  for (const Node& node : nodes_) {
+    if (node.children.empty()) support.insert(node.fact);
+  }
+  return support;
+}
+
+std::size_t ProofTree::Depth() const {
+  // Nodes are appended after their parents, so a reverse sweep sees all
+  // children before the parent.
+  std::vector<std::size_t> depth(nodes_.size(), 0);
+  std::size_t result = 0;
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    for (std::size_t child : nodes_[i].children) {
+      depth[i] = std::max(depth[i], depth[child] + 1);
+    }
+    if (i == 0) result = depth[0];
+  }
+  return result;
+}
+
+namespace {
+
+/// Unifies `atom` with ground `fact` under (and extending) `binding`,
+/// recording newly bound variables on `trail` for undo.
+bool UnifyAtom(const dl::Atom& atom, const dl::Fact& fact,
+               std::vector<dl::SymbolId>& binding,
+               std::vector<std::uint32_t>* trail) {
+  if (atom.predicate != fact.predicate) return false;
+  const std::size_t start = trail != nullptr ? trail->size() : 0;
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    const dl::Term t = atom.terms[i];
+    bool ok = true;
+    if (t.is_constant()) {
+      ok = t.constant() == fact.args[i];
+    } else {
+      dl::SymbolId& slot = binding[t.variable()];
+      if (slot == dl::kUnboundSymbol) {
+        slot = fact.args[i];
+        if (trail != nullptr) trail->push_back(t.variable());
+      } else {
+        ok = slot == fact.args[i];
+      }
+    }
+    if (!ok) {
+      if (trail != nullptr) {
+        while (trail->size() > start) {
+          binding[trail->back()] = dl::kUnboundSymbol;
+          trail->pop_back();
+        }
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Backtracking search assigning each body atom (from `index` on) to one
+/// fact of `children_set`, consistent with `binding`. `used` counts how
+/// many atoms chose each child; on full assignment every child must be
+/// used at least once.
+bool AssignBodyAtoms(const dl::Rule& rule, std::size_t index,
+                     const std::vector<dl::Fact>& children_set,
+                     std::vector<dl::SymbolId>& binding,
+                     std::vector<int>& used,
+                     std::vector<std::size_t>& assignment) {
+  if (index == rule.body.size()) {
+    for (int count : used) {
+      if (count == 0) return false;
+    }
+    return true;
+  }
+  std::vector<std::uint32_t> trail;
+  for (std::size_t c = 0; c < children_set.size(); ++c) {
+    if (!UnifyAtom(rule.body[index], children_set[c], binding, &trail)) {
+      continue;
+    }
+    ++used[c];
+    assignment[index] = c;
+    if (AssignBodyAtoms(rule, index + 1, children_set, binding, used,
+                        assignment)) {
+      return true;
+    }
+    --used[c];
+    while (!trail.empty()) {
+      binding[trail.back()] = dl::kUnboundSymbol;
+      trail.pop_back();
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsRuleInstance(const dl::Program& program, const dl::Fact& head,
+                    const std::vector<const dl::Fact*>& children) {
+  for (const dl::Rule& rule : program.rules()) {
+    if (rule.body.size() != children.size()) continue;
+    std::vector<dl::SymbolId> binding(rule.num_variables, dl::kUnboundSymbol);
+    if (!UnifyAtom(rule.head, head, binding, nullptr)) continue;
+    bool all = true;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (!UnifyAtom(rule.body[i], *children[i], binding, nullptr)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+std::optional<std::pair<std::size_t, std::vector<dl::Fact>>>
+FindRuleWitnessForSet(const dl::Program& program, const dl::Fact& head,
+                      const std::vector<dl::Fact>& children_set) {
+  for (std::size_t rule_index :
+       program.RulesForHead(head.predicate)) {
+    const dl::Rule& rule = program.rules()[rule_index];
+    if (rule.body.size() < children_set.size()) continue;
+    std::vector<dl::SymbolId> binding(rule.num_variables, dl::kUnboundSymbol);
+    if (!UnifyAtom(rule.head, head, binding, nullptr)) continue;
+    std::vector<int> used(children_set.size(), 0);
+    std::vector<std::size_t> assignment(rule.body.size(), 0);
+    if (AssignBodyAtoms(rule, 0, children_set, binding, used, assignment)) {
+      std::vector<dl::Fact> ground_body;
+      ground_body.reserve(rule.body.size());
+      for (std::size_t i = 0; i < rule.body.size(); ++i) {
+        ground_body.push_back(children_set[assignment[i]]);
+      }
+      return std::make_pair(rule_index, std::move(ground_body));
+    }
+  }
+  return std::nullopt;
+}
+
+util::Status ProofTree::Validate(const dl::Program& program,
+                                 const dl::Database& database,
+                                 const dl::Fact& expected_root) const {
+  if (!(nodes_[0].fact == expected_root)) {
+    return util::Status::Error(
+        "root label is " +
+        dl::FactToString(nodes_[0].fact, program.symbols()) +
+        " but expected " +
+        dl::FactToString(expected_root, program.symbols()));
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.children.empty()) {
+      if (!database.Contains(node.fact)) {
+        return util::Status::Error(
+            "leaf " + dl::FactToString(node.fact, program.symbols()) +
+            " is not a database fact");
+      }
+      continue;
+    }
+    std::vector<const dl::Fact*> child_facts;
+    child_facts.reserve(node.children.size());
+    for (std::size_t child : node.children) {
+      child_facts.push_back(&nodes_[child].fact);
+    }
+    if (!IsRuleInstance(program, node.fact, child_facts)) {
+      return util::Status::Error(
+          "node " + dl::FactToString(node.fact, program.symbols()) +
+          " with " + std::to_string(node.children.size()) +
+          " children is not a rule instance");
+    }
+  }
+  return util::Status::Ok();
+}
+
+bool ProofTree::IsNonRecursive() const {
+  // DFS keeping the multiset of facts on the current path.
+  struct Frame {
+    std::size_t node;
+    std::size_t next_child;
+  };
+  std::map<dl::Fact, int> on_path;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, 0});
+  if (++on_path[nodes_[0].fact] > 1) return false;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Node& node = nodes_[frame.node];
+    if (frame.next_child < node.children.size()) {
+      const std::size_t child = node.children[frame.next_child++];
+      if (++on_path[nodes_[child].fact] > 1) return false;
+      stack.push_back(Frame{child, 0});
+    } else {
+      if (--on_path[node.fact] == 0) on_path.erase(node.fact);
+      stack.pop_back();
+    }
+  }
+  return true;
+}
+
+std::string ProofTree::CanonicalForm(std::size_t node) const {
+  const Node& n = nodes_[node];
+  std::string out = "(" + std::to_string(n.fact.predicate);
+  for (dl::SymbolId arg : n.fact.args) {
+    out += ',';
+    out += std::to_string(arg);
+  }
+  if (!n.children.empty()) {
+    std::vector<std::string> child_forms;
+    child_forms.reserve(n.children.size());
+    for (std::size_t child : n.children) {
+      child_forms.push_back(CanonicalForm(child));
+    }
+    std::sort(child_forms.begin(), child_forms.end());
+    for (const std::string& form : child_forms) {
+      out += '|';
+      out += form;
+    }
+  }
+  out += ')';
+  return out;
+}
+
+bool ProofTree::IsUnambiguous() const {
+  std::map<dl::Fact, std::string> canonical_by_fact;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::string form = CanonicalForm(i);
+    auto [it, inserted] =
+        canonical_by_fact.emplace(nodes_[i].fact, std::move(form));
+    if (!inserted && it->second != CanonicalForm(i)) return false;
+  }
+  return true;
+}
+
+bool ProofTree::IsMinimalDepth(const dl::Model& model) const {
+  auto id = model.Find(nodes_[0].fact);
+  if (!id.has_value()) return false;
+  return Depth() == static_cast<std::size_t>(model.rank(*id));
+}
+
+bool ProofTree::InClass(TreeClass c, const dl::Model& model) const {
+  switch (c) {
+    case TreeClass::kAny:
+      return true;
+    case TreeClass::kNonRecursive:
+      return IsNonRecursive();
+    case TreeClass::kMinimalDepth:
+      return IsMinimalDepth(model);
+    case TreeClass::kUnambiguous:
+      return IsUnambiguous();
+  }
+  return false;
+}
+
+std::size_t ProofTree::SubtreeCount() const {
+  std::map<dl::Fact, std::unordered_set<std::string>> forms;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    forms[nodes_[i].fact].insert(CanonicalForm(i));
+  }
+  std::size_t count = 0;
+  for (const auto& [fact, set] : forms) count = std::max(count, set.size());
+  return count;
+}
+
+std::string ProofTree::ToString(const dl::SymbolTable& symbols) const {
+  std::string out;
+  struct Frame {
+    std::size_t node;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    out.append(2 * frame.depth, ' ');
+    out += dl::FactToString(nodes_[frame.node].fact, symbols);
+    out += '\n';
+    const auto& children = nodes_[frame.node].children;
+    for (std::size_t i = children.size(); i-- > 0;) {
+      stack.push_back(Frame{children[i], frame.depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace whyprov::provenance

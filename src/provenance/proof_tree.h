@@ -1,0 +1,123 @@
+#ifndef WHYPROV_PROVENANCE_PROOF_TREE_H_
+#define WHYPROV_PROVENANCE_PROOF_TREE_H_
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "util/status.h"
+
+namespace whyprov::provenance {
+
+/// The four proof-tree classes whose why-provenance the paper studies.
+enum class TreeClass {
+  kAny,           ///< arbitrary proof trees (Definition 1)
+  kNonRecursive,  ///< no fact repeats along a root-to-leaf path (Def. 18)
+  kMinimalDepth,  ///< depth equals min-tree-depth of the root fact (Def. 26)
+  kUnambiguous,   ///< equal-labelled nodes have isomorphic subtrees (Def. 13)
+};
+
+/// Human-readable name, e.g. "unambiguous".
+std::string TreeClassName(TreeClass c);
+
+/// True iff there is a rule sigma and a substitution h with
+/// h(head(sigma)) = `head` and h(body_i(sigma)) = `*children[i]` for every
+/// i, in order (property 3 of Definition 1).
+bool IsRuleInstance(const datalog::Program& program,
+                    const datalog::Fact& head,
+                    const std::vector<const datalog::Fact*>& children);
+
+/// Set-semantics witness search (property 3 of Definition 40): finds a
+/// rule sigma and substitution h with h(head(sigma)) = `head` and
+/// { h(body_i(sigma)) } = `children_set` (as sets; a body atom may repeat
+/// a fact). On success returns the rule index and the ground body atoms in
+/// rule-body order (length = |body(sigma)|, possibly with repeats).
+std::optional<std::pair<std::size_t, std::vector<datalog::Fact>>>
+FindRuleWitnessForSet(const datalog::Program& program,
+                      const datalog::Fact& head,
+                      const std::vector<datalog::Fact>& children_set);
+
+/// A labelled rooted proof tree (Definition 1). Nodes are stored in a
+/// vector; node 0 is the root; children hold node indices. The structure
+/// itself is plain data — the semantic checks (validity w.r.t. a program
+/// and database, class membership) are separate member functions so that
+/// tests can also build *invalid* trees.
+class ProofTree {
+ public:
+  /// One node: its fact label and its children (indices into nodes()).
+  struct Node {
+    datalog::Fact fact;
+    std::vector<std::size_t> children;
+  };
+
+  /// Creates a tree with just a root labelled `root_fact`.
+  explicit ProofTree(datalog::Fact root_fact);
+
+  /// Appends a new node labelled `fact` as a child of `parent`.
+  /// Returns the new node's index.
+  std::size_t AddChild(std::size_t parent, datalog::Fact fact);
+
+  /// All nodes; index 0 is the root.
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// The root label.
+  const datalog::Fact& root() const { return nodes_[0].fact; }
+
+  /// Number of nodes.
+  std::size_t size() const { return nodes_.size(); }
+
+  /// The support: the set of facts labelling the leaves.
+  std::set<datalog::Fact> Support() const;
+
+  /// Length of the longest root-to-leaf path (a single node has depth 0).
+  std::size_t Depth() const;
+
+  /// Checks Definition 1 against (program, database): the root is
+  /// `expected_root`, every leaf is a database fact, and every internal
+  /// node is a rule instance. Returns the first violation found.
+  util::Status Validate(const datalog::Program& program,
+                        const datalog::Database& database,
+                        const datalog::Fact& expected_root) const;
+
+  /// True iff no fact appears twice on any root-to-leaf path (Def. 18).
+  bool IsNonRecursive() const;
+
+  /// True iff all nodes with equal labels have isomorphic subtrees
+  /// (Definition 13).
+  bool IsUnambiguous() const;
+
+  /// True iff Depth() equals `model`'s rank of the root fact, which by
+  /// Proposition 28 / Lemma 29 is min-tree-depth (Definition 26). The
+  /// model must be the least model of the same program and database.
+  bool IsMinimalDepth(const datalog::Model& model) const;
+
+  /// True iff the tree belongs to `c` (kAny is always true; kMinimalDepth
+  /// needs the model).
+  bool InClass(TreeClass c, const datalog::Model& model) const;
+
+  /// Canonical form of the subtree rooted at `node`: two subtrees are
+  /// isomorphic (as unordered labelled trees) iff their canonical strings
+  /// are equal.
+  std::string CanonicalForm(std::size_t node) const;
+
+  /// The subtree count scount(T): the maximum, over labels, of the number
+  /// of pairwise non-isomorphic subtrees rooted at nodes with that label.
+  std::size_t SubtreeCount() const;
+
+  /// Indented multi-line rendering for debugging and the examples.
+  std::string ToString(const datalog::SymbolTable& symbols) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_PROOF_TREE_H_

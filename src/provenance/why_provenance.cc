@@ -1,0 +1,106 @@
+#include "provenance/why_provenance.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "datalog/parser.h"
+#include "util/timer.h"
+
+namespace whyprov::provenance {
+
+namespace dl = whyprov::datalog;
+
+namespace {
+
+dl::Model EvaluateTimed(const dl::Program& program,
+                        const dl::Database& database, double* seconds) {
+  util::Timer timer;
+  dl::Model model = dl::Evaluator::Evaluate(program, database);
+  *seconds = timer.ElapsedSeconds();
+  return model;
+}
+
+}  // namespace
+
+WhyProvenancePipeline::WhyProvenancePipeline(dl::Program program,
+                                             dl::Database database,
+                                             dl::PredicateId answer_predicate)
+    : program_(std::move(program)),
+      database_(std::move(database)),
+      answer_predicate_(answer_predicate),
+      model_(EvaluateTimed(program_, database_, &eval_seconds_)) {}
+
+util::Result<WhyProvenancePipeline> WhyProvenancePipeline::FromText(
+    std::string_view program_text, std::string_view database_text,
+    std::string_view answer_predicate) {
+  auto symbols = std::make_shared<dl::SymbolTable>();
+  util::Result<dl::Program> program =
+      dl::Parser::ParseProgram(symbols, program_text);
+  if (!program.ok()) return program.status();
+  util::Result<dl::Database> database =
+      dl::Parser::ParseDatabase(symbols, database_text);
+  if (!database.ok()) return database.status();
+  util::Result<dl::PredicateId> predicate =
+      symbols->FindPredicate(answer_predicate);
+  if (!predicate.ok()) return predicate.status();
+  if (!program.value().IsIntensional(predicate.value())) {
+    return util::Status::Error("answer predicate '" +
+                               std::string(answer_predicate) +
+                               "' is not intensional");
+  }
+  return WhyProvenancePipeline(std::move(program).value(),
+                               std::move(database).value(),
+                               predicate.value());
+}
+
+std::vector<dl::FactId> WhyProvenancePipeline::AnswerFactIds() const {
+  return model_.Relation(answer_predicate_);
+}
+
+std::vector<dl::FactId> WhyProvenancePipeline::SampleAnswers(
+    std::size_t count, util::Rng& rng) const {
+  std::vector<dl::FactId> answers = AnswerFactIds();
+  rng.Shuffle(answers);
+  if (answers.size() > count) answers.resize(count);
+  return answers;
+}
+
+util::Result<dl::FactId> WhyProvenancePipeline::AnswerId(
+    const std::vector<dl::SymbolId>& tuple) const {
+  dl::Fact fact;
+  fact.predicate = answer_predicate_;
+  fact.args = tuple;
+  auto id = model_.Find(fact);
+  if (!id.has_value()) {
+    return util::Status::Error("the tuple is not an answer");
+  }
+  return *id;
+}
+
+util::Result<dl::FactId> WhyProvenancePipeline::FactIdOf(
+    std::string_view fact_text) const {
+  util::Result<dl::Fact> fact =
+      dl::Parser::ParseFact(database_.symbols_ptr(), fact_text);
+  if (!fact.ok()) return fact.status();
+  auto id = model_.Find(fact.value());
+  if (!id.has_value()) {
+    return util::Status::Error("fact '" + std::string(fact_text) +
+                               "' is not derivable");
+  }
+  return *id;
+}
+
+std::unique_ptr<WhyProvenanceEnumerator>
+WhyProvenancePipeline::MakeEnumerator(
+    dl::FactId target,
+    const WhyProvenanceEnumerator::Options& options) const {
+  return std::make_unique<WhyProvenanceEnumerator>(program_, model_, target,
+                                                   options);
+}
+
+std::string WhyProvenancePipeline::FactToText(dl::FactId id) const {
+  return dl::FactToString(model_.fact(id), program_.symbols());
+}
+
+}  // namespace whyprov::provenance

@@ -1,0 +1,80 @@
+#ifndef WHYPROV_PROVENANCE_WHY_PROVENANCE_H_
+#define WHYPROV_PROVENANCE_WHY_PROVENANCE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/database.h"
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "provenance/enumerator.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace whyprov::provenance {
+
+/// High-level entry point tying the whole pipeline together: parse/accept
+/// a query and database, evaluate the least model, pick answer tuples, and
+/// hand out why-provenance enumerators. This is the API the examples and
+/// the benchmark harness use.
+class WhyProvenancePipeline {
+ public:
+  /// Builds a pipeline from already-parsed pieces. Evaluates the model
+  /// eagerly (semi-naive).
+  WhyProvenancePipeline(datalog::Program program, datalog::Database database,
+                        datalog::PredicateId answer_predicate);
+
+  /// Convenience constructor from program/database text; `answer` names
+  /// the answer predicate.
+  static util::Result<WhyProvenancePipeline> FromText(
+      std::string_view program_text, std::string_view database_text,
+      std::string_view answer_predicate);
+
+  const datalog::Program& program() const { return program_; }
+  const datalog::Database& database() const { return database_; }
+  const datalog::Model& model() const { return model_; }
+  datalog::PredicateId answer_predicate() const { return answer_predicate_; }
+
+  /// Seconds spent in evaluation (for end-to-end reporting).
+  double eval_seconds() const { return eval_seconds_; }
+
+  /// The answer facts R(t) for the query's answer predicate.
+  std::vector<datalog::FactId> AnswerFactIds() const;
+
+  /// Picks `count` answer facts uniformly at random (without replacement;
+  /// fewer if there are fewer answers).
+  std::vector<datalog::FactId> SampleAnswers(std::size_t count,
+                                             util::Rng& rng) const;
+
+  /// Finds the fact id of the answer R(tuple), if it is an answer.
+  util::Result<datalog::FactId> AnswerId(
+      const std::vector<datalog::SymbolId>& tuple) const;
+
+  /// Parses a fact like "path(a, b)" and returns its id if it is in the
+  /// model.
+  util::Result<datalog::FactId> FactIdOf(std::string_view fact_text) const;
+
+  /// Creates an incremental whyUN enumerator for the given answer fact.
+  std::unique_ptr<WhyProvenanceEnumerator> MakeEnumerator(
+      datalog::FactId target,
+      const WhyProvenanceEnumerator::Options& options =
+          WhyProvenanceEnumerator::Options()) const;
+
+  /// Renders a fact for display.
+  std::string FactToText(datalog::FactId id) const;
+
+ private:
+  datalog::Program program_;
+  datalog::Database database_;
+  datalog::PredicateId answer_predicate_;
+  // eval_seconds_ is written while model_ is initialised, so it must be
+  // declared (and thus initialised) before model_.
+  double eval_seconds_ = 0;
+  datalog::Model model_;
+};
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_WHY_PROVENANCE_H_

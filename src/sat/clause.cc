@@ -1,0 +1,16 @@
+#include "sat/clause.h"
+
+#include <utility>
+
+namespace whyprov::sat {
+
+ClauseRef ClauseArena::Allocate(std::vector<Lit> lits, bool learnt) {
+  const ClauseRef ref = static_cast<ClauseRef>(clauses_.size());
+  Clause clause;
+  clause.lits = std::move(lits);
+  clause.learnt = learnt;
+  clauses_.push_back(std::move(clause));
+  return ref;
+}
+
+}  // namespace whyprov::sat

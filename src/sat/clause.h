@@ -1,0 +1,58 @@
+#ifndef WHYPROV_SAT_CLAUSE_H_
+#define WHYPROV_SAT_CLAUSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace whyprov::sat {
+
+/// Reference to a clause stored in a `ClauseArena`.
+using ClauseRef = std::uint32_t;
+
+/// Sentinel for "no clause" (e.g. a decision's reason).
+inline constexpr ClauseRef kNoClause = 0xffffffffu;
+
+/// A clause plus the metadata the search maintains for it.
+struct Clause {
+  std::vector<Lit> lits;
+  /// Learnt clauses participate in clause-database reduction.
+  bool learnt = false;
+  /// Tombstone set by the arena when the clause is deleted.
+  bool deleted = false;
+  /// Literal-block distance at learning time (Glucose's quality measure):
+  /// the number of distinct decision levels among the clause's literals.
+  std::int32_t lbd = 0;
+  /// Bump-and-decay activity used to break LBD ties during reduction.
+  double activity = 0.0;
+
+  std::size_t size() const { return lits.size(); }
+  Lit& operator[](std::size_t i) { return lits[i]; }
+  Lit operator[](std::size_t i) const { return lits[i]; }
+};
+
+/// Owns all clauses of a solver. Deletion is logical (tombstones); the
+/// arena is compacted implicitly by never traversing deleted clauses.
+class ClauseArena {
+ public:
+  /// Allocates a clause; returns its reference.
+  ClauseRef Allocate(std::vector<Lit> lits, bool learnt);
+
+  /// Accesses a clause.
+  Clause& At(ClauseRef ref) { return clauses_[ref]; }
+  const Clause& At(ClauseRef ref) const { return clauses_[ref]; }
+
+  /// Marks a clause deleted.
+  void Delete(ClauseRef ref) { clauses_[ref].deleted = true; }
+
+  /// Number of allocated (including deleted) clauses.
+  std::size_t size() const { return clauses_.size(); }
+
+ private:
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace whyprov::sat
+
+#endif  // WHYPROV_SAT_CLAUSE_H_

@@ -1,0 +1,112 @@
+#include "sat/dimacs.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace whyprov::sat {
+
+util::Result<CnfFormula> ParseDimacs(std::string_view text) {
+  CnfFormula formula;
+  std::istringstream in{std::string(text)};
+  std::string token;
+  bool header_seen = false;
+  std::vector<int> clause;
+  while (in >> token) {
+    if (token == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (token == "p") {
+      std::string kind;
+      long vars = 0, clauses = 0;
+      if (!(in >> kind >> vars >> clauses) || kind != "cnf") {
+        return util::Status::Error("malformed DIMACS header");
+      }
+      formula.num_vars = static_cast<int>(vars);
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) {
+      return util::Status::Error("DIMACS clause before 'p cnf' header");
+    }
+    char* end = nullptr;
+    const long value = std::strtol(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      return util::Status::Error("malformed DIMACS literal '" + token + "'");
+    }
+    if (value == 0) {
+      formula.clauses.push_back(clause);
+      clause.clear();
+    } else {
+      if (std::abs(value) > formula.num_vars) {
+        return util::Status::Error("literal exceeds declared variable count");
+      }
+      clause.push_back(static_cast<int>(value));
+    }
+  }
+  if (!clause.empty()) {
+    return util::Status::Error("last clause not terminated by 0");
+  }
+  return formula;
+}
+
+std::string WriteDimacs(const CnfFormula& formula) {
+  std::string out = "p cnf " + std::to_string(formula.num_vars) + " " +
+                    std::to_string(formula.clauses.size()) + "\n";
+  for (const auto& clause : formula.clauses) {
+    for (int lit : clause) {
+      out += std::to_string(lit);
+      out += ' ';
+    }
+    out += "0\n";
+  }
+  return out;
+}
+
+bool LoadIntoSolver(const CnfFormula& formula, Solver& solver) {
+  while (solver.NumVars() < formula.num_vars) solver.NewVar();
+  for (const auto& clause : formula.clauses) {
+    std::vector<Lit> lits;
+    lits.reserve(clause.size());
+    for (int lit : clause) {
+      lits.push_back(Lit::Make(std::abs(lit) - 1, lit < 0));
+    }
+    if (!solver.AddClause(std::move(lits))) return false;
+  }
+  return true;
+}
+
+bool BruteForceSat(const CnfFormula& formula, std::vector<bool>* model) {
+  const int n = formula.num_vars;
+  for (std::uint64_t assignment = 0;
+       assignment < (std::uint64_t{1} << n); ++assignment) {
+    bool all_satisfied = true;
+    for (const auto& clause : formula.clauses) {
+      bool satisfied = false;
+      for (int lit : clause) {
+        const int v = std::abs(lit) - 1;
+        const bool value = (assignment >> v) & 1;
+        if ((lit > 0) == value) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        all_satisfied = false;
+        break;
+      }
+    }
+    if (all_satisfied) {
+      if (model != nullptr) {
+        model->assign(n, false);
+        for (int v = 0; v < n; ++v) (*model)[v] = (assignment >> v) & 1;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace whyprov::sat

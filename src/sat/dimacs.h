@@ -1,0 +1,42 @@
+#ifndef WHYPROV_SAT_DIMACS_H_
+#define WHYPROV_SAT_DIMACS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sat/solver.h"
+#include "sat/types.h"
+#include "util/status.h"
+
+namespace whyprov::sat {
+
+/// A CNF formula in a solver-independent form: clauses of DIMACS-style
+/// signed literals (1-based; negative = negated). Used by tests, the
+/// DIMACS reader/writer, and the exhaustive reference solver.
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+/// Parses DIMACS CNF text ("p cnf <vars> <clauses>" header, 'c' comments,
+/// zero-terminated clauses).
+util::Result<CnfFormula> ParseDimacs(std::string_view text);
+
+/// Renders a formula as DIMACS CNF text.
+std::string WriteDimacs(const CnfFormula& formula);
+
+/// Loads a formula into `solver`, creating variables as needed so that
+/// DIMACS variable i maps to solver variable i-1. Returns false if the
+/// formula is trivially unsatisfiable.
+bool LoadIntoSolver(const CnfFormula& formula, Solver& solver);
+
+/// Exhaustive truth-table satisfiability check (reference implementation
+/// for property tests; practical up to ~24 variables). Returns a model as
+/// sign-per-variable when satisfiable.
+bool BruteForceSat(const CnfFormula& formula,
+                   std::vector<bool>* model = nullptr);
+
+}  // namespace whyprov::sat
+
+#endif  // WHYPROV_SAT_DIMACS_H_

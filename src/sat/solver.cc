@@ -1,0 +1,498 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace whyprov::sat {
+
+namespace {
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+/// (MiniSat's formulation: find the finite subsequence containing index i
+/// and the position of i within it.)
+std::int64_t Luby(std::int64_t i) {
+  std::int64_t size = 1;
+  std::int64_t sequence = 0;
+  while (size < i + 1) {
+    ++sequence;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --sequence;
+    i %= size;
+  }
+  return static_cast<std::int64_t>(1) << sequence;
+}
+
+}  // namespace
+
+Solver::Solver(SolverOptions options) : options_(options) {
+  reduce_threshold_ = options_.reduce_base;
+}
+
+Var Solver::NewVar() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::kUndef);
+  // Saved phase: `true` means the last (or preferred) value is FALSE, so a
+  // fresh variable is first decided negative (the MiniSat default).
+  polarity_.push_back(true);
+  level_.push_back(0);
+  reason_.push_back(kNoClause);
+  activity_.push_back(0.0);
+  heap_position_.push_back(-1);
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  HeapInsert(v);
+  return v;
+}
+
+bool Solver::AddClause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  CancelUntil(0);
+
+  // Simplify: sort, dedup, drop literals false at level 0, detect
+  // tautologies and literals true at level 0.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> simplified;
+  Lit previous = kUndefLit;
+  for (Lit l : lits) {
+    if (Value(l) == LBool::kTrue || (previous.defined() && l == ~previous)) {
+      return true;  // satisfied or tautological: vacuous
+    }
+    if (Value(l) == LBool::kFalse || l == previous) continue;
+    simplified.push_back(l);
+    previous = l;
+  }
+
+  if (simplified.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (simplified.size() == 1) {
+    UncheckedEnqueue(simplified[0], kNoClause);
+    if (Propagate() != kNoClause) ok_ = false;
+    return ok_;
+  }
+  const ClauseRef ref = arena_.Allocate(std::move(simplified), false);
+  problem_clauses_.push_back(ref);
+  AttachClause(ref);
+  return true;
+}
+
+void Solver::AttachClause(ClauseRef ref) {
+  const Clause& c = arena_.At(ref);
+  assert(c.size() >= 2);
+  watches_[(~c[0]).index()].push_back(Watcher{ref, c[1]});
+  watches_[(~c[1]).index()].push_back(Watcher{ref, c[0]});
+}
+
+void Solver::UncheckedEnqueue(Lit l, ClauseRef reason) {
+  assert(Value(l) == LBool::kUndef);
+  const Var v = l.var();
+  assigns_[v] = l.negated() ? LBool::kFalse : LBool::kTrue;
+  level_[v] = DecisionLevel();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+void Solver::CancelUntil(int target_level) {
+  if (DecisionLevel() <= target_level) return;
+  const std::size_t bound = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const Var v = trail_[i - 1].var();
+    if (options_.phase_saving) polarity_[v] = trail_[i - 1].negated();
+    assigns_[v] = LBool::kUndef;
+    reason_[v] = kNoClause;
+    if (heap_position_[v] < 0) HeapInsert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+ClauseRef Solver::Propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    std::vector<Watcher>& watchers = watches_[p.index()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watchers.size(); ++i) {
+      const Watcher w = watchers[i];
+      // Fast path: the blocker already satisfies the clause.
+      if (Value(w.blocker) == LBool::kTrue) {
+        watchers[keep++] = w;
+        continue;
+      }
+      Clause& c = arena_.At(w.clause);
+      if (c.deleted) continue;  // drop watcher of a deleted clause
+      // Normalise so that the false literal ~p is at position 1.
+      const Lit false_lit = ~p;
+      if (c[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c[1] == false_lit);
+      // If the first literal is true the clause is satisfied.
+      if (Value(c[0]) == LBool::kTrue) {
+        watchers[keep++] = Watcher{w.clause, c[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (Value(c[k]) != LBool::kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c[1]).index()].push_back(Watcher{w.clause, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      watchers[keep++] = Watcher{w.clause, c[0]};
+      if (Value(c[0]) == LBool::kFalse) {
+        // Conflict: keep the remaining watchers and bail out.
+        for (std::size_t j = i + 1; j < watchers.size(); ++j) {
+          watchers[keep++] = watchers[j];
+        }
+        watchers.resize(keep);
+        propagate_head_ = trail_.size();
+        return w.clause;
+      }
+      UncheckedEnqueue(c[0], w.clause);
+    }
+    watchers.resize(keep);
+  }
+  return kNoClause;
+}
+
+int Solver::ComputeLbd(const std::vector<Lit>& lits) {
+  // Count distinct decision levels; the scratch vector doubles as a set.
+  thread_local std::vector<int> seen_levels;
+  seen_levels.clear();
+  for (Lit l : lits) {
+    const int lvl = level_[l.var()];
+    if (std::find(seen_levels.begin(), seen_levels.end(), lvl) ==
+        seen_levels.end()) {
+      seen_levels.push_back(lvl);
+    }
+  }
+  return static_cast<int>(seen_levels.size());
+}
+
+void Solver::Analyze(ClauseRef conflict, std::vector<Lit>& learnt,
+                     int& bt_level, int& lbd) {
+  learnt.clear();
+  learnt.push_back(kUndefLit);  // placeholder for the asserting literal
+
+  int counter = 0;  // literals of the current level awaiting resolution
+  Lit p = kUndefLit;
+  std::size_t trail_index = trail_.size();
+  ClauseRef reason = conflict;
+
+  do {
+    assert(reason != kNoClause);
+    Clause& c = arena_.At(reason);
+    if (c.learnt) ClauseBumpActivity(c);
+    for (std::size_t i = (p == kUndefLit ? 0 : 1); i < c.size(); ++i) {
+      const Lit q = c[i];
+      const Var v = q.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = true;
+      analyze_clear_.push_back(q);
+      VarBumpActivity(v);
+      if (level_[v] >= DecisionLevel()) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Select the next literal of the current level to resolve on.
+    while (!seen_[trail_[trail_index - 1].var()]) --trail_index;
+    p = trail_[--trail_index];
+    reason = reason_[p.var()];
+    seen_[p.var()] = false;
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Conflict-clause minimization: drop literals implied by the rest.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    abstract_levels |= 1u << (level_[learnt[i].var()] & 31);
+  }
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (reason_[learnt[i].var()] == kNoClause ||
+        !LitRedundant(learnt[i], abstract_levels)) {
+      learnt[kept++] = learnt[i];
+    } else {
+      ++stats_.minimized_literals;
+    }
+  }
+  learnt.resize(kept);
+
+  // Backtrack level: the second-highest level in the clause.
+  if (learnt.size() == 1) {
+    bt_level = 0;
+  } else {
+    std::size_t max_index = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].var()] > level_[learnt[max_index].var()]) {
+        max_index = i;
+      }
+    }
+    std::swap(learnt[1], learnt[max_index]);
+    bt_level = level_[learnt[1].var()];
+  }
+
+  lbd = ComputeLbd(learnt);
+
+  for (Lit l : analyze_clear_) seen_[l.var()] = false;
+  analyze_clear_.clear();
+}
+
+bool Solver::LitRedundant(Lit l, std::uint32_t abstract_levels) {
+  // MiniSat's recursive minimization: l is redundant if every literal in
+  // its reason (transitively) is already seen or at level 0.
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const std::size_t top = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit current = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    assert(reason_[current.var()] != kNoClause);
+    const Clause& c = arena_.At(reason_[current.var()]);
+    for (std::size_t i = 1; i < c.size(); ++i) {
+      const Lit q = c[i];
+      const Var v = q.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      if (reason_[v] == kNoClause ||
+          ((1u << (level_[v] & 31)) & abstract_levels) == 0) {
+        // Not removable: undo the marks added during this check.
+        for (std::size_t j = top; j < analyze_clear_.size(); ++j) {
+          seen_[analyze_clear_[j].var()] = false;
+        }
+        analyze_clear_.resize(top);
+        return false;
+      }
+      seen_[v] = true;
+      analyze_clear_.push_back(q);
+      analyze_stack_.push_back(q);
+    }
+  }
+  return true;
+}
+
+void Solver::VarBumpActivity(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_position_[v] >= 0) HeapUpdate(v);
+}
+
+void Solver::ClauseBumpActivity(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (ClauseRef ref : learnt_clauses_) {
+      arena_.At(ref).activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::HeapInsert(Var v) {
+  heap_position_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  HeapSiftUp(heap_position_[v]);
+}
+
+void Solver::HeapUpdate(Var v) { HeapSiftUp(heap_position_[v]); }
+
+Var Solver::HeapPop() {
+  const Var top = heap_[0];
+  heap_position_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_position_[heap_[0]] = 0;
+    HeapSiftDown(0);
+  }
+  return top;
+}
+
+void Solver::HeapSiftUp(int i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (!HeapLess(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    heap_position_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_position_[v] = i;
+}
+
+void Solver::HeapSiftDown(int i) {
+  const Var v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  while (true) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && HeapLess(heap_[child + 1], heap_[child])) ++child;
+    if (!HeapLess(heap_[child], v)) break;
+    heap_[i] = heap_[child];
+    heap_position_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_position_[v] = i;
+}
+
+Lit Solver::PickBranchLit() {
+  while (!HeapEmpty()) {
+    const Var v = HeapPop();
+    if (Value(v) == LBool::kUndef) {
+      return Lit::Make(v, polarity_[v]);
+    }
+  }
+  return kUndefLit;
+}
+
+void Solver::ReduceDB() {
+  // Sort learnt clauses so that high-LBD, low-activity clauses come first
+  // and remove the worse half, keeping "glue" clauses (LBD <= 2) and
+  // clauses currently locked as reasons.
+  std::sort(learnt_clauses_.begin(), learnt_clauses_.end(),
+            [&](ClauseRef a, ClauseRef b) {
+              const Clause& ca = arena_.At(a);
+              const Clause& cb = arena_.At(b);
+              if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
+              return ca.activity < cb.activity;
+            });
+  auto locked = [&](ClauseRef ref) {
+    const Clause& c = arena_.At(ref);
+    return Value(c[0]) == LBool::kTrue && reason_[c[0].var()] == ref;
+  };
+  const std::size_t target = learnt_clauses_.size() / 2;
+  std::vector<ClauseRef> kept;
+  kept.reserve(learnt_clauses_.size());
+  std::size_t removed = 0;
+  for (ClauseRef ref : learnt_clauses_) {
+    Clause& c = arena_.At(ref);
+    if (removed < target && c.lbd > 2 && c.size() > 2 && !locked(ref)) {
+      arena_.Delete(ref);
+      ++removed;
+      ++stats_.deleted_clauses;
+    } else {
+      kept.push_back(ref);
+    }
+  }
+  learnt_clauses_ = std::move(kept);
+  // Watchers of deleted clauses are dropped lazily during propagation.
+}
+
+SolveResult Solver::Search(std::int64_t conflicts_allowed,
+                           const std::vector<Lit>& assumptions) {
+  std::int64_t conflicts_here = 0;
+  std::vector<Lit> learnt;
+
+  while (true) {
+    const ClauseRef conflict = Propagate();
+    if (conflict != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (DecisionLevel() == 0) return SolveResult::kUnsat;
+      int bt_level = 0;
+      int lbd = 0;
+      Analyze(conflict, learnt, bt_level, lbd);
+      CancelUntil(bt_level);
+      if (learnt.size() == 1) {
+        UncheckedEnqueue(learnt[0], kNoClause);
+      } else {
+        const ClauseRef ref = arena_.Allocate(learnt, true);
+        Clause& c = arena_.At(ref);
+        c.lbd = lbd;
+        learnt_clauses_.push_back(ref);
+        ++stats_.learnt_clauses;
+        AttachClause(ref);
+        ClauseBumpActivity(c);
+        UncheckedEnqueue(learnt[0], ref);
+      }
+      VarDecayActivity();
+      ClauseDecayActivity();
+      if (static_cast<int>(learnt_clauses_.size()) >= reduce_threshold_) {
+        ReduceDB();
+        reduce_threshold_ += options_.reduce_increment;
+      }
+      continue;
+    }
+
+    if (conflicts_allowed >= 0 && conflicts_here >= conflicts_allowed) {
+      ++stats_.restarts;
+      CancelUntil(0);
+      return SolveResult::kUnknown;  // restart
+    }
+    if (options_.conflict_budget >= 0 &&
+        static_cast<std::int64_t>(stats_.conflicts) >=
+            options_.conflict_budget) {
+      CancelUntil(0);
+      return SolveResult::kUnknown;
+    }
+
+    // Respect assumptions before free decisions.
+    Lit next = kUndefLit;
+    while (DecisionLevel() < static_cast<int>(assumptions.size())) {
+      const Lit a = assumptions[DecisionLevel()];
+      if (Value(a) == LBool::kTrue) {
+        trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
+      } else if (Value(a) == LBool::kFalse) {
+        // The assumptions are jointly inconsistent with the formula.
+        CancelUntil(0);
+        return SolveResult::kUnsat;
+      } else {
+        next = a;
+        break;
+      }
+    }
+
+    if (next == kUndefLit) {
+      next = PickBranchLit();
+      if (next == kUndefLit) {
+        // All variables assigned: a model.
+        model_.assign(assigns_.begin(), assigns_.end());
+        CancelUntil(0);
+        return SolveResult::kSat;
+      }
+      ++stats_.decisions;
+    }
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    UncheckedEnqueue(next, kNoClause);
+  }
+}
+
+SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return SolveResult::kUnsat;
+  CancelUntil(0);
+  if (Propagate() != kNoClause) {
+    ok_ = false;
+    return SolveResult::kUnsat;
+  }
+  std::int64_t restart = 0;
+  while (true) {
+    const std::int64_t budget = Luby(restart) * options_.restart_base;
+    const SolveResult result = Search(budget, assumptions);
+    if (result != SolveResult::kUnknown) return result;
+    if (options_.conflict_budget >= 0 &&
+        static_cast<std::int64_t>(stats_.conflicts) >=
+            options_.conflict_budget) {
+      return SolveResult::kUnknown;
+    }
+    ++restart;
+  }
+}
+
+}  // namespace whyprov::sat

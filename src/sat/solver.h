@@ -1,0 +1,177 @@
+#ifndef WHYPROV_SAT_SOLVER_H_
+#define WHYPROV_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sat/clause.h"
+#include "sat/types.h"
+
+namespace whyprov::sat {
+
+/// Outcome of a solve call.
+enum class SolveResult { kSat, kUnsat, kUnknown };
+
+/// Search statistics, cumulative over the solver's lifetime.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_clauses = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t minimized_literals = 0;
+};
+
+/// Tunable parameters; defaults follow MiniSat/Glucose folklore.
+struct SolverOptions {
+  double var_decay = 0.95;          ///< VSIDS activity decay
+  double clause_decay = 0.999;      ///< learnt clause activity decay
+  int restart_base = 100;           ///< Luby restart unit, in conflicts
+  bool phase_saving = true;         ///< reuse last polarity on decisions
+  int reduce_base = 4000;           ///< learnt clauses before first reduce
+  int reduce_increment = 1000;      ///< growth of the reduce threshold
+  std::int64_t conflict_budget = -1;  ///< stop after this many conflicts (<0 = off)
+};
+
+/// A conflict-driven clause-learning (CDCL) SAT solver: the repository's
+/// stand-in for Glucose. Implements two-watched-literal propagation, VSIDS
+/// decisions with phase saving, first-UIP conflict analysis with recursive
+/// clause minimization, LBD-based learnt-clause database reduction, Luby
+/// restarts, solving under assumptions, and incremental clause addition
+/// between solve calls (the blocking-clause enumeration loop depends on
+/// the latter).
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = SolverOptions());
+
+  // The solver owns raw watch/trail state referenced by index; copying
+  // would be error-prone and is never needed.
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Creates a fresh variable and returns it.
+  Var NewVar();
+
+  /// Number of variables created.
+  int NumVars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause (over existing variables). Returns false iff the clause
+  /// makes the formula trivially unsatisfiable (empty after simplification
+  /// at level 0). Safe to call between Solve() calls.
+  bool AddClause(std::vector<Lit> lits);
+
+  /// Convenience single- and two-literal overloads.
+  bool AddUnit(Lit a) { return AddClause({a}); }
+  bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
+  bool AddTernary(Lit a, Lit b, Lit c) { return AddClause({a, b, c}); }
+
+  /// Solves the current formula under the given assumptions.
+  SolveResult Solve(const std::vector<Lit>& assumptions = {});
+
+  /// Value of a variable in the last model. Only valid after kSat.
+  LBool ModelValue(Var v) const { return model_[v]; }
+
+  /// Value of a literal in the last model. Only valid after kSat.
+  bool ModelLitTrue(Lit l) const {
+    return EvalLit(model_[l.var()], l) == LBool::kTrue;
+  }
+
+  /// Cumulative statistics.
+  const SolverStats& stats() const { return stats_; }
+
+  /// True while the formula is not known to be trivially UNSAT.
+  bool ok() const { return ok_; }
+
+  /// Replaces the conflict budget (applies to subsequent Solve calls).
+  void SetConflictBudget(std::int64_t budget) {
+    options_.conflict_budget = budget;
+  }
+
+  /// Sets the phase the next decision on `v` will try first (phase saving
+  /// overwrites it once the search assigns and unassigns `v`). Callers use
+  /// this to seed the search with a known near-solution.
+  void SetPolarity(Var v, bool prefer_true) { polarity_[v] = !prefer_true; }
+
+  /// Raises `v`'s VSIDS activity so it is decided before unhinted
+  /// variables. Combined with SetPolarity this lets a caller steer the
+  /// first descent onto a known model.
+  void BumpActivityHint(Var v, double amount) {
+    activity_[v] += amount;
+    if (heap_position_[v] >= 0) HeapUpdate(v);
+  }
+
+ private:
+  struct Watcher {
+    ClauseRef clause = kNoClause;
+    Lit blocker;  // fast-path literal: clause satisfied if blocker is true
+  };
+
+  // --- assignment & trail ---
+  LBool Value(Var v) const { return assigns_[v]; }
+  LBool Value(Lit l) const { return EvalLit(assigns_[l.var()], l); }
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  void UncheckedEnqueue(Lit l, ClauseRef reason);
+  void CancelUntil(int level);
+
+  // --- search ---
+  ClauseRef Propagate();
+  void Analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& bt_level,
+               int& lbd);
+  bool LitRedundant(Lit l, std::uint32_t abstract_levels);
+  Lit PickBranchLit();
+  SolveResult Search(std::int64_t conflicts_allowed,
+                     const std::vector<Lit>& assumptions);
+  void AttachClause(ClauseRef ref);
+  void ReduceDB();
+  int ComputeLbd(const std::vector<Lit>& lits);
+
+  // --- VSIDS heap ---
+  void VarBumpActivity(Var v);
+  void VarDecayActivity() { var_inc_ /= options_.var_decay; }
+  void ClauseBumpActivity(Clause& c);
+  void ClauseDecayActivity() { clause_inc_ /= options_.clause_decay; }
+  void HeapInsert(Var v);
+  void HeapUpdate(Var v);
+  Var HeapPop();
+  bool HeapEmpty() const { return heap_.empty(); }
+  void HeapSiftUp(int i);
+  void HeapSiftDown(int i);
+  bool HeapLess(Var a, Var b) const { return activity_[a] > activity_[b]; }
+
+  SolverOptions options_;
+  bool ok_ = true;
+
+  ClauseArena arena_;
+  std::vector<ClauseRef> problem_clauses_;
+  std::vector<ClauseRef> learnt_clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+
+  std::vector<LBool> assigns_;   // by var
+  std::vector<bool> polarity_;   // saved phase, by var
+  std::vector<int> level_;       // by var
+  std::vector<ClauseRef> reason_;  // by var
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;  // by var
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<int> heap_position_;  // by var; -1 = not in heap
+  std::vector<Var> heap_;
+
+  // scratch buffers for Analyze
+  std::vector<bool> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_clear_;
+
+  std::vector<LBool> model_;
+  SolverStats stats_;
+  int reduce_threshold_ = 0;
+};
+
+}  // namespace whyprov::sat
+
+#endif  // WHYPROV_SAT_SOLVER_H_

@@ -1,0 +1,177 @@
+#include "scenarios/reductions.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "datalog/parser.h"
+
+namespace whyprov::scenarios {
+
+namespace dl = whyprov::datalog;
+
+namespace {
+
+ReductionOutput Assemble(const std::string& program_text,
+                         const std::string& database_text,
+                         const std::string& target_text) {
+  auto symbols = std::make_shared<dl::SymbolTable>();
+  auto program = dl::Parser::ParseProgram(symbols, program_text);
+  auto database = dl::Parser::ParseDatabase(symbols, database_text);
+  auto target = dl::Parser::ParseFact(symbols, target_text);
+  if (!program.ok() || !database.ok() || !target.ok()) std::abort();
+  return ReductionOutput{symbols, std::move(program).value(),
+                         std::move(database).value(),
+                         std::move(target).value()};
+}
+
+std::string SatVar(int v) { return "x" + std::to_string(v); }
+
+}  // namespace
+
+ReductionOutput ReduceThreeSat(const ThreeSatInstance& instance) {
+  // The fixed linear query of Lemma 17 (sigma_1..sigma_8). The relation
+  // layouts follow the paper: var(v; 0, 1), next(v, v'; 0, 1),
+  // c(v1, b1; v2, b2; v3, b3), last(bullet).
+  const char* program = R"(
+    r(X) :- var(X, Z, _), assign(X, Z).
+    r(X) :- var(X, _, Z), assign(X, Z).
+    assign(X, Y) :- c(X, Y, _, _, _, _), assign(X, Y).
+    assign(X, Y) :- c(_, _, X, Y, _, _), assign(X, Y).
+    assign(X, Y) :- c(_, _, _, _, X, Y), assign(X, Y).
+    assign(X, Z) :- next(X, Y, Z, _), r(Y).
+    assign(X, Z) :- next(X, Y, _, Z), r(Y).
+    r(X) :- last(X).
+  )";
+
+  std::string facts;
+  for (int v = 1; v <= instance.num_vars; ++v) {
+    facts += "var(" + SatVar(v) + ", 0, 1).\n";
+  }
+  for (int v = 1; v < instance.num_vars; ++v) {
+    facts += "next(" + SatVar(v) + ", " + SatVar(v + 1) + ", 0, 1).\n";
+  }
+  facts += "next(" + SatVar(instance.num_vars) + ", bullet, 0, 1).\n";
+  facts += "last(bullet).\n";
+  for (const auto& clause : instance.clauses) {
+    facts += "c(";
+    for (int i = 0; i < 3; ++i) {
+      if (i > 0) facts += ", ";
+      const int lit = clause[i];
+      facts += SatVar(std::abs(lit)) + ", " + (lit > 0 ? "1" : "0");
+    }
+    facts += ").\n";
+  }
+  return Assemble(program, facts, "r(x1)");
+}
+
+ReductionOutput ReduceHamiltonianCycle(const DigraphInstance& instance) {
+  // The fixed linear query of Lemma 24 (sigma_1..sigma_4). The relation
+  // layout follows the paper: e(u, v; i, i+1; m+1), first(1), n(v).
+  const char* program = R"(
+    markede(X) :- first(X).
+    markede(Y) :- e(_, _, X, Y, _), markede(X).
+    path(Y) :- e(X, Y, _, _, Z), markede(Z), n(X).
+    path(Y) :- e(X, Y, _, _, _), path(X), n(X).
+  )";
+
+  const int m = static_cast<int>(instance.edges.size());
+  std::string facts = "first(1).\n";
+  for (int v = 0; v < instance.num_nodes; ++v) {
+    facts += "n(g" + std::to_string(v) + ").\n";
+  }
+  for (int i = 0; i < m; ++i) {
+    const auto& [u, v] = instance.edges[i];
+    facts += "e(g" + std::to_string(u) + ", g" + std::to_string(v) + ", " +
+             std::to_string(i + 1) + ", " + std::to_string(i + 2) + ", " +
+             std::to_string(m + 1) + ").\n";
+  }
+  return Assemble(program, facts, "path(g0)");
+}
+
+bool SolveThreeSatBruteForce(const ThreeSatInstance& instance) {
+  const int n = instance.num_vars;
+  for (std::uint64_t assignment = 0; assignment < (std::uint64_t{1} << n);
+       ++assignment) {
+    bool all = true;
+    for (const auto& clause : instance.clauses) {
+      bool satisfied = false;
+      for (int lit : clause) {
+        const bool value = (assignment >> (std::abs(lit) - 1)) & 1;
+        if ((lit > 0) == value) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool HasHamiltonianCycleBruteForce(const DigraphInstance& instance) {
+  const int n = instance.num_nodes;
+  if (n == 0) return false;
+  std::vector<std::vector<bool>> adjacent(n, std::vector<bool>(n, false));
+  for (const auto& [u, v] : instance.edges) adjacent[u][v] = true;
+  if (n == 1) return adjacent[0][0];
+  std::vector<bool> used(n, false);
+  used[0] = true;
+  auto dfs = [&](auto&& self, int current, int count) -> bool {
+    if (count == n) return adjacent[current][0];
+    for (int next = 0; next < n; ++next) {
+      if (!used[next] && adjacent[current][next]) {
+        used[next] = true;
+        if (self(self, next, count + 1)) return true;
+        used[next] = false;
+      }
+    }
+    return false;
+  };
+  return dfs(dfs, 0, 1);
+}
+
+ThreeSatInstance RandomThreeSat(int num_vars, int num_clauses,
+                                util::Rng& rng) {
+  // A 3-CNF clause needs three distinct variables; fewer would make the
+  // rejection sampling below spin forever.
+  assert(num_vars >= 3);
+  ThreeSatInstance instance;
+  instance.num_vars = num_vars;
+  for (int i = 0; i < num_clauses; ++i) {
+    std::array<int, 3> clause{};
+    for (int k = 0; k < 3;) {
+      const int v = static_cast<int>(rng.UniformInt(num_vars)) + 1;
+      const int lit = rng.Bernoulli(0.5) ? v : -v;
+      bool duplicate = false;
+      for (int j = 0; j < k; ++j) {
+        if (std::abs(clause[j]) == v) duplicate = true;
+      }
+      if (!duplicate) clause[k++] = lit;
+    }
+    instance.clauses.push_back(clause);
+  }
+  return instance;
+}
+
+DigraphInstance RandomDigraph(int num_nodes, double edge_probability,
+                              util::Rng& rng) {
+  DigraphInstance instance;
+  instance.num_nodes = num_nodes;
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = 0; v < num_nodes; ++v) {
+      if (u != v && rng.Bernoulli(edge_probability)) {
+        instance.edges.emplace_back(u, v);
+      }
+    }
+  }
+  return instance;
+}
+
+}  // namespace whyprov::scenarios

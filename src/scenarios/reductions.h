@@ -1,0 +1,63 @@
+#ifndef WHYPROV_SCENARIOS_REDUCTIONS_H_
+#define WHYPROV_SCENARIOS_REDUCTIONS_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "datalog/database.h"
+#include "datalog/program.h"
+#include "util/rng.h"
+
+namespace whyprov::scenarios {
+
+/// A 3-CNF formula: clauses of exactly three DIMACS-style signed literals
+/// over variables 1..num_vars.
+struct ThreeSatInstance {
+  int num_vars = 0;
+  std::vector<std::array<int, 3>> clauses;
+};
+
+/// A directed graph for the Hamiltonian-cycle reduction.
+struct DigraphInstance {
+  int num_nodes = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// The output of a hardness reduction: a query (program + answer
+/// predicate), the reduction database D, and the answer tuple's fact. The
+/// defining property (Lemmas 17 / 24) is that the *source* instance is a
+/// yes-instance iff D itself belongs to the why-provenance of the target.
+struct ReductionOutput {
+  std::shared_ptr<datalog::SymbolTable> symbols;
+  datalog::Program program;
+  datalog::Database database;
+  datalog::Fact target;
+};
+
+/// Lemma 17: 3SAT -> Why-Provenance[LDat]. Builds the fixed 8-rule linear
+/// query Q and the database D_phi; phi is satisfiable iff
+/// D_phi in why((v1), D_phi, Q) (arbitrary proof trees).
+ReductionOutput ReduceThreeSat(const ThreeSatInstance& instance);
+
+/// Lemma 24: Hamiltonian cycle -> Why-ProvenanceNR[LDat]. Builds the fixed
+/// 4-rule linear query Q and the database D_G; G has a Hamiltonian cycle
+/// iff D_G in whyNR((v*), D_G, Q), where v* is node 0. Because Q is
+/// linear, whyNR and whyUN coincide, so the SAT-based unambiguous check
+/// decides Hamiltonicity.
+ReductionOutput ReduceHamiltonianCycle(const DigraphInstance& instance);
+
+/// Reference solvers for the source problems (exponential; test-sized).
+bool SolveThreeSatBruteForce(const ThreeSatInstance& instance);
+bool HasHamiltonianCycleBruteForce(const DigraphInstance& instance);
+
+/// Random instance generators for tests and the reduction bench.
+ThreeSatInstance RandomThreeSat(int num_vars, int num_clauses,
+                                util::Rng& rng);
+DigraphInstance RandomDigraph(int num_nodes, double edge_probability,
+                              util::Rng& rng);
+
+}  // namespace whyprov::scenarios
+
+#endif  // WHYPROV_SCENARIOS_REDUCTIONS_H_

@@ -1,0 +1,398 @@
+#include "scenarios/scenarios.h"
+
+#include <string>
+#include <utility>
+
+#include "datalog/parser.h"
+#include "util/rng.h"
+
+namespace whyprov::scenarios {
+
+namespace dl = whyprov::datalog;
+
+namespace {
+
+/// Assembles a GeneratedScenario from program/database text.
+GeneratedScenario Assemble(std::string scenario_name,
+                           std::string database_name,
+                           const std::string& program_text,
+                           const std::string& database_text,
+                           std::string answer_predicate) {
+  auto symbols = std::make_shared<dl::SymbolTable>();
+  auto program = dl::Parser::ParseProgram(symbols, program_text);
+  auto database = dl::Parser::ParseDatabase(symbols, database_text);
+  // Generators are internal: a parse failure is a programming error.
+  if (!program.ok() || !database.ok()) {
+    std::abort();
+  }
+  return GeneratedScenario{std::move(scenario_name),
+                           std::move(database_name),
+                           ProgramClassName(program.value().Classification()),
+                           program.value().rules().size(),
+                           symbols,
+                           std::move(program).value(),
+                           std::move(database).value(),
+                           std::move(answer_predicate)};
+}
+
+std::string Node(std::size_t i) { return "n" + std::to_string(i); }
+
+}  // namespace
+
+provenance::WhyProvenancePipeline GeneratedScenario::MakePipeline() const {
+  auto predicate = symbols->FindPredicate(answer_predicate);
+  if (!predicate.ok()) std::abort();
+  return provenance::WhyProvenancePipeline(program, database,
+                                           predicate.value());
+}
+
+// --------------------------------------------------------------------
+// TransClosure
+// --------------------------------------------------------------------
+
+GeneratedScenario MakeTransClosure(GraphKind kind, std::size_t num_nodes,
+                                   std::size_t num_edges,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string facts;
+  facts.reserve(num_edges * 16);
+  if (kind == GraphKind::kSparse) {
+    // Transaction-graph-like: many mostly-disjoint "wallet communities"
+    // (blocks) with time-ordered, local edges inside each and rare
+    // cross-community hops. Keeps both the transitive closure and the
+    // per-answer derivation space bounded per community, as in a real
+    // payment graph.
+    const std::size_t block = 48;
+    const std::size_t window = 12;
+    for (std::size_t i = 0; i < num_edges; ++i) {
+      const std::size_t u = rng.UniformInt(num_nodes);
+      std::size_t v;
+      if (rng.Bernoulli(0.97)) {
+        const std::size_t block_end =
+            std::min(num_nodes - 1, (u / block + 1) * block - 1);
+        v = std::min(block_end, u + 1 + rng.UniformInt(window));
+      } else {
+        v = rng.UniformInt(num_nodes);
+      }
+      if (u == v) v = (v + 1) % num_nodes;
+      facts += "edge(" + Node(u) + ", " + Node(v) + ").\n";
+    }
+  } else {
+    // Social-circles-like: dense clusters with sparse bridges; highly
+    // connected, which is the stress case for the acyclicity encoding.
+    const std::size_t cluster_size = 16;
+    const std::size_t clusters =
+        std::max<std::size_t>(1, num_nodes / cluster_size);
+    for (std::size_t i = 0; i < num_edges; ++i) {
+      const std::size_t c = rng.UniformInt(clusters);
+      if (rng.Bernoulli(0.9)) {
+        // Intra-cluster edge.
+        const std::size_t u = c * cluster_size + rng.UniformInt(cluster_size);
+        std::size_t v = c * cluster_size + rng.UniformInt(cluster_size);
+        if (u == v) v = c * cluster_size + (v - c * cluster_size + 1) %
+                                               cluster_size;
+        facts += "edge(" + Node(u % num_nodes) + ", " + Node(v % num_nodes) +
+                 ").\n";
+      } else {
+        // Bridge between clusters.
+        const std::size_t u = rng.UniformInt(num_nodes);
+        const std::size_t v = rng.UniformInt(num_nodes);
+        if (u != v) {
+          facts += "edge(" + Node(u) + ", " + Node(v) + ").\n";
+        }
+      }
+    }
+  }
+  return Assemble(
+      "TransClosure",
+      kind == GraphKind::kSparse ? "Dsparse(bitcoin-like)"
+                                 : "Dsocial(facebook-like)",
+      R"(
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Y) :- edge(X, Z), tc(Z, Y).
+      )",
+      facts, "tc");
+}
+
+// --------------------------------------------------------------------
+// Doctors
+// --------------------------------------------------------------------
+
+GeneratedScenario MakeDoctors(int variant, std::size_t num_persons,
+                              std::uint64_t seed) {
+  util::Rng rng(seed + static_cast<std::uint64_t>(variant));
+  // Shared hospital-schema database. Scales roughly 6x num_persons facts.
+  const std::size_t num_doctors = std::max<std::size_t>(4, num_persons / 10);
+  const std::size_t num_hospitals = std::max<std::size_t>(2, num_doctors / 5);
+  // Few cities: a person's doctors then frequently practice in the
+  // person's own city, which is what gives answers several independent
+  // witnessing join chains (= larger provenance families).
+  const std::size_t num_cities = 2;
+  const std::size_t num_medicines =
+      std::max<std::size_t>(7, num_persons / 20);
+
+  std::string facts;
+  facts.reserve(num_persons * 96);
+  auto person = [](std::size_t i) { return "p" + std::to_string(i); };
+  auto doctor = [](std::size_t i) { return "d" + std::to_string(i); };
+  auto hospital = [](std::size_t i) { return "h" + std::to_string(i); };
+  auto city = [](std::size_t i) { return "c" + std::to_string(i); };
+  auto medicine = [](std::size_t i) { return "m" + std::to_string(i); };
+
+  // Medicine kinds are skewed: kind1, kind5 and kind7 are very common —
+  // these are the paper's demanding Doctors variants — while every kind
+  // 1..7 is guaranteed to occur (round-robin for the long tail).
+  auto medicine_kind = [&](std::size_t m) -> int {
+    const std::size_t roll = m % 10;
+    if (roll < 4) return 1;
+    if (roll < 6) return 5;
+    if (roll < 8) return 7;
+    return 2 + static_cast<int>((m / 10) % 5);  // kinds 2, 3, 4, 5, 6
+  };
+
+  for (std::size_t h = 0; h < num_hospitals; ++h) {
+    facts += "hospital(" + hospital(h) + ", " + city(h % num_cities) + ").\n";
+  }
+  const char* specialties[] = {"cardio", "neuro", "ortho", "derma"};
+  for (std::size_t d = 0; d < num_doctors; ++d) {
+    facts += "doctor(" + doctor(d) + ", " +
+             specialties[rng.UniformInt(4)] + ", " +
+             hospital(rng.UniformInt(num_hospitals)) + ").\n";
+  }
+  for (std::size_t m = 0; m < num_medicines; ++m) {
+    facts += "medicine(" + medicine(m) + ", kind" +
+             std::to_string(medicine_kind(m)) + ").\n";
+  }
+  for (std::size_t p = 0; p < num_persons; ++p) {
+    facts += "person(" + person(p) + ", " + city(rng.UniformInt(num_cities)) +
+             ").\n";
+    // Several doctors and prescriptions per person: join fan-out (this is
+    // what makes the demanding variants' provenance families large).
+    const std::size_t doctors_of_p = 2 + rng.UniformInt(6);
+    for (std::size_t k = 0; k < doctors_of_p; ++k) {
+      facts += "patientof(" + person(p) + ", " +
+               doctor(rng.UniformInt(num_doctors)) + ").\n";
+    }
+    const std::size_t prescriptions_of_p = 3 + rng.UniformInt(8);
+    for (std::size_t k = 0; k < prescriptions_of_p; ++k) {
+      facts += "prescription(" + person(p) + ", " +
+               medicine(rng.UniformInt(num_medicines)) + ").\n";
+    }
+  }
+
+  // The query: a 6-rule linear non-recursive join chain; the variant picks
+  // the medicine kind filtered at the end.
+  const std::string kind = "kind" + std::to_string(variant);
+  const std::string program = R"(
+    q0(P, D) :- patientof(P, D).
+    q1(P, D, H) :- q0(P, D), doctor(D, S, H).
+    q2(P, H, C) :- q1(P, D, H), hospital(H, C).
+    q3(P, C) :- q2(P, H, C), person(P, C).
+    q4(P, M) :- q3(P, C), prescription(P, M).
+    ans(P) :- q4(P, M), medicine(M, )" +
+                              kind + ").\n";
+  return Assemble("Doctors-" + std::to_string(variant), "D1", program, facts,
+                  "ans");
+}
+
+// --------------------------------------------------------------------
+// Galen
+// --------------------------------------------------------------------
+
+GeneratedScenario MakeGalen(std::size_t num_concepts, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string facts;
+  facts.reserve(num_concepts * 96);
+  auto concept_name = [](std::size_t i) { return "c" + std::to_string(i); };
+  const std::size_t num_roles = std::max<std::size_t>(3, num_concepts / 50);
+  auto role = [](std::size_t i) { return "r" + std::to_string(i); };
+
+  for (std::size_t c = 0; c < num_concepts; ++c) {
+    facts += "init(" + concept_name(c) + ").\n";
+    facts += "class(" + concept_name(c) + ").\n";
+  }
+  // Taxonomy backbone: each concept has 1-2 nearby superclasses among the
+  // lower-numbered concepts (a deep, narrow DAG like a real taxonomy).
+  for (std::size_t c = 1; c < num_concepts; ++c) {
+    const std::size_t supers = 1 + rng.UniformInt(2);
+    for (std::size_t k = 0; k < supers; ++k) {
+      const std::size_t span = std::min<std::size_t>(c, 8);
+      facts += "subclassof(" + concept_name(c) + ", " +
+               concept_name(c - 1 - rng.UniformInt(span)) + ").\n";
+    }
+  }
+  // Axioms are *local* in the taxonomy, as in a real modular ontology:
+  // an axiom about concept c mentions concepts within a window around c.
+  // (Uniformly random axiom arguments would couple everything to
+  // everything and make per-fact derivation spaces explode.)
+  const std::size_t window = 12;
+  auto near_concept = [&](std::size_t c) {
+    const std::size_t low = c > window ? c - window : 0;
+    const std::size_t high = std::min(num_concepts - 1, c + window);
+    return low + rng.UniformInt(high - low + 1);
+  };
+  // Conjunction definitions E = D1 and D2.
+  for (std::size_t i = 0; i < num_concepts / 4; ++i) {
+    const std::size_t e = rng.UniformInt(num_concepts);
+    facts += "conjof(" + concept_name(e) + ", " +
+             concept_name(near_concept(e)) + ", " +
+             concept_name(near_concept(e)) + ").\n";
+  }
+  // Existential axioms E <= exists R. D and exists R. D <= E.
+  for (std::size_t i = 0; i < num_concepts / 3; ++i) {
+    const std::size_t e = rng.UniformInt(num_concepts);
+    facts += "subclassexists(" + concept_name(e) + ", " +
+             role(rng.UniformInt(num_roles)) + ", " +
+             concept_name(near_concept(e)) + ").\n";
+  }
+  for (std::size_t i = 0; i < num_concepts / 4; ++i) {
+    const std::size_t e = rng.UniformInt(num_concepts);
+    facts += "existssubclass(" + role(rng.UniformInt(num_roles)) + ", " +
+             concept_name(e) + ", " + concept_name(near_concept(e)) + ").\n";
+  }
+  // Role hierarchy and composition.
+  for (std::size_t r = 1; r < num_roles; ++r) {
+    facts += "subroleof(" + role(r) + ", " + role(rng.UniformInt(r)) + ").\n";
+  }
+  for (std::size_t i = 0; i < num_roles; ++i) {
+    facts += "rolecomp(" + role(rng.UniformInt(num_roles)) + ", " +
+             role(rng.UniformInt(num_roles)) + ", " +
+             role(rng.UniformInt(num_roles)) + ").\n";
+  }
+
+  // Disjointness axioms (rare), for the bottom-propagation rule.
+  for (std::size_t i = 0; i < num_concepts / 20 + 1; ++i) {
+    facts += "disjoint(" + concept_name(rng.UniformInt(num_concepts)) + ", " +
+             concept_name(rng.UniformInt(num_concepts)) + ").\n";
+  }
+
+  // A 14-rule EL completion calculus in the style of ELK: subsumptions
+  // s(C, D) and role links link(C, R, D). Like ELK (and unlike a naive
+  // calculus), there is no generic transitivity rule — subsumptions only
+  // compose through told axioms, which keeps the derivation space of each
+  // fact axiom-bounded.
+  const char* program = R"(
+    s(C, C) :- init(C).
+    s(C, thing) :- init(C).
+    s(C, E) :- s(C, D), subclassof(D, E).
+    s(C, D1) :- s(C, E), conjof(E, D1, D2).
+    s(C, D2) :- s(C, E), conjof(E, D1, D2).
+    s(C, E) :- s(C, D1), s(C, D2), conjof(E, D1, D2).
+    link(C, R, D) :- s(C, E), subclassexists(E, R, D).
+    link(C, S, D) :- link(C, R, D), subroleof(R, S).
+    link(C, T, E) :- link(C, R, D), link(D, S, E), rolecomp(R, S, T).
+    s(C, E) :- link(C, R, D), existssubclass(R, D, E).
+    s(C, E) :- link(C, R, D), s(D, D2), existssubclass(R, D2, E).
+    s(C, bottom) :- s(C, D), disjoint(D, E), s(C, E).
+    unsat(C) :- s(C, bottom), init(C).
+    subsumed(C, D) :- s(C, D), init(C), class(D).
+  )";
+  return Assemble("Galen", "D(" + std::to_string(num_concepts) + " concepts)",
+                  program, facts, "subsumed");
+}
+
+// --------------------------------------------------------------------
+// Andersen
+// --------------------------------------------------------------------
+
+GeneratedScenario MakeAndersen(std::size_t num_statements,
+                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto var = [](std::size_t i) { return "v" + std::to_string(i); };
+  auto obj = [](std::size_t i) { return "o" + std::to_string(i); };
+
+  std::string facts;
+  facts.reserve(num_statements * 24);
+  // SSA-style program: statement i defines variable v_i (at most once),
+  // and statements are grouped into "functions" of 16 with occasional
+  // parameter-passing copies from the previous function. This is the
+  // scoped, single-assignment structure of real compiled code -- it keeps
+  // points-to sets small and gives each points-to fact a handful of
+  // derivations, instead of the quadratic ambiguity random wiring causes.
+  const std::size_t block = 16;
+  auto nearby = [&](std::size_t i) {
+    const std::size_t block_start = (i / block) * block;
+    const std::size_t span = i - block_start;
+    if (span == 0) return i;
+    return i - 1 - rng.UniformInt(span);
+  };
+  for (std::size_t i = 0; i < num_statements; ++i) {
+    const double roll = rng.UniformDouble();
+    if (roll < 0.10 || i % block == 0) {
+      // v_i = &o_i: each allocation site is distinct, as in a real program.
+      facts += "addressof(" + var(i) + ", " + obj(i) + ").\n";
+    } else if (roll < 0.42 && i >= block) {
+      // Parameter passing: copy from a variable of the previous function.
+      facts += "assign(" + var(i) + ", " +
+               var(i - block - rng.UniformInt(block)) + ").\n";
+    } else if (roll < 0.94) {
+      // v_i = v_j with v_j defined earlier in the same function; with some
+      // probability the variable has a second reaching definition (a
+      // control-flow join, i.e. a phi node), which is where genuine
+      // provenance ambiguity comes from in real code.
+      facts += "assign(" + var(i) + ", " + var(nearby(i)) + ").\n";
+      if (rng.Bernoulli(0.35)) {
+        facts += "assign(" + var(i) + ", " + var(nearby(i)) + ").\n";
+      }
+    } else if (roll < 0.97) {
+      // v_i = *v_j
+      facts += "load(" + var(i) + ", " + var(nearby(i)) + ").\n";
+    } else {
+      // *v_j = v_k: a side effect between two locals (no definition).
+      facts += "store(" + var(nearby(i)) + ", " + var(nearby(i)) + ").\n";
+    }
+  }
+
+  // The classical 4-rule inclusion-based ("Andersen") points-to analysis.
+  const char* program = R"(
+    pointsto(Y, X) :- addressof(Y, X).
+    pointsto(Y, X) :- assign(Y, Z), pointsto(Z, X).
+    pointsto(Y, W) :- load(Y, X), pointsto(X, Z), pointsto(Z, W).
+    pointsto(Z, W) :- store(Y, X), pointsto(Y, Z), pointsto(X, W).
+  )";
+  return Assemble("Andersen",
+                  "D(" + std::to_string(num_statements) + " stmts)", program,
+                  facts, "pointsto");
+}
+
+// --------------------------------------------------------------------
+// CSDA
+// --------------------------------------------------------------------
+
+GeneratedScenario MakeCsda(const std::string& system_name,
+                           std::size_t num_edges, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t num_points = std::max<std::size_t>(8, num_edges / 2);
+  auto point = [](std::size_t i) { return "pp" + std::to_string(i); };
+
+  std::string facts;
+  facts.reserve(num_edges * 20);
+  // A mostly-forward, *local* control-flow graph (programs flow downward
+  // through nearby statements; loops add a few short back edges), with a
+  // handful of null-producing statements.
+  const std::size_t window = 32;
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const std::size_t u = rng.UniformInt(num_points);
+    std::size_t v = u + 1 + rng.UniformInt(window);
+    if (v >= num_points) v = num_points - 1;
+    if (rng.Bernoulli(0.03) && u > 0) {
+      // Loop back edge.
+      facts += "flow(" + point(u) + ", " +
+               point(u - 1 - rng.UniformInt(std::min(u, window))) + ").\n";
+    }
+    if (u != v) facts += "flow(" + point(u) + ", " + point(v) + ").\n";
+  }
+  const std::size_t num_sources =
+      std::max<std::size_t>(1, num_points / 100);
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    facts += "nullsrc(" + point(rng.UniformInt(num_points)) + ").\n";
+  }
+
+  const char* program = R"(
+    null(X) :- nullsrc(X).
+    null(Y) :- null(X), flow(X, Y).
+  )";
+  return Assemble("CSDA", "D" + system_name, program, facts, "null");
+}
+
+}  // namespace whyprov::scenarios

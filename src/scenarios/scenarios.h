@@ -1,0 +1,77 @@
+#ifndef WHYPROV_SCENARIOS_SCENARIOS_H_
+#define WHYPROV_SCENARIOS_SCENARIOS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datalog/database.h"
+#include "datalog/program.h"
+#include "provenance/why_provenance.h"
+
+namespace whyprov::scenarios {
+
+/// One generated experimental scenario instance: a query, a database, and
+/// bookkeeping names matching the paper's Table 1.
+struct GeneratedScenario {
+  std::string scenario_name;   ///< e.g. "Andersen"
+  std::string database_name;   ///< e.g. "D3"
+  std::string query_type;      ///< e.g. "non-linear, recursive" (Table 1)
+  std::size_t num_rules = 0;   ///< rule count (Table 1)
+  std::shared_ptr<datalog::SymbolTable> symbols;
+  datalog::Program program;
+  datalog::Database database;
+  std::string answer_predicate;
+
+  /// Builds the evaluation pipeline for this instance (evaluates eagerly).
+  provenance::WhyProvenancePipeline MakePipeline() const;
+};
+
+// --------------------------------------------------------------------
+// The five scenario families of Table 1. The paper's real datasets
+// (Bitcoin, Facebook, Galen, the data-exchange Doctors database, program
+// encodings for Andersen, and httpd/PostgreSQL/Linux dataflow graphs) are
+// not available offline; each generator below synthesises a database with
+// the same structural character at a configurable scale (see DESIGN.md,
+// "Substitutions").
+// --------------------------------------------------------------------
+
+/// TransClosure: transitive closure of a graph (linear, recursive,
+/// 2 rules). `kSparse` mimics the Bitcoin transaction graph (low degree,
+/// mostly tree-like); `kSocial` mimics the Facebook social-circles graph
+/// (dense clusters, high connectivity — the hard case for phi_acyclic).
+enum class GraphKind { kSparse, kSocial };
+GeneratedScenario MakeTransClosure(GraphKind kind, std::size_t num_nodes,
+                                   std::size_t num_edges, std::uint64_t seed);
+
+/// Doctors-i (i in 1..7): data-exchange-style queries over a hospital
+/// schema (linear, non-recursive, 6 rules each). All variants share one
+/// database of `num_persons`-scaled size; the variant controls the join
+/// chain the query performs (variants 1, 5, 7 are the demanding ones, as
+/// in the paper's Figure 5).
+GeneratedScenario MakeDoctors(int variant, std::size_t num_persons,
+                              std::uint64_t seed);
+
+/// Galen: an EL-ontology completion calculus in the style of ELK
+/// (non-linear, recursive, 14 rules) over a synthetic ontology with
+/// `num_concepts` concept names.
+GeneratedScenario MakeGalen(std::size_t num_concepts, std::uint64_t seed);
+
+/// Andersen: the classical inclusion-based points-to analysis
+/// (non-linear, recursive, 4 rules) over a synthetic program with
+/// `num_statements` pointer statements.
+GeneratedScenario MakeAndersen(std::size_t num_statements,
+                               std::uint64_t seed);
+
+/// CSDA: context-sensitive dataflow analysis for null references
+/// (linear, recursive, 2 rules) over a synthetic procedure graph with
+/// `num_edges` dataflow edges. `system_name` labels the database (the
+/// paper uses httpd / postgresql / linux).
+GeneratedScenario MakeCsda(const std::string& system_name,
+                           std::size_t num_edges, std::uint64_t seed);
+
+}  // namespace whyprov::scenarios
+
+#endif  // WHYPROV_SCENARIOS_SCENARIOS_H_

@@ -1,0 +1,51 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace whyprov::util {
+
+namespace {
+
+// Linear-interpolation quantile on a sorted vector.
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary SampleSet::Summarize() const {
+  Summary s;
+  s.count = samples_.size();
+  if (samples_.empty()) return s;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = Quantile(sorted, 0.25);
+  s.median = Quantile(sorted, 0.50);
+  s.q3 = Quantile(sorted, 0.75);
+  s.total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  s.mean = s.total / static_cast<double>(s.count);
+  return s;
+}
+
+std::string FormatSummaryRow(const std::string& label, const Summary& summary,
+                             const std::string& unit) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%-28s n=%-7zu min=%-10.4g q1=%-10.4g med=%-10.4g "
+                "q3=%-10.4g max=%-10.4g %s",
+                label.c_str(), summary.count, summary.min, summary.q1,
+                summary.median, summary.q3, summary.max, unit.c_str());
+  return std::string(buffer);
+}
+
+}  // namespace whyprov::util

@@ -1,0 +1,49 @@
+#ifndef WHYPROV_UTIL_STATS_H_
+#define WHYPROV_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace whyprov::util {
+
+/// Five-number summary (min, first quartile, median, third quartile, max)
+/// plus mean and count — the statistics behind the paper's box plots
+/// (Figures 2 and 4).
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+  double total = 0;
+};
+
+/// Collects samples and produces a `Summary`.
+class SampleSet {
+ public:
+  /// Adds one sample.
+  void Add(double value) { samples_.push_back(value); }
+
+  /// Number of samples collected so far.
+  std::size_t size() const { return samples_.size(); }
+
+  /// Computes the five-number summary. Sorts an internal copy; O(n log n).
+  Summary Summarize() const;
+
+  /// Read-only access to the raw samples.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Renders a summary as a fixed-width table row, e.g. for bench output.
+std::string FormatSummaryRow(const std::string& label, const Summary& summary,
+                             const std::string& unit);
+
+}  // namespace whyprov::util
+
+#endif  // WHYPROV_UTIL_STATS_H_

@@ -1,0 +1,4 @@
+#include "util/status.h"
+
+// Status and Result are header-only; this translation unit anchors the
+// library target.

@@ -1,0 +1,87 @@
+#ifndef WHYPROV_UTIL_STATUS_H_
+#define WHYPROV_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace whyprov::util {
+
+/// Lightweight error-handling primitive (the project builds without
+/// exceptions in its public API). A `Status` is either OK or carries a
+/// human-readable error message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Returns an OK status.
+  static Status Ok() { return Status(); }
+
+  /// Returns an error status carrying `message`.
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return !message_.has_value(); }
+
+  /// The error message; empty string when OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_.has_value() ? *message_ : kEmpty;
+  }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+/// A value-or-error wrapper: either holds a `T` or an error `Status`.
+/// Use `ok()` to discriminate; accessing `value()` on an error aborts in
+/// debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit to allow `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result (implicit to allow `return status;`).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The carried status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accesses the value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Moves the value out. Requires `ok()`.
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Accesses the value. Requires `ok()`.
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace whyprov::util
+
+#endif  // WHYPROV_UTIL_STATUS_H_

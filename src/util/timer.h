@@ -1,0 +1,36 @@
+#ifndef WHYPROV_UTIL_TIMER_H_
+#define WHYPROV_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace whyprov::util {
+
+/// A monotonic wall-clock stopwatch used by the benchmark harness and the
+/// enumeration-delay instrumentation.
+class Timer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace whyprov::util
+
+#endif  // WHYPROV_UTIL_TIMER_H_

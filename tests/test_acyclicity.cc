@@ -1,0 +1,170 @@
+// Tests for the two CNF acyclicity encodings: both must accept exactly the
+// acyclic arc selections.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "provenance/acyclicity.h"
+#include "sat/solver.h"
+#include "util/rng.h"
+
+namespace whyprov::provenance {
+namespace {
+
+struct Skeleton {
+  int num_nodes = 0;
+  std::vector<std::pair<int, int>> arcs;
+};
+
+/// Checks whether the arc subset selected by `mask` is acyclic (DFS).
+bool SelectionIsAcyclic(const Skeleton& skeleton, std::uint32_t mask) {
+  std::vector<std::vector<int>> adj(skeleton.num_nodes);
+  for (std::size_t i = 0; i < skeleton.arcs.size(); ++i) {
+    if (mask & (1u << i)) {
+      adj[skeleton.arcs[i].first].push_back(skeleton.arcs[i].second);
+    }
+  }
+  enum : char { kWhite, kGrey, kBlack };
+  std::vector<char> colour(skeleton.num_nodes, kWhite);
+  bool acyclic = true;
+  auto dfs = [&](auto&& self, int v) -> void {
+    colour[v] = kGrey;
+    for (int w : adj[v]) {
+      if (colour[w] == kGrey) acyclic = false;
+      if (!acyclic) return;
+      if (colour[w] == kWhite) self(self, w);
+    }
+    colour[v] = kBlack;
+  };
+  for (int v = 0; v < skeleton.num_nodes && acyclic; ++v) {
+    if (colour[v] == kWhite) dfs(dfs, v);
+  }
+  return acyclic;
+}
+
+/// For every subset of skeleton arcs, the encoding (with arcs forced via
+/// assumptions) must be satisfiable iff the subset is acyclic.
+void CheckEncodingComplete(AcyclicityEncoding kind,
+                           const Skeleton& skeleton) {
+  ASSERT_LE(skeleton.arcs.size(), 16u);
+  sat::Solver solver;
+  std::vector<Arc> arcs;
+  for (const auto& [from, to] : skeleton.arcs) {
+    const sat::Var v = solver.NewVar();
+    arcs.push_back(Arc{from, to, sat::Lit::Make(v, false)});
+  }
+  EncodeAcyclicity(kind, skeleton.num_nodes, arcs, solver);
+  for (std::uint32_t mask = 0; mask < (1u << skeleton.arcs.size()); ++mask) {
+    std::vector<sat::Lit> assumptions;
+    for (std::size_t i = 0; i < skeleton.arcs.size(); ++i) {
+      assumptions.push_back(sat::Lit::Make(arcs[i].lit.var(),
+                                           /*negated=*/!(mask & (1u << i))));
+    }
+    const bool expected = SelectionIsAcyclic(skeleton, mask);
+    const bool actual = solver.Solve(assumptions) == sat::SolveResult::kSat;
+    ASSERT_EQ(actual, expected)
+        << AcyclicityEncodingName(kind) << " mask=" << mask;
+  }
+}
+
+class AcyclicityTest : public ::testing::TestWithParam<AcyclicityEncoding> {};
+
+TEST_P(AcyclicityTest, TriangleAllSubsets) {
+  Skeleton s;
+  s.num_nodes = 3;
+  s.arcs = {{0, 1}, {1, 2}, {2, 0}, {1, 0}};
+  CheckEncodingComplete(GetParam(), s);
+}
+
+TEST_P(AcyclicityTest, SelfLoopIsAlwaysCyclic) {
+  Skeleton s;
+  s.num_nodes = 2;
+  s.arcs = {{0, 0}, {0, 1}};
+  CheckEncodingComplete(GetParam(), s);
+}
+
+TEST_P(AcyclicityTest, TwoCycleAndChord) {
+  Skeleton s;
+  s.num_nodes = 4;
+  s.arcs = {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 1}, {0, 3}};
+  CheckEncodingComplete(GetParam(), s);
+}
+
+TEST_P(AcyclicityTest, ParallelArcsAreMerged) {
+  // Two arc variables on the same ordered pair plus a back arc.
+  sat::Solver solver;
+  const sat::Var z1 = solver.NewVar();
+  const sat::Var z2 = solver.NewVar();
+  const sat::Var back = solver.NewVar();
+  std::vector<Arc> arcs = {
+      Arc{0, 1, sat::Lit::Make(z1, false)},
+      Arc{0, 1, sat::Lit::Make(z2, false)},
+      Arc{1, 0, sat::Lit::Make(back, false)},
+  };
+  EncodeAcyclicity(GetParam(), 2, arcs, solver);
+  // Selecting the second parallel arc plus the back arc is a cycle.
+  EXPECT_EQ(solver.Solve({sat::Lit::Make(z1, true),
+                          sat::Lit::Make(z2, false),
+                          sat::Lit::Make(back, false)}),
+            sat::SolveResult::kUnsat);
+  // Either direction alone is fine.
+  EXPECT_EQ(solver.Solve({sat::Lit::Make(z2, false),
+                          sat::Lit::Make(back, true)}),
+            sat::SolveResult::kSat);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothEncodings, AcyclicityTest,
+    ::testing::Values(AcyclicityEncoding::kTransitiveClosure,
+                      AcyclicityEncoding::kVertexElimination),
+    [](const ::testing::TestParamInfo<AcyclicityEncoding>& info) {
+      return info.param == AcyclicityEncoding::kTransitiveClosure
+                 ? "TransitiveClosure"
+                 : "VertexElimination";
+    });
+
+// Property test: on random skeletons both encodings agree with the DFS
+// ground truth for every arc subset.
+class RandomSkeletonTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSkeletonTest, BothEncodingsMatchGroundTruth) {
+  util::Rng rng(0xacdc + GetParam());
+  Skeleton s;
+  s.num_nodes = 5;
+  const int num_arcs = 8;
+  for (int i = 0; i < num_arcs; ++i) {
+    const int from = static_cast<int>(rng.UniformInt(s.num_nodes));
+    const int to = static_cast<int>(rng.UniformInt(s.num_nodes));
+    s.arcs.emplace_back(from, to);
+  }
+  CheckEncodingComplete(AcyclicityEncoding::kTransitiveClosure, s);
+  CheckEncodingComplete(AcyclicityEncoding::kVertexElimination, s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSkeletonTest, ::testing::Range(0, 10));
+
+TEST(AcyclicityStatsTest, VertexEliminationUsesFewerVariablesOnSparseGraphs) {
+  // A long path: transitive closure needs O(n^2) variables, vertex
+  // elimination O(n).
+  const int n = 40;
+  Skeleton s;
+  s.num_nodes = n;
+  for (int i = 0; i + 1 < n; ++i) s.arcs.emplace_back(i, i + 1);
+
+  auto encode = [&](AcyclicityEncoding kind) {
+    sat::Solver solver;
+    std::vector<Arc> arcs;
+    for (const auto& [from, to] : s.arcs) {
+      arcs.push_back(Arc{from, to, sat::Lit::Make(solver.NewVar(), false)});
+    }
+    return EncodeAcyclicity(kind, n, arcs, solver);
+  };
+  const AcyclicityStats tc = encode(AcyclicityEncoding::kTransitiveClosure);
+  const AcyclicityStats ve = encode(AcyclicityEncoding::kVertexElimination);
+  EXPECT_LT(ve.auxiliary_variables * 10, tc.auxiliary_variables)
+      << "vertex elimination should be far cheaper on a path";
+}
+
+}  // namespace
+}  // namespace whyprov::provenance

@@ -1,0 +1,112 @@
+// Unit tests for terms, atoms, facts, rules, and the symbol table.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datalog/ast.h"
+#include "datalog/symbol_table.h"
+
+namespace whyprov::datalog {
+namespace {
+
+TEST(SymbolTableTest, ConstantsInternToStableIds) {
+  SymbolTable table;
+  const SymbolId a = table.InternConstant("a");
+  const SymbolId b = table.InternConstant("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.InternConstant("a"), a);
+  EXPECT_EQ(table.ConstantName(a), "a");
+  EXPECT_EQ(table.ConstantName(b), "b");
+  EXPECT_EQ(table.NumConstants(), 2u);
+}
+
+TEST(SymbolTableTest, PredicateArityIsEnforced) {
+  SymbolTable table;
+  auto edge = table.RegisterPredicate("edge", 2);
+  ASSERT_TRUE(edge.ok());
+  auto again = table.RegisterPredicate("edge", 2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(edge.value(), again.value());
+  auto clash = table.RegisterPredicate("edge", 3);
+  EXPECT_FALSE(clash.ok());
+  EXPECT_NE(clash.status().message().find("arity"), std::string::npos);
+}
+
+TEST(SymbolTableTest, FindPredicate) {
+  SymbolTable table;
+  EXPECT_FALSE(table.FindPredicate("nope").ok());
+  auto p = table.RegisterPredicate("p", 1);
+  ASSERT_TRUE(p.ok());
+  auto found = table.FindPredicate("p");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), p.value());
+}
+
+TEST(TermTest, ConstantAndVariableAreDistinct) {
+  const Term c = Term::Constant(5);
+  const Term v = Term::Variable(5);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_FALSE(c.is_variable());
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_EQ(c.constant(), 5u);
+  EXPECT_EQ(v.variable(), 5u);
+  EXPECT_NE(c, v);
+  EXPECT_EQ(c, Term::Constant(5));
+}
+
+TEST(FactTest, EqualityAndOrdering) {
+  const Fact f1{0, {1, 2}};
+  const Fact f2{0, {1, 2}};
+  const Fact f3{0, {2, 1}};
+  const Fact f4{1, {0, 0}};
+  EXPECT_EQ(f1, f2);
+  EXPECT_FALSE(f1 == f3);
+  EXPECT_LT(f1, f3);
+  EXPECT_LT(f3, f4);
+  EXPECT_EQ(FactHash{}(f1), FactHash{}(f2));
+}
+
+TEST(RuleTest, SafetyRejectsHeadOnlyVariables) {
+  SymbolTable table;
+  const PredicateId p = table.RegisterPredicate("p", 1).value();
+  const PredicateId q = table.RegisterPredicate("q", 1).value();
+  Rule rule;
+  rule.head = Atom{p, {Term::Variable(0)}};
+  rule.body = {Atom{q, {Term::Variable(1)}}};
+  rule.num_variables = 2;
+  rule.variable_names = {"X", "Y"};
+  EXPECT_FALSE(rule.CheckSafety().ok());
+  rule.body.push_back(Atom{q, {Term::Variable(0)}});
+  EXPECT_TRUE(rule.CheckSafety().ok());
+}
+
+TEST(RuleTest, SafetyRejectsEmptyBody) {
+  SymbolTable table;
+  const PredicateId p = table.RegisterPredicate("p", 0).value();
+  Rule rule;
+  rule.head = Atom{p, {}};
+  EXPECT_FALSE(rule.CheckSafety().ok());
+}
+
+TEST(PrintingTest, FactAndRuleRendering) {
+  auto table = std::make_shared<SymbolTable>();
+  const PredicateId edge = table->RegisterPredicate("edge", 2).value();
+  const PredicateId path = table->RegisterPredicate("path", 2).value();
+  const SymbolId a = table->InternConstant("a");
+  const SymbolId b = table->InternConstant("b");
+
+  EXPECT_EQ(FactToString(Fact{edge, {a, b}}, *table), "edge(a, b)");
+
+  Rule rule;
+  rule.head = Atom{path, {Term::Variable(0), Term::Variable(1)}};
+  rule.body = {Atom{edge, {Term::Variable(0), Term::Variable(2)}},
+               Atom{path, {Term::Variable(2), Term::Variable(1)}}};
+  rule.num_variables = 3;
+  rule.variable_names = {"X", "Y", "Z"};
+  EXPECT_EQ(RuleToString(rule, *table),
+            "path(X, Y) :- edge(X, Z), path(Z, Y).");
+}
+
+}  // namespace
+}  // namespace whyprov::datalog

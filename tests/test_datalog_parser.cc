@@ -1,0 +1,140 @@
+// Unit tests for the Datalog parser.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace whyprov::datalog {
+namespace {
+
+std::shared_ptr<SymbolTable> Table() {
+  return std::make_shared<SymbolTable>();
+}
+
+TEST(ParserTest, ParsesFactsAndRulesMixed) {
+  auto symbols = Table();
+  auto unit = Parser::ParseUnit(symbols, R"(
+    % transitive closure
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    edge(a, b).
+    edge(b, c).
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status().message();
+  EXPECT_EQ(unit.value().rules.size(), 2u);
+  EXPECT_EQ(unit.value().facts.size(), 2u);
+}
+
+TEST(ParserTest, VariableConventionUppercaseAndUnderscore) {
+  auto symbols = Table();
+  auto unit = Parser::ParseUnit(symbols, "p(X) :- q(X, _), r(lower).");
+  ASSERT_TRUE(unit.ok()) << unit.status().message();
+  const Rule& rule = unit.value().rules[0];
+  EXPECT_TRUE(rule.body[0].terms[0].is_variable());
+  EXPECT_TRUE(rule.body[0].terms[1].is_variable());
+  EXPECT_TRUE(rule.body[1].terms[0].is_constant());
+}
+
+TEST(ParserTest, AnonymousVariablesAreFreshPerOccurrence) {
+  auto symbols = Table();
+  auto unit = Parser::ParseUnit(symbols, "p(X) :- q(X, _, _).");
+  ASSERT_TRUE(unit.ok()) << unit.status().message();
+  const Rule& rule = unit.value().rules[0];
+  EXPECT_EQ(rule.num_variables, 3u);
+  EXPECT_NE(rule.body[0].terms[1], rule.body[0].terms[2]);
+}
+
+TEST(ParserTest, NumbersAndQuotedStringsAreConstants) {
+  auto symbols = Table();
+  auto unit = Parser::ParseUnit(symbols, R"(p(1, "two words", 'x').)");
+  ASSERT_TRUE(unit.ok()) << unit.status().message();
+  const Fact& fact = unit.value().facts[0];
+  EXPECT_EQ(symbols->ConstantName(fact.args[0]), "1");
+  EXPECT_EQ(symbols->ConstantName(fact.args[1]), "two words");
+  EXPECT_EQ(symbols->ConstantName(fact.args[2]), "x");
+}
+
+TEST(ParserTest, ZeroAryAtoms) {
+  auto symbols = Table();
+  auto unit = Parser::ParseUnit(symbols, "goal :- start. start.");
+  ASSERT_TRUE(unit.ok()) << unit.status().message();
+  EXPECT_EQ(unit.value().rules.size(), 1u);
+  EXPECT_EQ(unit.value().facts.size(), 1u);
+  EXPECT_TRUE(unit.value().rules[0].head.terms.empty());
+}
+
+TEST(ParserTest, RejectsVariableInFact) {
+  auto symbols = Table();
+  auto unit = Parser::ParseUnit(symbols, "edge(X, b).");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("variable"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsUnsafeRule) {
+  auto symbols = Table();
+  auto unit = Parser::ParseUnit(symbols, "p(X, Y) :- q(X).");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("unsafe"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsArityMismatch) {
+  auto symbols = Table();
+  auto unit = Parser::ParseUnit(symbols, "p(a). p(a, b).");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("arity"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsErrorPosition) {
+  auto symbols = Table();
+  auto unit = Parser::ParseUnit(symbols, "p(a).\nq(b) :- .");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("2:"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMissingDot) {
+  auto symbols = Table();
+  EXPECT_FALSE(Parser::ParseUnit(symbols, "p(a)").ok());
+}
+
+TEST(ParserTest, RejectsUnterminatedString) {
+  auto symbols = Table();
+  EXPECT_FALSE(Parser::ParseUnit(symbols, "p(\"oops).").ok());
+}
+
+TEST(ParserTest, ParseProgramRejectsFacts) {
+  auto symbols = Table();
+  EXPECT_FALSE(Parser::ParseProgram(symbols, "p(a).").ok());
+  auto program = Parser::ParseProgram(symbols, "p(X) :- q(X).");
+  ASSERT_TRUE(program.ok()) << program.status().message();
+  EXPECT_EQ(program.value().rules().size(), 1u);
+}
+
+TEST(ParserTest, ParseDatabaseRejectsRules) {
+  auto symbols = Table();
+  EXPECT_FALSE(Parser::ParseDatabase(symbols, "p(X) :- q(X).").ok());
+  auto db = Parser::ParseDatabase(symbols, "q(a). q(b). q(a).");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().size(), 2u);  // duplicates collapse
+}
+
+TEST(ParserTest, ParseSingleFact) {
+  auto symbols = Table();
+  auto fact = Parser::ParseFact(symbols, "edge(a, b)");
+  ASSERT_TRUE(fact.ok()) << fact.status().message();
+  EXPECT_EQ(FactToString(fact.value(), *symbols), "edge(a, b)");
+}
+
+TEST(ParserTest, ConstantsInRulesAreAllowed) {
+  // The paper's hardness reductions use constants inside rules.
+  auto symbols = Table();
+  auto unit = Parser::ParseUnit(symbols, "marked(X) :- nextc(X, 0, 1).");
+  ASSERT_TRUE(unit.ok()) << unit.status().message();
+  const Rule& rule = unit.value().rules[0];
+  EXPECT_TRUE(rule.body[0].terms[1].is_constant());
+  EXPECT_TRUE(rule.body[0].terms[2].is_constant());
+}
+
+}  // namespace
+}  // namespace whyprov::datalog

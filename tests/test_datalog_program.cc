@@ -1,0 +1,144 @@
+// Tests for program analysis: edb/idb schemas, classification, strata.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/program.h"
+
+namespace whyprov::datalog {
+namespace {
+
+Program Parse(const std::shared_ptr<SymbolTable>& symbols,
+              const char* text) {
+  auto program = Parser::ParseProgram(symbols, text);
+  EXPECT_TRUE(program.ok()) << program.status().message();
+  return std::move(program).value();
+}
+
+TEST(ProgramTest, ExtensionalAndIntensionalSchemas) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = Parse(symbols, R"(
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )");
+  const PredicateId edge = symbols->FindPredicate("edge").value();
+  const PredicateId path = symbols->FindPredicate("path").value();
+  EXPECT_TRUE(program.IsExtensional(edge));
+  EXPECT_FALSE(program.IsIntensional(edge));
+  EXPECT_TRUE(program.IsIntensional(path));
+  EXPECT_FALSE(program.IsExtensional(path));
+  EXPECT_EQ(program.ExtensionalPredicates(),
+            std::vector<PredicateId>{edge});
+  EXPECT_EQ(program.IntensionalPredicates(),
+            std::vector<PredicateId>{path});
+}
+
+TEST(ProgramTest, LinearRecursiveClassification) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = Parse(symbols, R"(
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )");
+  EXPECT_TRUE(program.IsRecursive());
+  EXPECT_TRUE(program.IsLinear());
+  EXPECT_EQ(program.Classification(), ProgramClass::kLinearRecursive);
+}
+
+TEST(ProgramTest, NonLinearRecursiveClassification) {
+  // The paper's running example: path accessibility (Cook 1974).
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = Parse(symbols, R"(
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+  )");
+  EXPECT_TRUE(program.IsRecursive());
+  EXPECT_FALSE(program.IsLinear());
+  EXPECT_EQ(program.Classification(), ProgramClass::kNonLinearRecursive);
+}
+
+TEST(ProgramTest, NonRecursiveClassification) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = Parse(symbols, R"(
+    q(X) :- r(X, Y), s(Y).
+    top(X) :- q(X), r(X, X).
+  )");
+  EXPECT_FALSE(program.IsRecursive());
+  EXPECT_EQ(program.Classification(), ProgramClass::kNonRecursive);
+}
+
+TEST(ProgramTest, MutualRecursionIsDetected) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = Parse(symbols, R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+  )");
+  EXPECT_TRUE(program.IsRecursive());
+  EXPECT_TRUE(program.IsLinear());
+}
+
+TEST(ProgramTest, LinearityCountsOnlyIntensionalBodyAtoms) {
+  // Two extensional body atoms do not break linearity.
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = Parse(symbols, R"(
+    p(X) :- e1(X, Y), e2(Y, Z), p(Z).
+    p(X) :- e1(X, X).
+  )");
+  EXPECT_TRUE(program.IsLinear());
+  EXPECT_TRUE(program.IsRecursive());
+}
+
+TEST(ProgramTest, StratumOrderPutsDependenciesFirst) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = Parse(symbols, R"(
+    b(X) :- e(X).
+    c(X) :- b(X).
+    d(X) :- c(X), b(X).
+  )");
+  const auto& order = program.StratumOrder();
+  auto position = [&](const char* name) {
+    const PredicateId p = symbols->FindPredicate(name).value();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == p) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(position("e"), position("b"));
+  EXPECT_LT(position("b"), position("c"));
+  EXPECT_LT(position("c"), position("d"));
+}
+
+TEST(ProgramTest, RulesForHeadIndex) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = Parse(symbols, R"(
+    p(X) :- q(X).
+    p(X) :- r(X).
+    s(X) :- p(X).
+  )");
+  const PredicateId p = symbols->FindPredicate("p").value();
+  const PredicateId q = symbols->FindPredicate("q").value();
+  EXPECT_EQ(program.RulesForHead(p).size(), 2u);
+  EXPECT_TRUE(program.RulesForHead(q).empty());
+}
+
+TEST(ProgramTest, MaxBodySize) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = Parse(symbols, R"(
+    p(X) :- a(X), b(X), c(X).
+    q(X) :- a(X).
+  )");
+  EXPECT_EQ(program.MaxBodySize(), 3u);
+}
+
+TEST(ProgramTest, ProgramClassNames) {
+  EXPECT_EQ(ProgramClassName(ProgramClass::kNonRecursive), "non-recursive");
+  EXPECT_EQ(ProgramClassName(ProgramClass::kLinearRecursive),
+            "linear, recursive");
+  EXPECT_EQ(ProgramClassName(ProgramClass::kNonLinearRecursive),
+            "non-linear, recursive");
+}
+
+}  // namespace
+}  // namespace whyprov::datalog

@@ -1,0 +1,120 @@
+// Tests for the downward closure (the hypergraph of relevant rule
+// instances, Definition 42 and gri restriction).
+
+#include <gtest/gtest.h>
+
+#include "provenance/downward_closure.h"
+#include "tests/workspace.h"
+
+namespace whyprov::provenance {
+namespace {
+
+using whyprov::testing::MakeWorkspace;
+using whyprov::testing::Workspace;
+namespace dl = whyprov::datalog;
+
+TEST(DownwardClosureTest, ChainClosureContainsOnlyRelevantFacts) {
+  Workspace w = MakeWorkspace(R"(
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )",
+                              "edge(a, b). edge(b, c). edge(x, y).");
+  const dl::Model model = dl::Evaluator::Evaluate(w.program, w.database);
+  const dl::FactId target = *model.Find(w.ParseFact("path(a, c)"));
+  const DownwardClosure closure =
+      DownwardClosure::Build(w.program, model, target);
+  ASSERT_TRUE(closure.derivable());
+  EXPECT_EQ(closure.target(), target);
+  // Relevant: path(a,c), edge(a,b), path(b,c), edge(b,c). Irrelevant:
+  // anything involving x, y.
+  EXPECT_EQ(closure.nodes().size(), 4u);
+  EXPECT_FALSE(closure.ContainsNode(*model.Find(w.ParseFact("edge(x, y)"))));
+  // Two hyperedges: path(a,c) <- {edge(a,b), path(b,c)} and
+  // path(b,c) <- {edge(b,c)}.
+  EXPECT_EQ(closure.edges().size(), 2u);
+  // Database leaves: the two relevant edges.
+  EXPECT_EQ(closure.DatabaseLeaves().size(), 2u);
+}
+
+TEST(DownwardClosureTest, UnderivableTargetYieldsEmptyClosure) {
+  Workspace w = MakeWorkspace("p(X) :- e(X).", "e(a).");
+  const dl::Model model = dl::Evaluator::Evaluate(w.program, w.database);
+  const DownwardClosure closure =
+      DownwardClosure::Build(w.program, model, dl::kInvalidFact);
+  EXPECT_FALSE(closure.derivable());
+  EXPECT_TRUE(closure.nodes().empty());
+  EXPECT_TRUE(closure.edges().empty());
+}
+
+TEST(DownwardClosureTest, PaperExampleClosureStructure) {
+  Workspace w = MakeWorkspace(R"(
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+  )",
+                              R"(
+    s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a).
+  )");
+  const dl::Model model = dl::Evaluator::Evaluate(w.program, w.database);
+  const dl::FactId target = *model.Find(w.ParseFact("a(d)"));
+  const DownwardClosure closure =
+      DownwardClosure::Build(w.program, model, target);
+  ASSERT_TRUE(closure.derivable());
+  // Nodes: a(d), a(a), t(a,a,d), s(a), a(b), a(c), t(b,c,a), t(a,a,b),
+  // t(a,a,c) = 9.
+  EXPECT_EQ(closure.nodes().size(), 9u);
+  // a(a) has two derivations: from s(a) and from a(b), a(c), t(b,c,a).
+  const dl::FactId a_a = *model.Find(w.ParseFact("a(a)"));
+  EXPECT_EQ(closure.EdgesWithHead(a_a).size(), 2u);
+  // a(d) has exactly one derivation.
+  EXPECT_EQ(closure.EdgesWithHead(target).size(), 1u);
+  // Database leaves: all 5 database facts are relevant here.
+  EXPECT_EQ(closure.DatabaseLeaves().size(), 5u);
+}
+
+TEST(DownwardClosureTest, BodySetsAreSortedAndUnique) {
+  Workspace w = MakeWorkspace(R"(
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+  )",
+                              "s(a). t(a, a, b).");
+  const dl::Model model = dl::Evaluator::Evaluate(w.program, w.database);
+  const dl::FactId target = *model.Find(w.ParseFact("a(b)"));
+  const DownwardClosure closure =
+      DownwardClosure::Build(w.program, model, target);
+  // a(b) <- {a(a), t(a,a,b)}: the two a-atoms collapse in the body set.
+  ASSERT_EQ(closure.EdgesWithHead(target).size(), 1u);
+  const auto& edge = closure.edges()[closure.EdgesWithHead(target)[0]];
+  EXPECT_EQ(edge.body.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(edge.body.begin(), edge.body.end()));
+}
+
+TEST(DownwardClosureTest, HyperedgesDeduplicateAcrossRules) {
+  // Two distinct rules that ground to the same (head, body-set) hyperedge.
+  Workspace w = MakeWorkspace(R"(
+    p(X) :- e(X, Y).
+    p(Y) :- e(X, Y).
+  )",
+                              "e(a, a).");
+  const dl::Model model = dl::Evaluator::Evaluate(w.program, w.database);
+  const dl::FactId target = *model.Find(w.ParseFact("p(a)"));
+  const DownwardClosure closure =
+      DownwardClosure::Build(w.program, model, target);
+  // Both rules yield p(a) <- {e(a,a)}: a single hyperedge.
+  EXPECT_EQ(closure.EdgesWithHead(target).size(), 1u);
+}
+
+TEST(DownwardClosureTest, EdbTargetIsItsOwnLeaf) {
+  Workspace w = MakeWorkspace("p(X) :- e(X).", "e(a).");
+  const dl::Model model = dl::Evaluator::Evaluate(w.program, w.database);
+  const dl::FactId target = *model.Find(w.ParseFact("e(a)"));
+  const DownwardClosure closure =
+      DownwardClosure::Build(w.program, model, target);
+  ASSERT_TRUE(closure.derivable());
+  EXPECT_EQ(closure.nodes().size(), 1u);
+  EXPECT_TRUE(closure.edges().empty());
+  ASSERT_EQ(closure.DatabaseLeaves().size(), 1u);
+  EXPECT_EQ(closure.DatabaseLeaves()[0], target);
+}
+
+}  // namespace
+}  // namespace whyprov::provenance

@@ -1,0 +1,201 @@
+// Tests for the first-order rewriting of non-recursive queries
+// (Theorem 9 / Lemmas 11 and 12 made executable).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "provenance/decision.h"
+#include "provenance/fo_rewriting.h"
+#include "tests/workspace.h"
+#include "util/rng.h"
+
+namespace whyprov::provenance {
+namespace {
+
+using whyprov::testing::MakeWorkspace;
+using whyprov::testing::Workspace;
+namespace dl = whyprov::datalog;
+
+TEST(FoRewritingTest, RejectsRecursivePrograms) {
+  Workspace w = MakeWorkspace(R"(
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )",
+                              "edge(a, b).");
+  auto rewriting =
+      FoRewriting::Build(w.program, w.symbols->FindPredicate("path").value());
+  EXPECT_FALSE(rewriting.ok());
+  EXPECT_NE(rewriting.status().message().find("non-recursive"),
+            std::string::npos);
+}
+
+TEST(FoRewritingTest, SingleRuleUnfolding) {
+  Workspace w = MakeWorkspace("q(X) :- r(X, Y), s(Y).", "r(a, b). s(b).");
+  auto rewriting =
+      FoRewriting::Build(w.program, w.symbols->FindPredicate("q").value());
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().message();
+  EXPECT_EQ(rewriting.value().unfoldings().size(), 1u);
+  const auto& cq = rewriting.value().unfoldings()[0];
+  EXPECT_EQ(cq.atoms.size(), 2u);
+}
+
+TEST(FoRewritingTest, UnionAcrossRules) {
+  Workspace w = MakeWorkspace(R"(
+    q(X) :- r(X).
+    q(X) :- s(X).
+  )",
+                              "r(a). s(b).");
+  auto rewriting =
+      FoRewriting::Build(w.program, w.symbols->FindPredicate("q").value());
+  ASSERT_TRUE(rewriting.ok());
+  EXPECT_EQ(rewriting.value().unfoldings().size(), 2u);
+}
+
+TEST(FoRewritingTest, NestedUnfoldingThroughIntermediatePredicate) {
+  Workspace w = MakeWorkspace(R"(
+    top(X) :- mid(X, Y), e3(Y).
+    mid(X, Y) :- e1(X, Z), e2(Z, Y).
+  )",
+                              "e1(a, b). e2(b, c). e3(c).");
+  auto rewriting =
+      FoRewriting::Build(w.program, w.symbols->FindPredicate("top").value());
+  ASSERT_TRUE(rewriting.ok());
+  ASSERT_EQ(rewriting.value().unfoldings().size(), 1u);
+  EXPECT_EQ(rewriting.value().unfoldings()[0].atoms.size(), 3u);
+  // All atoms must be extensional after unfolding.
+  for (const dl::Atom& atom : rewriting.value().unfoldings()[0].atoms) {
+    EXPECT_TRUE(w.program.IsExtensional(atom.predicate));
+  }
+}
+
+TEST(FoRewritingTest, DecideAcceptsExactSupports) {
+  Workspace w = MakeWorkspace("q(X) :- r(X, Y), s(Y).",
+                              "r(a, b). r(a, c). s(b). s(c).");
+  auto rewriting =
+      FoRewriting::Build(w.program, w.symbols->FindPredicate("q").value());
+  ASSERT_TRUE(rewriting.ok());
+  const dl::SymbolId a = w.symbols->InternConstant("a");
+
+  auto decide = [&](const char* facts) {
+    auto dprime = dl::Parser::ParseDatabase(w.symbols, facts);
+    EXPECT_TRUE(dprime.ok());
+    return rewriting.value().Decide(dprime.value(), {a});
+  };
+  EXPECT_TRUE(decide("r(a, b). s(b)."));
+  EXPECT_TRUE(decide("r(a, c). s(c)."));
+  // Mixed pair does not witness the join.
+  EXPECT_FALSE(decide("r(a, b). s(c)."));
+  // Extra unused fact: not an exact support.
+  EXPECT_FALSE(decide("r(a, b). s(b). s(c)."));
+  // Insufficient.
+  EXPECT_FALSE(decide("r(a, b)."));
+}
+
+TEST(FoRewritingTest, VariableIdentificationIsAbsorbed) {
+  // cq(Q) formally contains merged variants (e.g. X = Y); Decide must
+  // accept a support where the join variables collapse to one constant.
+  Workspace w = MakeWorkspace("q(X) :- r(X, Y), r(Y, X).", "r(a, a).");
+  auto rewriting =
+      FoRewriting::Build(w.program, w.symbols->FindPredicate("q").value());
+  ASSERT_TRUE(rewriting.ok());
+  const dl::SymbolId a = w.symbols->InternConstant("a");
+  auto dprime = dl::Parser::ParseDatabase(w.symbols, "r(a, a).");
+  ASSERT_TRUE(dprime.ok());
+  EXPECT_TRUE(rewriting.value().Decide(dprime.value(), {a}));
+}
+
+TEST(FoRewritingTest, ConstantsInRulesPropagate) {
+  Workspace w = MakeWorkspace("q(X) :- r(X, marker).",
+                              "r(a, marker). r(b, other).");
+  auto rewriting =
+      FoRewriting::Build(w.program, w.symbols->FindPredicate("q").value());
+  ASSERT_TRUE(rewriting.ok());
+  const dl::SymbolId a = w.symbols->InternConstant("a");
+  const dl::SymbolId b = w.symbols->InternConstant("b");
+  auto good = dl::Parser::ParseDatabase(w.symbols, "r(a, marker).");
+  auto bad = dl::Parser::ParseDatabase(w.symbols, "r(b, other).");
+  ASSERT_TRUE(good.ok() && bad.ok());
+  EXPECT_TRUE(rewriting.value().Decide(good.value(), {a}));
+  EXPECT_FALSE(rewriting.value().Decide(bad.value(), {b}));
+}
+
+TEST(FoRewritingTest, ToStringRendersUnion) {
+  Workspace w = MakeWorkspace(R"(
+    q(X) :- r(X).
+    q(X) :- s(X).
+  )",
+                              "r(a).");
+  auto rewriting =
+      FoRewriting::Build(w.program, w.symbols->FindPredicate("q").value());
+  ASSERT_TRUE(rewriting.ok());
+  const std::string rendered = rewriting.value().ToString(*w.symbols);
+  EXPECT_NE(rendered.find("r("), std::string::npos);
+  EXPECT_NE(rendered.find("s("), std::string::npos);
+}
+
+// Property test (Lemma 12): on random non-recursive instances, the FO
+// rewriting decides membership in why(t, D, Q) exactly as the exhaustive
+// arbitrary-tree family does. (For non-recursive queries every proof tree
+// is "small", so the exhaustive family is the ground truth.)
+class FoAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoAgreementTest, DecideMatchesExhaustiveFamily) {
+  util::Rng rng(0xfade + GetParam());
+  // A two-level non-recursive query over random data.
+  std::string facts;
+  const int domain = 3;
+  for (int i = 0; i < 6; ++i) {
+    facts += "e1(n" + std::to_string(rng.UniformInt(domain)) + ", n" +
+             std::to_string(rng.UniformInt(domain)) + ").";
+    facts += "e2(n" + std::to_string(rng.UniformInt(domain)) + ", n" +
+             std::to_string(rng.UniformInt(domain)) + ").";
+  }
+  facts += "e3(n0). e3(n1).";
+  Workspace w = MakeWorkspace(R"(
+    top(X) :- mid(X, Y), e3(Y).
+    mid(X, Y) :- e1(X, Z), e2(Z, Y).
+    top(X) :- e1(X, X).
+  )",
+                              facts.c_str());
+  const dl::Model model = dl::Evaluator::Evaluate(w.program, w.database);
+  auto rewriting =
+      FoRewriting::Build(w.program, w.symbols->FindPredicate("top").value());
+  ASSERT_TRUE(rewriting.ok());
+
+  const dl::PredicateId top = w.symbols->FindPredicate("top").value();
+  for (dl::FactId target : model.Relation(top)) {
+    auto family =
+        EnumerateWhyExhaustive(w.program, model, target, TreeClass::kAny);
+    ASSERT_TRUE(family.ok());
+    const auto& tuple = model.fact(target).args;
+    // Every member is accepted by the rewriting.
+    for (const auto& member : family.value()) {
+      dl::Database dprime(w.symbols);
+      for (const dl::Fact& fact : member) dprime.Insert(fact);
+      EXPECT_TRUE(rewriting.value().Decide(dprime, tuple))
+          << "member rejected for "
+          << dl::FactToString(model.fact(target), *w.symbols);
+    }
+    // Random subsets agree in both directions.
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<dl::Fact> subset;
+      dl::Database dprime(w.symbols);
+      for (const dl::Fact& fact : w.database.facts()) {
+        if (rng.Bernoulli(0.3)) {
+          subset.push_back(fact);
+          dprime.Insert(fact);
+        }
+      }
+      std::sort(subset.begin(), subset.end());
+      EXPECT_EQ(rewriting.value().Decide(dprime, tuple),
+                family.value().contains(subset));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoAgreementTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace whyprov::provenance

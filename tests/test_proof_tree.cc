@@ -1,0 +1,264 @@
+// Tests for proof trees (Definition 1) and the refined classes
+// (Definitions 13, 18, 26), built around the paper's running example.
+
+#include <gtest/gtest.h>
+
+#include "provenance/proof_tree.h"
+#include "tests/workspace.h"
+
+namespace whyprov::provenance {
+namespace {
+
+using whyprov::testing::MakeWorkspace;
+using whyprov::testing::Workspace;
+namespace dl = whyprov::datalog;
+
+// The paper's running example (Example 1): path accessibility.
+Workspace PathAccessibility() {
+  return MakeWorkspace(R"(
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+  )",
+                       R"(
+    s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a).
+  )");
+}
+
+// The first (simple) proof tree of A(d) from Example 1:
+//   A(d) <- A(a), A(a), T(a,a,d);  each A(a) <- S(a).
+ProofTree SimpleTree(const Workspace& w) {
+  ProofTree tree(w.ParseFact("a(d)"));
+  const std::size_t a1 = tree.AddChild(0, w.ParseFact("a(a)"));
+  const std::size_t a2 = tree.AddChild(0, w.ParseFact("a(a)"));
+  tree.AddChild(0, w.ParseFact("t(a, a, d)"));
+  tree.AddChild(a1, w.ParseFact("s(a)"));
+  tree.AddChild(a2, w.ParseFact("s(a)"));
+  return tree;
+}
+
+// The second (recursive) proof tree of A(d) from Example 1, in which A(a)
+// is derived from A(b) and A(c), which are derived from A(a) again.
+ProofTree RecursiveTree(const Workspace& w) {
+  ProofTree tree(w.ParseFact("a(d)"));
+  const std::size_t a1 = tree.AddChild(0, w.ParseFact("a(a)"));
+  const std::size_t a2 = tree.AddChild(0, w.ParseFact("a(a)"));
+  tree.AddChild(0, w.ParseFact("t(a, a, d)"));
+  tree.AddChild(a1, w.ParseFact("s(a)"));
+  const std::size_t b = tree.AddChild(a2, w.ParseFact("a(b)"));
+  const std::size_t c = tree.AddChild(a2, w.ParseFact("a(c)"));
+  tree.AddChild(a2, w.ParseFact("t(b, c, a)"));
+  // a(b) <- a(a), a(a), t(a,a,b), both a(a) via s(a).
+  const std::size_t ba1 = tree.AddChild(b, w.ParseFact("a(a)"));
+  const std::size_t ba2 = tree.AddChild(b, w.ParseFact("a(a)"));
+  tree.AddChild(b, w.ParseFact("t(a, a, b)"));
+  tree.AddChild(ba1, w.ParseFact("s(a)"));
+  tree.AddChild(ba2, w.ParseFact("s(a)"));
+  // a(c) <- a(a), a(a), t(a,a,c), both a(a) via s(a).
+  const std::size_t ca1 = tree.AddChild(c, w.ParseFact("a(a)"));
+  const std::size_t ca2 = tree.AddChild(c, w.ParseFact("a(a)"));
+  tree.AddChild(c, w.ParseFact("t(a, a, c)"));
+  tree.AddChild(ca1, w.ParseFact("s(a)"));
+  tree.AddChild(ca2, w.ParseFact("s(a)"));
+  return tree;
+}
+
+TEST(ProofTreeTest, SimpleTreeValidates) {
+  const Workspace w = PathAccessibility();
+  const ProofTree tree = SimpleTree(w);
+  util::Status status =
+      tree.Validate(w.program, w.database, w.ParseFact("a(d)"));
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
+TEST(ProofTreeTest, SupportOfSimpleTreeMatchesExample2) {
+  const Workspace w = PathAccessibility();
+  const ProofTree tree = SimpleTree(w);
+  const auto support = tree.Support();
+  EXPECT_EQ(support.size(), 2u);
+  EXPECT_TRUE(support.contains(w.ParseFact("s(a)")));
+  EXPECT_TRUE(support.contains(w.ParseFact("t(a, a, d)")));
+}
+
+TEST(ProofTreeTest, DepthOfSimpleTree) {
+  const Workspace w = PathAccessibility();
+  EXPECT_EQ(SimpleTree(w).Depth(), 2u);
+}
+
+TEST(ProofTreeTest, RootLabelMismatchIsInvalid) {
+  const Workspace w = PathAccessibility();
+  const ProofTree tree = SimpleTree(w);
+  util::Status status =
+      tree.Validate(w.program, w.database, w.ParseFact("a(b)"));
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ProofTreeTest, LeafOutsideDatabaseIsInvalid) {
+  const Workspace w = PathAccessibility();
+  ProofTree tree(w.ParseFact("a(d)"));
+  tree.AddChild(0, w.ParseFact("s(d)"));  // s(d) is not in D
+  util::Status status =
+      tree.Validate(w.program, w.database, w.ParseFact("a(d)"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not a database fact"), std::string::npos);
+}
+
+TEST(ProofTreeTest, NodeWithoutRuleWitnessIsInvalid) {
+  const Workspace w = PathAccessibility();
+  ProofTree tree(w.ParseFact("a(d)"));
+  // a(d) cannot be derived from s(a) alone by any rule.
+  tree.AddChild(0, w.ParseFact("s(a)"));
+  util::Status status =
+      tree.Validate(w.program, w.database, w.ParseFact("a(d)"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not a rule instance"), std::string::npos);
+}
+
+TEST(ProofTreeTest, SimpleTreeIsNonRecursiveAndUnambiguous) {
+  const Workspace w = PathAccessibility();
+  const ProofTree tree = SimpleTree(w);
+  EXPECT_TRUE(tree.IsNonRecursive());
+  EXPECT_TRUE(tree.IsUnambiguous());
+  EXPECT_EQ(tree.SubtreeCount(), 1u);
+}
+
+TEST(ProofTreeTest, RecursiveTreeIsRecursiveAndAmbiguous) {
+  const Workspace w = PathAccessibility();
+  const ProofTree tree = RecursiveTree(w);
+  // a(a) appears on a path below another a(a).
+  EXPECT_FALSE(tree.IsNonRecursive());
+  // a(a) is derived in two different ways.
+  EXPECT_FALSE(tree.IsUnambiguous());
+  EXPECT_GE(tree.SubtreeCount(), 2u);
+}
+
+TEST(ProofTreeTest, RecursiveTreeSupportIsWholeDatabase) {
+  const Workspace w = PathAccessibility();
+  const ProofTree tree = RecursiveTree(w);
+  EXPECT_EQ(tree.Support().size(), w.database.size());
+}
+
+TEST(ProofTreeTest, MinimalDepthUsesModelRanks) {
+  const Workspace w = PathAccessibility();
+  const dl::Model model = dl::Evaluator::Evaluate(w.program, w.database);
+  const ProofTree simple = SimpleTree(w);
+  // a(d) has rank 2: a(a) in round 1, a(d) in round 2.
+  EXPECT_TRUE(simple.IsMinimalDepth(model));
+  const ProofTree recursive = RecursiveTree(w);
+  EXPECT_FALSE(recursive.IsMinimalDepth(model));
+}
+
+TEST(ProofTreeTest, InClassDispatch) {
+  const Workspace w = PathAccessibility();
+  const dl::Model model = dl::Evaluator::Evaluate(w.program, w.database);
+  const ProofTree simple = SimpleTree(w);
+  EXPECT_TRUE(simple.InClass(TreeClass::kAny, model));
+  EXPECT_TRUE(simple.InClass(TreeClass::kNonRecursive, model));
+  EXPECT_TRUE(simple.InClass(TreeClass::kMinimalDepth, model));
+  EXPECT_TRUE(simple.InClass(TreeClass::kUnambiguous, model));
+  const ProofTree recursive = RecursiveTree(w);
+  EXPECT_TRUE(recursive.InClass(TreeClass::kAny, model));
+  EXPECT_FALSE(recursive.InClass(TreeClass::kNonRecursive, model));
+}
+
+// Example 4 of the paper: a non-recursive, minimal-depth proof tree that is
+// nevertheless ambiguous (A(c) derived in two ways).
+TEST(ProofTreeTest, Example4AmbiguousTree) {
+  const Workspace w = MakeWorkspace(R"(
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y, Z, X).
+  )",
+                                    R"(
+    s(a). s(b). t(a, a, c). t(b, b, c). t(c, c, d).
+  )");
+  ProofTree tree(w.ParseFact("a(d)"));
+  const std::size_t c1 = tree.AddChild(0, w.ParseFact("a(c)"));
+  const std::size_t c2 = tree.AddChild(0, w.ParseFact("a(c)"));
+  tree.AddChild(0, w.ParseFact("t(c, c, d)"));
+  // First a(c) via a.
+  const std::size_t a1 = tree.AddChild(c1, w.ParseFact("a(a)"));
+  const std::size_t a2 = tree.AddChild(c1, w.ParseFact("a(a)"));
+  tree.AddChild(c1, w.ParseFact("t(a, a, c)"));
+  tree.AddChild(a1, w.ParseFact("s(a)"));
+  tree.AddChild(a2, w.ParseFact("s(a)"));
+  // Second a(c) via b.
+  const std::size_t b1 = tree.AddChild(c2, w.ParseFact("a(b)"));
+  const std::size_t b2 = tree.AddChild(c2, w.ParseFact("a(b)"));
+  tree.AddChild(c2, w.ParseFact("t(b, b, c)"));
+  tree.AddChild(b1, w.ParseFact("s(b)"));
+  tree.AddChild(b2, w.ParseFact("s(b)"));
+
+  util::Status status =
+      tree.Validate(w.program, w.database, w.ParseFact("a(d)"));
+  ASSERT_TRUE(status.ok()) << status.message();
+  const dl::Model model = dl::Evaluator::Evaluate(w.program, w.database);
+  EXPECT_TRUE(tree.IsNonRecursive());
+  EXPECT_TRUE(tree.IsMinimalDepth(model));
+  EXPECT_FALSE(tree.IsUnambiguous());  // the ambiguity the paper flags
+  EXPECT_EQ(tree.Support().size(), 5u);
+}
+
+TEST(ProofTreeTest, CanonicalFormIgnoresChildOrder) {
+  const Workspace w = PathAccessibility();
+  ProofTree left(w.ParseFact("a(d)"));
+  left.AddChild(0, w.ParseFact("s(a)"));
+  left.AddChild(0, w.ParseFact("t(a, a, d)"));
+  ProofTree right(w.ParseFact("a(d)"));
+  right.AddChild(0, w.ParseFact("t(a, a, d)"));
+  right.AddChild(0, w.ParseFact("s(a)"));
+  EXPECT_EQ(left.CanonicalForm(0), right.CanonicalForm(0));
+}
+
+TEST(ProofTreeTest, ToStringIndentsByDepth) {
+  const Workspace w = PathAccessibility();
+  const ProofTree tree = SimpleTree(w);
+  const std::string rendered = tree.ToString(*w.symbols);
+  EXPECT_NE(rendered.find("a(d)\n"), std::string::npos);
+  EXPECT_NE(rendered.find("  a(a)\n"), std::string::npos);
+  EXPECT_NE(rendered.find("    s(a)\n"), std::string::npos);
+}
+
+TEST(RuleWitnessTest, OrderedInstanceMatching) {
+  const Workspace w = PathAccessibility();
+  const dl::Fact head = w.ParseFact("a(d)");
+  const dl::Fact a = w.ParseFact("a(a)");
+  const dl::Fact t = w.ParseFact("t(a, a, d)");
+  EXPECT_TRUE(IsRuleInstance(w.program, head, {&a, &a, &t}));
+  // Wrong order: t must be third.
+  EXPECT_FALSE(IsRuleInstance(w.program, head, {&t, &a, &a}));
+  // Wrong arity.
+  EXPECT_FALSE(IsRuleInstance(w.program, head, {&a, &t}));
+}
+
+TEST(RuleWitnessTest, SetWitnessReexpandsSharedFacts) {
+  const Workspace w = PathAccessibility();
+  const dl::Fact head = w.ParseFact("a(d)");
+  // The body *set* {a(a), t(a,a,d)} has 2 elements but the rule body has 3
+  // atoms; the witness must repeat a(a).
+  auto witness = FindRuleWitnessForSet(
+      w.program, head, {w.ParseFact("a(a)"), w.ParseFact("t(a, a, d)")});
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->first, 1u);  // the recursive rule
+  ASSERT_EQ(witness->second.size(), 3u);
+  EXPECT_EQ(witness->second[0], w.ParseFact("a(a)"));
+  EXPECT_EQ(witness->second[1], w.ParseFact("a(a)"));
+  EXPECT_EQ(witness->second[2], w.ParseFact("t(a, a, d)"));
+}
+
+TEST(RuleWitnessTest, SetWitnessRejectsUncoveredChildren) {
+  const Workspace w = PathAccessibility();
+  // s(a) cannot participate in the recursive rule for a(d).
+  auto witness = FindRuleWitnessForSet(
+      w.program, w.ParseFact("a(d)"),
+      {w.ParseFact("a(a)"), w.ParseFact("t(a, a, d)"), w.ParseFact("s(a)")});
+  EXPECT_FALSE(witness.has_value());
+}
+
+TEST(TreeClassNameTest, AllNames) {
+  EXPECT_EQ(TreeClassName(TreeClass::kAny), "arbitrary");
+  EXPECT_EQ(TreeClassName(TreeClass::kNonRecursive), "non-recursive");
+  EXPECT_EQ(TreeClassName(TreeClass::kMinimalDepth), "minimal-depth");
+  EXPECT_EQ(TreeClassName(TreeClass::kUnambiguous), "unambiguous");
+}
+
+}  // namespace
+}  // namespace whyprov::provenance

@@ -1,0 +1,116 @@
+// Tests for the workload generators: every scenario must match the
+// paper's Table 1 characteristics and produce a usable pipeline.
+
+#include <gtest/gtest.h>
+
+#include "provenance/enumerator.h"
+#include "scenarios/scenarios.h"
+#include "util/rng.h"
+
+namespace whyprov::scenarios {
+namespace {
+
+namespace dl = whyprov::datalog;
+
+TEST(ScenarioTest, TransClosureMatchesTable1) {
+  const GeneratedScenario s =
+      MakeTransClosure(GraphKind::kSparse, 50, 80, /*seed=*/1);
+  EXPECT_EQ(s.scenario_name, "TransClosure");
+  EXPECT_EQ(s.query_type, "linear, recursive");
+  EXPECT_EQ(s.num_rules, 2u);
+  EXPECT_GT(s.database.size(), 0u);
+}
+
+TEST(ScenarioTest, DoctorsMatchesTable1) {
+  for (int variant = 1; variant <= 7; ++variant) {
+    const GeneratedScenario s = MakeDoctors(variant, 60, /*seed=*/2);
+    EXPECT_EQ(s.scenario_name, "Doctors-" + std::to_string(variant));
+    EXPECT_EQ(s.query_type, "non-recursive") << "variant " << variant;
+    EXPECT_EQ(s.num_rules, 6u);
+    EXPECT_TRUE(s.program.IsLinear());
+  }
+}
+
+TEST(ScenarioTest, GalenMatchesTable1) {
+  const GeneratedScenario s = MakeGalen(60, /*seed=*/3);
+  EXPECT_EQ(s.scenario_name, "Galen");
+  EXPECT_EQ(s.query_type, "non-linear, recursive");
+  EXPECT_EQ(s.num_rules, 14u);
+}
+
+TEST(ScenarioTest, AndersenMatchesTable1) {
+  const GeneratedScenario s = MakeAndersen(90, /*seed=*/4);
+  EXPECT_EQ(s.scenario_name, "Andersen");
+  EXPECT_EQ(s.query_type, "non-linear, recursive");
+  EXPECT_EQ(s.num_rules, 4u);
+}
+
+TEST(ScenarioTest, CsdaMatchesTable1) {
+  const GeneratedScenario s = MakeCsda("httpd", 120, /*seed=*/5);
+  EXPECT_EQ(s.scenario_name, "CSDA");
+  EXPECT_EQ(s.database_name, "Dhttpd");
+  EXPECT_EQ(s.query_type, "linear, recursive");
+  EXPECT_EQ(s.num_rules, 2u);
+}
+
+TEST(ScenarioTest, GeneratorsAreDeterministicPerSeed) {
+  const GeneratedScenario a = MakeAndersen(50, 77);
+  const GeneratedScenario b = MakeAndersen(50, 77);
+  EXPECT_EQ(a.database.ToString(), b.database.ToString());
+  const GeneratedScenario c = MakeAndersen(50, 78);
+  EXPECT_NE(a.database.ToString(), c.database.ToString());
+}
+
+// Every scenario, end to end at a small scale: evaluate, sample a tuple,
+// enumerate at least one member, and check the member really is a subset
+// of the database.
+class EndToEndTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+GeneratedScenario MakeByName(const std::string& name, std::uint64_t seed) {
+  if (name == "transclosure-sparse") {
+    return MakeTransClosure(GraphKind::kSparse, 40, 60, seed);
+  }
+  if (name == "transclosure-social") {
+    return MakeTransClosure(GraphKind::kSocial, 48, 120, seed);
+  }
+  if (name == "doctors") return MakeDoctors(1, 40, seed);
+  if (name == "galen") return MakeGalen(40, seed);
+  if (name == "andersen") return MakeAndersen(60, seed);
+  return MakeCsda("httpd", 80, seed);
+}
+
+TEST_P(EndToEndTest, SampleAndExplain) {
+  const auto& [name, seed] = GetParam();
+  const GeneratedScenario scenario = MakeByName(name, seed);
+  provenance::WhyProvenancePipeline pipeline = scenario.MakePipeline();
+  ASSERT_FALSE(pipeline.AnswerFactIds().empty())
+      << name << ": no answers; enlarge the generator defaults";
+  util::Rng rng(seed);
+  for (dl::FactId target : pipeline.SampleAnswers(3, rng)) {
+    auto enumerator = pipeline.MakeEnumerator(target);
+    auto member = enumerator->Next();
+    ASSERT_TRUE(member.has_value())
+        << name << ": derivable answer must have an explanation";
+    for (const dl::Fact& fact : *member) {
+      EXPECT_TRUE(scenario.database.Contains(fact));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, EndToEndTest,
+    ::testing::Combine(
+        ::testing::Values("transclosure-sparse", "transclosure-social",
+                          "doctors", "galen", "andersen", "csda"),
+        ::testing::Values(11, 12)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, int>>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace whyprov::scenarios

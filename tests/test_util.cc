@@ -1,0 +1,155 @@
+// Tests for the util foundation: Status/Result, RNG, statistics, timer.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace whyprov::util {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_TRUE(Status::Ok().message().empty());
+  const Status error = Status::Error("boom");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.message(), "boom");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  Result<int> bad = Status::Error("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  std::vector<int> moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(124);
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) differs |= a2.Next() != c.Next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  // All residues should occur in 1000 draws.
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> original = items;
+  rng.Shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(StatsTest, EmptySummaryIsZero) {
+  SampleSet samples;
+  const Summary s = samples.Summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.median, 0);
+}
+
+TEST(StatsTest, SingleSample) {
+  SampleSet samples;
+  samples.Add(5.0);
+  const Summary s = samples.Summarize();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.median, 5.0);
+  EXPECT_EQ(s.mean, 5.0);
+}
+
+TEST(StatsTest, QuartilesOfUniformRamp) {
+  SampleSet samples;
+  for (int i = 0; i <= 100; ++i) samples.Add(static_cast<double>(i));
+  const Summary s = samples.Summarize();
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.q1, 25.0, 1.0);
+  EXPECT_NEAR(s.median, 50.0, 1.0);
+  EXPECT_NEAR(s.q3, 75.0, 1.0);
+  EXPECT_NEAR(s.mean, 50.0, 0.01);
+}
+
+TEST(StatsTest, SummaryIsOrderInvariant) {
+  SampleSet ascending;
+  SampleSet shuffled;
+  const std::vector<double> values{9, 1, 7, 3, 5, 2, 8};
+  for (double v : values) shuffled.Add(v);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double v : sorted) ascending.Add(v);
+  EXPECT_EQ(ascending.Summarize().median, shuffled.Summarize().median);
+  EXPECT_EQ(ascending.Summarize().q1, shuffled.Summarize().q1);
+}
+
+TEST(StatsTest, FormatSummaryRowContainsFields) {
+  SampleSet samples;
+  samples.Add(1.0);
+  samples.Add(2.0);
+  const std::string row =
+      FormatSummaryRow("label", samples.Summarize(), "ms");
+  EXPECT_NE(row.find("label"), std::string::npos);
+  EXPECT_NE(row.find("n=2"), std::string::npos);
+  EXPECT_NE(row.find("ms"), std::string::npos);
+}
+
+TEST(TimerTest, ElapsedIsMonotone) {
+  Timer timer;
+  const double a = timer.ElapsedSeconds();
+  const double b = timer.ElapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+  timer.Reset();
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+  EXPECT_GE(timer.ElapsedMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace whyprov::util
