@@ -10,11 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "provenance/acyclicity.h"
-#include "provenance/cnf_encoder.h"
-#include "provenance/downward_closure.h"
-#include "util/rng.h"
-#include "util/timer.h"
+#include "whyprov.h"
 
 namespace {
 
@@ -25,26 +21,27 @@ void BM_AcyclicityEncoding(benchmark::State& state, const SuiteEntry entry,
                            pv::AcyclicityEncoding encoding) {
   for (auto _ : state) {
     auto scenario = entry.make();
-    auto pipeline = scenario.MakePipeline();
+    const whyprov::Engine engine = scenario.MakeEngine();
     whyprov::util::Rng rng(kSuiteSeed ^ 0x9u);
-    const auto targets = pipeline.SampleAnswers(3, rng);
+    const auto targets = engine.SampleAnswers(3, rng);
 
     double encode_total = 0;
     double solve_total = 0;
     double aux_vars = 0;
     double clauses = 0;
     for (auto target : targets) {
-      pv::WhyProvenanceEnumerator::Options options;
-      options.acyclicity = encoding;
-      auto enumerator = pipeline.MakeEnumerator(target, options);
-      encode_total += enumerator->timings().encode_seconds;
-      aux_vars +=
-          static_cast<double>(enumerator->encoding().acyclicity
-                                  .auxiliary_variables);
+      whyprov::EnumerateRequest request;
+      request.target = target;
+      request.acyclicity = encoding;
+      auto enumeration = engine.Enumerate(request);
+      if (!enumeration.ok()) continue;
+      encode_total += enumeration.value().timings().encode_seconds;
+      aux_vars += static_cast<double>(
+          enumeration.value().encoding().acyclicity.auxiliary_variables);
       clauses += static_cast<double>(
-          enumerator->encoding().acyclicity.clauses);
+          enumeration.value().encoding().acyclicity.clauses);
       whyprov::util::Timer timer;
-      enumerator->Next();  // first member: one SAT solve
+      enumeration.value().Next();  // first member: one SAT solve
       solve_total += timer.ElapsedSeconds();
     }
     state.counters["encode_s"] = encode_total;

@@ -14,11 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "datalog/parser.h"
-#include "provenance/baseline.h"
-#include "provenance/enumerator.h"
-#include "util/rng.h"
-#include "util/timer.h"
+#include "whyprov.h"
 
 namespace {
 
@@ -59,24 +55,28 @@ void BM_TreeClasses(benchmark::State& state) {
   for (auto _ : state) {
     Instance instance =
         MakeAccessibility(domain, conditions, whyprov::bench::kSuiteSeed);
-    const dl::Model model =
-        dl::Evaluator::Evaluate(instance.program, instance.database);
     const dl::PredicateId a = instance.symbols->FindPredicate("a").value();
-    const auto& answers = model.Relation(a);
+    const whyprov::Engine engine = whyprov::Engine::FromParts(
+        instance.program, instance.database, a);
+    const auto& answers = engine.model().Relation(a);
     if (answers.empty()) continue;
     const dl::FactId target = answers.back();
 
     whyprov::util::Timer timer;
-    pv::WhyProvenanceEnumerator enumerator(instance.program, model, target);
-    const auto members = enumerator.All(/*max_members=*/5000);
+    whyprov::EnumerateRequest request;
+    request.target = target;
+    request.max_members = 5000;
+    auto enumeration = engine.Enumerate(request);
+    if (!enumeration.ok()) continue;
+    const auto members = enumeration.value().All();
     const double un_seconds = timer.ElapsedSeconds();
 
     timer.Reset();
-    pv::BaselineLimits limits;
-    limits.max_family_size = 1u << 18;
-    limits.max_combinations = 1u << 24;
-    auto any_family =
-        pv::ComputeWhyAllAtOnce(instance.program, model, target, limits);
+    whyprov::BaselineRequest baseline;
+    baseline.target = target;
+    baseline.limits = pv::BaselineLimits{/*max_family_size=*/1u << 18,
+                                         /*max_combinations=*/1u << 24};
+    auto any_family = engine.Baseline(baseline);
     const double any_seconds = timer.ElapsedSeconds();
 
     state.counters["whyUN_s"] = un_seconds;

@@ -14,10 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "provenance/baseline.h"
-#include "provenance/enumerator.h"
-#include "util/rng.h"
-#include "util/timer.h"
+#include "whyprov.h"
 
 namespace {
 
@@ -27,9 +24,9 @@ namespace pv = whyprov::provenance;
 void BM_DoctorsComparison(benchmark::State& state, const SuiteEntry entry) {
   for (auto _ : state) {
     auto scenario = entry.make();
-    auto pipeline = scenario.MakePipeline();
+    const whyprov::Engine engine = scenario.MakeEngine();
     whyprov::util::Rng rng(kSuiteSeed ^ 0x5u);
-    const auto targets = pipeline.SampleAnswers(kTuplesPerDatabase, rng);
+    const auto targets = engine.SampleAnswers(kTuplesPerDatabase, rng);
 
     double sat_total = 0;
     double baseline_total = 0;
@@ -39,21 +36,24 @@ void BM_DoctorsComparison(benchmark::State& state, const SuiteEntry entry) {
       ++tuple_index;
       // SAT-based: closure + formula + exhaustive enumeration.
       whyprov::util::Timer timer;
-      auto enumerator = pipeline.MakeEnumerator(target);
-      const auto members = enumerator->All();
+      whyprov::EnumerateRequest enumerate;
+      enumerate.target = target;
+      auto enumeration = engine.Enumerate(enumerate);
+      if (!enumeration.ok()) continue;
+      const auto members = enumeration.value().All();
       const double sat_seconds =
-          pipeline.eval_seconds() + timer.ElapsedSeconds();
+          engine.eval_seconds() + timer.ElapsedSeconds();
       sat_total += sat_seconds;
 
       // Baseline: materialise the whole family in one fixpoint pass.
       timer.Reset();
-      pv::BaselineLimits limits;
-      limits.max_family_size = 1u << 16;
-      limits.max_combinations = 1u << 22;
-      auto family = pv::ComputeWhyAllAtOnce(pipeline.program(),
-                                            pipeline.model(), target, limits);
+      whyprov::BaselineRequest baseline;
+      baseline.target = target;
+      baseline.limits = pv::BaselineLimits{/*max_family_size=*/1u << 16,
+                                           /*max_combinations=*/1u << 22};
+      auto family = engine.Baseline(baseline);
       const double baseline_seconds =
-          pipeline.eval_seconds() + timer.ElapsedSeconds();
+          engine.eval_seconds() + timer.ElapsedSeconds();
       if (family.ok()) {
         baseline_total += baseline_seconds;
         std::printf(

@@ -7,10 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
-#include "provenance/decision.h"
 #include "scenarios/reductions.h"
-#include "util/rng.h"
-#include "util/timer.h"
+#include "whyprov.h"
 
 namespace {
 
@@ -29,13 +27,16 @@ void BM_HamCycleViaProvenance(benchmark::State& state) {
     const double construct_seconds = timer.ElapsedSeconds();
 
     timer.Reset();
-    const dl::Model model =
-        dl::Evaluator::Evaluate(reduction.program, reduction.database);
+    const whyprov::Engine engine = whyprov::Engine::FromParts(
+        reduction.program, reduction.database, reduction.target.predicate);
     bool member = false;
-    auto target = model.Find(reduction.target);
+    auto target = engine.model().Find(reduction.target);
     if (target.has_value()) {
-      member = pv::IsWhyUnMemberSat(reduction.program, model, *target,
-                                    reduction.database.facts());
+      whyprov::DecideRequest request;
+      request.target = *target;
+      request.candidate = reduction.database.facts();
+      request.tree_class = pv::TreeClass::kUnambiguous;
+      member = engine.Decide(request).value_or(false);
     }
     const double decide_seconds = timer.ElapsedSeconds();
     state.counters["db_facts"] =
@@ -61,21 +62,20 @@ void BM_ThreeSatViaProvenance(benchmark::State& state) {
     const double construct_seconds = timer.ElapsedSeconds();
 
     timer.Reset();
-    const dl::Model model =
-        dl::Evaluator::Evaluate(reduction.program, reduction.database);
+    whyprov::EngineOptions options;
+    options.baseline_limits.max_combinations = 1u << 26;
+    options.baseline_limits.max_family_size = 1u << 20;
+    const whyprov::Engine engine = whyprov::Engine::FromParts(
+        reduction.program, reduction.database, reduction.target.predicate,
+        options);
     bool member = false;
-    auto target = model.Find(reduction.target);
+    auto target = engine.model().Find(reduction.target);
     if (target.has_value()) {
-      pv::BaselineLimits limits;
-      limits.max_combinations = 1u << 26;
-      limits.max_family_size = 1u << 20;
-      auto family = pv::EnumerateWhyExhaustive(
-          reduction.program, model, *target, pv::TreeClass::kAny, limits);
-      if (family.ok()) {
-        std::vector<dl::Fact> whole(reduction.database.facts());
-        std::sort(whole.begin(), whole.end());
-        member = family.value().contains(whole);
-      }
+      whyprov::DecideRequest request;
+      request.target = *target;
+      request.candidate = reduction.database.facts();
+      request.tree_class = pv::TreeClass::kAny;
+      member = engine.Decide(request).value_or(false);
     }
     const double decide_seconds = timer.ElapsedSeconds();
     state.counters["db_facts"] =

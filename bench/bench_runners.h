@@ -1,17 +1,15 @@
 #ifndef WHYPROV_BENCH_BENCH_RUNNERS_H_
 #define WHYPROV_BENCH_BENCH_RUNNERS_H_
 
-// Measurement drivers shared by the figure benchmarks.
+// Measurement drivers shared by the figure benchmarks. Everything runs
+// through the `whyprov::Engine` facade.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "provenance/why_provenance.h"
-#include "util/rng.h"
-#include "util/stats.h"
-#include "util/timer.h"
+#include "whyprov.h"
 
 namespace whyprov::bench {
 
@@ -57,42 +55,48 @@ inline std::vector<TupleRun> RunSuiteEntry(const SuiteEntry& entry,
                                            bool enumerate) {
   std::vector<TupleRun> runs;
   auto scenario = entry.make();
-  util::Timer eval_timer;
-  auto pipeline = scenario.MakePipeline();
-  const double eval_seconds = pipeline.eval_seconds();
-  (void)eval_timer;
+  const whyprov::Engine engine = scenario.MakeEngine();
+  const double eval_seconds = engine.eval_seconds();
 
   util::Rng rng(kSuiteSeed ^ 0x7u);
-  const auto targets = pipeline.SampleAnswers(kTuplesPerDatabase, rng);
+  const auto targets = engine.SampleAnswers(kTuplesPerDatabase, rng);
   int index = 0;
   for (auto target : targets) {
     TupleRun run;
     run.construction.tuple_label = "t" + std::to_string(++index);
-    auto enumerator = pipeline.MakeEnumerator(target);
+    whyprov::EnumerateRequest request;
+    request.target = target;
+    if (enumerate) {
+      request.max_members = kMaxMembersPerTuple;
+      request.timeout_seconds = kEnumerationTimeoutSeconds;
+    }
+    auto enumeration = engine.Enumerate(request);
+    if (!enumeration.ok()) {
+      std::fprintf(stderr, "enumerate failed: %s\n",
+                   enumeration.status().message().c_str());
+      continue;
+    }
     run.construction.eval_seconds = eval_seconds;
-    run.construction.closure_seconds = enumerator->timings().closure_seconds;
-    run.construction.encode_seconds = enumerator->timings().encode_seconds;
-    run.construction.closure_nodes = enumerator->closure().nodes().size();
-    run.construction.closure_edges = enumerator->closure().edges().size();
+    run.construction.closure_seconds =
+        enumeration.value().timings().closure_seconds;
+    run.construction.encode_seconds =
+        enumeration.value().timings().encode_seconds;
+    run.construction.closure_nodes =
+        enumeration.value().closure().nodes().size();
+    run.construction.closure_edges =
+        enumeration.value().closure().edges().size();
     run.construction.cnf_variables =
-        static_cast<std::size_t>(enumerator->solver().NumVars());
+        static_cast<std::size_t>(enumeration.value().solver().NumVars());
 
     if (enumerate) {
       run.delays.tuple_label = run.construction.tuple_label;
-      util::Timer clock;
-      std::size_t members = 0;
-      while (members < kMaxMembersPerTuple) {
-        if (clock.ElapsedSeconds() > kEnumerationTimeoutSeconds) {
-          run.delays.hit_timeout = true;
-          break;
-        }
-        if (!enumerator->Next().has_value()) break;
-        ++members;
+      while (enumeration.value().Next().has_value()) {
       }
-      run.delays.hit_member_cap = members == kMaxMembersPerTuple;
-      run.delays.members = members;
+      run.delays.hit_timeout = enumeration.value().hit_timeout();
+      run.delays.hit_member_cap = enumeration.value().hit_member_cap();
+      run.delays.members = enumeration.value().members_emitted();
       util::SampleSet samples;
-      for (double ms : enumerator->delays_ms()) samples.Add(ms);
+      for (double ms : enumeration.value().delays_ms()) samples.Add(ms);
       run.delays.summary_ms = samples.Summarize();
     }
     runs.push_back(std::move(run));

@@ -6,6 +6,7 @@
 // Options:
 //   --fact "tc(a, b)"   explain this answer (default: first 3 answers)
 //   --max N             emit at most N members per answer (default 10)
+//   --backend NAME      SAT backend (cdcl | dpll | dimacs-pipe | ...)
 //   --tree              print a witnessing proof tree per member
 //   --dot               print a Graphviz rendering of the first tree
 //
@@ -18,12 +19,8 @@
 #include <string>
 #include <vector>
 
-#include "provenance/dot_export.h"
-#include "provenance/proof_dag.h"
-#include "provenance/why_provenance.h"
-#include "util/rng.h"
+#include "whyprov.h"
 
-namespace pv = whyprov::provenance;
 namespace dl = whyprov::datalog;
 
 namespace {
@@ -40,7 +37,8 @@ bool ReadFile(const char* path, std::string& out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: explain_cli <program.dl> <database.dl> "
-               "<answer_predicate> [--fact F] [--max N] [--tree] [--dot]\n");
+               "<answer_predicate> [--fact F] [--max N] [--backend B] "
+               "[--tree] [--dot]\n");
   return 2;
 }
 
@@ -63,11 +61,14 @@ int main(int argc, char** argv) {
   std::size_t max_members = 10;
   bool print_tree = false;
   bool print_dot = false;
+  whyprov::EngineOptions options;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fact") == 0 && i + 1 < argc) {
       fact_text = argv[++i];
     } else if (std::strcmp(argv[i], "--max") == 0 && i + 1 < argc) {
       max_members = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      options.solver_backend = argv[++i];
     } else if (std::strcmp(argv[i], "--tree") == 0) {
       print_tree = true;
     } else if (std::strcmp(argv[i], "--dot") == 0) {
@@ -77,60 +78,60 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto pipeline = pv::WhyProvenancePipeline::FromText(
-      program_text, database_text, answer_predicate);
-  if (!pipeline.ok()) {
-    std::fprintf(stderr, "error: %s\n", pipeline.status().message().c_str());
+  auto engine = whyprov::Engine::FromText(program_text, database_text,
+                                          answer_predicate, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().message().c_str());
     return 1;
   }
   std::printf("%zu database facts, %zu derived answers for '%s'\n",
-              pipeline.value().database().size(),
-              pipeline.value().AnswerFactIds().size(), answer_predicate);
+              engine.value().database().size(),
+              engine.value().AnswerFactIds().size(), answer_predicate);
 
   std::vector<dl::FactId> targets;
   if (fact_text != nullptr) {
-    auto target = pipeline.value().FactIdOf(fact_text);
+    auto target = engine.value().FactIdOf(fact_text);
     if (!target.ok()) {
       std::fprintf(stderr, "error: %s\n", target.status().message().c_str());
       return 1;
     }
     targets.push_back(target.value());
   } else {
-    whyprov::util::Rng rng(0);
-    targets = pipeline.value().SampleAnswers(3, rng);
+    targets = engine.value().SampleAnswers(3);
   }
 
   for (dl::FactId target : targets) {
-    std::printf("\nwhy %s ?\n", pipeline.value().FactToText(target).c_str());
-    auto enumerator = pipeline.value().MakeEnumerator(target);
+    std::printf("\nwhy %s ?\n", engine.value().FactToText(target).c_str());
+    whyprov::EnumerateRequest request;
+    request.target = target;
+    request.max_members = max_members;
+    auto enumeration = engine.value().Enumerate(request);
+    if (!enumeration.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   enumeration.status().message().c_str());
+      continue;
+    }
     std::size_t count = 0;
     bool dot_done = false;
-    for (auto member = enumerator->Next();
-         member.has_value() && count < max_members;
-         member = enumerator->Next()) {
+    for (const auto& member : enumeration.value()) {
       std::printf("  [%zu] {", ++count);
-      for (std::size_t i = 0; i < member->size(); ++i) {
+      for (std::size_t i = 0; i < member.size(); ++i) {
         std::printf("%s%s", i > 0 ? ", " : "",
-                    dl::FactToString((*member)[i],
-                                     pipeline.value().model().symbols())
-                        .c_str());
+                    engine.value().FactToText(member[i]).c_str());
       }
       std::printf("}\n");
       if (print_tree || (print_dot && !dot_done)) {
-        const pv::CompressedDag dag(&enumerator->closure(),
-                                    enumerator->last_witness_choices());
-        auto tree = dag.UnravelToProofTree(pipeline.value().program(),
-                                           pipeline.value().model());
+        auto tree = enumeration.value().ExplainLast();
         if (tree.ok()) {
           if (print_tree) {
             std::printf("%s", tree.value()
-                                  .ToString(pipeline.value().model().symbols())
+                                  .ToString(engine.value().model().symbols())
                                   .c_str());
           }
           if (print_dot && !dot_done) {
-            std::printf("%s", pv::ProofTreeToDot(
+            std::printf("%s", whyprov::provenance::ProofTreeToDot(
                                   tree.value(),
-                                  pipeline.value().model().symbols())
+                                  engine.value().model().symbols())
                                   .c_str());
             dot_done = true;
           }
@@ -138,6 +139,11 @@ int main(int argc, char** argv) {
       }
     }
     if (count == 0) std::printf("  (no explanations)\n");
+    if (enumeration.value().incomplete()) {
+      std::fprintf(stderr,
+                   "warning: the solver backend gave up; the family may "
+                   "be incomplete\n");
+    }
   }
   return 0;
 }

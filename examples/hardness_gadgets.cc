@@ -5,41 +5,36 @@
 // HamCycle: G has a Ham. cycle   iff D_G  in whyNR((g0), D_G, Q_24)
 //
 // Because Q_24 is linear, whyNR = whyUN, so the SAT-based membership check
-// decides Hamiltonicity — a Datalog-provenance query solving a graph
-// problem.
+// (Engine::Decide with TreeClass::kUnambiguous) decides Hamiltonicity — a
+// Datalog-provenance query solving a graph problem.
 
 #include <cstdio>
 
-#include "provenance/baseline.h"
-#include "provenance/decision.h"
 #include "scenarios/reductions.h"
-#include "util/rng.h"
+#include "whyprov.h"
 
 namespace pv = whyprov::provenance;
 namespace sc = whyprov::scenarios;
 namespace dl = whyprov::datalog;
 
-bool DatabaseIsWhyMember(const sc::ReductionOutput& reduction) {
-  const dl::Model model =
-      dl::Evaluator::Evaluate(reduction.program, reduction.database);
-  auto target = model.Find(reduction.target);
+namespace {
+
+/// Decides D in why/whyUN(target, D, Q) for the reduction output, via the
+/// engine facade.
+bool DatabaseIsMember(const sc::ReductionOutput& reduction,
+                      pv::TreeClass tree_class) {
+  whyprov::Engine engine = whyprov::Engine::FromParts(
+      reduction.program, reduction.database, reduction.target.predicate);
+  auto target = engine.model().Find(reduction.target);
   if (!target.has_value()) return false;
-  auto family = pv::EnumerateWhyExhaustive(reduction.program, model, *target,
-                                           pv::TreeClass::kAny);
-  if (!family.ok()) return false;
-  std::vector<dl::Fact> whole(reduction.database.facts());
-  std::sort(whole.begin(), whole.end());
-  return family.value().contains(whole);
+  whyprov::DecideRequest request;
+  request.target = *target;
+  request.candidate = reduction.database.facts();
+  request.tree_class = tree_class;
+  return engine.Decide(request).value_or(false);
 }
 
-bool DatabaseIsWhyNrMember(const sc::ReductionOutput& reduction) {
-  const dl::Model model =
-      dl::Evaluator::Evaluate(reduction.program, reduction.database);
-  auto target = model.Find(reduction.target);
-  if (!target.has_value()) return false;
-  return pv::IsWhyUnMemberSat(reduction.program, model, *target,
-                              reduction.database.facts());
-}
+}  // namespace
 
 int main() {
   std::printf("=== Lemma 17: solving 3SAT via why-provenance ===\n");
@@ -52,21 +47,25 @@ int main() {
                 reduction.program.ToString().c_str());
     std::printf("database D_phi:\n%s\n",
                 reduction.database.ToString().c_str());
-    const bool member = DatabaseIsWhyMember(reduction);
+    const bool member = DatabaseIsMember(reduction, pv::TreeClass::kAny);
+    const bool brute = sc::SolveThreeSatBruteForce(sat_instance);
     std::printf("D_phi in why((x1), D_phi, Q)?  %s\n", member ? "yes" : "no");
     std::printf("=> phi is %s (brute force agrees: %s)\n\n",
                 member ? "SATISFIABLE" : "UNSATISFIABLE",
-                sc::SolveThreeSatBruteForce(sat_instance) ? "satisfiable"
-                                                          : "unsatisfiable");
+                brute ? "satisfiable" : "unsatisfiable");
+    if (member != brute) return 1;
   }
 
   std::printf("=== Lemma 24: Hamiltonian cycles via why-provenance ===\n");
   whyprov::util::Rng rng(2024);
+  bool all_agree = true;
   for (int trial = 0; trial < 3; ++trial) {
     const sc::DigraphInstance graph = sc::RandomDigraph(5, 0.35, rng);
     const sc::ReductionOutput reduction = sc::ReduceHamiltonianCycle(graph);
-    const bool member = DatabaseIsWhyNrMember(reduction);
+    const bool member =
+        DatabaseIsMember(reduction, pv::TreeClass::kUnambiguous);
     const bool truth = sc::HasHamiltonianCycleBruteForce(graph);
+    all_agree = all_agree && member == truth;
     std::printf(
         "random digraph #%d (%d nodes, %zu edges): provenance says %-3s "
         "brute force says %-3s %s\n",
@@ -77,5 +76,6 @@ int main() {
   std::printf(
       "\nThe membership question 'is the whole database an explanation?' is\n"
       "NP-hard precisely because it can express searches like these.\n");
-  return 0;
+  // Nonzero exit on disagreement so CI smoke-runs catch regressions.
+  return all_agree ? 0 : 1;
 }

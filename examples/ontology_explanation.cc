@@ -8,9 +8,7 @@
 
 #include <cstdio>
 
-#include "provenance/why_provenance.h"
-
-namespace pv = whyprov::provenance;
+#include "whyprov.h"
 
 int main() {
   // A miniature EL calculus (three of the rules suffice for this demo).
@@ -35,36 +33,34 @@ int main() {
     existssubclass(hassite, criticalorgan, criticalcondition).
   )";
 
-  auto pipeline = pv::WhyProvenancePipeline::FromText(program, database, "s");
-  if (!pipeline.ok()) {
-    std::fprintf(stderr, "error: %s\n", pipeline.status().message().c_str());
+  auto engine = whyprov::Engine::FromText(program, database, "s");
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().message().c_str());
     return 1;
   }
 
   std::printf("Inferred subsumptions:\n");
-  for (auto id : pipeline.value().AnswerFactIds()) {
-    std::printf("  %s\n", pipeline.value().FactToText(id).c_str());
+  for (auto id : engine.value().AnswerFactIds()) {
+    std::printf("  %s\n", engine.value().FactToText(id).c_str());
   }
 
   // The interesting inference: endocarditis is a critical condition, via
   // the existential axiom chain — ask for its justifications.
-  auto target = pipeline.value().FactIdOf("s(endocarditis, criticalcondition)");
-  if (!target.ok()) {
+  whyprov::EnumerateRequest request;
+  request.target_text = "s(endocarditis, criticalcondition)";
+  auto enumeration = engine.value().Enumerate(request);
+  if (!enumeration.ok()) {
     std::fprintf(stderr, "expected inference missing: %s\n",
-                 target.status().message().c_str());
+                 enumeration.status().message().c_str());
     return 1;
   }
   std::printf("\nJustifications of s(endocarditis, criticalcondition):\n");
-  auto enumerator = pipeline.value().MakeEnumerator(target.value());
   int index = 0;
-  for (auto member = enumerator->Next(); member.has_value();
-       member = enumerator->Next()) {
+  for (const auto& member : enumeration.value()) {
     std::printf("  justification %d: {", ++index);
-    for (std::size_t i = 0; i < member->size(); ++i) {
+    for (std::size_t i = 0; i < member.size(); ++i) {
       std::printf("%s%s", i > 0 ? ", " : "",
-                  whyprov::datalog::FactToString(
-                      (*member)[i], pipeline.value().model().symbols())
-                      .c_str());
+                  engine.value().FactToText(member[i]).c_str());
     }
     std::printf("}\n");
   }

@@ -9,10 +9,7 @@
 
 #include <cstdio>
 
-#include "provenance/proof_dag.h"
-#include "provenance/why_provenance.h"
-
-namespace pv = whyprov::provenance;
+#include "whyprov.h"
 
 int main() {
   // The classical 4-rule inclusion-based points-to analysis.
@@ -36,46 +33,41 @@ int main() {
     load(u, t).
   )";
 
-  auto pipeline =
-      pv::WhyProvenancePipeline::FromText(program, database, "pointsto");
-  if (!pipeline.ok()) {
-    std::fprintf(stderr, "error: %s\n", pipeline.status().message().c_str());
+  auto engine =
+      whyprov::Engine::FromText(program, database, "pointsto");
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().message().c_str());
     return 1;
   }
 
   std::printf("Points-to facts derived from the program:\n");
-  for (auto id : pipeline.value().AnswerFactIds()) {
-    std::printf("  %s\n", pipeline.value().FactToText(id).c_str());
+  for (auto id : engine.value().AnswerFactIds()) {
+    std::printf("  %s\n", engine.value().FactToText(id).c_str());
   }
 
   // Why does s point to obj1? Expect the copy chain p -> r -> s.
   for (const char* question : {"pointsto(s, obj1)", "pointsto(u, obj2)"}) {
-    auto target = pipeline.value().FactIdOf(question);
-    if (!target.ok()) {
+    whyprov::EnumerateRequest request;
+    request.target_text = question;
+    auto enumeration = engine.value().Enumerate(request);
+    if (!enumeration.ok()) {
       std::printf("\n%s is not derivable.\n", question);
       continue;
     }
     std::printf("\nWhy %s ?\n", question);
-    auto enumerator = pipeline.value().MakeEnumerator(target.value());
     int index = 0;
-    for (auto member = enumerator->Next(); member.has_value();
-         member = enumerator->Next()) {
+    for (const auto& member : enumeration.value()) {
       std::printf("  explanation %d — the statements {", ++index);
-      for (std::size_t i = 0; i < member->size(); ++i) {
+      for (std::size_t i = 0; i < member.size(); ++i) {
         std::printf("%s%s", i > 0 ? ", " : "",
-                    whyprov::datalog::FactToString(
-                        (*member)[i], pipeline.value().model().symbols())
-                        .c_str());
+                    engine.value().FactToText(member[i]).c_str());
       }
       std::printf("} suffice\n");
-      const pv::CompressedDag dag(&enumerator->closure(),
-                                  enumerator->last_witness_choices());
-      auto tree = dag.UnravelToProofTree(pipeline.value().program(),
-                                         pipeline.value().model());
+      auto tree = enumeration.value().ExplainLast();
       if (tree.ok()) {
         std::printf("  derivation:\n%s",
                     tree.value()
-                        .ToString(pipeline.value().model().symbols())
+                        .ToString(engine.value().model().symbols())
                         .c_str());
       }
     }

@@ -1,16 +1,16 @@
-// Quickstart: the paper's running example end to end.
+// Quickstart: the paper's running example end to end, via the public
+// `whyprov::Engine` facade (include "whyprov.h" and nothing else).
 //
 // Builds the path-accessibility query (Example 1 of "The Complexity of
-// Why-Provenance for Datalog Queries"), evaluates it, and enumerates the
-// why-provenance of the answer (d) relative to unambiguous proof trees,
-// reconstructing an actual proof tree for each member.
+// Why-Provenance for Datalog Queries"), evaluates it with
+// Engine::FromText, enumerates the why-provenance of the answer (d)
+// relative to unambiguous proof trees with Engine::Enumerate, and
+// reconstructs a witnessing proof tree for each member with
+// Enumeration::ExplainLast.
 
 #include <cstdio>
 
-#include "provenance/proof_dag.h"
-#include "provenance/why_provenance.h"
-
-namespace pv = whyprov::provenance;
+#include "whyprov.h"
 
 int main() {
   // The program of Example 1: S holds source nodes, T(y, z, x) says that
@@ -23,50 +23,46 @@ int main() {
     s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a).
   )";
 
-  auto pipeline = pv::WhyProvenancePipeline::FromText(program, database, "a");
-  if (!pipeline.ok()) {
-    std::fprintf(stderr, "error: %s\n", pipeline.status().message().c_str());
+  auto engine = whyprov::Engine::FromText(program, database, "a");
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().message().c_str());
     return 1;
   }
 
   std::printf("Datalog program:\n%s\n",
-              pipeline.value().program().ToString().c_str());
+              engine.value().program().ToString().c_str());
   std::printf("Database D:\n%s\n",
-              pipeline.value().database().ToString().c_str());
+              engine.value().database().ToString().c_str());
   std::printf("Answers to Q = (Sigma, a): ");
-  for (auto id : pipeline.value().AnswerFactIds()) {
-    std::printf("%s ", pipeline.value().FactToText(id).c_str());
+  for (auto id : engine.value().AnswerFactIds()) {
+    std::printf("%s ", engine.value().FactToText(id).c_str());
   }
   std::printf("\n\n");
 
   // Explain the tuple (d): why is d accessible?
-  auto target = pipeline.value().FactIdOf("a(d)");
-  if (!target.ok()) {
-    std::fprintf(stderr, "error: %s\n", target.status().message().c_str());
+  whyprov::EnumerateRequest request;
+  request.target_text = "a(d)";
+  auto enumeration = engine.value().Enumerate(request);
+  if (!enumeration.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 enumeration.status().message().c_str());
     return 1;
   }
-  auto enumerator = pipeline.value().MakeEnumerator(target.value());
   std::printf("whyUN((d), D, Q) — every member with a witnessing proof tree:\n");
   int index = 0;
-  for (auto member = enumerator->Next(); member.has_value();
-       member = enumerator->Next()) {
+  for (const auto& member : enumeration.value()) {
     std::printf("\nmember %d: {", ++index);
-    for (std::size_t i = 0; i < member->size(); ++i) {
+    for (std::size_t i = 0; i < member.size(); ++i) {
       std::printf("%s%s", i > 0 ? ", " : "",
-                  whyprov::datalog::FactToString(
-                      (*member)[i], pipeline.value().model().symbols())
-                      .c_str());
+                  engine.value().FactToText(member[i]).c_str());
     }
     std::printf("}\n");
     // Reconstruct an unambiguous proof tree from the SAT witness.
-    const pv::CompressedDag dag(&enumerator->closure(),
-                                enumerator->last_witness_choices());
-    auto tree = dag.UnravelToProofTree(pipeline.value().program(),
-                                       pipeline.value().model());
+    auto tree = enumeration.value().ExplainLast();
     if (tree.ok()) {
       std::printf("proof tree:\n%s",
                   tree.value()
-                      .ToString(pipeline.value().model().symbols())
+                      .ToString(engine.value().model().symbols())
                       .c_str());
     }
   }

@@ -94,7 +94,7 @@ class Lexer {
   }
 
   util::Status Error(const std::string& message) const {
-    return util::Status::Error("parse error at " + std::to_string(line_) +
+    return util::Status::ParseError("parse error at " + std::to_string(line_) +
                                ":" + std::to_string(column_) + ": " + message);
   }
 
@@ -195,7 +195,7 @@ class ParserImpl {
 
   util::Status Consume(TokenKind kind, const std::string& message) {
     if (current_.kind != kind) {
-      return util::Status::Error("parse error at " +
+      return util::Status::ParseError("parse error at " +
                                  std::to_string(current_.line) + ":" +
                                  std::to_string(current_.column) + ": " +
                                  message);
@@ -205,7 +205,7 @@ class ParserImpl {
 
   util::Result<RawAtom> ParseRawAtom() {
     if (current_.kind != TokenKind::kIdentifier) {
-      return util::Status::Error(
+      return util::Status::ParseError(
           "parse error at " + std::to_string(current_.line) + ":" +
           std::to_string(current_.column) + ": expected a predicate name");
     }
@@ -220,7 +220,7 @@ class ParserImpl {
     if (!status.ok()) return status;
     while (true) {
       if (current_.kind != TokenKind::kIdentifier) {
-        return util::Status::Error(
+        return util::Status::ParseError(
             "parse error at " + std::to_string(current_.line) + ":" +
             std::to_string(current_.column) + ": expected a term");
       }
@@ -243,7 +243,7 @@ class ParserImpl {
   util::Result<Fact> ResolveFact(const RawAtom& raw) {
     for (const RawTerm& term : raw.terms) {
       if (term.is_variable) {
-        return util::Status::Error(
+        return util::Status::ParseError(
             "parse error at " + std::to_string(raw.line) + ":" +
             std::to_string(raw.column) + ": fact '" + raw.predicate +
             "' contains variable '" + term.text + "'");
@@ -305,9 +305,9 @@ class ParserImpl {
     }
     util::Status safety = rule.CheckSafety();
     if (!safety.ok()) {
-      return util::Status::Error("at " + std::to_string(raw_head.line) + ":" +
-                                 std::to_string(raw_head.column) + ": " +
-                                 safety.message());
+      return util::Status::ParseError(
+          "at " + std::to_string(raw_head.line) + ":" +
+          std::to_string(raw_head.column) + ": " + safety.message());
     }
     return rule;
   }
@@ -330,7 +330,7 @@ util::Result<Program> Parser::ParseProgram(
   util::Result<ParsedUnit> unit = ParseUnit(symbols, text);
   if (!unit.ok()) return unit.status();
   if (!unit.value().facts.empty()) {
-    return util::Status::Error(
+    return util::Status::ParseError(
         "expected rules only, but the text contains ground facts");
   }
   return Program::Create(symbols, std::move(unit.value().rules));
@@ -341,7 +341,7 @@ util::Result<Database> Parser::ParseDatabase(
   util::Result<ParsedUnit> unit = ParseUnit(symbols, text);
   if (!unit.ok()) return unit.status();
   if (!unit.value().rules.empty()) {
-    return util::Status::Error(
+    return util::Status::ParseError(
         "expected facts only, but the text contains rules");
   }
   Database db(symbols);
@@ -355,7 +355,7 @@ util::Result<Fact> Parser::ParseFact(
       ParseUnit(symbols, std::string(text) + ".");
   if (!unit.ok()) return unit.status();
   if (unit.value().facts.size() != 1 || !unit.value().rules.empty()) {
-    return util::Status::Error("expected exactly one ground atom");
+    return util::Status::ParseError("expected exactly one ground atom");
   }
   return std::move(unit.value().facts.front());
 }

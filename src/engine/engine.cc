@@ -1,0 +1,248 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "datalog/parser.h"
+#include "provenance/proof_dag.h"
+#include "sat/solver_factory.h"
+
+namespace whyprov {
+
+namespace dl = whyprov::datalog;
+namespace pv = whyprov::provenance;
+
+namespace {
+
+dl::Model EvaluateTimed(const dl::Program& program,
+                        const dl::Database& database, double* seconds) {
+  util::Timer timer;
+  dl::Model model = dl::Evaluator::Evaluate(program, database);
+  *seconds = timer.ElapsedSeconds();
+  return model;
+}
+
+}  // namespace
+
+// --- Enumeration ---------------------------------------------------------
+
+std::optional<std::vector<dl::Fact>> Enumeration::Next() {
+  if (exhausted_ || hit_member_cap_ || hit_timeout_) return std::nullopt;
+  if (emitted_ >= max_members_) {
+    hit_member_cap_ = true;
+    return std::nullopt;
+  }
+  if (timeout_seconds_ > 0 && clock_.ElapsedSeconds() > timeout_seconds_) {
+    hit_timeout_ = true;
+    return std::nullopt;
+  }
+  std::optional<std::vector<dl::Fact>> member = impl_->Next();
+  if (!member.has_value()) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  ++emitted_;
+  return member;
+}
+
+std::vector<std::vector<dl::Fact>> Enumeration::All() {
+  std::vector<std::vector<dl::Fact>> members;
+  for (std::optional<std::vector<dl::Fact>> member = Next();
+       member.has_value(); member = Next()) {
+    members.push_back(std::move(*member));
+  }
+  return members;
+}
+
+util::Result<pv::ProofTree> Enumeration::ExplainLast(
+    std::size_t max_tree_nodes) const {
+  if (emitted_ == 0) {
+    return util::Status::NotFound(
+        "no member has been emitted yet; call Next() first");
+  }
+  const pv::CompressedDag dag(&impl_->closure(),
+                              impl_->last_witness_choices());
+  return dag.UnravelToProofTree(*program_, *model_, max_tree_nodes);
+}
+
+// --- Engine --------------------------------------------------------------
+
+Engine::Engine(dl::Program program, dl::Database database,
+               dl::PredicateId answer_predicate, EngineOptions options)
+    : program_(std::move(program)),
+      database_(std::move(database)),
+      answer_predicate_(answer_predicate),
+      options_(std::move(options)),
+      model_(EvaluateTimed(program_, database_, &eval_seconds_)) {}
+
+util::Result<Engine> Engine::FromText(std::string_view program_text,
+                                      std::string_view database_text,
+                                      std::string_view answer_predicate,
+                                      EngineOptions options) {
+  auto symbols = std::make_shared<dl::SymbolTable>();
+  util::Result<dl::Program> program =
+      dl::Parser::ParseProgram(symbols, program_text);
+  if (!program.ok()) return program.status();
+  util::Result<dl::Database> database =
+      dl::Parser::ParseDatabase(symbols, database_text);
+  if (!database.ok()) return database.status();
+  util::Result<dl::PredicateId> predicate =
+      symbols->FindPredicate(answer_predicate);
+  if (!predicate.ok()) {
+    return util::Status::NotFound("answer predicate '" +
+                                  std::string(answer_predicate) +
+                                  "' does not occur in the program");
+  }
+  if (!program.value().IsIntensional(predicate.value())) {
+    return util::Status::InvalidArgument("answer predicate '" +
+                                         std::string(answer_predicate) +
+                                         "' is not intensional");
+  }
+  if (!sat::SolverFactory::Instance().Has(options.solver_backend)) {
+    return util::Status::NotFound("unknown SAT backend '" +
+                                  options.solver_backend + "'");
+  }
+  return Engine(std::move(program).value(), std::move(database).value(),
+                predicate.value(), std::move(options));
+}
+
+Engine Engine::FromParts(dl::Program program, dl::Database database,
+                         dl::PredicateId answer_predicate,
+                         EngineOptions options) {
+  return Engine(std::move(program), std::move(database), answer_predicate,
+                std::move(options));
+}
+
+std::vector<dl::FactId> Engine::AnswerFactIds() const {
+  return model_.Relation(answer_predicate_);
+}
+
+std::vector<dl::FactId> Engine::SampleAnswers(std::size_t count) const {
+  util::Rng rng(options_.sampling_seed);
+  return SampleAnswers(count, rng);
+}
+
+std::vector<dl::FactId> Engine::SampleAnswers(std::size_t count,
+                                              util::Rng& rng) const {
+  std::vector<dl::FactId> answers = AnswerFactIds();
+  rng.Shuffle(answers);
+  if (answers.size() > count) answers.resize(count);
+  return answers;
+}
+
+util::Result<dl::FactId> Engine::FactIdOf(std::string_view fact_text) const {
+  util::Result<dl::Fact> fact =
+      dl::Parser::ParseFact(database_.symbols_ptr(), fact_text);
+  if (!fact.ok()) return fact.status();
+  auto id = model_.Find(fact.value());
+  if (!id.has_value()) {
+    return util::Status::NotFound("fact '" + std::string(fact_text) +
+                                  "' is not derivable");
+  }
+  return *id;
+}
+
+std::string Engine::FactToText(dl::FactId id) const {
+  return dl::FactToString(model_.fact(id), program_.symbols());
+}
+
+std::string Engine::FactToText(const dl::Fact& fact) const {
+  return dl::FactToString(fact, program_.symbols());
+}
+
+util::Result<dl::FactId> Engine::ResolveTarget(
+    dl::FactId target, const std::string& target_text) const {
+  if (target != dl::kInvalidFact) return target;
+  if (target_text.empty()) {
+    return util::Status::InvalidArgument(
+        "the request names no target: set `target` or `target_text`");
+  }
+  return FactIdOf(target_text);
+}
+
+util::Result<Enumeration> Engine::Enumerate(
+    const EnumerateRequest& request) const {
+  util::Result<dl::FactId> target =
+      ResolveTarget(request.target, request.target_text);
+  if (!target.ok()) return target.status();
+  const std::string& backend = request.solver_backend.empty()
+                                   ? options_.solver_backend
+                                   : request.solver_backend;
+  auto solver =
+      sat::SolverFactory::Instance().Create(backend, options_.solver);
+  if (!solver.ok()) return solver.status();
+  pv::WhyProvenanceEnumerator::Options enumerator_options;
+  enumerator_options.acyclicity =
+      request.acyclicity.value_or(options_.acyclicity);
+  auto impl = std::make_unique<pv::WhyProvenanceEnumerator>(
+      program_, model_, target.value(), enumerator_options,
+      std::move(solver).value());
+  return Enumeration(&program_, &model_, std::move(impl), target.value(),
+                     request.max_members, request.timeout_seconds);
+}
+
+util::Result<bool> Engine::Decide(const DecideRequest& request) const {
+  util::Result<dl::FactId> target =
+      ResolveTarget(request.target, request.target_text);
+  if (!target.ok()) return target.status();
+  if (request.tree_class == pv::TreeClass::kUnambiguous) {
+    const std::string& backend = request.solver_backend.empty()
+                                     ? options_.solver_backend
+                                     : request.solver_backend;
+    auto solver =
+        sat::SolverFactory::Instance().Create(backend, options_.solver);
+    if (!solver.ok()) return solver.status();
+    // Propagates kResourceExhausted when the backend gives up instead of
+    // misreporting "not a member".
+    return pv::IsWhyUnMemberSat(
+        program_, model_, target.value(), request.candidate,
+        request.acyclicity.value_or(options_.acyclicity), *solver.value());
+  }
+  util::Result<pv::ProvenanceFamily> family = pv::EnumerateWhyExhaustive(
+      program_, model_, target.value(), request.tree_class,
+      options_.baseline_limits);
+  if (!family.ok()) return family.status();
+  std::vector<dl::Fact> candidate = request.candidate;
+  std::sort(candidate.begin(), candidate.end());
+  return family.value().contains(candidate);
+}
+
+util::Result<pv::ProvenanceFamily> Engine::Baseline(
+    const BaselineRequest& request) const {
+  util::Result<dl::FactId> target =
+      ResolveTarget(request.target, request.target_text);
+  if (!target.ok()) return target.status();
+  return pv::ComputeWhyAllAtOnce(
+      program_, model_, target.value(),
+      request.limits.value_or(options_.baseline_limits));
+}
+
+util::Result<Explanation> Engine::Explain(
+    const ExplainRequest& request) const {
+  EnumerateRequest enumerate;
+  enumerate.target = request.target;
+  enumerate.target_text = request.target_text;
+  enumerate.max_members = request.member_index + 1;
+  enumerate.acyclicity = request.acyclicity;
+  enumerate.solver_backend = request.solver_backend;
+  util::Result<Enumeration> enumeration = Enumerate(enumerate);
+  if (!enumeration.ok()) return enumeration.status();
+  std::optional<std::vector<dl::Fact>> member;
+  for (std::size_t i = 0; i <= request.member_index; ++i) {
+    member = enumeration.value().Next();
+    if (!member.has_value()) {
+      return util::Status::NotFound(
+          "the enumeration has only " +
+          std::to_string(enumeration.value().members_emitted()) +
+          " member(s); cannot explain member index " +
+          std::to_string(request.member_index));
+    }
+  }
+  util::Result<pv::ProofTree> tree =
+      enumeration.value().ExplainLast(request.max_tree_nodes);
+  if (!tree.ok()) return tree.status();
+  return Explanation{std::move(*member), std::move(tree).value()};
+}
+
+}  // namespace whyprov

@@ -1,0 +1,316 @@
+#ifndef WHYPROV_ENGINE_ENGINE_H_
+#define WHYPROV_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/database.h"
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "provenance/acyclicity.h"
+#include "provenance/baseline.h"
+#include "provenance/decision.h"
+#include "provenance/enumerator.h"
+#include "provenance/proof_tree.h"
+#include "sat/solver_interface.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace whyprov {
+
+/// "No cap" sentinel re-exported at the facade level.
+using provenance::kNoLimit;
+
+/// One consolidated option block for the whole engine: acyclicity
+/// encoding, SAT backend selection and tuning, materialisation budgets,
+/// and sampling determinism. Per-request structs can override the
+/// request-scoped subset.
+struct EngineOptions {
+  /// phi_acyclic encoding used by SAT-based services.
+  provenance::AcyclicityEncoding acyclicity =
+      provenance::AcyclicityEncoding::kVertexElimination;
+  /// SolverFactory backend name ("cdcl", "dpll", "dimacs-pipe", ...).
+  std::string solver_backend = "cdcl";
+  /// Tuning passed to whichever backend is instantiated.
+  sat::SolverOptions solver;
+  /// Budgets for the exhaustive/materialising algorithms.
+  provenance::BaselineLimits baseline_limits;
+  /// Seed for SampleAnswers (same seed => same sample).
+  std::uint64_t sampling_seed = 0;
+};
+
+/// Parameters of Engine::Enumerate.
+struct EnumerateRequest {
+  /// The answer fact to explain; either a fact id of the engine's model
+  /// or, when kInvalidFact, the parse of `target_text`.
+  datalog::FactId target = datalog::kInvalidFact;
+  std::string target_text;
+  /// Stop after this many members (kNoLimit = enumerate to exhaustion).
+  std::size_t max_members = kNoLimit;
+  /// Stop once this much wall-clock time has elapsed (<= 0 = no timeout).
+  double timeout_seconds = 0;
+  /// Request-scoped overrides of the engine defaults.
+  std::optional<provenance::AcyclicityEncoding> acyclicity;
+  std::string solver_backend;  ///< empty = engine default
+};
+
+/// Parameters of Engine::Decide: is `candidate` a member of the
+/// why-provenance of `target` w.r.t. `tree_class`?
+struct DecideRequest {
+  datalog::FactId target = datalog::kInvalidFact;
+  std::string target_text;
+  std::vector<datalog::Fact> candidate;  ///< the D' to test
+  provenance::TreeClass tree_class = provenance::TreeClass::kUnambiguous;
+  std::optional<provenance::AcyclicityEncoding> acyclicity;
+  std::string solver_backend;  ///< empty = engine default
+};
+
+/// Parameters of Engine::Baseline (all-at-once materialisation).
+struct BaselineRequest {
+  datalog::FactId target = datalog::kInvalidFact;
+  std::string target_text;
+  std::optional<provenance::BaselineLimits> limits;  ///< engine default if unset
+};
+
+/// Parameters of Engine::Explain (proof-tree reconstruction).
+struct ExplainRequest {
+  datalog::FactId target = datalog::kInvalidFact;
+  std::string target_text;
+  /// Explain the (member_index + 1)-th member of the enumeration.
+  std::size_t member_index = 0;
+  /// Node cap for unravelling the compressed DAG into a tree.
+  std::size_t max_tree_nodes = 1u << 20;
+  /// Request-scoped overrides, as in EnumerateRequest.
+  std::optional<provenance::AcyclicityEncoding> acyclicity;
+  std::string solver_backend;  ///< empty = engine default
+};
+
+/// Result of Engine::Explain: one why-provenance member together with a
+/// witnessing unambiguous proof tree.
+struct Explanation {
+  std::vector<datalog::Fact> member;
+  provenance::ProofTree tree;
+};
+
+/// A live why-provenance enumeration: a move-only, range-style handle
+/// unifying incremental Next(), draining All(), per-member delays, phase
+/// timings, and budget outcomes. Obtained from Engine::Enumerate; keeps
+/// the engine borrowed (the engine must outlive it).
+class Enumeration {
+ public:
+  Enumeration(Enumeration&&) = default;
+  Enumeration& operator=(Enumeration&&) = default;
+
+  /// The next member of the family as a sorted set of database facts, or
+  /// nullopt once exhausted or a request budget (member cap / timeout)
+  /// has been hit.
+  std::optional<std::vector<datalog::Fact>> Next();
+
+  /// Drains the remaining members (still subject to the request budgets).
+  std::vector<std::vector<datalog::Fact>> All();
+
+  /// Reconstructs an unambiguous proof tree witnessing the most recently
+  /// emitted member. kNotFound before the first Next().
+  util::Result<provenance::ProofTree> ExplainLast(
+      std::size_t max_tree_nodes = 1u << 20) const;
+
+  /// Members emitted so far through this handle.
+  std::size_t members_emitted() const { return emitted_; }
+
+  /// True once Next() returned nullopt because the solver answered UNSAT
+  /// or gave up (see incomplete() to tell the two apart).
+  bool exhausted() const { return exhausted_; }
+
+  /// True if the backend answered kUnknown (e.g. a failed external
+  /// solver or an exhausted conflict budget): the enumeration stopped
+  /// but the emitted members may not be the whole family.
+  bool incomplete() const { return impl_->incomplete(); }
+
+  /// True once the request's max_members stopped the enumeration.
+  bool hit_member_cap() const { return hit_member_cap_; }
+
+  /// True once the request's timeout stopped the enumeration.
+  bool hit_timeout() const { return hit_timeout_; }
+
+  /// The fact being explained.
+  datalog::FactId target() const { return target_; }
+
+  /// Per-member delays in milliseconds (the paper's Figures 2/4).
+  const std::vector<double>& delays_ms() const { return impl_->delays_ms(); }
+
+  /// Closure/encode phase timings (the paper's Figures 1/3).
+  const provenance::WhyProvenanceEnumerator::Timings& timings() const {
+    return impl_->timings();
+  }
+
+  /// The downward closure (e.g. for size reporting).
+  const provenance::DownwardClosure& closure() const {
+    return impl_->closure();
+  }
+
+  /// The encoding layout (e.g. for variable/clause counts).
+  const provenance::Encoding& encoding() const { return impl_->encoding(); }
+
+  /// The SAT backend serving this enumeration.
+  const sat::SolverInterface& solver() const { return impl_->solver(); }
+
+  /// Witness choices of the most recent member (see WhyProvenanceEnumerator).
+  const std::unordered_map<datalog::FactId, std::size_t>&
+  last_witness_choices() const {
+    return impl_->last_witness_choices();
+  }
+
+  /// Minimal input-iterator support so the handle works with range-for:
+  ///   for (const auto& member : enumeration) { ... }
+  class Iterator {
+   public:
+    using value_type = std::vector<datalog::Fact>;
+
+    Iterator() = default;
+    explicit Iterator(Enumeration* owner) : owner_(owner) { ++*this; }
+    const value_type& operator*() const { return *current_; }
+    Iterator& operator++() {
+      current_ = owner_->Next();
+      if (!current_.has_value()) owner_ = nullptr;
+      return *this;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.owner_ == b.owner_;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    Enumeration* owner_ = nullptr;
+    std::optional<value_type> current_;
+  };
+
+  Iterator begin() { return Iterator(this); }
+  Iterator end() { return Iterator(); }
+
+ private:
+  friend class Engine;
+
+  Enumeration(const datalog::Program* program, const datalog::Model* model,
+              std::unique_ptr<provenance::WhyProvenanceEnumerator> impl,
+              datalog::FactId target, std::size_t max_members,
+              double timeout_seconds)
+      : program_(program),
+        model_(model),
+        impl_(std::move(impl)),
+        target_(target),
+        max_members_(max_members),
+        timeout_seconds_(timeout_seconds) {}
+
+  const datalog::Program* program_;
+  const datalog::Model* model_;
+  std::unique_ptr<provenance::WhyProvenanceEnumerator> impl_;
+  datalog::FactId target_;
+  std::size_t max_members_;
+  double timeout_seconds_;
+  util::Timer clock_;  // starts when Enumerate returns the handle
+  std::size_t emitted_ = 0;
+  bool exhausted_ = false;
+  bool hit_member_cap_ = false;
+  bool hit_timeout_ = false;
+};
+
+/// The unified public facade over the whole reproduction: owns parsing,
+/// semi-naive evaluation, and every provenance service of the paper —
+/// incremental whyUN enumeration (Section 5), membership decision
+/// (Section 3), all-at-once materialisation (the Figure 5 baseline), and
+/// proof-tree reconstruction — behind typed request/response structs.
+/// SAT backends are pluggable via `sat::SolverFactory`.
+class Engine {
+ public:
+  /// Parses program/database text, resolves the answer predicate, and
+  /// evaluates the least model eagerly.
+  static util::Result<Engine> FromText(std::string_view program_text,
+                                       std::string_view database_text,
+                                       std::string_view answer_predicate,
+                                       EngineOptions options = EngineOptions());
+
+  /// Builds an engine from already-parsed pieces (evaluates eagerly).
+  static Engine FromParts(datalog::Program program,
+                          datalog::Database database,
+                          datalog::PredicateId answer_predicate,
+                          EngineOptions options = EngineOptions());
+
+  // --- views ------------------------------------------------------------
+
+  const datalog::Program& program() const { return program_; }
+  const datalog::Database& database() const { return database_; }
+  const datalog::Model& model() const { return model_; }
+  datalog::PredicateId answer_predicate() const { return answer_predicate_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Seconds spent evaluating the least model.
+  double eval_seconds() const { return eval_seconds_; }
+
+  // --- answers ----------------------------------------------------------
+
+  /// The answer facts R(t) of the query.
+  std::vector<datalog::FactId> AnswerFactIds() const;
+
+  /// Picks `count` answers uniformly without replacement, deterministic in
+  /// `options().sampling_seed` (repeated calls return the same sample).
+  std::vector<datalog::FactId> SampleAnswers(std::size_t count) const;
+
+  /// Same, but driven by a caller-owned RNG stream.
+  std::vector<datalog::FactId> SampleAnswers(std::size_t count,
+                                             util::Rng& rng) const;
+
+  /// Parses a fact like "path(a, b)" and returns its model id.
+  util::Result<datalog::FactId> FactIdOf(std::string_view fact_text) const;
+
+  /// Renders a fact id / fact for display.
+  std::string FactToText(datalog::FactId id) const;
+  std::string FactToText(const datalog::Fact& fact) const;
+
+  // --- provenance services ----------------------------------------------
+
+  /// Starts an incremental whyUN enumeration for the requested answer.
+  util::Result<Enumeration> Enumerate(const EnumerateRequest& request) const;
+
+  /// Decides membership of `request.candidate` in the why-provenance
+  /// family of the target w.r.t. the requested proof-tree class
+  /// (SAT-based for kUnambiguous, exhaustive reference otherwise).
+  util::Result<bool> Decide(const DecideRequest& request) const;
+
+  /// Materialises the complete why(t, D, Q) family in one all-at-once
+  /// fixpoint pass (the paper's Figure 5 comparator).
+  util::Result<provenance::ProvenanceFamily> Baseline(
+      const BaselineRequest& request) const;
+
+  /// Reconstructs one member plus a witnessing unambiguous proof tree.
+  util::Result<Explanation> Explain(const ExplainRequest& request) const;
+
+ private:
+  Engine(datalog::Program program, datalog::Database database,
+         datalog::PredicateId answer_predicate, EngineOptions options);
+
+  /// Resolves the (id, text) target pair every request struct carries.
+  util::Result<datalog::FactId> ResolveTarget(
+      datalog::FactId target, const std::string& target_text) const;
+
+  datalog::Program program_;
+  datalog::Database database_;
+  datalog::PredicateId answer_predicate_;
+  EngineOptions options_;
+  // eval_seconds_ is written while model_ is initialised, so it must be
+  // declared (and thus initialised) before model_.
+  double eval_seconds_ = 0;
+  datalog::Model model_;
+};
+
+}  // namespace whyprov
+
+#endif  // WHYPROV_ENGINE_ENGINE_H_

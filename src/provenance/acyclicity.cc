@@ -23,7 +23,7 @@ namespace {
 /// OR variable where needed) and handles self-loops. The result maps
 /// (from, to) -> literal.
 std::map<std::pair<int, int>, sat::Lit> NormalizeArcs(
-    const std::vector<Arc>& arcs, sat::Solver& solver,
+    const std::vector<Arc>& arcs, sat::SolverInterface& solver,
     AcyclicityStats& stats) {
   std::map<std::pair<int, int>, sat::Lit> merged;
   for (const Arc& arc : arcs) {
@@ -53,7 +53,7 @@ std::map<std::pair<int, int>, sat::Lit> NormalizeArcs(
 
 AcyclicityStats EncodeTransitiveClosure(int num_nodes,
                                         const std::vector<Arc>& arcs,
-                                        sat::Solver& solver) {
+                                        sat::SolverInterface& solver) {
   AcyclicityStats stats;
   auto merged = NormalizeArcs(arcs, solver, stats);
 
@@ -92,7 +92,7 @@ AcyclicityStats EncodeTransitiveClosure(int num_nodes,
 
 AcyclicityStats EncodeVertexElimination(int num_nodes,
                                         const std::vector<Arc>& arcs,
-                                        sat::Solver& solver) {
+                                        sat::SolverInterface& solver) {
   AcyclicityStats stats;
   auto merged = NormalizeArcs(arcs, solver, stats);
 
@@ -184,7 +184,7 @@ AcyclicityStats EncodeVertexElimination(int num_nodes,
 
 AcyclicityStats EncodeAcyclicity(AcyclicityEncoding kind, int num_nodes,
                                  const std::vector<Arc>& arcs,
-                                 sat::Solver& solver) {
+                                 sat::SolverInterface& solver) {
   switch (kind) {
     case AcyclicityEncoding::kTransitiveClosure:
       return EncodeTransitiveClosure(num_nodes, arcs, solver);

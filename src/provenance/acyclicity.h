@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "sat/solver.h"
+#include "sat/solver_interface.h"
 #include "sat/types.h"
 
 namespace whyprov::provenance {
@@ -43,7 +43,7 @@ struct AcyclicityStats {
 /// self-loops are handled. Returns encoding statistics.
 AcyclicityStats EncodeAcyclicity(AcyclicityEncoding kind, int num_nodes,
                                  const std::vector<Arc>& arcs,
-                                 sat::Solver& solver);
+                                 sat::SolverInterface& solver);
 
 }  // namespace whyprov::provenance
 

@@ -9,7 +9,7 @@
 #include "datalog/program.h"
 #include "provenance/acyclicity.h"
 #include "provenance/downward_closure.h"
-#include "sat/solver.h"
+#include "sat/solver_interface.h"
 
 namespace whyprov::provenance {
 
@@ -49,9 +49,9 @@ class CnfEncoder {
 
   /// Encodes the closure into `solver`. If the closure's target is not
   /// derivable the encoding is marked trivially unsatisfiable.
-  static Encoding Encode(const DownwardClosure& closure, sat::Solver& solver,
+  static Encoding Encode(const DownwardClosure& closure, sat::SolverInterface& solver,
                          const Options& options);
-  static Encoding Encode(const DownwardClosure& closure, sat::Solver& solver) {
+  static Encoding Encode(const DownwardClosure& closure, sat::SolverInterface& solver) {
     return Encode(closure, solver, Options());
   }
 };

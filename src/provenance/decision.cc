@@ -63,7 +63,8 @@ util::Status ProductInto(const std::vector<const IdFamily*>& body_families,
   };
   product(product, 0, IdSet{});
   if (overflow) {
-    return util::Status::Error("exhaustive enumeration exceeded its budget");
+    return util::Status::ResourceExhausted(
+        "exhaustive enumeration exceeded its budget");
   }
   return util::Status::Ok();
 }
@@ -75,7 +76,8 @@ util::Result<IdFamily> NonRecursiveSupports(const DownwardClosure& closure,
                                             std::set<dl::FactId>& forbidden,
                                             std::size_t& budget) {
   if (budget == 0) {
-    return util::Status::Error("exhaustive enumeration exceeded its budget");
+    return util::Status::ResourceExhausted(
+        "exhaustive enumeration exceeded its budget");
   }
   --budget;
   if (closure.EdgesWithHead(fact).empty()) {
@@ -229,7 +231,8 @@ util::Result<IdFamily> UnambiguousSupports(const DownwardClosure& closure,
   };
   enumerate(enumerate, {closure.target()});
   if (overflow) {
-    return util::Status::Error("exhaustive enumeration exceeded its budget");
+    return util::Status::ResourceExhausted(
+        "exhaustive enumeration exceeded its budget");
   }
   return result;
 }
@@ -240,6 +243,19 @@ bool IsWhyUnMemberSat(const dl::Program& program, const dl::Model& model,
                       dl::FactId target,
                       const std::vector<dl::Fact>& dprime,
                       AcyclicityEncoding acyclicity) {
+  // The in-tree CDCL solver only answers kUnknown under an explicit
+  // conflict budget, which this overload never sets.
+  sat::Solver solver;
+  return IsWhyUnMemberSat(program, model, target, dprime, acyclicity,
+                          solver)
+      .value_or(false);
+}
+
+util::Result<bool> IsWhyUnMemberSat(const dl::Program& program,
+                                    const dl::Model& model, dl::FactId target,
+                                    const std::vector<dl::Fact>& dprime,
+                                    AcyclicityEncoding acyclicity,
+                                    sat::SolverInterface& solver) {
   const DownwardClosure closure =
       DownwardClosure::Build(program, model, target);
   if (!closure.derivable()) return false;
@@ -261,7 +277,6 @@ bool IsWhyUnMemberSat(const dl::Program& program, const dl::Model& model,
     dprime_ids.insert(*id);
   }
 
-  sat::Solver solver;
   CnfEncoder::Options options;
   options.acyclicity = acyclicity;
   const Encoding encoding = CnfEncoder::Encode(closure, solver, options);
@@ -274,7 +289,12 @@ bool IsWhyUnMemberSat(const dl::Program& program, const dl::Model& model,
       return false;
     }
   }
-  return solver.Solve() == sat::SolveResult::kSat;
+  const sat::SolveResult result = solver.Solve();
+  if (result == sat::SolveResult::kUnknown) {
+    return util::Status::ResourceExhausted(
+        "the SAT backend gave up without deciding membership");
+  }
+  return result == sat::SolveResult::kSat;
 }
 
 util::Result<ProvenanceFamily> EnumerateWhyExhaustive(

@@ -9,6 +9,7 @@
 #include "provenance/acyclicity.h"
 #include "provenance/baseline.h"
 #include "provenance/proof_tree.h"
+#include "sat/solver_interface.h"
 #include "util/status.h"
 
 namespace whyprov::provenance {
@@ -25,11 +26,22 @@ namespace whyprov::provenance {
 
 /// SAT decision of D' in whyUN(t, D, Q): encodes phi(t, D, Q) and pins the
 /// leaf variables to D'. `dprime` facts outside the closure's database
-/// leaves make the answer trivially false.
+/// leaves make the answer trivially false. Uses the default CDCL backend.
 bool IsWhyUnMemberSat(
     const datalog::Program& program, const datalog::Model& model,
     datalog::FactId target, const std::vector<datalog::Fact>& dprime,
     AcyclicityEncoding acyclicity = AcyclicityEncoding::kVertexElimination);
+
+/// Same, but encodes into the caller-supplied (fresh) solver backend.
+/// A backend that gives up (SolveResult::kUnknown — e.g. a failed
+/// external solver or an exhausted conflict budget) is reported as
+/// kResourceExhausted instead of being collapsed to "not a member".
+util::Result<bool> IsWhyUnMemberSat(const datalog::Program& program,
+                                    const datalog::Model& model,
+                                    datalog::FactId target,
+                                    const std::vector<datalog::Fact>& dprime,
+                                    AcyclicityEncoding acyclicity,
+                                    sat::SolverInterface& solver);
 
 /// Exhaustively materialises the why-provenance family of `target` for the
 /// given proof-tree class:

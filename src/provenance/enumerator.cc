@@ -1,21 +1,49 @@
 #include "provenance/enumerator.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <unordered_set>
 #include <utility>
 
+#include "sat/solver.h"
+#include "sat/solver_factory.h"
 #include "util/timer.h"
 
 namespace whyprov::provenance {
 
 namespace dl = whyprov::datalog;
 
+namespace {
+
+/// Resolves `options` into a solver instance, falling back to the default
+/// CDCL backend when the named backend cannot be created. The fallback is
+/// announced on stderr so a misconfigured backend cannot silently turn a
+/// two-backend cross-check into CDCL-vs-CDCL.
+std::unique_ptr<sat::SolverInterface> MakeSolver(
+    const WhyProvenanceEnumerator::Options& options) {
+  auto solver = sat::SolverFactory::Instance().Create(options.solver_backend,
+                                                      options.solver_options);
+  if (solver.ok()) return std::move(solver).value();
+  std::fprintf(stderr,
+               "whyprov: falling back to the cdcl backend: %s\n",
+               solver.status().message().c_str());
+  return std::make_unique<sat::Solver>(options.solver_options);
+}
+
+}  // namespace
+
 WhyProvenanceEnumerator::WhyProvenanceEnumerator(const dl::Program& program,
                                                  const dl::Model& model,
                                                  dl::FactId target,
                                                  const Options& options)
-    : model_(model), solver_(std::make_unique<sat::Solver>()) {
+    : WhyProvenanceEnumerator(program, model, target, options,
+                              MakeSolver(options)) {}
+
+WhyProvenanceEnumerator::WhyProvenanceEnumerator(
+    const dl::Program& program, const dl::Model& model, dl::FactId target,
+    const Options& options, std::unique_ptr<sat::SolverInterface> solver)
+    : model_(model), solver_(std::move(solver)) {
   util::Timer timer;
   closure_ = DownwardClosure::Build(program, model, target);
   timings_.closure_seconds = timer.ElapsedSeconds();
@@ -101,6 +129,7 @@ std::optional<std::vector<dl::Fact>> WhyProvenanceEnumerator::Next() {
   const sat::SolveResult result = solver_->Solve();
   if (result != sat::SolveResult::kSat) {
     exhausted_ = true;
+    if (result == sat::SolveResult::kUnknown) incomplete_ = true;
     return std::nullopt;
   }
 

@@ -2,9 +2,11 @@
 #define WHYPROV_PROVENANCE_ENUMERATOR_H_
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -13,10 +15,15 @@
 #include "datalog/program.h"
 #include "provenance/cnf_encoder.h"
 #include "provenance/downward_closure.h"
-#include "sat/solver.h"
+#include "sat/solver_interface.h"
 #include "util/stats.h"
 
 namespace whyprov::provenance {
+
+/// "No cap" sentinel for member-count limits, shared by
+/// `WhyProvenanceEnumerator::All` and the engine's `EnumerateRequest`.
+inline constexpr std::size_t kNoLimit =
+    std::numeric_limits<std::size_t>::max();
 
 /// Incremental enumeration of whyUN(t, D, Q) via a SAT solver with
 /// blocking clauses (Section 5.1/5.2 of the paper):
@@ -32,6 +39,12 @@ class WhyProvenanceEnumerator {
  public:
   struct Options {
     AcyclicityEncoding acyclicity = AcyclicityEncoding::kVertexElimination;
+    /// SolverFactory backend used when no solver is injected. An unknown
+    /// name silently falls back to the CDCL solver; callers that want a
+    /// diagnosable error should resolve the backend via `SolverFactory`
+    /// (as `whyprov::Engine` does) and inject the instance.
+    std::string solver_backend = "cdcl";
+    sat::SolverOptions solver_options;
   };
 
   /// Phase timings, for the construction-time figures (Figures 1/3).
@@ -42,13 +55,20 @@ class WhyProvenanceEnumerator {
 
   /// Builds the closure and the formula for `target` (a fact id of
   /// `model`, which must be the least model of (program, database)).
-  /// `program` and `model` must outlive the enumerator.
+  /// `program` and `model` must outlive the enumerator. The solver is
+  /// created via `SolverFactory` from `options.solver_backend`.
   WhyProvenanceEnumerator(const datalog::Program& program,
                           const datalog::Model& model,
                           datalog::FactId target, const Options& options);
   WhyProvenanceEnumerator(const datalog::Program& program,
                           const datalog::Model& model, datalog::FactId target)
       : WhyProvenanceEnumerator(program, model, target, Options()) {}
+
+  /// Same, but encodes into an injected solver backend (must be fresh).
+  WhyProvenanceEnumerator(const datalog::Program& program,
+                          const datalog::Model& model, datalog::FactId target,
+                          const Options& options,
+                          std::unique_ptr<sat::SolverInterface> solver);
 
   /// Returns the next member of whyUN(t, D, Q) as a sorted set of database
   /// facts, or nullopt when the enumeration is exhausted. Never repeats a
@@ -57,7 +77,13 @@ class WhyProvenanceEnumerator {
 
   /// Drains the enumeration (up to `max_members`) and returns all members.
   std::vector<std::vector<datalog::Fact>> All(
-      std::size_t max_members = static_cast<std::size_t>(-1));
+      std::size_t max_members = kNoLimit);
+
+  /// True if a Solve() answered kUnknown (backend failure or budget
+  /// exhaustion): the enumeration stopped, but the emitted members may
+  /// not be the whole family. Distinguishes "no more members" from
+  /// "the solver gave up".
+  bool incomplete() const { return incomplete_; }
 
   /// Per-member delays in milliseconds, one entry per emitted member.
   const std::vector<double>& delays_ms() const { return delays_ms_; }
@@ -72,7 +98,7 @@ class WhyProvenanceEnumerator {
   const Encoding& encoding() const { return encoding_; }
 
   /// The underlying SAT solver (e.g. for statistics).
-  const sat::Solver& solver() const { return *solver_; }
+  const sat::SolverInterface& solver() const { return *solver_; }
 
   /// The witness of the most recent member: for every internal fact of the
   /// compressed proof DAG, the index (into closure().edges()) of its chosen
@@ -88,12 +114,13 @@ class WhyProvenanceEnumerator {
 
   const datalog::Model& model_;
   DownwardClosure closure_;
-  std::unique_ptr<sat::Solver> solver_;
+  std::unique_ptr<sat::SolverInterface> solver_;
   Encoding encoding_;
   Timings timings_;
   std::vector<double> delays_ms_;
   std::unordered_map<datalog::FactId, std::size_t> last_witness_choices_;
   bool exhausted_ = false;
+  bool incomplete_ = false;
 };
 
 }  // namespace whyprov::provenance

@@ -45,9 +45,9 @@ util::Result<WhyProvenancePipeline> WhyProvenancePipeline::FromText(
       symbols->FindPredicate(answer_predicate);
   if (!predicate.ok()) return predicate.status();
   if (!program.value().IsIntensional(predicate.value())) {
-    return util::Status::Error("answer predicate '" +
-                               std::string(answer_predicate) +
-                               "' is not intensional");
+    return util::Status::InvalidArgument("answer predicate '" +
+                                         std::string(answer_predicate) +
+                                         "' is not intensional");
   }
   return WhyProvenancePipeline(std::move(program).value(),
                                std::move(database).value(),
@@ -73,7 +73,7 @@ util::Result<dl::FactId> WhyProvenancePipeline::AnswerId(
   fact.args = tuple;
   auto id = model_.Find(fact);
   if (!id.has_value()) {
-    return util::Status::Error("the tuple is not an answer");
+    return util::Status::NotFound("the tuple is not an answer");
   }
   return *id;
 }
@@ -85,8 +85,8 @@ util::Result<dl::FactId> WhyProvenancePipeline::FactIdOf(
   if (!fact.ok()) return fact.status();
   auto id = model_.Find(fact.value());
   if (!id.has_value()) {
-    return util::Status::Error("fact '" + std::string(fact_text) +
-                               "' is not derivable");
+    return util::Status::NotFound("fact '" + std::string(fact_text) +
+                                  "' is not derivable");
   }
   return *id;
 }

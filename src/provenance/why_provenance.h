@@ -15,10 +15,14 @@
 
 namespace whyprov::provenance {
 
+/// Deprecated: prefer `whyprov::Engine` (engine/engine.h, or the umbrella
+/// header whyprov.h), which subsumes this class and adds backend
+/// selection, typed requests, and budgeted enumeration handles. Kept as a
+/// thin shim for older callers and tests.
+///
 /// High-level entry point tying the whole pipeline together: parse/accept
 /// a query and database, evaluate the least model, pick answer tuples, and
-/// hand out why-provenance enumerators. This is the API the examples and
-/// the benchmark harness use.
+/// hand out why-provenance enumerators.
 class WhyProvenancePipeline {
  public:
   /// Builds a pipeline from already-parsed pieces. Evaluates the model

@@ -65,7 +65,7 @@ std::string WriteDimacs(const CnfFormula& formula) {
   return out;
 }
 
-bool LoadIntoSolver(const CnfFormula& formula, Solver& solver) {
+bool LoadIntoSolver(const CnfFormula& formula, SolverInterface& solver) {
   while (solver.NumVars() < formula.num_vars) solver.NewVar();
   for (const auto& clause : formula.clauses) {
     std::vector<Lit> lits;

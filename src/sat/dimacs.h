@@ -5,7 +5,7 @@
 #include <string_view>
 #include <vector>
 
-#include "sat/solver.h"
+#include "sat/solver_interface.h"
 #include "sat/types.h"
 #include "util/status.h"
 
@@ -29,7 +29,7 @@ std::string WriteDimacs(const CnfFormula& formula);
 /// Loads a formula into `solver`, creating variables as needed so that
 /// DIMACS variable i maps to solver variable i-1. Returns false if the
 /// formula is trivially unsatisfiable.
-bool LoadIntoSolver(const CnfFormula& formula, Solver& solver);
+bool LoadIntoSolver(const CnfFormula& formula, SolverInterface& solver);
 
 /// Exhaustive truth-table satisfiability check (reference implementation
 /// for property tests; practical up to ~24 variables). Returns a model as

@@ -1,0 +1,127 @@
+#include "sat/dimacs_pipe_solver.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "sat/dimacs.h"
+
+namespace whyprov::sat {
+
+namespace {
+
+/// Writes the formula (reusing the shared DIMACS writer) to a fresh
+/// temporary file; returns "" on failure.
+std::string WriteTempCnf(int num_vars,
+                         const std::vector<std::vector<Lit>>& clauses,
+                         const std::vector<Lit>& assumptions) {
+  char path[] = "/tmp/whyprov-cnf-XXXXXX";
+  const int fd = mkstemp(path);
+  if (fd < 0) return "";
+  CnfFormula formula;
+  formula.num_vars = num_vars;
+  formula.clauses.reserve(clauses.size() + assumptions.size());
+  auto to_dimacs = [](Lit l) {
+    return l.negated() ? -(l.var() + 1) : l.var() + 1;
+  };
+  for (const std::vector<Lit>& clause : clauses) {
+    std::vector<int> dimacs_clause;
+    dimacs_clause.reserve(clause.size());
+    for (Lit l : clause) dimacs_clause.push_back(to_dimacs(l));
+    formula.clauses.push_back(std::move(dimacs_clause));
+  }
+  for (Lit l : assumptions) formula.clauses.push_back({to_dimacs(l)});
+  const std::string text = WriteDimacs(formula);
+  const bool wrote =
+      write(fd, text.data(), text.size()) == static_cast<ssize_t>(text.size());
+  close(fd);
+  if (!wrote) {
+    unlink(path);
+    return "";
+  }
+  return path;
+}
+
+}  // namespace
+
+DimacsPipeSolver::DimacsPipeSolver(std::string command, SolverOptions options)
+    : command_(std::move(command)) {
+  (void)options;
+}
+
+Var DimacsPipeSolver::NewVar() {
+  model_.push_back(LBool::kUndef);
+  return num_vars_++;
+}
+
+bool DimacsPipeSolver::AddClause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  if (lits.empty()) {
+    ok_ = false;
+    return false;
+  }
+  clauses_.push_back(std::move(lits));
+  return true;
+}
+
+SolveResult DimacsPipeSolver::Solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return SolveResult::kUnsat;
+  const std::string path = WriteTempCnf(num_vars_, clauses_, assumptions);
+  if (path.empty()) return SolveResult::kUnknown;
+  const std::string invocation = command_ + " " + path + " 2>/dev/null";
+  FILE* pipe = popen(invocation.c_str(), "r");
+  if (pipe == nullptr) {
+    unlink(path.c_str());
+    return SolveResult::kUnknown;
+  }
+  std::string output;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  pclose(pipe);
+  unlink(path.c_str());
+
+  SolveResult result = SolveResult::kUnknown;
+  std::vector<LBool> model(num_vars_, LBool::kFalse);
+  bool saw_model_literal = num_vars_ == 0;
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      if (token == "s" || token == "v") continue;
+      if (token == "UNSATISFIABLE" || token == "UNSAT") {
+        result = SolveResult::kUnsat;
+      } else if (token == "SATISFIABLE" || token == "SAT") {
+        result = SolveResult::kSat;
+      } else {
+        // A model literal (competition "v" lines or MiniSat's model line).
+        char* end = nullptr;
+        const long value = std::strtol(token.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || value == 0) continue;
+        const long var = (value > 0 ? value : -value) - 1;
+        if (var >= 0 && var < num_vars_) {
+          model[var] = value > 0 ? LBool::kTrue : LBool::kFalse;
+          saw_model_literal = true;
+        }
+      }
+    }
+  }
+  // A SAT answer without any model literals (e.g. a solver that writes
+  // the model elsewhere) is unusable: treating the all-false default as a
+  // model would fabricate wrong members upstream. Report kUnknown.
+  if (result == SolveResult::kSat && !saw_model_literal) {
+    return SolveResult::kUnknown;
+  }
+  if (result == SolveResult::kSat) model_ = std::move(model);
+  return result;
+}
+
+}  // namespace whyprov::sat

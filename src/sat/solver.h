@@ -3,46 +3,24 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "sat/clause.h"
+#include "sat/solver_interface.h"
 #include "sat/types.h"
 
 namespace whyprov::sat {
 
-/// Outcome of a solve call.
-enum class SolveResult { kSat, kUnsat, kUnknown };
-
-/// Search statistics, cumulative over the solver's lifetime.
-struct SolverStats {
-  std::uint64_t decisions = 0;
-  std::uint64_t propagations = 0;
-  std::uint64_t conflicts = 0;
-  std::uint64_t restarts = 0;
-  std::uint64_t learnt_clauses = 0;
-  std::uint64_t deleted_clauses = 0;
-  std::uint64_t minimized_literals = 0;
-};
-
-/// Tunable parameters; defaults follow MiniSat/Glucose folklore.
-struct SolverOptions {
-  double var_decay = 0.95;          ///< VSIDS activity decay
-  double clause_decay = 0.999;      ///< learnt clause activity decay
-  int restart_base = 100;           ///< Luby restart unit, in conflicts
-  bool phase_saving = true;         ///< reuse last polarity on decisions
-  int reduce_base = 4000;           ///< learnt clauses before first reduce
-  int reduce_increment = 1000;      ///< growth of the reduce threshold
-  std::int64_t conflict_budget = -1;  ///< stop after this many conflicts (<0 = off)
-};
-
 /// A conflict-driven clause-learning (CDCL) SAT solver: the repository's
-/// stand-in for Glucose. Implements two-watched-literal propagation, VSIDS
-/// decisions with phase saving, first-UIP conflict analysis with recursive
-/// clause minimization, LBD-based learnt-clause database reduction, Luby
-/// restarts, solving under assumptions, and incremental clause addition
-/// between solve calls (the blocking-clause enumeration loop depends on
-/// the latter).
-class Solver {
+/// stand-in for Glucose and the default `SolverInterface` backend
+/// (registry name "cdcl"). Implements two-watched-literal propagation,
+/// VSIDS decisions with phase saving, first-UIP conflict analysis with
+/// recursive clause minimization, LBD-based learnt-clause database
+/// reduction, Luby restarts, solving under assumptions, and incremental
+/// clause addition between solve calls (the blocking-clause enumeration
+/// loop depends on the latter).
+class Solver : public SolverInterface {
  public:
   explicit Solver(SolverOptions options = SolverOptions());
 
@@ -52,52 +30,47 @@ class Solver {
   Solver& operator=(const Solver&) = delete;
 
   /// Creates a fresh variable and returns it.
-  Var NewVar();
+  Var NewVar() override;
 
   /// Number of variables created.
-  int NumVars() const { return static_cast<int>(assigns_.size()); }
+  int NumVars() const override { return static_cast<int>(assigns_.size()); }
 
   /// Adds a clause (over existing variables). Returns false iff the clause
   /// makes the formula trivially unsatisfiable (empty after simplification
   /// at level 0). Safe to call between Solve() calls.
-  bool AddClause(std::vector<Lit> lits);
-
-  /// Convenience single- and two-literal overloads.
-  bool AddUnit(Lit a) { return AddClause({a}); }
-  bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
-  bool AddTernary(Lit a, Lit b, Lit c) { return AddClause({a, b, c}); }
+  bool AddClause(std::vector<Lit> lits) override;
 
   /// Solves the current formula under the given assumptions.
-  SolveResult Solve(const std::vector<Lit>& assumptions = {});
+  SolveResult Solve(const std::vector<Lit>& assumptions = {}) override;
 
   /// Value of a variable in the last model. Only valid after kSat.
-  LBool ModelValue(Var v) const { return model_[v]; }
-
-  /// Value of a literal in the last model. Only valid after kSat.
-  bool ModelLitTrue(Lit l) const {
-    return EvalLit(model_[l.var()], l) == LBool::kTrue;
-  }
+  LBool ModelValue(Var v) const override { return model_[v]; }
 
   /// Cumulative statistics.
-  const SolverStats& stats() const { return stats_; }
+  const SolverStats& stats() const override { return stats_; }
 
   /// True while the formula is not known to be trivially UNSAT.
-  bool ok() const { return ok_; }
+  bool ok() const override { return ok_; }
+
+  /// Registry name of this backend.
+  std::string_view name() const override { return "cdcl"; }
 
   /// Replaces the conflict budget (applies to subsequent Solve calls).
-  void SetConflictBudget(std::int64_t budget) {
+  void SetConflictBudget(std::int64_t budget) override {
     options_.conflict_budget = budget;
   }
 
   /// Sets the phase the next decision on `v` will try first (phase saving
   /// overwrites it once the search assigns and unassigns `v`). Callers use
   /// this to seed the search with a known near-solution.
-  void SetPolarity(Var v, bool prefer_true) { polarity_[v] = !prefer_true; }
+  void SetPolarity(Var v, bool prefer_true) override {
+    polarity_[v] = !prefer_true;
+  }
 
   /// Raises `v`'s VSIDS activity so it is decided before unhinted
   /// variables. Combined with SetPolarity this lets a caller steer the
   /// first descent onto a known model.
-  void BumpActivityHint(Var v, double amount) {
+  void BumpActivityHint(Var v, double amount) override {
     activity_[v] += amount;
     if (heap_position_[v] >= 0) HeapUpdate(v);
   }

@@ -1,0 +1,75 @@
+#include "sat/solver_factory.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "sat/dimacs_pipe_solver.h"
+#include "sat/dpll_solver.h"
+#include "sat/solver.h"
+
+namespace whyprov::sat {
+
+SolverFactory& SolverFactory::Instance() {
+  static SolverFactory* factory = new SolverFactory();
+  return *factory;
+}
+
+SolverFactory::SolverFactory() {
+  creators_["cdcl"] = [](const SolverOptions& options)
+      -> util::Result<std::unique_ptr<SolverInterface>> {
+    return std::unique_ptr<SolverInterface>(new Solver(options));
+  };
+  creators_["dpll"] = [](const SolverOptions& options)
+      -> util::Result<std::unique_ptr<SolverInterface>> {
+    return std::unique_ptr<SolverInterface>(new DpllSolver(options));
+  };
+  creators_["dimacs-pipe"] = [](const SolverOptions& options)
+      -> util::Result<std::unique_ptr<SolverInterface>> {
+    const char* command = std::getenv("WHYPROV_DIMACS_SOLVER");
+    if (command == nullptr || command[0] == '\0') {
+      return util::Status::NotFound(
+          "backend 'dimacs-pipe' needs the WHYPROV_DIMACS_SOLVER "
+          "environment variable to name a DIMACS solver command");
+    }
+    return std::unique_ptr<SolverInterface>(
+        new DimacsPipeSolver(command, options));
+  };
+}
+
+util::Status SolverFactory::Register(const std::string& name,
+                                     Creator creator) {
+  if (creators_.contains(name)) {
+    return util::Status::InvalidArgument("SAT backend '" + name +
+                                         "' is already registered");
+  }
+  creators_.emplace(name, std::move(creator));
+  return util::Status::Ok();
+}
+
+util::Result<std::unique_ptr<SolverInterface>> SolverFactory::Create(
+    const std::string& name, const SolverOptions& options) const {
+  const auto it = creators_.find(name);
+  if (it == creators_.end()) {
+    std::string known;
+    for (const auto& [known_name, unused] : creators_) {
+      if (!known.empty()) known += ", ";
+      known += known_name;
+    }
+    return util::Status::NotFound("unknown SAT backend '" + name +
+                                  "' (registered: " + known + ")");
+  }
+  return it->second(options);
+}
+
+bool SolverFactory::Has(const std::string& name) const {
+  return creators_.contains(name);
+}
+
+std::vector<std::string> SolverFactory::Available() const {
+  std::vector<std::string> names;
+  names.reserve(creators_.size());
+  for (const auto& [name, unused] : creators_) names.push_back(name);
+  return names;
+}
+
+}  // namespace whyprov::sat

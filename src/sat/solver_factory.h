@@ -1,0 +1,65 @@
+#ifndef WHYPROV_SAT_SOLVER_FACTORY_H_
+#define WHYPROV_SAT_SOLVER_FACTORY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sat/solver_interface.h"
+#include "util/status.h"
+
+namespace whyprov::sat {
+
+/// Registry of SAT backends, keyed by name. The provenance layer asks the
+/// factory for a `SolverInterface`, so alternative backends plug in
+/// without touching any encoding or enumeration code.
+///
+/// Built-in backends (registered on first use):
+///   "cdcl"        — the in-tree CDCL solver (default)
+///   "dpll"        — a plain DPLL solver, for cross-checking
+///   "dimacs-pipe" — an external solver via WHYPROV_DIMACS_SOLVER
+///
+/// To add one:
+///
+///   sat::SolverFactory::Instance().Register("mine",
+///       [](const sat::SolverOptions& o) -> util::Result<
+///           std::unique_ptr<sat::SolverInterface>> {
+///         return std::unique_ptr<sat::SolverInterface>(new MySolver(o));
+///       });
+class SolverFactory {
+ public:
+  using Creator = std::function<util::Result<std::unique_ptr<SolverInterface>>(
+      const SolverOptions& options)>;
+
+  /// The process-wide registry.
+  static SolverFactory& Instance();
+
+  /// Registers `creator` under `name`; fails with kInvalidArgument when the
+  /// name is already taken.
+  util::Status Register(const std::string& name, Creator creator);
+
+  /// Instantiates the backend `name`; kNotFound for unregistered names.
+  util::Result<std::unique_ptr<SolverInterface>> Create(
+      const std::string& name, const SolverOptions& options) const;
+  util::Result<std::unique_ptr<SolverInterface>> Create(
+      const std::string& name) const {
+    return Create(name, SolverOptions());
+  }
+
+  /// True iff `name` is registered.
+  bool Has(const std::string& name) const;
+
+  /// Registered backend names, sorted.
+  std::vector<std::string> Available() const;
+
+ private:
+  SolverFactory();
+
+  std::map<std::string, Creator> creators_;
+};
+
+}  // namespace whyprov::sat
+
+#endif  // WHYPROV_SAT_SOLVER_FACTORY_H_

@@ -1,0 +1,112 @@
+#ifndef WHYPROV_SAT_SOLVER_INTERFACE_H_
+#define WHYPROV_SAT_SOLVER_INTERFACE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace whyprov::sat {
+
+/// Outcome of a solve call.
+enum class SolveResult { kSat, kUnsat, kUnknown };
+
+/// Search statistics, cumulative over the solver's lifetime. Backends fill
+/// what they can measure and leave the rest at zero.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_clauses = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t minimized_literals = 0;
+};
+
+/// Tunable parameters; defaults follow MiniSat/Glucose folklore. Backends
+/// honour the subset that applies to them: the CDCL solver uses all of
+/// them, the DPLL backend none (it has no VSIDS/restarts/learning), and
+/// the external dimacs-pipe backend ignores them entirely — bound an
+/// external solver via its own command-line flags instead.
+struct SolverOptions {
+  double var_decay = 0.95;          ///< VSIDS activity decay
+  double clause_decay = 0.999;      ///< learnt clause activity decay
+  int restart_base = 100;           ///< Luby restart unit, in conflicts
+  bool phase_saving = true;         ///< reuse last polarity on decisions
+  int reduce_base = 4000;           ///< learnt clauses before first reduce
+  int reduce_increment = 1000;      ///< growth of the reduce threshold
+  std::int64_t conflict_budget = -1;  ///< stop after this many conflicts (<0 = off)
+};
+
+/// The backend-neutral incremental SAT solver interface the provenance
+/// layer is written against. A backend must support:
+///
+///   * variable creation interleaved with clause addition,
+///   * incremental clause addition *between* Solve() calls (the
+///     blocking-clause enumeration loop of Section 5.2 depends on it),
+///   * model extraction after a kSat answer.
+///
+/// The phase/activity hints are optional accelerators: backends that
+/// cannot steer their search simply inherit the no-op defaults, and
+/// callers must not rely on them for correctness.
+class SolverInterface {
+ public:
+  virtual ~SolverInterface() = default;
+
+  /// Creates a fresh variable and returns it.
+  virtual Var NewVar() = 0;
+
+  /// Number of variables created.
+  virtual int NumVars() const = 0;
+
+  /// Adds a clause (over existing variables). Returns false iff the clause
+  /// makes the formula trivially unsatisfiable. Safe to call between
+  /// Solve() calls.
+  virtual bool AddClause(std::vector<Lit> lits) = 0;
+
+  /// Convenience single-, two- and three-literal forms.
+  bool AddUnit(Lit a) { return AddClause({a}); }
+  bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
+  bool AddTernary(Lit a, Lit b, Lit c) { return AddClause({a, b, c}); }
+
+  /// Solves the current formula under the given assumptions.
+  virtual SolveResult Solve(const std::vector<Lit>& assumptions = {}) = 0;
+
+  /// Value of a variable in the last model. Only valid after kSat.
+  virtual LBool ModelValue(Var v) const = 0;
+
+  /// Value of a literal in the last model. Only valid after kSat.
+  bool ModelLitTrue(Lit l) const {
+    return EvalLit(ModelValue(l.var()), l) == LBool::kTrue;
+  }
+
+  /// Cumulative statistics.
+  virtual const SolverStats& stats() const = 0;
+
+  /// True while the formula is not known to be trivially UNSAT.
+  virtual bool ok() const = 0;
+
+  /// The backend's registry name (e.g. "cdcl").
+  virtual std::string_view name() const = 0;
+
+  /// Replaces the conflict budget (applies to subsequent Solve calls).
+  /// Backends without budget support ignore it.
+  virtual void SetConflictBudget(std::int64_t budget) { (void)budget; }
+
+  /// Optional hint: the phase the next decision on `v` should try first.
+  virtual void SetPolarity(Var v, bool prefer_true) {
+    (void)v;
+    (void)prefer_true;
+  }
+
+  /// Optional hint: raise `v`'s decision priority by `amount`.
+  virtual void BumpActivityHint(Var v, double amount) {
+    (void)v;
+    (void)amount;
+  }
+};
+
+}  // namespace whyprov::sat
+
+#endif  // WHYPROV_SAT_SOLVER_INTERFACE_H_

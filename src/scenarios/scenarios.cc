@@ -39,6 +39,13 @@ std::string Node(std::size_t i) { return "n" + std::to_string(i); }
 
 }  // namespace
 
+Engine GeneratedScenario::MakeEngine(EngineOptions options) const {
+  auto predicate = symbols->FindPredicate(answer_predicate);
+  if (!predicate.ok()) std::abort();
+  return Engine::FromParts(program, database, predicate.value(),
+                           std::move(options));
+}
+
 provenance::WhyProvenancePipeline GeneratedScenario::MakePipeline() const {
   auto predicate = symbols->FindPredicate(answer_predicate);
   if (!predicate.ok()) std::abort();

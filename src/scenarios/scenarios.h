@@ -9,6 +9,7 @@
 
 #include "datalog/database.h"
 #include "datalog/program.h"
+#include "engine/engine.h"
 #include "provenance/why_provenance.h"
 
 namespace whyprov::scenarios {
@@ -25,7 +26,10 @@ struct GeneratedScenario {
   datalog::Database database;
   std::string answer_predicate;
 
-  /// Builds the evaluation pipeline for this instance (evaluates eagerly).
+  /// Builds the engine for this instance (evaluates eagerly).
+  Engine MakeEngine(EngineOptions options = EngineOptions()) const;
+
+  /// Deprecated: use MakeEngine(). Kept as a thin shim for older callers.
   provenance::WhyProvenancePipeline MakePipeline() const;
 };
 

@@ -1,4 +1,23 @@
 #include "util/status.h"
 
-// Status and Result are header-only; this translation unit anchors the
-// library target.
+namespace whyprov::util {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kUnknown:
+      return "UNKNOWN";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace whyprov::util

@@ -4,13 +4,28 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace whyprov::util {
 
+/// Machine-readable error categories, so callers can branch on the kind of
+/// failure instead of string-matching messages.
+enum class StatusCode {
+  kOk = 0,
+  kUnknown,            ///< unclassified error (the legacy default)
+  kInvalidArgument,    ///< the caller passed something malformed
+  kNotFound,           ///< a named entity does not exist
+  kParseError,         ///< program/database/fact text failed to parse
+  kResourceExhausted,  ///< an explicit budget or limit was exceeded
+};
+
+/// Human-readable name of a code, e.g. "NOT_FOUND".
+std::string_view StatusCodeName(StatusCode code);
+
 /// Lightweight error-handling primitive (the project builds without
-/// exceptions in its public API). A `Status` is either OK or carries a
-/// human-readable error message.
+/// exceptions in its public API). A `Status` is either OK or carries an
+/// error code plus a human-readable message.
 class Status {
  public:
   /// Constructs an OK status.
@@ -19,15 +34,41 @@ class Status {
   /// Returns an OK status.
   static Status Ok() { return Status(); }
 
-  /// Returns an error status carrying `message`.
+  /// Returns an error status carrying `message` (code kUnknown).
   static Status Error(std::string message) {
+    return Error(StatusCode::kUnknown, std::move(message));
+  }
+
+  /// Returns an error status with an explicit code. Passing kOk is a bug;
+  /// it is coerced to kUnknown so the error-vs-ok invariant holds even in
+  /// NDEBUG builds where the assert is compiled out.
+  static Status Error(StatusCode code, std::string message) {
+    assert(code != StatusCode::kOk && "error status requires an error code");
     Status s;
+    s.code_ = code == StatusCode::kOk ? StatusCode::kUnknown : code;
     s.message_ = std::move(message);
     return s;
   }
 
+  /// Per-code convenience constructors.
+  static Status InvalidArgument(std::string message) {
+    return Error(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Error(StatusCode::kNotFound, std::move(message));
+  }
+  static Status ParseError(std::string message) {
+    return Error(StatusCode::kParseError, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Error(StatusCode::kResourceExhausted, std::move(message));
+  }
+
   /// True iff this status represents success.
-  bool ok() const { return !message_.has_value(); }
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category; kOk when OK.
+  StatusCode code() const { return code_; }
 
   /// The error message; empty string when OK.
   const std::string& message() const {
@@ -36,6 +77,7 @@ class Status {
   }
 
  private:
+  StatusCode code_ = StatusCode::kOk;
   std::optional<std::string> message_;
 };
 
@@ -75,6 +117,19 @@ class Result {
   T& value() & {
     assert(ok());
     return *value_;
+  }
+
+  /// The value, or `fallback` converted to T when this is an error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  /// Move-out flavour of value_or.
+  template <typename U>
+  T value_or(U&& fallback) && {
+    return ok() ? std::move(*value_)
+                : static_cast<T>(std::forward<U>(fallback));
   }
 
  private:

@@ -1,0 +1,47 @@
+#ifndef WHYPROV_WHYPROV_H_
+#define WHYPROV_WHYPROV_H_
+
+/// Umbrella header: the public API of the why-provenance engine.
+///
+/// Everything an application needs is reachable from here — examples,
+/// benchmarks, and external users include only this header (plus
+/// scenarios/ for the generated workloads) and talk to `whyprov::Engine`:
+///
+///   auto engine = whyprov::Engine::FromText(program, database, "path");
+///   auto enumeration = engine.value().Enumerate({.target_text = "path(a, c)"});
+///   for (const auto& member : enumeration.value()) { ... }
+///
+/// See README.md for a quickstart and the backend-registration recipe.
+
+// The facade: Engine, EngineOptions, the request/response structs, and the
+// Enumeration handle.
+#include "engine/engine.h"
+
+// Datalog surface types reachable from Engine results (facts, programs,
+// symbol tables, pretty-printing).
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "datalog/parser.h"
+#include "datalog/program.h"
+
+// Provenance vocabulary: proof trees/DAGs, tree classes, families, the
+// Graphviz export, and the non-recursive FO rewriting.
+#include "provenance/dot_export.h"
+#include "provenance/fo_rewriting.h"
+#include "provenance/proof_dag.h"
+#include "provenance/proof_tree.h"
+
+// Advanced/diagnostic surface: direct access to the downward closure, the
+// CNF encoding, and the SAT backend registry.
+#include "provenance/cnf_encoder.h"
+#include "provenance/downward_closure.h"
+#include "sat/solver_factory.h"
+#include "sat/solver_interface.h"
+
+// Error handling, timing, and deterministic randomness.
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+#endif  // WHYPROV_WHYPROV_H_

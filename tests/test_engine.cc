@@ -1,0 +1,368 @@
+// Tests of the `whyprov::Engine` facade: construction error paths, the
+// Enumeration handle (caps, exhaustion, iteration), SAT backend selection
+// via the SolverFactory, and cross-checks against the expectations of
+// test_enumerator.cc.
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenarios/scenarios.h"
+#include "tests/workspace.h"
+#include "whyprov.h"
+
+namespace whyprov {
+namespace {
+
+using whyprov::testing::FamilyToStrings;
+using whyprov::testing::MemberToString;
+namespace dl = whyprov::datalog;
+namespace pv = whyprov::provenance;
+
+constexpr const char* kExample1Program = R"(
+  a(X) :- s(X).
+  a(X) :- a(Y), a(Z), t(Y, Z, X).
+)";
+constexpr const char* kExample1Database =
+    "s(a). t(a, a, b). t(a, a, c). t(a, a, d). t(b, c, a).";
+constexpr const char* kExample4Database =
+    "s(a). s(b). t(a, a, c). t(b, b, c). t(c, c, d).";
+
+pv::ProvenanceFamily Drain(Enumeration& enumeration) {
+  pv::ProvenanceFamily family;
+  for (auto member = enumeration.Next(); member.has_value();
+       member = enumeration.Next()) {
+    family.insert(*member);
+  }
+  return family;
+}
+
+// --- FromText error paths ------------------------------------------------
+
+TEST(EngineFromTextTest, UnknownAnswerPredicateIsNotFound) {
+  auto engine = Engine::FromText("p(X) :- e(X).", "e(a).", "nonexistent");
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(EngineFromTextTest, ExtensionalAnswerPredicateIsInvalidArgument) {
+  auto engine = Engine::FromText("p(X) :- e(X).", "e(a).", "e");
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(EngineFromTextTest, ParseFailureIsParseError) {
+  auto engine = Engine::FromText("p(X) :- :-", "e(a).", "p");
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kParseError);
+  auto bad_db = Engine::FromText("p(X) :- e(X).", "e(a", "p");
+  ASSERT_FALSE(bad_db.ok());
+  EXPECT_EQ(bad_db.status().code(), util::StatusCode::kParseError);
+}
+
+TEST(EngineFromTextTest, EmptyProgramIsNotFound) {
+  // No rules at all: the answer predicate cannot occur, much less be
+  // intensional.
+  auto engine = Engine::FromText("", "e(a).", "p");
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(EngineFromTextTest, UnknownSolverBackendIsNotFound) {
+  EngineOptions options;
+  options.solver_backend = "no-such-solver";
+  auto engine = Engine::FromText(kExample1Program, kExample1Database, "a",
+                                 options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kNotFound);
+}
+
+// --- Enumerate: cross-check against test_enumerator expectations ---------
+
+TEST(EngineEnumerateTest, PaperExample1WhyUnHasSingleMember) {
+  auto engine =
+      Engine::FromText(kExample1Program, kExample1Database, "a");
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  EnumerateRequest request;
+  request.target_text = "a(d)";
+  auto enumeration = engine.value().Enumerate(request);
+  ASSERT_TRUE(enumeration.ok()) << enumeration.status().message();
+  const pv::ProvenanceFamily family = Drain(enumeration.value());
+  EXPECT_EQ(FamilyToStrings(family, engine.value().model().symbols()),
+            (std::set<std::string>{"{s(a), t(a, a, d)}"}));
+  EXPECT_TRUE(enumeration.value().exhausted());
+  EXPECT_FALSE(enumeration.value().hit_member_cap());
+  EXPECT_FALSE(enumeration.value().hit_timeout());
+}
+
+TEST(EngineEnumerateTest, PaperExample4WhyUnHasTwoMembers) {
+  auto engine =
+      Engine::FromText(kExample1Program, kExample4Database, "a");
+  ASSERT_TRUE(engine.ok());
+  EnumerateRequest request;
+  request.target_text = "a(d)";
+  auto enumeration = engine.value().Enumerate(request);
+  ASSERT_TRUE(enumeration.ok());
+  const pv::ProvenanceFamily family = Drain(enumeration.value());
+  EXPECT_EQ(FamilyToStrings(family, engine.value().model().symbols()),
+            (std::set<std::string>{"{s(a), t(a, a, c), t(c, c, d)}",
+                                   "{s(b), t(b, b, c), t(c, c, d)}"}));
+}
+
+TEST(EngineEnumerateTest, RangeForIterationYieldsEveryMember) {
+  auto engine =
+      Engine::FromText(kExample1Program, kExample4Database, "a");
+  ASSERT_TRUE(engine.ok());
+  EnumerateRequest request;
+  request.target_text = "a(d)";
+  auto enumeration = engine.value().Enumerate(request);
+  ASSERT_TRUE(enumeration.ok());
+  std::size_t members = 0;
+  for (const auto& member : enumeration.value()) {
+    EXPECT_FALSE(member.empty());
+    ++members;
+  }
+  EXPECT_EQ(members, 2u);
+  EXPECT_EQ(enumeration.value().members_emitted(), 2u);
+  EXPECT_EQ(enumeration.value().delays_ms().size(), 2u);
+}
+
+TEST(EngineEnumerateTest, MaxMembersCapsTheEnumeration) {
+  auto engine =
+      Engine::FromText(kExample1Program, kExample4Database, "a");
+  ASSERT_TRUE(engine.ok());
+  EnumerateRequest request;
+  request.target_text = "a(d)";
+  request.max_members = 1;
+  auto enumeration = engine.value().Enumerate(request);
+  ASSERT_TRUE(enumeration.ok());
+  EXPECT_TRUE(enumeration.value().Next().has_value());
+  EXPECT_FALSE(enumeration.value().Next().has_value());
+  EXPECT_TRUE(enumeration.value().hit_member_cap());
+  EXPECT_FALSE(enumeration.value().exhausted());
+  // All() after the cap stays empty (the budget is spent).
+  EXPECT_TRUE(enumeration.value().All().empty());
+}
+
+TEST(EngineEnumerateTest, ExhaustionIsSticky) {
+  auto engine =
+      Engine::FromText(kExample1Program, kExample1Database, "a");
+  ASSERT_TRUE(engine.ok());
+  EnumerateRequest request;
+  request.target_text = "a(d)";
+  auto enumeration = engine.value().Enumerate(request);
+  ASSERT_TRUE(enumeration.ok());
+  EXPECT_EQ(enumeration.value().All().size(), 1u);
+  EXPECT_TRUE(enumeration.value().exhausted());
+  EXPECT_FALSE(enumeration.value().Next().has_value());
+  EXPECT_TRUE(enumeration.value().All().empty());
+}
+
+TEST(EngineEnumerateTest, MissingTargetIsInvalidArgument) {
+  auto engine =
+      Engine::FromText(kExample1Program, kExample1Database, "a");
+  ASSERT_TRUE(engine.ok());
+  auto enumeration = engine.value().Enumerate(EnumerateRequest{});
+  ASSERT_FALSE(enumeration.ok());
+  EXPECT_EQ(enumeration.status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(EngineEnumerateTest, UnderivableTargetTextIsNotFound) {
+  auto engine =
+      Engine::FromText(kExample1Program, kExample1Database, "a");
+  ASSERT_TRUE(engine.ok());
+  EnumerateRequest request;
+  request.target_text = "a(zzz)";
+  auto enumeration = engine.value().Enumerate(request);
+  ASSERT_FALSE(enumeration.ok());
+  EXPECT_EQ(enumeration.status().code(), util::StatusCode::kNotFound);
+}
+
+// --- Backend selection ----------------------------------------------------
+
+TEST(SolverFactoryTest, BuiltInBackendsAreRegistered) {
+  auto& factory = sat::SolverFactory::Instance();
+  EXPECT_TRUE(factory.Has("cdcl"));
+  EXPECT_TRUE(factory.Has("dpll"));
+  EXPECT_TRUE(factory.Has("dimacs-pipe"));
+  auto cdcl = factory.Create("cdcl");
+  ASSERT_TRUE(cdcl.ok());
+  EXPECT_EQ(cdcl.value()->name(), "cdcl");
+  auto dpll = factory.Create("dpll");
+  ASSERT_TRUE(dpll.ok());
+  EXPECT_EQ(dpll.value()->name(), "dpll");
+}
+
+TEST(SolverFactoryTest, UnknownBackendIsNotFound) {
+  auto solver = sat::SolverFactory::Instance().Create("no-such-solver");
+  ASSERT_FALSE(solver.ok());
+  EXPECT_EQ(solver.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(SolverFactoryTest, DuplicateRegistrationIsRejected) {
+  auto status = sat::SolverFactory::Instance().Register(
+      "cdcl", [](const sat::SolverOptions&)
+                  -> util::Result<std::unique_ptr<sat::SolverInterface>> {
+        return util::Status::Error("never called");
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SolverFactoryTest, DimacsPipeWithoutCommandIsNotFound) {
+  unsetenv("WHYPROV_DIMACS_SOLVER");
+  auto solver = sat::SolverFactory::Instance().Create("dimacs-pipe");
+  ASSERT_FALSE(solver.ok());
+  EXPECT_EQ(solver.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(EngineBackendTest, FailingExternalSolverIsReportedAsIncomplete) {
+  // /bin/false produces no output: the pipe backend answers kUnknown,
+  // and the enumeration must flag itself incomplete instead of passing
+  // the empty result off as a genuinely empty family.
+  setenv("WHYPROV_DIMACS_SOLVER", "/bin/false", /*overwrite=*/1);
+  auto engine = Engine::FromText(kExample1Program, kExample1Database, "a");
+  ASSERT_TRUE(engine.ok());
+  EnumerateRequest request;
+  request.target_text = "a(d)";
+  request.solver_backend = "dimacs-pipe";
+  auto enumeration = engine.value().Enumerate(request);
+  ASSERT_TRUE(enumeration.ok()) << enumeration.status().message();
+  EXPECT_TRUE(enumeration.value().All().empty());
+  EXPECT_TRUE(enumeration.value().incomplete());
+
+  // Decide must not misreport the give-up as "not a member".
+  DecideRequest decide;
+  decide.target_text = "a(d)";
+  decide.candidate = {engine.value().model().fact(
+      engine.value().FactIdOf("s(a)").value())};
+  decide.solver_backend = "dimacs-pipe";
+  auto verdict = engine.value().Decide(decide);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), util::StatusCode::kResourceExhausted);
+  unsetenv("WHYPROV_DIMACS_SOLVER");
+}
+
+TEST(EngineBackendTest, CdclAndDpllAgreeOnPaperExample) {
+  for (const char* database : {kExample1Database, kExample4Database}) {
+    auto engine = Engine::FromText(kExample1Program, database, "a");
+    ASSERT_TRUE(engine.ok());
+    pv::ProvenanceFamily families[2];
+    int index = 0;
+    for (const char* backend : {"cdcl", "dpll"}) {
+      EnumerateRequest request;
+      request.target_text = "a(d)";
+      request.solver_backend = backend;
+      auto enumeration = engine.value().Enumerate(request);
+      ASSERT_TRUE(enumeration.ok()) << enumeration.status().message();
+      EXPECT_EQ(enumeration.value().solver().name(), backend);
+      families[index++] = Drain(enumeration.value());
+    }
+    EXPECT_EQ(families[0], families[1]);
+    EXPECT_FALSE(families[0].empty());
+  }
+}
+
+TEST(EngineBackendTest, CdclAndDpllAgreeOnAScenarioInstance) {
+  // A small sparse transitive-closure instance (the Bitcoin-like
+  // generator at toy scale): both backends must produce identical
+  // why-provenance families for every sampled answer.
+  const auto scenario = scenarios::MakeTransClosure(
+      scenarios::GraphKind::kSparse, /*num_nodes=*/24, /*num_edges=*/30,
+      /*seed=*/20240611);
+  EngineOptions options;
+  options.sampling_seed = 7;
+  const Engine engine = scenario.MakeEngine(options);
+  const auto targets = engine.SampleAnswers(3);
+  ASSERT_FALSE(targets.empty());
+  for (dl::FactId target : targets) {
+    pv::ProvenanceFamily families[2];
+    int index = 0;
+    for (const char* backend : {"cdcl", "dpll"}) {
+      EnumerateRequest request;
+      request.target = target;
+      request.max_members = 64;
+      request.solver_backend = backend;
+      auto enumeration = engine.Enumerate(request);
+      ASSERT_TRUE(enumeration.ok()) << enumeration.status().message();
+      families[index++] = Drain(enumeration.value());
+    }
+    EXPECT_EQ(families[0], families[1])
+        << "backends disagree on " << engine.FactToText(target);
+    EXPECT_FALSE(families[0].empty());
+  }
+}
+
+// --- Decide / Baseline / Explain -----------------------------------------
+
+TEST(EngineDecideTest, MatchesTheEnumeratedFamily) {
+  auto engine =
+      Engine::FromText(kExample1Program, kExample4Database, "a");
+  ASSERT_TRUE(engine.ok());
+  const Engine& e = engine.value();
+
+  DecideRequest in_family;
+  in_family.target_text = "a(d)";
+  in_family.candidate = {
+      e.model().fact(e.FactIdOf("s(a)").value()),
+      e.model().fact(e.FactIdOf("t(a, a, c)").value()),
+      e.model().fact(e.FactIdOf("t(c, c, d)").value())};
+  auto verdict = e.Decide(in_family);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().message();
+  EXPECT_TRUE(verdict.value());
+
+  // The whole database is a why() member but not a whyUN() member
+  // (Example 2 vs Example 4 of the paper).
+  DecideRequest whole_db;
+  whole_db.target_text = "a(d)";
+  whole_db.candidate = e.database().facts();
+  whole_db.tree_class = pv::TreeClass::kUnambiguous;
+  auto not_unambiguous = e.Decide(whole_db);
+  ASSERT_TRUE(not_unambiguous.ok());
+  EXPECT_FALSE(not_unambiguous.value());
+}
+
+TEST(EngineBaselineTest, MatchesComputeWhyAllAtOnce) {
+  auto engine =
+      Engine::FromText(kExample1Program, kExample1Database, "a");
+  ASSERT_TRUE(engine.ok());
+  BaselineRequest request;
+  request.target_text = "a(d)";
+  auto family = engine.value().Baseline(request);
+  ASSERT_TRUE(family.ok()) << family.status().message();
+  EXPECT_EQ(FamilyToStrings(family.value(),
+                            engine.value().model().symbols()),
+            (std::set<std::string>{
+                "{s(a), t(a, a, d)}",
+                "{s(a), t(a, a, b), t(a, a, c), t(a, a, d), t(b, c, a)}"}));
+}
+
+TEST(EngineExplainTest, ReturnsMemberAndValidatingTree) {
+  auto engine =
+      Engine::FromText(kExample1Program, kExample4Database, "a");
+  ASSERT_TRUE(engine.ok());
+  ExplainRequest request;
+  request.target_text = "a(d)";
+  auto explanation = engine.value().Explain(request);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().message();
+  EXPECT_FALSE(explanation.value().member.empty());
+  const auto target = engine.value().FactIdOf("a(d)");
+  ASSERT_TRUE(target.ok());
+  util::Status valid = explanation.value().tree.Validate(
+      engine.value().program(), engine.value().database(),
+      engine.value().model().fact(target.value()));
+  EXPECT_TRUE(valid.ok()) << valid.message();
+  EXPECT_TRUE(explanation.value().tree.IsUnambiguous());
+
+  // Asking for a member beyond the family's size is kNotFound.
+  request.member_index = 99;
+  auto missing = engine.value().Explain(request);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace whyprov

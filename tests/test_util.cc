@@ -21,6 +21,41 @@ TEST(StatusTest, OkAndError) {
   EXPECT_EQ(error.message(), "boom");
 }
 
+TEST(StatusTest, CodesAndConvenienceConstructors) {
+  EXPECT_EQ(Status::Ok().code(), StatusCode::kOk);
+  EXPECT_EQ(Status::Error("x").code(), StatusCode::kUnknown);
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Error(StatusCode::kNotFound, "y").code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnknown), "UNKNOWN");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "PARSE_ERROR");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> good = 42;
+  EXPECT_EQ(good.value_or(7), 42);
+  Result<int> bad = Status::NotFound("nope");
+  EXPECT_EQ(bad.value_or(7), 7);
+  Result<std::string> text = Status::Error("nope");
+  EXPECT_EQ(text.value_or("fallback"), "fallback");
+  EXPECT_EQ(Result<std::string>(std::string("hit")).value_or("miss"), "hit");
+}
+
 TEST(ResultTest, ValueAndStatusPaths) {
   Result<int> good = 42;
   ASSERT_TRUE(good.ok());
