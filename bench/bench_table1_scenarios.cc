@@ -62,7 +62,7 @@ void BM_GenerateAndEvaluate(benchmark::State& state,
                             const whyprov::bench::SuiteEntry entry) {
   for (auto _ : state) {
     auto scenario = entry.make();
-    auto pipeline = scenario.MakePipeline();
+    const whyprov::Engine pipeline = scenario.MakeEngine();
     benchmark::DoNotOptimize(pipeline.model().size());
     state.counters["db_facts"] =
         static_cast<double>(scenario.database.size());

@@ -1,0 +1,141 @@
+// bench_throughput: queries/sec of the batch serving API, with and
+// without the plan cache, across scenario instances.
+//
+// Each configuration evaluates one scenario database, samples a small set
+// of answer tuples, and replays a workload of enumeration requests that
+// revisits each tuple many times (the serving pattern the plan cache
+// targets). The same workload runs on an engine with the cache enabled
+// and one with it disabled, single-threaded and with the full worker
+// pool, so the JSON records both the caching and the batching speedups.
+//
+// Usage:
+//   bench_throughput [output.json]     (default: BENCH_throughput.json)
+//
+// The JSON is a flat array of runs, one object per
+// (scenario, database, cache, threads) combination — the perf-trajectory
+// format the BENCH_*.json files follow.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/parallel.h"
+#include "whyprov.h"
+
+namespace {
+
+using whyprov::bench::SuiteEntry;
+
+constexpr std::size_t kRoundsPerTuple = 40;  ///< workload revisits per tuple
+constexpr std::size_t kMaxMembersPerRequest = 8;
+
+struct Run {
+  std::string scenario;
+  std::string database;
+  bool cache_enabled = false;
+  std::size_t threads = 0;
+  whyprov::BatchStats stats;
+};
+
+/// The scenario slice: one representative per family, small enough that
+/// the whole benchmark finishes in well under a minute.
+std::vector<SuiteEntry> ThroughputSuite() {
+  using whyprov::bench::kSuiteSeed;
+  namespace scenarios = whyprov::scenarios;
+  return {
+      {"TransClosure", "Dbitcoin~",
+       [] {
+         return scenarios::MakeTransClosure(scenarios::GraphKind::kSparse,
+                                            600, 900, kSuiteSeed);
+       }},
+      {"Doctors-1", "D1",
+       [] { return scenarios::MakeDoctors(1, 400, kSuiteSeed); }},
+      {"Andersen", "D1",
+       [] { return scenarios::MakeAndersen(500, kSuiteSeed); }},
+  };
+}
+
+Run RunWorkload(const SuiteEntry& entry, bool cache_enabled,
+                std::size_t threads) {
+  auto scenario = entry.make();
+  whyprov::EngineOptions options;
+  options.plan_cache_capacity = cache_enabled ? 64 : 0;
+  const whyprov::Engine engine = scenario.MakeEngine(options);
+
+  const auto targets = engine.SampleAnswers(whyprov::bench::kTuplesPerDatabase);
+  std::vector<whyprov::EnumerateRequest> requests;
+  requests.reserve(targets.size() * kRoundsPerTuple);
+  for (std::size_t round = 0; round < kRoundsPerTuple; ++round) {
+    for (auto target : targets) {
+      whyprov::EnumerateRequest request;
+      request.target = target;
+      request.max_members = kMaxMembersPerRequest;
+      requests.push_back(request);
+    }
+  }
+
+  whyprov::BatchOptions batch;
+  batch.num_threads = threads;
+  Run run;
+  run.scenario = entry.scenario;
+  run.database = entry.database;
+  run.cache_enabled = cache_enabled;
+  run.threads = whyprov::util::ResolveThreadCount(threads);
+  run.stats = engine.EnumerateBatch(requests, batch).stats;
+  return run;
+}
+
+void WriteJson(std::FILE* out, const std::vector<Run>& runs) {
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    const whyprov::BatchStats& s = run.stats;
+    std::fprintf(
+        out,
+        "  {\"scenario\": \"%s\", \"database\": \"%s\", "
+        "\"plan_cache\": %s, \"threads\": %zu, \"requests\": %zu, "
+        "\"succeeded\": %zu, \"failed\": %zu, \"members\": %zu, "
+        "\"wall_seconds\": %.6f, \"queries_per_second\": %.2f, "
+        "\"cache_hits\": %zu, \"cache_misses\": %zu}%s\n",
+        run.scenario.c_str(), run.database.c_str(),
+        run.cache_enabled ? "true" : "false", run.threads, s.requests,
+        s.succeeded, s.failed, s.members_emitted, s.wall_seconds,
+        s.queries_per_second, s.plan_cache_hits, s.plan_cache_misses,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* output_path = argc > 1 ? argv[1] : "BENCH_throughput.json";
+  std::vector<Run> runs;
+  for (const SuiteEntry& entry : ThroughputSuite()) {
+    for (const bool cache_enabled : {false, true}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+        runs.push_back(RunWorkload(entry, cache_enabled, threads));
+        const Run& run = runs.back();
+        std::printf(
+            "%-14s %-12s cache=%-3s threads=%-2zu  %8.1f q/s  "
+            "(%zu requests, %.3fs, %zu hits / %zu misses)\n",
+            run.scenario.c_str(), run.database.c_str(),
+            run.cache_enabled ? "on" : "off", run.threads,
+            run.stats.queries_per_second, run.stats.requests,
+            run.stats.wall_seconds, run.stats.plan_cache_hits,
+            run.stats.plan_cache_misses);
+      }
+    }
+  }
+
+  std::FILE* out = std::fopen(output_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", output_path);
+    return 1;
+  }
+  WriteJson(out, runs);
+  std::fclose(out);
+  std::printf("wrote %s\n", output_path);
+  return 0;
+}

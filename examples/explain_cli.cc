@@ -102,10 +102,16 @@ int main(int argc, char** argv) {
 
   for (dl::FactId target : targets) {
     std::printf("\nwhy %s ?\n", engine.value().FactToText(target).c_str());
+    // Compile once (plan-cached across repeated targets), execute after.
+    auto prepared = engine.value().Prepare(target);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   prepared.status().message().c_str());
+      continue;
+    }
     whyprov::EnumerateRequest request;
-    request.target = target;
     request.max_members = max_members;
-    auto enumeration = engine.value().Enumerate(request);
+    auto enumeration = prepared.value().Enumerate(request);
     if (!enumeration.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    enumeration.status().message().c_str());

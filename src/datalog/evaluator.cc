@@ -62,6 +62,7 @@ const std::vector<FactId>& Model::Lookup(
   static const std::vector<FactId> kEmpty;
   if (mask == 0) return Relation(p);
   const IndexKey index_key = MakeIndexKey(p, mask);
+  const std::lock_guard<std::mutex> lock(*index_mutex_);
   auto it = indexes_.find(index_key);
   if (it == indexes_.end()) {
     // Build the index over the current relation contents.

@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -34,7 +35,10 @@ inline constexpr SymbolId kUnboundSymbol =
 ///
 /// The model also owns the hash indexes used by the join machinery; indexes
 /// are built lazily per (predicate, bound-position mask) and maintained
-/// incrementally as facts are added.
+/// incrementally as facts are added. Lazy index construction is the one
+/// mutation a logically-const model performs, so `Lookup` serialises it
+/// behind a mutex: once evaluation is done, a model is safe to share
+/// across threads (concurrent Find/Relation/Lookup/fact/rank).
 class Model {
  public:
   /// Creates an empty model over `symbols`.
@@ -106,6 +110,11 @@ class Model {
   std::unordered_map<Fact, FactId, FactHash> fact_ids_;
   std::vector<std::vector<FactId>> relations_;  // by predicate
   mutable std::unordered_map<IndexKey, Index> indexes_;
+  // Guards lazy builds in Lookup (a unique_ptr keeps the model movable).
+  // References returned by Lookup stay valid across later builds because
+  // unordered_map never relocates its nodes.
+  mutable std::unique_ptr<std::mutex> index_mutex_ =
+      std::make_unique<std::mutex>();
 };
 
 /// Callback receiving, for each homomorphism from a rule body into the

@@ -7,6 +7,7 @@
 #include "datalog/parser.h"
 #include "provenance/proof_dag.h"
 #include "sat/solver_factory.h"
+#include "util/parallel.h"
 
 namespace whyprov {
 
@@ -23,7 +24,109 @@ dl::Model EvaluateTimed(const dl::Program& program,
   return model;
 }
 
+/// Instantiates the request's backend (or the engine default) with the
+/// engine's solver tuning.
+util::Result<std::unique_ptr<sat::SolverInterface>> MakeSolver(
+    const EngineState& state, const std::string& request_backend) {
+  const std::string& backend =
+      request_backend.empty() ? state.options.solver_backend : request_backend;
+  return sat::SolverFactory::Instance().Create(backend, state.options.solver);
+}
+
+/// The SAT Decide step against a prepared plan (kUnambiguous only).
+util::Result<bool> ExecuteDecideSat(const EngineState& state,
+                                    const pv::QueryPlan& plan,
+                                    const DecideRequest& request) {
+  auto solver = MakeSolver(state, request.solver_backend);
+  if (!solver.ok()) return solver.status();
+  // Propagates kResourceExhausted when the backend gives up instead of
+  // misreporting "not a member".
+  return pv::IsWhyUnMemberPrepared(plan, state.model, request.candidate,
+                                   *solver.value());
+}
+
+/// The exhaustive-reference Decide step; needs no plan (and must not
+/// trigger a closure+encode compile just to learn the target).
+util::Result<bool> ExecuteDecideExhaustive(const EngineState& state,
+                                           dl::FactId target,
+                                           const DecideRequest& request) {
+  util::Result<pv::ProvenanceFamily> family = pv::EnumerateWhyExhaustive(
+      state.program, state.model, target, request.tree_class,
+      state.options.baseline_limits);
+  if (!family.ok()) return family.status();
+  std::vector<dl::Fact> candidate = request.candidate;
+  std::sort(candidate.begin(), candidate.end());
+  return family.value().contains(candidate);
+}
+
+/// The shared Explain tail: advance the enumeration to the requested
+/// member and reconstruct its witnessing tree.
+util::Result<Explanation> ExplainVia(util::Result<Enumeration> enumeration,
+                                     const ExplainRequest& request) {
+  if (!enumeration.ok()) return enumeration.status();
+  std::optional<std::vector<dl::Fact>> member;
+  for (std::size_t i = 0; i <= request.member_index; ++i) {
+    member = enumeration.value().Next();
+    if (!member.has_value()) {
+      return util::Status::NotFound(
+          "the enumeration has only " +
+          std::to_string(enumeration.value().members_emitted()) +
+          " member(s); cannot explain member index " +
+          std::to_string(request.member_index));
+    }
+  }
+  util::Result<pv::ProofTree> tree =
+      enumeration.value().ExplainLast(request.max_tree_nodes);
+  if (!tree.ok()) return tree.status();
+  return Explanation{std::move(*member), std::move(tree).value()};
+}
+
+/// Turns an ExplainRequest into the enumeration that serves it.
+EnumerateRequest EnumerateRequestFor(const ExplainRequest& request) {
+  EnumerateRequest enumerate;
+  enumerate.target = request.target;
+  enumerate.target_text = request.target_text;
+  enumerate.max_members = request.member_index + 1;
+  enumerate.acyclicity = request.acyclicity;
+  enumerate.solver_backend = request.solver_backend;
+  return enumerate;
+}
+
+/// Fills the aggregate batch counters common to both batch flavours.
+void FinishBatchStats(const PlanCacheStats& before,
+                      const PlanCacheStats& after, double wall_seconds,
+                      std::size_t requests, BatchStats& stats) {
+  stats.requests = requests;
+  stats.wall_seconds = wall_seconds;
+  stats.queries_per_second =
+      wall_seconds > 0 ? static_cast<double>(requests) / wall_seconds : 0;
+  stats.plan_cache_hits = after.hits - before.hits;
+  stats.plan_cache_misses = after.misses - before.misses;
+}
+
 }  // namespace
+
+// --- EngineState ---------------------------------------------------------
+
+EngineState::EngineState(dl::Program program_in, dl::Database database_in,
+                         dl::PredicateId answer_predicate_in,
+                         EngineOptions options_in)
+    : program(std::move(program_in)),
+      database(std::move(database_in)),
+      answer_predicate(answer_predicate_in),
+      options(std::move(options_in)),
+      model(EvaluateTimed(program, database, &eval_seconds)),
+      plan_cache(options.plan_cache_capacity) {}
+
+std::shared_ptr<const pv::QueryPlan> EngineState::PlanFor(
+    dl::FactId target, pv::AcyclicityEncoding acyclicity) const {
+  if (auto plan = plan_cache.Get(target, acyclicity)) return plan;
+  pv::CnfEncoder::Options encoder_options;
+  encoder_options.acyclicity = acyclicity;
+  auto plan = pv::QueryPlan::Build(program, model, target, encoder_options);
+  plan_cache.Put(target, acyclicity, plan);
+  return plan;
+}
 
 // --- Enumeration ---------------------------------------------------------
 
@@ -63,18 +166,78 @@ util::Result<pv::ProofTree> Enumeration::ExplainLast(
   }
   const pv::CompressedDag dag(&impl_->closure(),
                               impl_->last_witness_choices());
-  return dag.UnravelToProofTree(*program_, *model_, max_tree_nodes);
+  return dag.UnravelToProofTree(state_->program, state_->model,
+                                max_tree_nodes);
+}
+
+// --- PreparedQuery -------------------------------------------------------
+
+util::Result<Enumeration> PreparedQuery::ExecutePlan(
+    std::shared_ptr<const EngineState> state,
+    std::shared_ptr<const pv::QueryPlan> plan,
+    const EnumerateRequest& request) {
+  auto solver = MakeSolver(*state, request.solver_backend);
+  if (!solver.ok()) return solver.status();
+  const dl::FactId target = plan->target();
+  auto impl = std::make_unique<pv::WhyProvenanceEnumerator>(
+      state->model, std::move(plan), std::move(solver).value());
+  return Enumeration(std::move(state), std::move(impl), target,
+                     request.max_members, request.timeout_seconds);
+}
+
+dl::FactId PreparedQuery::target() const { return plan_->target(); }
+
+std::string PreparedQuery::target_text() const {
+  const std::lock_guard<std::mutex> lock(state_->parse_mutex);
+  return dl::FactToString(state_->model.fact(plan_->target()),
+                          state_->program.symbols());
+}
+
+pv::AcyclicityEncoding PreparedQuery::acyclicity() const {
+  return plan_->acyclicity();
+}
+
+const pv::PlanTimings& PreparedQuery::timings() const {
+  return plan_->timings();
+}
+
+const pv::DownwardClosure& PreparedQuery::closure() const {
+  return plan_->closure();
+}
+
+const pv::Encoding& PreparedQuery::encoding() const {
+  return plan_->encoding();
+}
+
+const sat::CnfFormula& PreparedQuery::formula() const {
+  return plan_->formula();
+}
+
+util::Result<Enumeration> PreparedQuery::Enumerate(
+    const EnumerateRequest& request) const {
+  return ExecutePlan(state_, plan_, request);
+}
+
+util::Result<bool> PreparedQuery::Decide(const DecideRequest& request) const {
+  if (request.tree_class == pv::TreeClass::kUnambiguous) {
+    return ExecuteDecideSat(*state_, *plan_, request);
+  }
+  return ExecuteDecideExhaustive(*state_, plan_->target(), request);
+}
+
+util::Result<Explanation> PreparedQuery::Explain(
+    const ExplainRequest& request) const {
+  return ExplainVia(Enumerate(EnumerateRequestFor(request)), request);
 }
 
 // --- Engine --------------------------------------------------------------
 
 Engine::Engine(dl::Program program, dl::Database database,
                dl::PredicateId answer_predicate, EngineOptions options)
-    : program_(std::move(program)),
-      database_(std::move(database)),
-      answer_predicate_(answer_predicate),
-      options_(std::move(options)),
-      model_(EvaluateTimed(program_, database_, &eval_seconds_)) {}
+    : state_(std::make_shared<EngineState>(std::move(program),
+                                           std::move(database),
+                                           answer_predicate,
+                                           std::move(options))) {}
 
 util::Result<Engine> Engine::FromText(std::string_view program_text,
                                       std::string_view database_text,
@@ -115,11 +278,11 @@ Engine Engine::FromParts(dl::Program program, dl::Database database,
 }
 
 std::vector<dl::FactId> Engine::AnswerFactIds() const {
-  return model_.Relation(answer_predicate_);
+  return state_->model.Relation(state_->answer_predicate);
 }
 
 std::vector<dl::FactId> Engine::SampleAnswers(std::size_t count) const {
-  util::Rng rng(options_.sampling_seed);
+  util::Rng rng(state_->options.sampling_seed);
   return SampleAnswers(count, rng);
 }
 
@@ -132,10 +295,13 @@ std::vector<dl::FactId> Engine::SampleAnswers(std::size_t count,
 }
 
 util::Result<dl::FactId> Engine::FactIdOf(std::string_view fact_text) const {
+  // ParseFact interns constants into the shared symbol table, so parses
+  // must not run concurrently.
+  const std::lock_guard<std::mutex> lock(state_->parse_mutex);
   util::Result<dl::Fact> fact =
-      dl::Parser::ParseFact(database_.symbols_ptr(), fact_text);
+      dl::Parser::ParseFact(state_->database.symbols_ptr(), fact_text);
   if (!fact.ok()) return fact.status();
-  auto id = model_.Find(fact.value());
+  auto id = state_->model.Find(fact.value());
   if (!id.has_value()) {
     return util::Status::NotFound("fact '" + std::string(fact_text) +
                                   "' is not derivable");
@@ -144,11 +310,15 @@ util::Result<dl::FactId> Engine::FactIdOf(std::string_view fact_text) const {
 }
 
 std::string Engine::FactToText(dl::FactId id) const {
-  return dl::FactToString(model_.fact(id), program_.symbols());
+  // Rendering reads the symbol table FactIdOf may be interning into from
+  // another thread, so it takes the same lock.
+  const std::lock_guard<std::mutex> lock(state_->parse_mutex);
+  return dl::FactToString(state_->model.fact(id), state_->program.symbols());
 }
 
 std::string Engine::FactToText(const dl::Fact& fact) const {
-  return dl::FactToString(fact, program_.symbols());
+  const std::lock_guard<std::mutex> lock(state_->parse_mutex);
+  return dl::FactToString(fact, state_->program.symbols());
 }
 
 util::Result<dl::FactId> Engine::ResolveTarget(
@@ -161,51 +331,51 @@ util::Result<dl::FactId> Engine::ResolveTarget(
   return FactIdOf(target_text);
 }
 
+util::Result<PreparedQuery> Engine::Prepare(
+    const PrepareRequest& request) const {
+  util::Result<dl::FactId> target =
+      ResolveTarget(request.target, request.target_text);
+  if (!target.ok()) return target.status();
+  auto plan = state_->PlanFor(
+      target.value(), request.acyclicity.value_or(state_->options.acyclicity));
+  return PreparedQuery(state_, std::move(plan));
+}
+
+util::Result<PreparedQuery> Engine::Prepare(dl::FactId target) const {
+  PrepareRequest request;
+  request.target = target;
+  return Prepare(request);
+}
+
+util::Result<PreparedQuery> Engine::Prepare(
+    std::string_view target_text) const {
+  PrepareRequest request;
+  request.target_text = std::string(target_text);
+  return Prepare(request);
+}
+
 util::Result<Enumeration> Engine::Enumerate(
     const EnumerateRequest& request) const {
   util::Result<dl::FactId> target =
       ResolveTarget(request.target, request.target_text);
   if (!target.ok()) return target.status();
-  const std::string& backend = request.solver_backend.empty()
-                                   ? options_.solver_backend
-                                   : request.solver_backend;
-  auto solver =
-      sat::SolverFactory::Instance().Create(backend, options_.solver);
-  if (!solver.ok()) return solver.status();
-  pv::WhyProvenanceEnumerator::Options enumerator_options;
-  enumerator_options.acyclicity =
-      request.acyclicity.value_or(options_.acyclicity);
-  auto impl = std::make_unique<pv::WhyProvenanceEnumerator>(
-      program_, model_, target.value(), enumerator_options,
-      std::move(solver).value());
-  return Enumeration(&program_, &model_, std::move(impl), target.value(),
-                     request.max_members, request.timeout_seconds);
+  auto plan = state_->PlanFor(
+      target.value(), request.acyclicity.value_or(state_->options.acyclicity));
+  return PreparedQuery::ExecutePlan(state_, std::move(plan), request);
 }
 
 util::Result<bool> Engine::Decide(const DecideRequest& request) const {
   util::Result<dl::FactId> target =
       ResolveTarget(request.target, request.target_text);
   if (!target.ok()) return target.status();
-  if (request.tree_class == pv::TreeClass::kUnambiguous) {
-    const std::string& backend = request.solver_backend.empty()
-                                     ? options_.solver_backend
-                                     : request.solver_backend;
-    auto solver =
-        sat::SolverFactory::Instance().Create(backend, options_.solver);
-    if (!solver.ok()) return solver.status();
-    // Propagates kResourceExhausted when the backend gives up instead of
-    // misreporting "not a member".
-    return pv::IsWhyUnMemberSat(
-        program_, model_, target.value(), request.candidate,
-        request.acyclicity.value_or(options_.acyclicity), *solver.value());
+  // Only the SAT path consumes a plan; the exhaustive reference
+  // algorithms must not pay (or cache-pollute with) a closure+encode.
+  if (request.tree_class != pv::TreeClass::kUnambiguous) {
+    return ExecuteDecideExhaustive(*state_, target.value(), request);
   }
-  util::Result<pv::ProvenanceFamily> family = pv::EnumerateWhyExhaustive(
-      program_, model_, target.value(), request.tree_class,
-      options_.baseline_limits);
-  if (!family.ok()) return family.status();
-  std::vector<dl::Fact> candidate = request.candidate;
-  std::sort(candidate.begin(), candidate.end());
-  return family.value().contains(candidate);
+  auto plan = state_->PlanFor(
+      target.value(), request.acyclicity.value_or(state_->options.acyclicity));
+  return ExecuteDecideSat(*state_, *plan, request);
 }
 
 util::Result<pv::ProvenanceFamily> Engine::Baseline(
@@ -214,35 +384,121 @@ util::Result<pv::ProvenanceFamily> Engine::Baseline(
       ResolveTarget(request.target, request.target_text);
   if (!target.ok()) return target.status();
   return pv::ComputeWhyAllAtOnce(
-      program_, model_, target.value(),
-      request.limits.value_or(options_.baseline_limits));
+      state_->program, state_->model, target.value(),
+      request.limits.value_or(state_->options.baseline_limits));
 }
 
 util::Result<Explanation> Engine::Explain(
     const ExplainRequest& request) const {
-  EnumerateRequest enumerate;
-  enumerate.target = request.target;
-  enumerate.target_text = request.target_text;
-  enumerate.max_members = request.member_index + 1;
-  enumerate.acyclicity = request.acyclicity;
-  enumerate.solver_backend = request.solver_backend;
-  util::Result<Enumeration> enumeration = Enumerate(enumerate);
-  if (!enumeration.ok()) return enumeration.status();
-  std::optional<std::vector<dl::Fact>> member;
-  for (std::size_t i = 0; i <= request.member_index; ++i) {
-    member = enumeration.value().Next();
-    if (!member.has_value()) {
-      return util::Status::NotFound(
-          "the enumeration has only " +
-          std::to_string(enumeration.value().members_emitted()) +
-          " member(s); cannot explain member index " +
-          std::to_string(request.member_index));
+  return ExplainVia(Enumerate(EnumerateRequestFor(request)), request);
+}
+
+// --- batch serving -------------------------------------------------------
+
+BatchEnumerateResult Engine::EnumerateBatch(
+    const std::vector<EnumerateRequest>& requests,
+    const BatchOptions& options) const {
+  BatchEnumerateResult result;
+  result.outcomes.resize(requests.size());
+  const PlanCacheStats before = state_->plan_cache.stats();
+  util::Timer timer;
+
+  // Resolve every target up front on this thread: fact-text parsing
+  // mutates the shared symbol table, so it stays out of the fan-out.
+  std::vector<dl::FactId> targets(requests.size(), dl::kInvalidFact);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    util::Result<dl::FactId> target =
+        ResolveTarget(requests[i].target, requests[i].target_text);
+    if (!target.ok()) {
+      result.outcomes[i].status = target.status();
+    } else {
+      targets[i] = target.value();
     }
   }
-  util::Result<pv::ProofTree> tree =
-      enumeration.value().ExplainLast(request.max_tree_nodes);
-  if (!tree.ok()) return tree.status();
-  return Explanation{std::move(*member), std::move(tree).value()};
+
+  util::ParallelFor(requests.size(), options.num_threads,
+                    [&](std::size_t i) {
+    BatchEnumerateOutcome& outcome = result.outcomes[i];
+    if (!outcome.status.ok()) return;
+    util::Timer request_timer;
+    EnumerateRequest request = requests[i];
+    request.target = targets[i];
+    request.target_text.clear();
+    util::Result<Enumeration> enumeration = Enumerate(request);
+    if (!enumeration.ok()) {
+      outcome.status = enumeration.status();
+      outcome.seconds = request_timer.ElapsedSeconds();
+      return;
+    }
+    outcome.members = enumeration.value().All();
+    outcome.exhausted = enumeration.value().exhausted();
+    outcome.incomplete = enumeration.value().incomplete();
+    outcome.hit_member_cap = enumeration.value().hit_member_cap();
+    outcome.hit_timeout = enumeration.value().hit_timeout();
+    outcome.seconds = request_timer.ElapsedSeconds();
+  });
+
+  const double wall_seconds = timer.ElapsedSeconds();
+  for (const BatchEnumerateOutcome& outcome : result.outcomes) {
+    if (outcome.status.ok()) {
+      ++result.stats.succeeded;
+      result.stats.members_emitted += outcome.members.size();
+    } else {
+      ++result.stats.failed;
+    }
+  }
+  FinishBatchStats(before, state_->plan_cache.stats(), wall_seconds,
+                   requests.size(), result.stats);
+  return result;
+}
+
+BatchDecideResult Engine::DecideBatch(
+    const std::vector<DecideRequest>& requests,
+    const BatchOptions& options) const {
+  BatchDecideResult result;
+  result.outcomes.resize(requests.size());
+  const PlanCacheStats before = state_->plan_cache.stats();
+  util::Timer timer;
+
+  std::vector<dl::FactId> targets(requests.size(), dl::kInvalidFact);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    util::Result<dl::FactId> target =
+        ResolveTarget(requests[i].target, requests[i].target_text);
+    if (!target.ok()) {
+      result.outcomes[i].status = target.status();
+    } else {
+      targets[i] = target.value();
+    }
+  }
+
+  util::ParallelFor(requests.size(), options.num_threads,
+                    [&](std::size_t i) {
+    BatchDecideOutcome& outcome = result.outcomes[i];
+    if (!outcome.status.ok()) return;
+    util::Timer request_timer;
+    DecideRequest request = requests[i];
+    request.target = targets[i];
+    request.target_text.clear();
+    util::Result<bool> verdict = Decide(request);
+    if (!verdict.ok()) {
+      outcome.status = verdict.status();
+    } else {
+      outcome.member = verdict.value();
+    }
+    outcome.seconds = request_timer.ElapsedSeconds();
+  });
+
+  const double wall_seconds = timer.ElapsedSeconds();
+  for (const BatchDecideOutcome& outcome : result.outcomes) {
+    if (outcome.status.ok()) {
+      ++result.stats.succeeded;
+    } else {
+      ++result.stats.failed;
+    }
+  }
+  FinishBatchStats(before, state_->plan_cache.stats(), wall_seconds,
+                   requests.size(), result.stats);
+  return result;
 }
 
 }  // namespace whyprov

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -13,11 +14,13 @@
 #include "datalog/database.h"
 #include "datalog/evaluator.h"
 #include "datalog/program.h"
+#include "engine/plan_cache.h"
 #include "provenance/acyclicity.h"
 #include "provenance/baseline.h"
 #include "provenance/decision.h"
 #include "provenance/enumerator.h"
 #include "provenance/proof_tree.h"
+#include "provenance/query_plan.h"
 #include "sat/solver_interface.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -30,8 +33,8 @@ using provenance::kNoLimit;
 
 /// One consolidated option block for the whole engine: acyclicity
 /// encoding, SAT backend selection and tuning, materialisation budgets,
-/// and sampling determinism. Per-request structs can override the
-/// request-scoped subset.
+/// plan-cache sizing, and sampling determinism. Per-request structs can
+/// override the request-scoped subset.
 struct EngineOptions {
   /// phi_acyclic encoding used by SAT-based services.
   provenance::AcyclicityEncoding acyclicity =
@@ -44,6 +47,9 @@ struct EngineOptions {
   provenance::BaselineLimits baseline_limits;
   /// Seed for SampleAnswers (same seed => same sample).
   std::uint64_t sampling_seed = 0;
+  /// Plans kept by the LRU plan cache behind Enumerate/Decide/Explain
+  /// (keyed by target fact and acyclicity encoding; 0 disables caching).
+  std::size_t plan_cache_capacity = 64;
 };
 
 /// Parameters of Engine::Enumerate.
@@ -56,7 +62,9 @@ struct EnumerateRequest {
   std::size_t max_members = kNoLimit;
   /// Stop once this much wall-clock time has elapsed (<= 0 = no timeout).
   double timeout_seconds = 0;
-  /// Request-scoped overrides of the engine defaults.
+  /// Request-scoped overrides of the engine defaults. (PreparedQuery
+  /// executions ignore `target`/`target_text`/`acyclicity`: those are
+  /// plan-scoped and fixed at Prepare time.)
   std::optional<provenance::AcyclicityEncoding> acyclicity;
   std::string solver_backend;  ///< empty = engine default
 };
@@ -92,6 +100,14 @@ struct ExplainRequest {
   std::string solver_backend;  ///< empty = engine default
 };
 
+/// Parameters of Engine::Prepare.
+struct PrepareRequest {
+  datalog::FactId target = datalog::kInvalidFact;
+  std::string target_text;
+  /// Overrides the engine's acyclicity encoding for this plan.
+  std::optional<provenance::AcyclicityEncoding> acyclicity;
+};
+
 /// Result of Engine::Explain: one why-provenance member together with a
 /// witnessing unambiguous proof tree.
 struct Explanation {
@@ -99,10 +115,45 @@ struct Explanation {
   provenance::ProofTree tree;
 };
 
+/// The shared, immutable core of an engine: the parsed inputs, the
+/// evaluated least model, the options, and (logically mutable but
+/// internally synchronised) the plan cache. Held by shared_ptr from the
+/// engine and from every live handle (Enumeration, PreparedQuery), so
+/// moving or destroying the Engine object never invalidates a handle.
+/// Everything here except the plan cache and the parse mutex is
+/// bitwise-immutable after construction and therefore thread-shareable.
+struct EngineState {
+  EngineState(datalog::Program program_in, datalog::Database database_in,
+              datalog::PredicateId answer_predicate_in,
+              EngineOptions options_in);
+
+  /// Cache-through plan lookup: returns the cached plan for
+  /// (target, acyclicity) or builds and caches a fresh one.
+  std::shared_ptr<const provenance::QueryPlan> PlanFor(
+      datalog::FactId target,
+      provenance::AcyclicityEncoding acyclicity) const;
+
+  datalog::Program program;
+  datalog::Database database;
+  datalog::PredicateId answer_predicate;
+  EngineOptions options;
+  // eval_seconds is written while model is initialised, so it must be
+  // declared (and thus initialised) before model.
+  double eval_seconds = 0;
+  datalog::Model model;
+  /// Serialises every engine-surface touch of the shared symbol table:
+  /// fact-text parsing (ParseFact interns constants, mutating the table)
+  /// and fact rendering (which reads the interned names). Callers going
+  /// straight to model().symbols() from several threads are on their own.
+  mutable std::mutex parse_mutex;
+  mutable PlanCache plan_cache;
+};
+
 /// A live why-provenance enumeration: a move-only, range-style handle
 /// unifying incremental Next(), draining All(), per-member delays, phase
-/// timings, and budget outcomes. Obtained from Engine::Enumerate; keeps
-/// the engine borrowed (the engine must outlive it).
+/// timings, and budget outcomes. Obtained from Engine::Enumerate or
+/// PreparedQuery::Enumerate; shares ownership of the engine state, so it
+/// stays valid even if the Engine object is moved or destroyed.
 class Enumeration {
  public:
   Enumeration(Enumeration&&) = default;
@@ -145,9 +196,13 @@ class Enumeration {
   /// Per-member delays in milliseconds (the paper's Figures 2/4).
   const std::vector<double>& delays_ms() const { return impl_->delays_ms(); }
 
-  /// Closure/encode phase timings (the paper's Figures 1/3).
-  const provenance::WhyProvenanceEnumerator::Timings& timings() const {
-    return impl_->timings();
+  /// Closure/encode phase timings of the plan (the paper's Figures 1/3).
+  /// Zero marginal cost when the plan came from the cache.
+  const provenance::PlanTimings& timings() const { return impl_->timings(); }
+
+  /// The shared plan this enumeration executes.
+  const std::shared_ptr<const provenance::QueryPlan>& plan() const {
+    return impl_->plan();
   }
 
   /// The downward closure (e.g. for size reporting).
@@ -198,20 +253,19 @@ class Enumeration {
 
  private:
   friend class Engine;
+  friend class PreparedQuery;
 
-  Enumeration(const datalog::Program* program, const datalog::Model* model,
+  Enumeration(std::shared_ptr<const EngineState> state,
               std::unique_ptr<provenance::WhyProvenanceEnumerator> impl,
               datalog::FactId target, std::size_t max_members,
               double timeout_seconds)
-      : program_(program),
-        model_(model),
+      : state_(std::move(state)),
         impl_(std::move(impl)),
         target_(target),
         max_members_(max_members),
         timeout_seconds_(timeout_seconds) {}
 
-  const datalog::Program* program_;
-  const datalog::Model* model_;
+  std::shared_ptr<const EngineState> state_;
   std::unique_ptr<provenance::WhyProvenanceEnumerator> impl_;
   datalog::FactId target_;
   std::size_t max_members_;
@@ -223,12 +277,138 @@ class Enumeration {
   bool hit_timeout_ = false;
 };
 
+/// An immutable, thread-shareable compiled query: the downward closure and
+/// CNF encoding of one target fact, plus shared ownership of the engine
+/// state it was compiled against. Obtained from Engine::Prepare; cheap to
+/// copy (two shared_ptrs) and safe to use from any number of threads
+/// simultaneously — every execution instantiates its own fresh SAT solver
+/// and replays the plan's formula into it, so executions never contend.
+/// A PreparedQuery may outlive the Engine object it came from.
+class PreparedQuery {
+ public:
+  /// The compiled target fact.
+  datalog::FactId target() const;
+
+  /// The compiled target rendered as text, e.g. "path(a, b)".
+  std::string target_text() const;
+
+  /// The acyclicity encoding the plan was compiled with.
+  provenance::AcyclicityEncoding acyclicity() const;
+
+  /// Closure/encode phase timings of the compile step.
+  const provenance::PlanTimings& timings() const;
+
+  /// The downward closure (e.g. for size reporting).
+  const provenance::DownwardClosure& closure() const;
+
+  /// The encoding layout (e.g. for variable/clause counts).
+  const provenance::Encoding& encoding() const;
+
+  /// The backend-neutral CNF formula (e.g. for variable/clause counts).
+  const sat::CnfFormula& formula() const;
+
+  /// The underlying shared plan.
+  const std::shared_ptr<const provenance::QueryPlan>& plan() const {
+    return plan_;
+  }
+
+  /// Starts an incremental whyUN enumeration against this plan with a
+  /// fresh solver. The request's plan-scoped fields (`target`,
+  /// `target_text`, `acyclicity`) are ignored; budgets and the solver
+  /// backend apply. Thread-safe: concurrent calls each get their own
+  /// solver.
+  util::Result<Enumeration> Enumerate(
+      const EnumerateRequest& request = EnumerateRequest()) const;
+
+  /// Decides membership of `request.candidate` against this plan
+  /// (SAT-based for kUnambiguous; the exhaustive reference algorithms
+  /// ignore the plan's formula but reuse the engine state). Thread-safe.
+  util::Result<bool> Decide(const DecideRequest& request) const;
+
+  /// Reconstructs one member plus a witnessing unambiguous proof tree.
+  /// Thread-safe.
+  util::Result<Explanation> Explain(
+      const ExplainRequest& request = ExplainRequest()) const;
+
+ private:
+  friend class Engine;
+
+  PreparedQuery(std::shared_ptr<const EngineState> state,
+                std::shared_ptr<const provenance::QueryPlan> plan)
+      : state_(std::move(state)), plan_(std::move(plan)) {}
+
+  /// The shared execute step (also used by Engine's cache-through entry
+  /// points): fresh solver, replay the plan, wrap the budgeted handle.
+  static util::Result<Enumeration> ExecutePlan(
+      std::shared_ptr<const EngineState> state,
+      std::shared_ptr<const provenance::QueryPlan> plan,
+      const EnumerateRequest& request);
+
+  std::shared_ptr<const EngineState> state_;
+  std::shared_ptr<const provenance::QueryPlan> plan_;
+};
+
+/// Thread-count knob for the batch entry points.
+struct BatchOptions {
+  /// Worker threads fanning the batch out (0 = one per hardware thread).
+  std::size_t num_threads = 0;
+};
+
+/// Aggregated throughput statistics of one batch call.
+struct BatchStats {
+  std::size_t requests = 0;   ///< batch size
+  std::size_t succeeded = 0;  ///< requests that completed without error
+  std::size_t failed = 0;     ///< requests that returned an error status
+  std::size_t members_emitted = 0;  ///< total members (enumerate batches)
+  double wall_seconds = 0;          ///< end-to-end batch wall-clock
+  double queries_per_second = 0;    ///< requests / wall_seconds
+  std::size_t plan_cache_hits = 0;    ///< cache hits during the batch
+  std::size_t plan_cache_misses = 0;  ///< cache misses during the batch
+};
+
+/// Per-request outcome of Engine::EnumerateBatch: the materialised members
+/// (subject to the request budgets) plus the handle flags.
+struct BatchEnumerateOutcome {
+  util::Status status;  ///< per-request failure (target resolution, backend)
+  std::vector<std::vector<datalog::Fact>> members;
+  bool exhausted = false;
+  bool incomplete = false;
+  bool hit_member_cap = false;
+  bool hit_timeout = false;
+  double seconds = 0;  ///< wall-clock spent on this request
+};
+
+struct BatchEnumerateResult {
+  std::vector<BatchEnumerateOutcome> outcomes;  ///< parallel to the requests
+  BatchStats stats;
+};
+
+/// Per-request outcome of Engine::DecideBatch.
+struct BatchDecideOutcome {
+  util::Status status;
+  bool member = false;  ///< meaningful only when status.ok()
+  double seconds = 0;
+};
+
+struct BatchDecideResult {
+  std::vector<BatchDecideOutcome> outcomes;  ///< parallel to the requests
+  BatchStats stats;
+};
+
 /// The unified public facade over the whole reproduction: owns parsing,
 /// semi-naive evaluation, and every provenance service of the paper —
 /// incremental whyUN enumeration (Section 5), membership decision
 /// (Section 3), all-at-once materialisation (the Figure 5 baseline), and
 /// proof-tree reconstruction — behind typed request/response structs.
 /// SAT backends are pluggable via `sat::SolverFactory`.
+///
+/// The engine follows a compile-once/execute-many model: the expensive,
+/// immutable part of a query (downward closure + CNF encoding) is a
+/// `PreparedQuery` plan, built by Prepare and cached behind the request
+/// entry points in an LRU plan cache; each execution then runs against a
+/// fresh per-request solver. All request methods are const and
+/// thread-safe — hammer one engine from as many threads as you like, or
+/// use EnumerateBatch/DecideBatch to let the engine do the fan-out.
 class Engine {
  public:
   /// Parses program/database text, resolves the answer predicate, and
@@ -246,14 +426,22 @@ class Engine {
 
   // --- views ------------------------------------------------------------
 
-  const datalog::Program& program() const { return program_; }
-  const datalog::Database& database() const { return database_; }
-  const datalog::Model& model() const { return model_; }
-  datalog::PredicateId answer_predicate() const { return answer_predicate_; }
-  const EngineOptions& options() const { return options_; }
+  const datalog::Program& program() const { return state_->program; }
+  const datalog::Database& database() const { return state_->database; }
+  const datalog::Model& model() const { return state_->model; }
+  datalog::PredicateId answer_predicate() const {
+    return state_->answer_predicate;
+  }
+  const EngineOptions& options() const { return state_->options; }
 
   /// Seconds spent evaluating the least model.
-  double eval_seconds() const { return eval_seconds_; }
+  double eval_seconds() const { return state_->eval_seconds; }
+
+  /// Hit/miss/eviction counters of the plan cache behind the request
+  /// entry points.
+  PlanCacheStats plan_cache_stats() const {
+    return state_->plan_cache.stats();
+  }
 
   // --- answers ----------------------------------------------------------
 
@@ -269,13 +457,29 @@ class Engine {
                                              util::Rng& rng) const;
 
   /// Parses a fact like "path(a, b)" and returns its model id.
+  /// Thread-safe (parsing is serialised internally).
   util::Result<datalog::FactId> FactIdOf(std::string_view fact_text) const;
 
   /// Renders a fact id / fact for display.
   std::string FactToText(datalog::FactId id) const;
   std::string FactToText(const datalog::Fact& fact) const;
 
+  // --- prepare/execute --------------------------------------------------
+
+  /// Compiles the target into an immutable, thread-shareable plan
+  /// (downward closure + CNF encoding + variable layout, with phase
+  /// timings). Goes through the plan cache, so preparing an already-hot
+  /// target is free. The returned PreparedQuery shares ownership of the
+  /// engine state and may outlive this Engine object.
+  util::Result<PreparedQuery> Prepare(const PrepareRequest& request) const;
+  util::Result<PreparedQuery> Prepare(datalog::FactId target) const;
+  util::Result<PreparedQuery> Prepare(std::string_view target_text) const;
+
   // --- provenance services ----------------------------------------------
+  //
+  // Each request entry point resolves its target, fetches (or compiles and
+  // caches) the plan, and executes it with a fresh per-request solver.
+  // All of them are const and thread-safe.
 
   /// Starts an incremental whyUN enumeration for the requested answer.
   util::Result<Enumeration> Enumerate(const EnumerateRequest& request) const;
@@ -293,6 +497,22 @@ class Engine {
   /// Reconstructs one member plus a witnessing unambiguous proof tree.
   util::Result<Explanation> Explain(const ExplainRequest& request) const;
 
+  // --- batch serving ----------------------------------------------------
+
+  /// Fans the requests across a worker pool: targets are resolved
+  /// up front, then every request executes a (cached) prepared plan with
+  /// its own solver, honouring its per-request budgets. Outcomes are
+  /// positionally parallel to the requests; `stats` aggregates throughput
+  /// and plan-cache effectiveness over the batch.
+  BatchEnumerateResult EnumerateBatch(
+      const std::vector<EnumerateRequest>& requests,
+      const BatchOptions& options = BatchOptions()) const;
+
+  /// Same fan-out for membership decisions.
+  BatchDecideResult DecideBatch(
+      const std::vector<DecideRequest>& requests,
+      const BatchOptions& options = BatchOptions()) const;
+
  private:
   Engine(datalog::Program program, datalog::Database database,
          datalog::PredicateId answer_predicate, EngineOptions options);
@@ -301,14 +521,7 @@ class Engine {
   util::Result<datalog::FactId> ResolveTarget(
       datalog::FactId target, const std::string& target_text) const;
 
-  datalog::Program program_;
-  datalog::Database database_;
-  datalog::PredicateId answer_predicate_;
-  EngineOptions options_;
-  // eval_seconds_ is written while model_ is initialised, so it must be
-  // declared (and thus initialised) before model_.
-  double eval_seconds_ = 0;
-  datalog::Model model_;
+  std::shared_ptr<const EngineState> state_;
 };
 
 }  // namespace whyprov

@@ -1,0 +1,107 @@
+#ifndef WHYPROV_ENGINE_PLAN_CACHE_H_
+#define WHYPROV_ENGINE_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "datalog/evaluator.h"
+#include "provenance/query_plan.h"
+
+namespace whyprov {
+
+/// Point-in-time snapshot of plan-cache effectiveness.
+struct PlanCacheStats {
+  std::size_t hits = 0;       ///< Get calls answered from the cache
+  std::size_t misses = 0;     ///< Get calls that found nothing
+  std::size_t evictions = 0;  ///< plans dropped to respect the capacity
+  std::size_t size = 0;       ///< plans currently cached
+  std::size_t capacity = 0;   ///< configured capacity (0 = disabled)
+};
+
+/// A thread-safe LRU cache of query plans, keyed by (target fact,
+/// acyclicity encoding). Plans are immutable and handed out as
+/// shared_ptr, so an evicted plan stays valid for executions already
+/// holding it. Capacity 0 disables caching (every Get misses, Put is a
+/// no-op) while still counting misses.
+///
+/// Two threads missing on the same key both build the plan and race the
+/// Put; the loser's plan simply replaces (or is replaced by) an identical
+/// one — correctness does not depend on single-flight building.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::shared_ptr<const provenance::QueryPlan> Get(
+      datalog::FactId target, provenance::AcyclicityEncoding acyclicity) {
+    const Key key = MakeKey(target, acyclicity);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+    return it->second->second;
+  }
+
+  void Put(datalog::FactId target, provenance::AcyclicityEncoding acyclicity,
+           std::shared_ptr<const provenance::QueryPlan> plan) {
+    if (capacity_ == 0) return;
+    const Key key = MakeKey(target, acyclicity);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(plan);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(plan));
+    index_.emplace(key, lru_.begin());
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  PlanCacheStats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    PlanCacheStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.evictions = evictions_;
+    stats.size = lru_.size();
+    stats.capacity = capacity_;
+    return stats;
+  }
+
+ private:
+  /// (target << 8) | acyclicity: FactId is 32-bit and the encoding enum is
+  /// tiny, so the pair packs collision-free into one key.
+  using Key = std::uint64_t;
+  static Key MakeKey(datalog::FactId target,
+                     provenance::AcyclicityEncoding acyclicity) {
+    return (static_cast<Key>(target) << 8) |
+           static_cast<Key>(acyclicity);
+  }
+
+  using Entry = std::pair<Key, std::shared_ptr<const provenance::QueryPlan>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator> index_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace whyprov
+
+#endif  // WHYPROV_ENGINE_PLAN_CACHE_H_

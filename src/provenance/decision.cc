@@ -256,8 +256,17 @@ util::Result<bool> IsWhyUnMemberSat(const dl::Program& program,
                                     const std::vector<dl::Fact>& dprime,
                                     AcyclicityEncoding acyclicity,
                                     sat::SolverInterface& solver) {
-  const DownwardClosure closure =
-      DownwardClosure::Build(program, model, target);
+  CnfEncoder::Options options;
+  options.acyclicity = acyclicity;
+  const auto plan = QueryPlan::Build(program, model, target, options);
+  return IsWhyUnMemberPrepared(*plan, model, dprime, solver);
+}
+
+util::Result<bool> IsWhyUnMemberPrepared(const QueryPlan& plan,
+                                         const dl::Model& model,
+                                         const std::vector<dl::Fact>& dprime,
+                                         sat::SolverInterface& solver) {
+  const DownwardClosure& closure = plan.closure();
   if (!closure.derivable()) return false;
 
   // Map D' to closure leaves; facts outside the closure cannot be in any
@@ -277,10 +286,9 @@ util::Result<bool> IsWhyUnMemberSat(const dl::Program& program,
     dprime_ids.insert(*id);
   }
 
-  CnfEncoder::Options options;
-  options.acyclicity = acyclicity;
-  const Encoding encoding = CnfEncoder::Encode(closure, solver, options);
+  const Encoding& encoding = plan.encoding();
   if (encoding.trivially_unsat) return false;
+  plan.LoadInto(solver);
   // Pin the leaves: support must be exactly D'.
   for (dl::FactId leaf : closure.DatabaseLeaves()) {
     const sat::Var var = encoding.node_vars.at(leaf);

@@ -9,6 +9,7 @@
 #include "provenance/acyclicity.h"
 #include "provenance/baseline.h"
 #include "provenance/proof_tree.h"
+#include "provenance/query_plan.h"
 #include "sat/solver_interface.h"
 #include "util/status.h"
 
@@ -42,6 +43,16 @@ util::Result<bool> IsWhyUnMemberSat(const datalog::Program& program,
                                     const std::vector<datalog::Fact>& dprime,
                                     AcyclicityEncoding acyclicity,
                                     sat::SolverInterface& solver);
+
+/// Decides membership against a prebuilt shared plan: replays the plan's
+/// formula into the fresh `solver`, pins the leaf variables to D', and
+/// solves. Skips the closure+encode phase entirely, so repeated decisions
+/// on one target (or concurrent decisions across threads, each with its
+/// own solver) pay only the solve. `model` must be the model the plan was
+/// built from.
+util::Result<bool> IsWhyUnMemberPrepared(
+    const QueryPlan& plan, const datalog::Model& model,
+    const std::vector<datalog::Fact>& dprime, sat::SolverInterface& solver);
 
 /// Exhaustively materialises the why-provenance family of `target` for the
 /// given proof-tree class:

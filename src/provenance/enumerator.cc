@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <limits>
-#include <unordered_set>
 #include <utility>
 
 #include "sat/solver.h"
@@ -31,6 +29,13 @@ std::unique_ptr<sat::SolverInterface> MakeSolver(
   return std::make_unique<sat::Solver>(options.solver_options);
 }
 
+CnfEncoder::Options EncoderOptions(
+    const WhyProvenanceEnumerator::Options& options) {
+  CnfEncoder::Options encoder_options;
+  encoder_options.acyclicity = options.acyclicity;
+  return encoder_options;
+}
+
 }  // namespace
 
 WhyProvenanceEnumerator::WhyProvenanceEnumerator(const dl::Program& program,
@@ -43,81 +48,16 @@ WhyProvenanceEnumerator::WhyProvenanceEnumerator(const dl::Program& program,
 WhyProvenanceEnumerator::WhyProvenanceEnumerator(
     const dl::Program& program, const dl::Model& model, dl::FactId target,
     const Options& options, std::unique_ptr<sat::SolverInterface> solver)
-    : model_(model), solver_(std::move(solver)) {
-  util::Timer timer;
-  closure_ = DownwardClosure::Build(program, model, target);
-  timings_.closure_seconds = timer.ElapsedSeconds();
+    : WhyProvenanceEnumerator(
+          model, QueryPlan::Build(program, model, target,
+                                  EncoderOptions(options)),
+          std::move(solver)) {}
 
-  timer.Reset();
-  CnfEncoder::Options encoder_options;
-  encoder_options.acyclicity = options.acyclicity;
-  encoding_ = CnfEncoder::Encode(closure_, *solver_, encoder_options);
-  SeedCanonicalWitness();
-  timings_.encode_seconds = timer.ElapsedSeconds();
-}
-
-void WhyProvenanceEnumerator::SeedCanonicalWitness() {
-  // Seed the solver's decision phases with the rank-greedy compressed DAG:
-  // for every internal fact pick the hyperedge whose deepest body fact is
-  // shallowest. Ranks strictly decrease along its arcs (a fact of rank r
-  // has an instance with max body rank r-1), so the choice is acyclic and
-  // the seeded assignment is a model of phi. The first Solve then lands on
-  // it almost decision-free, and phase saving keeps later solves nearby.
-  if (encoding_.trivially_unsat) return;
-  std::unordered_map<dl::FactId, std::size_t> greedy;
-  for (dl::FactId fact : closure_.nodes()) {
-    const std::vector<std::size_t>& edges = closure_.EdgesWithHead(fact);
-    if (edges.empty()) continue;
-    std::size_t best = edges[0];
-    int best_rank = std::numeric_limits<int>::max();
-    for (std::size_t e : edges) {
-      int max_rank = 0;
-      for (dl::FactId body : closure_.edges()[e].body) {
-        max_rank = std::max(max_rank, model_.rank(body));
-      }
-      if (max_rank < best_rank) {
-        best_rank = max_rank;
-        best = e;
-      }
-    }
-    greedy.emplace(fact, best);
-  }
-  // Facts reachable from the target under the greedy choices.
-  std::vector<dl::FactId> stack{closure_.target()};
-  std::unordered_set<dl::FactId> reachable{closure_.target()};
-  while (!stack.empty()) {
-    const dl::FactId fact = stack.back();
-    stack.pop_back();
-    auto it = greedy.find(fact);
-    if (it == greedy.end()) continue;
-    solver_->SetPolarity(encoding_.hyperedge_vars[it->second], true);
-    for (dl::FactId body : closure_.edges()[it->second].body) {
-      if (reachable.insert(body).second) stack.push_back(body);
-    }
-  }
-  for (dl::FactId fact : reachable) {
-    solver_->SetPolarity(encoding_.node_vars.at(fact), true);
-  }
-  for (const Encoding::EdgeVar& z : encoding_.edge_vars) {
-    auto it = greedy.find(z.from);
-    if (it == greedy.end() || !reachable.contains(z.from)) continue;
-    const auto& body = closure_.edges()[it->second].body;
-    if (std::find(body.begin(), body.end(), z.to) != body.end()) {
-      solver_->SetPolarity(z.var, true);
-    }
-  }
-  // Decide the structural variables (nodes, hyperedges, arcs) before the
-  // acyclicity auxiliaries: the seeded phases then reproduce the greedy
-  // model with next to no conflicts, and the auxiliaries just propagate.
-  for (const auto& [fact, var] : encoding_.node_vars) {
-    solver_->BumpActivityHint(var, 1.0);
-  }
-  for (sat::Var var : encoding_.hyperedge_vars) {
-    solver_->BumpActivityHint(var, 1.0);
-  }
-  for (const Encoding::EdgeVar& z : encoding_.edge_vars) {
-    solver_->BumpActivityHint(z.var, 1.0);
-  }
+WhyProvenanceEnumerator::WhyProvenanceEnumerator(
+    const dl::Model& model, std::shared_ptr<const QueryPlan> plan,
+    std::unique_ptr<sat::SolverInterface> solver)
+    : model_(&model), plan_(std::move(plan)), solver_(std::move(solver)) {
+  plan_->LoadInto(*solver_);
 }
 
 std::optional<std::vector<dl::Fact>> WhyProvenanceEnumerator::Next() {
@@ -133,14 +73,17 @@ std::optional<std::vector<dl::Fact>> WhyProvenanceEnumerator::Next() {
     return std::nullopt;
   }
 
+  const DownwardClosure& closure = plan_->closure();
+  const Encoding& encoding = plan_->encoding();
+
   // Record the witness: for each present internal fact, its selected
   // hyperedge (exactly one y_e is true for a present head).
   last_witness_choices_.clear();
-  for (std::size_t e = 0; e < closure_.edges().size(); ++e) {
-    if (solver_->ModelValue(encoding_.hyperedge_vars[e]) != sat::LBool::kTrue)
+  for (std::size_t e = 0; e < closure.edges().size(); ++e) {
+    if (solver_->ModelValue(encoding.hyperedge_vars[e]) != sat::LBool::kTrue)
       continue;
-    const dl::FactId head = closure_.edges()[e].head;
-    const sat::Var head_var = encoding_.node_vars.at(head);
+    const dl::FactId head = closure.edges()[e].head;
+    const sat::Var head_var = encoding.node_vars.at(head);
     if (solver_->ModelValue(head_var) == sat::LBool::kTrue) {
       last_witness_choices_.emplace(head, e);
     }
@@ -149,11 +92,11 @@ std::optional<std::vector<dl::Fact>> WhyProvenanceEnumerator::Next() {
   // db(tau): the database facts of the closure whose node variable is true.
   std::vector<dl::Fact> member;
   std::vector<sat::Lit> blocking;
-  blocking.reserve(encoding_.database_leaves.size());
-  for (dl::FactId fact : encoding_.database_leaves) {
-    const sat::Var var = encoding_.node_vars.at(fact);
+  blocking.reserve(encoding.database_leaves.size());
+  for (dl::FactId fact : encoding.database_leaves) {
+    const sat::Var var = encoding.node_vars.at(fact);
     const bool present = solver_->ModelValue(var) == sat::LBool::kTrue;
-    if (present) member.push_back(model_.fact(fact));
+    if (present) member.push_back(model_->fact(fact));
     // Blocking clause over S: flip at least one database fact.
     blocking.push_back(sat::Lit::Make(var, present));
   }

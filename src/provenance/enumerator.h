@@ -5,7 +5,6 @@
 #include <limits>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +14,7 @@
 #include "datalog/program.h"
 #include "provenance/cnf_encoder.h"
 #include "provenance/downward_closure.h"
+#include "provenance/query_plan.h"
 #include "sat/solver_interface.h"
 #include "util/stats.h"
 
@@ -28,13 +28,16 @@ inline constexpr std::size_t kNoLimit =
 /// Incremental enumeration of whyUN(t, D, Q) via a SAT solver with
 /// blocking clauses (Section 5.1/5.2 of the paper):
 ///
-///   1. build the downward closure of the target fact,
-///   2. encode phi(t, D, Q) into the CDCL solver,
+///   1. build (or reuse) a `QueryPlan`: the downward closure of the target
+///      fact plus the CNF encoding of phi(t, D, Q),
+///   2. replay the plan's formula into a fresh solver backend,
 ///   3. repeatedly ask for a model, emit db(tau), and add the blocking
 ///      clause over the closure's database facts S until unsatisfiable.
 ///
-/// The per-member wall-clock delays (the paper's Figures 2/4) are recorded
-/// on the fly.
+/// The plan is immutable and shared; only the solver and the emission
+/// state are per-enumerator, so any number of enumerators can execute the
+/// same plan concurrently. The per-member wall-clock delays (the paper's
+/// Figures 2/4) are recorded on the fly.
 class WhyProvenanceEnumerator {
  public:
   struct Options {
@@ -48,15 +51,13 @@ class WhyProvenanceEnumerator {
   };
 
   /// Phase timings, for the construction-time figures (Figures 1/3).
-  struct Timings {
-    double closure_seconds = 0;   ///< downward-closure construction
-    double encode_seconds = 0;    ///< Boolean-formula construction
-  };
+  /// Now owned by the plan; the alias keeps older callers compiling.
+  using Timings = PlanTimings;
 
-  /// Builds the closure and the formula for `target` (a fact id of
-  /// `model`, which must be the least model of (program, database)).
-  /// `program` and `model` must outlive the enumerator. The solver is
-  /// created via `SolverFactory` from `options.solver_backend`.
+  /// Builds a plan for `target` (a fact id of `model`, which must be the
+  /// least model of (program, database)) and executes it. `model` must
+  /// outlive the enumerator. The solver is created via `SolverFactory`
+  /// from `options.solver_backend`.
   WhyProvenanceEnumerator(const datalog::Program& program,
                           const datalog::Model& model,
                           datalog::FactId target, const Options& options);
@@ -64,10 +65,17 @@ class WhyProvenanceEnumerator {
                           const datalog::Model& model, datalog::FactId target)
       : WhyProvenanceEnumerator(program, model, target, Options()) {}
 
-  /// Same, but encodes into an injected solver backend (must be fresh).
+  /// Same, but executes with the injected solver backend (must be fresh).
   WhyProvenanceEnumerator(const datalog::Program& program,
                           const datalog::Model& model, datalog::FactId target,
                           const Options& options,
+                          std::unique_ptr<sat::SolverInterface> solver);
+
+  /// Executes a prebuilt shared plan: replays the plan's formula into the
+  /// fresh `solver` and enumerates. `model` must be the model the plan was
+  /// built from and must outlive the enumerator.
+  WhyProvenanceEnumerator(const datalog::Model& model,
+                          std::shared_ptr<const QueryPlan> plan,
                           std::unique_ptr<sat::SolverInterface> solver);
 
   /// Returns the next member of whyUN(t, D, Q) as a sorted set of database
@@ -88,14 +96,17 @@ class WhyProvenanceEnumerator {
   /// Per-member delays in milliseconds, one entry per emitted member.
   const std::vector<double>& delays_ms() const { return delays_ms_; }
 
-  /// Phase timings of the constructor.
-  const Timings& timings() const { return timings_; }
+  /// Phase timings of the plan (zero-cost when the plan was reused).
+  const Timings& timings() const { return plan_->timings(); }
+
+  /// The shared plan this enumerator executes.
+  const std::shared_ptr<const QueryPlan>& plan() const { return plan_; }
 
   /// The downward closure (e.g. for size reporting).
-  const DownwardClosure& closure() const { return closure_; }
+  const DownwardClosure& closure() const { return plan_->closure(); }
 
   /// The encoding layout (e.g. for variable/clause counts).
-  const Encoding& encoding() const { return encoding_; }
+  const Encoding& encoding() const { return plan_->encoding(); }
 
   /// The underlying SAT solver (e.g. for statistics).
   const sat::SolverInterface& solver() const { return *solver_; }
@@ -110,13 +121,9 @@ class WhyProvenanceEnumerator {
   }
 
  private:
-  void SeedCanonicalWitness();
-
-  const datalog::Model& model_;
-  DownwardClosure closure_;
+  const datalog::Model* model_;
+  std::shared_ptr<const QueryPlan> plan_;
   std::unique_ptr<sat::SolverInterface> solver_;
-  Encoding encoding_;
-  Timings timings_;
   std::vector<double> delays_ms_;
   std::unordered_map<datalog::FactId, std::size_t> last_witness_choices_;
   bool exhausted_ = false;

@@ -1,0 +1,66 @@
+#ifndef WHYPROV_PROVENANCE_QUERY_PLAN_H_
+#define WHYPROV_PROVENANCE_QUERY_PLAN_H_
+
+#include <memory>
+
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "provenance/cnf_encoder.h"
+#include "provenance/downward_closure.h"
+#include "sat/cnf_formula.h"
+
+namespace whyprov::provenance {
+
+/// Phase timings of plan construction, for the construction-time figures
+/// (the paper's Figures 1/3).
+struct PlanTimings {
+  double closure_seconds = 0;  ///< downward-closure construction
+  double encode_seconds = 0;   ///< Boolean-formula construction
+};
+
+/// The compile artifact of the prepare/execute split: the downward closure
+/// of one target fact, its CNF encoding phi(t, D, Q) as a backend-neutral
+/// formula, the variable layout, and the phase timings. A plan is immutable
+/// after Build and carries no solver, so one plan can back any number of
+/// concurrent executions — each execution replays the formula into its own
+/// fresh backend via `LoadInto`.
+///
+/// The plan borrows nothing from the model or program it was built from
+/// except fact ids; callers that share plans across threads must keep the
+/// corresponding model alive (the engine's `PreparedQuery` does this with a
+/// shared_ptr).
+class QueryPlan {
+ public:
+  /// Builds the closure and the formula for `target` (a fact id of
+  /// `model`, which must be the least model of (program, database)). Also
+  /// precomputes the rank-greedy canonical-witness search hints that steer
+  /// the first Solve of every execution (recorded into the formula).
+  static std::shared_ptr<const QueryPlan> Build(
+      const datalog::Program& program, const datalog::Model& model,
+      datalog::FactId target, const CnfEncoder::Options& options);
+
+  datalog::FactId target() const { return closure_.target(); }
+  AcyclicityEncoding acyclicity() const { return acyclicity_; }
+  const DownwardClosure& closure() const { return closure_; }
+  const Encoding& encoding() const { return encoding_; }
+  const sat::CnfFormula& formula() const { return formula_; }
+  const PlanTimings& timings() const { return timings_; }
+
+  /// Replays the formula and search hints into a fresh backend.
+  void LoadInto(sat::SolverInterface& solver) const {
+    formula_.LoadInto(solver);
+  }
+
+ private:
+  QueryPlan() = default;
+
+  DownwardClosure closure_;
+  Encoding encoding_;
+  sat::CnfFormula formula_;
+  PlanTimings timings_;
+  AcyclicityEncoding acyclicity_ = AcyclicityEncoding::kVertexElimination;
+};
+
+}  // namespace whyprov::provenance
+
+#endif  // WHYPROV_PROVENANCE_QUERY_PLAN_H_

@@ -1,0 +1,24 @@
+#include "sat/cnf_formula.h"
+
+namespace whyprov::sat {
+
+std::size_t CnfFormula::num_literals() const {
+  std::size_t total = 0;
+  for (const std::vector<Lit>& clause : clauses) total += clause.size();
+  return total;
+}
+
+void CnfFormula::LoadInto(SolverInterface& solver) const {
+  for (int v = 0; v < num_vars; ++v) solver.NewVar();
+  for (const std::vector<Lit>& clause : clauses) {
+    if (!solver.AddClause(clause)) return;
+  }
+  for (const auto& [var, prefer_true] : polarity_hints) {
+    solver.SetPolarity(var, prefer_true);
+  }
+  for (const auto& [var, amount] : activity_hints) {
+    solver.BumpActivityHint(var, amount);
+  }
+}
+
+}  // namespace whyprov::sat

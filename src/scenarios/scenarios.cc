@@ -46,13 +46,6 @@ Engine GeneratedScenario::MakeEngine(EngineOptions options) const {
                            std::move(options));
 }
 
-provenance::WhyProvenancePipeline GeneratedScenario::MakePipeline() const {
-  auto predicate = symbols->FindPredicate(answer_predicate);
-  if (!predicate.ok()) std::abort();
-  return provenance::WhyProvenancePipeline(program, database,
-                                           predicate.value());
-}
-
 // --------------------------------------------------------------------
 // TransClosure
 // --------------------------------------------------------------------

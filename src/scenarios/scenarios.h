@@ -10,7 +10,6 @@
 #include "datalog/database.h"
 #include "datalog/program.h"
 #include "engine/engine.h"
-#include "provenance/why_provenance.h"
 
 namespace whyprov::scenarios {
 
@@ -28,9 +27,6 @@ struct GeneratedScenario {
 
   /// Builds the engine for this instance (evaluates eagerly).
   Engine MakeEngine(EngineOptions options = EngineOptions()) const;
-
-  /// Deprecated: use MakeEngine(). Kept as a thin shim for older callers.
-  provenance::WhyProvenancePipeline MakePipeline() const;
 };
 
 // --------------------------------------------------------------------

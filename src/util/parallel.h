@@ -1,0 +1,50 @@
+#ifndef WHYPROV_UTIL_PARALLEL_H_
+#define WHYPROV_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace whyprov::util {
+
+/// Resolves a thread-count request: 0 means "one per hardware thread"
+/// (at least 1).
+inline std::size_t ResolveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+/// Runs `fn(0) ... fn(n - 1)` across `num_threads` worker threads
+/// (0 = one per hardware thread), dynamically load-balanced via an atomic
+/// work index; blocks until every call returned. Callers are responsible
+/// for making `fn` safe to run concurrently; distinct indices must touch
+/// distinct output slots. With one thread (or n <= 1) everything runs
+/// inline on the calling thread.
+template <typename Fn>
+void ParallelFor(std::size_t n, std::size_t num_threads, const Fn& fn) {
+  if (n == 0) return;
+  num_threads = std::min(ResolveThreadCount(num_threads), n);
+  if (num_threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  for (std::size_t t = 1; t < num_threads; ++t) workers.emplace_back(worker);
+  worker();
+  for (std::thread& thread : workers) thread.join();
+}
+
+}  // namespace whyprov::util
+
+#endif  // WHYPROV_UTIL_PARALLEL_H_

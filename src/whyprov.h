@@ -13,9 +13,11 @@
 ///
 /// See README.md for a quickstart and the backend-registration recipe.
 
-// The facade: Engine, EngineOptions, the request/response structs, and the
-// Enumeration handle.
+// The facade: Engine, EngineOptions, the request/response structs, the
+// Enumeration handle, PreparedQuery (compile-once/execute-many plans), the
+// plan cache, and the batch serving API.
 #include "engine/engine.h"
+#include "engine/plan_cache.h"
 
 // Datalog surface types reachable from Engine results (facts, programs,
 // symbol tables, pretty-printing).
@@ -32,9 +34,11 @@
 #include "provenance/proof_tree.h"
 
 // Advanced/diagnostic surface: direct access to the downward closure, the
-// CNF encoding, and the SAT backend registry.
+// CNF encoding, shareable query plans, and the SAT backend registry.
 #include "provenance/cnf_encoder.h"
 #include "provenance/downward_closure.h"
+#include "provenance/query_plan.h"
+#include "sat/cnf_formula.h"
 #include "sat/solver_factory.h"
 #include "sat/solver_interface.h"
 

@@ -1,11 +1,16 @@
 // Tests of the `whyprov::Engine` facade: construction error paths, the
 // Enumeration handle (caps, exhaustion, iteration), SAT backend selection
-// via the SolverFactory, and cross-checks against the expectations of
-// test_enumerator.cc.
+// via the SolverFactory, the prepare/execute split (PreparedQuery, plan
+// cache, batch serving, multi-threaded request hammering), and
+// cross-checks against the expectations of test_enumerator.cc.
 
 #include <cstdlib>
+#include <optional>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -294,6 +299,307 @@ TEST(EngineBackendTest, CdclAndDpllAgreeOnAScenarioInstance) {
         << "backends disagree on " << engine.FactToText(target);
     EXPECT_FALSE(families[0].empty());
   }
+}
+
+// --- Prepare / execute ----------------------------------------------------
+
+TEST(EnginePrepareTest, PreparedQueryServesEveryService) {
+  auto engine = Engine::FromText(kExample1Program, kExample4Database, "a");
+  ASSERT_TRUE(engine.ok());
+  auto prepared = engine.value().Prepare("a(d)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().message();
+  EXPECT_EQ(prepared.value().target_text(), "a(d)");
+  EXPECT_FALSE(prepared.value().closure().nodes().empty());
+  EXPECT_GT(prepared.value().formula().num_clauses(), 0u);
+
+  // Two executions of one plan are independent full enumerations.
+  const std::set<std::string> expected{"{s(a), t(a, a, c), t(c, c, d)}",
+                                       "{s(b), t(b, b, c), t(c, c, d)}"};
+  for (int round = 0; round < 2; ++round) {
+    auto enumeration = prepared.value().Enumerate();
+    ASSERT_TRUE(enumeration.ok());
+    EXPECT_EQ(FamilyToStrings(Drain(enumeration.value()),
+                              engine.value().model().symbols()),
+              expected);
+  }
+
+  // Decide and Explain run against the same plan.
+  DecideRequest decide;
+  decide.candidate = {
+      engine.value().model().fact(engine.value().FactIdOf("s(a)").value()),
+      engine.value().model().fact(
+          engine.value().FactIdOf("t(a, a, c)").value()),
+      engine.value().model().fact(
+          engine.value().FactIdOf("t(c, c, d)").value())};
+  auto verdict = prepared.value().Decide(decide);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict.value());
+  auto explanation = prepared.value().Explain();
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_TRUE(explanation.value().tree.IsUnambiguous());
+}
+
+TEST(EnginePrepareTest, PreparedQueryOutlivesTheEngine) {
+  std::optional<PreparedQuery> prepared;
+  pv::ProvenanceFamily expected;
+  {
+    auto engine = Engine::FromText(kExample1Program, kExample4Database, "a");
+    ASSERT_TRUE(engine.ok());
+    auto result = engine.value().Prepare("a(d)");
+    ASSERT_TRUE(result.ok());
+    prepared = std::move(result).value();
+    EnumerateRequest request;
+    request.target_text = "a(d)";
+    auto enumeration = engine.value().Enumerate(request);
+    ASSERT_TRUE(enumeration.ok());
+    expected = Drain(enumeration.value());
+  }  // the Engine (and its Result) are gone; the plan must stay valid
+  auto enumeration = prepared->Enumerate();
+  ASSERT_TRUE(enumeration.ok());
+  EXPECT_EQ(Drain(enumeration.value()), expected);
+  auto tree = enumeration.value().ExplainLast();
+  ASSERT_TRUE(tree.ok()) << tree.status().message();
+}
+
+TEST(EnginePrepareTest, EnumerationSurvivesEngineMove) {
+  // Satellite of the PreparedQuery ownership model: handles share the
+  // engine state, so moving the engine out of its Result (or anywhere
+  // else) must not invalidate a live enumeration.
+  auto engine = Engine::FromText(kExample1Program, kExample4Database, "a");
+  ASSERT_TRUE(engine.ok());
+  EnumerateRequest request;
+  request.target_text = "a(d)";
+  auto enumeration = engine.value().Enumerate(request);
+  ASSERT_TRUE(enumeration.ok());
+  ASSERT_TRUE(enumeration.value().Next().has_value());
+  const Engine moved = std::move(engine).value();
+  EXPECT_TRUE(enumeration.value().Next().has_value());
+  auto tree = enumeration.value().ExplainLast();
+  ASSERT_TRUE(tree.ok()) << tree.status().message();
+  EXPECT_TRUE(tree.value().IsUnambiguous());
+  (void)moved;
+}
+
+// --- Plan cache -----------------------------------------------------------
+
+TEST(EnginePlanCacheTest, RepeatedRequestsSkipClosureAndEncode) {
+  auto engine = Engine::FromText(kExample1Program, kExample4Database, "a");
+  ASSERT_TRUE(engine.ok());
+  ExplainRequest explain;
+  explain.target_text = "a(d)";
+  ASSERT_TRUE(engine.value().Explain(explain).ok());
+  PlanCacheStats stats = engine.value().plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.size, 1u);
+
+  // The second Explain and a following Enumerate reuse the cached plan:
+  // the closure+encode phase runs exactly once per target.
+  ASSERT_TRUE(engine.value().Explain(explain).ok());
+  EnumerateRequest enumerate;
+  enumerate.target_text = "a(d)";
+  ASSERT_TRUE(engine.value().Enumerate(enumerate).ok());
+  stats = engine.value().plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(EnginePlanCacheTest, LruEvictionRespectsCapacity) {
+  EngineOptions options;
+  options.plan_cache_capacity = 1;
+  auto engine =
+      Engine::FromText(kExample1Program, kExample1Database, "a", options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value().Prepare("a(d)").ok());
+  ASSERT_TRUE(engine.value().Prepare("a(b)").ok());  // evicts a(d)
+  ASSERT_TRUE(engine.value().Prepare("a(d)").ok());  // misses again
+  const PlanCacheStats stats = engine.value().plan_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_GE(stats.evictions, 2u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.capacity, 1u);
+}
+
+TEST(EnginePlanCacheTest, ZeroCapacityDisablesCaching) {
+  EngineOptions options;
+  options.plan_cache_capacity = 0;
+  auto engine =
+      Engine::FromText(kExample1Program, kExample1Database, "a", options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value().Prepare("a(d)").ok());
+  ASSERT_TRUE(engine.value().Prepare("a(d)").ok());
+  const PlanCacheStats stats = engine.value().plan_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.size, 0u);
+}
+
+// --- Concurrency ----------------------------------------------------------
+
+namespace {
+
+/// Shared fixture for the hammer tests: a small transitive-closure
+/// instance with a few sampled targets and their serially-computed
+/// expected families.
+struct ConcurrencyWorkload {
+  std::optional<Engine> engine;
+  std::vector<dl::FactId> targets;
+  std::vector<pv::ProvenanceFamily> expected;
+
+  explicit ConcurrencyWorkload(std::size_t plan_cache_capacity) {
+    const auto scenario = scenarios::MakeTransClosure(
+        scenarios::GraphKind::kSparse, /*num_nodes=*/24, /*num_edges=*/30,
+        /*seed=*/20240611);
+    EngineOptions options;
+    options.sampling_seed = 7;
+    options.plan_cache_capacity = plan_cache_capacity;
+    engine.emplace(scenario.MakeEngine(options));
+    targets = engine->SampleAnswers(3);
+    for (dl::FactId target : targets) {
+      EnumerateRequest request;
+      request.target = target;
+      auto enumeration = engine->Enumerate(request);
+      EXPECT_TRUE(enumeration.ok());
+      expected.push_back(Drain(enumeration.value()));
+    }
+  }
+};
+
+/// N threads hammer one shared engine with mixed Enumerate/Decide calls
+/// on overlapping targets; every thread checks its results against the
+/// serial ground truth.
+void HammerSharedEngine(const ConcurrencyWorkload& workload) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 3;
+  const Engine& engine = *workload.engine;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, &workload, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        const std::size_t i = (t + round) % workload.targets.size();
+        const dl::FactId target = workload.targets[i];
+        EnumerateRequest enumerate;
+        enumerate.target = target;
+        auto enumeration = engine.Enumerate(enumerate);
+        ASSERT_TRUE(enumeration.ok()) << enumeration.status().message();
+        EXPECT_EQ(Drain(enumeration.value()), workload.expected[i]);
+        DecideRequest decide;
+        decide.target = target;
+        decide.candidate = *workload.expected[i].begin();
+        auto verdict = engine.Decide(decide);
+        ASSERT_TRUE(verdict.ok()) << verdict.status().message();
+        EXPECT_TRUE(verdict.value());
+        // Mix in the text surface: rendering reads the symbol table that
+        // concurrent parses (here: of a fresh, never-seen constant, which
+        // interns) mutate. Both must go through the engine's lock.
+        EXPECT_FALSE(engine.FactToText(target).empty());
+        const std::string fresh = "tc(new_" + std::to_string(t) + "_" +
+                                  std::to_string(round) + ", nowhere)";
+        EXPECT_FALSE(engine.FactIdOf(fresh).ok());  // parses, then kNotFound
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+}  // namespace
+
+TEST(EngineConcurrencyTest, SharedEngineWithPlanCache) {
+  const ConcurrencyWorkload workload(/*plan_cache_capacity=*/64);
+  HammerSharedEngine(workload);
+  // The warm-up plus the hammer revisit every target many times over.
+  const PlanCacheStats stats = workload.engine->plan_cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(EngineConcurrencyTest, SharedEngineWithoutPlanCache) {
+  // Capacity 0 forces every request to build its own plan, exercising
+  // concurrent closure construction over the shared model.
+  const ConcurrencyWorkload workload(/*plan_cache_capacity=*/0);
+  HammerSharedEngine(workload);
+}
+
+TEST(EngineConcurrencyTest, OnePreparedPlanManyThreads) {
+  const ConcurrencyWorkload workload(/*plan_cache_capacity=*/64);
+  auto prepared = workload.engine->Prepare(workload.targets[0]);
+  ASSERT_TRUE(prepared.ok());
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&prepared, &workload] {
+      auto enumeration = prepared.value().Enumerate();
+      ASSERT_TRUE(enumeration.ok());
+      EXPECT_EQ(Drain(enumeration.value()), workload.expected[0]);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+// --- Batch serving --------------------------------------------------------
+
+TEST(EngineBatchTest, EnumerateBatchMatchesSequentialResults) {
+  const ConcurrencyWorkload workload(/*plan_cache_capacity=*/64);
+  const Engine& engine = *workload.engine;
+  // Repeat every target several times and add one unresolvable request.
+  std::vector<EnumerateRequest> requests;
+  for (int round = 0; round < 4; ++round) {
+    for (dl::FactId target : workload.targets) {
+      EnumerateRequest request;
+      request.target = target;
+      requests.push_back(request);
+    }
+  }
+  EnumerateRequest bad;
+  bad.target_text = "nosuchfact(x, y)";
+  requests.push_back(bad);
+
+  const BatchEnumerateResult result = engine.EnumerateBatch(requests);
+  ASSERT_EQ(result.outcomes.size(), requests.size());
+  for (std::size_t i = 0; i + 1 < requests.size(); ++i) {
+    ASSERT_TRUE(result.outcomes[i].status.ok())
+        << result.outcomes[i].status.message();
+    EXPECT_TRUE(result.outcomes[i].exhausted);
+    pv::ProvenanceFamily family(result.outcomes[i].members.begin(),
+                                result.outcomes[i].members.end());
+    EXPECT_EQ(family, workload.expected[i % workload.targets.size()]);
+  }
+  EXPECT_FALSE(result.outcomes.back().status.ok());
+  EXPECT_EQ(result.stats.requests, requests.size());
+  EXPECT_EQ(result.stats.succeeded, requests.size() - 1);
+  EXPECT_EQ(result.stats.failed, 1u);
+  EXPECT_GT(result.stats.members_emitted, 0u);
+  EXPECT_GT(result.stats.queries_per_second, 0.0);
+  // The batch revisits each target 4 times: the plan cache must serve the
+  // repeats (the warm-up already compiled every target).
+  EXPECT_GT(result.stats.plan_cache_hits, 0u);
+  EXPECT_EQ(result.stats.plan_cache_misses, 0u);
+}
+
+TEST(EngineBatchTest, DecideBatchAgreesWithDecide) {
+  const ConcurrencyWorkload workload(/*plan_cache_capacity=*/64);
+  const Engine& engine = *workload.engine;
+  std::vector<DecideRequest> requests;
+  for (std::size_t i = 0; i < workload.targets.size(); ++i) {
+    DecideRequest in_family;
+    in_family.target = workload.targets[i];
+    in_family.candidate = *workload.expected[i].begin();
+    requests.push_back(in_family);
+    DecideRequest not_in_family;
+    not_in_family.target = workload.targets[i];
+    not_in_family.candidate = {};  // the empty set never supports a proof
+    requests.push_back(not_in_family);
+  }
+  const BatchDecideResult result = engine.DecideBatch(requests);
+  ASSERT_EQ(result.outcomes.size(), requests.size());
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    ASSERT_TRUE(result.outcomes[i].status.ok());
+    EXPECT_EQ(result.outcomes[i].member, i % 2 == 0) << "request " << i;
+  }
+  EXPECT_EQ(result.stats.succeeded, requests.size());
+  EXPECT_EQ(result.stats.failed, 0u);
 }
 
 // --- Decide / Baseline / Explain -----------------------------------------

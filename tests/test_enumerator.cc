@@ -7,10 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/engine.h"
 #include "provenance/decision.h"
 #include "provenance/enumerator.h"
 #include "provenance/proof_dag.h"
-#include "provenance/why_provenance.h"
 #include "tests/workspace.h"
 
 namespace whyprov::provenance {
@@ -165,46 +165,47 @@ TEST(EnumeratorTest, BothAcyclicityEncodingsYieldTheSameFamily) {
 }
 
 TEST(PipelineTest, FromTextEndToEnd) {
-  auto pipeline = WhyProvenancePipeline::FromText(
+  auto engine = whyprov::Engine::FromText(
       R"(
         path(X, Y) :- edge(X, Y).
         path(X, Y) :- edge(X, Z), path(Z, Y).
       )",
       "edge(a, b). edge(b, c).", "path");
-  ASSERT_TRUE(pipeline.ok()) << pipeline.status().message();
-  EXPECT_EQ(pipeline.value().AnswerFactIds().size(), 3u);
-  auto target = pipeline.value().FactIdOf("path(a, c)");
-  ASSERT_TRUE(target.ok());
-  auto enumerator = pipeline.value().MakeEnumerator(target.value());
-  const ProvenanceFamily family = Collect(*enumerator);
-  EXPECT_EQ(family.size(), 1u);
-  EXPECT_EQ(MemberToString(*family.begin(), pipeline.value().model().symbols()),
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  EXPECT_EQ(engine.value().AnswerFactIds().size(), 3u);
+  whyprov::EnumerateRequest request;
+  request.target_text = "path(a, c)";
+  auto enumeration = engine.value().Enumerate(request);
+  ASSERT_TRUE(enumeration.ok()) << enumeration.status().message();
+  const auto members = enumeration.value().All();
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(MemberToString(members.front(), engine.value().model().symbols()),
             "{edge(a, b), edge(b, c)}");
 }
 
 TEST(PipelineTest, FromTextRejectsUnknownAnswerPredicate) {
-  EXPECT_FALSE(WhyProvenancePipeline::FromText("p(X) :- e(X).", "e(a).",
-                                               "nonexistent")
+  EXPECT_FALSE(whyprov::Engine::FromText("p(X) :- e(X).", "e(a).",
+                                         "nonexistent")
                    .ok());
   // Extensional answer predicates are rejected too.
   EXPECT_FALSE(
-      WhyProvenancePipeline::FromText("p(X) :- e(X).", "e(a).", "e").ok());
+      whyprov::Engine::FromText("p(X) :- e(X).", "e(a).", "e").ok());
 }
 
 TEST(PipelineTest, SampleAnswersIsDeterministicPerSeed) {
-  auto pipeline = WhyProvenancePipeline::FromText(
+  auto engine = whyprov::Engine::FromText(
       R"(
         path(X, Y) :- edge(X, Y).
         path(X, Y) :- edge(X, Z), path(Z, Y).
       )",
       "edge(a, b). edge(b, c). edge(c, d).", "path");
-  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(engine.ok());
   util::Rng rng1(7);
   util::Rng rng2(7);
-  EXPECT_EQ(pipeline.value().SampleAnswers(3, rng1),
-            pipeline.value().SampleAnswers(3, rng2));
+  EXPECT_EQ(engine.value().SampleAnswers(3, rng1),
+            engine.value().SampleAnswers(3, rng2));
   util::Rng rng3(7);
-  EXPECT_EQ(pipeline.value().SampleAnswers(100, rng3).size(), 6u);
+  EXPECT_EQ(engine.value().SampleAnswers(100, rng3).size(), 6u);
 }
 
 }  // namespace

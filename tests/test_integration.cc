@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -115,11 +116,12 @@ TEST_P(ScenarioRoundTripTest, MembersRederiveAndUnravel) {
         return sc::MakeCsda("httpd", 120, 3);
     }
   }();
-  auto pipeline = scenario.MakePipeline();
+  const whyprov::Engine pipeline = scenario.MakeEngine();
   ASSERT_FALSE(pipeline.AnswerFactIds().empty());
   util::Rng rng(17);
   for (dl::FactId target : pipeline.SampleAnswers(2, rng)) {
-    auto enumerator = pipeline.MakeEnumerator(target);
+    auto enumerator = std::make_unique<WhyProvenanceEnumerator>(
+        pipeline.program(), pipeline.model(), target);
     std::size_t count = 0;
     for (auto member = enumerator->Next();
          member.has_value() && count < 5; member = enumerator->Next()) {
@@ -156,7 +158,7 @@ INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioRoundTripTest,
 // of joins, so any proof tree is trivially unambiguous and non-recursive.
 TEST(NonRecursiveClassCollapseTest, DoctorsFamiliesAgree) {
   sc::GeneratedScenario scenario = sc::MakeDoctors(1, 50, 5);
-  auto pipeline = scenario.MakePipeline();
+  const whyprov::Engine pipeline = scenario.MakeEngine();
   util::Rng rng(23);
   for (dl::FactId target : pipeline.SampleAnswers(3, rng)) {
     auto any = EnumerateWhyExhaustive(pipeline.program(), pipeline.model(),
@@ -187,14 +189,15 @@ TEST(NonRecursiveClassCollapseTest, DoctorsFamiliesAgree) {
 // the SAT pipeline (Theorem 9 meets Theorem 14 on NRDat).
 TEST(FoVsSatTest, DoctorsAgreement) {
   sc::GeneratedScenario scenario = sc::MakeDoctors(2, 40, 9);
-  auto pipeline = scenario.MakePipeline();
+  const whyprov::Engine pipeline = scenario.MakeEngine();
   const dl::PredicateId ans =
       scenario.symbols->FindPredicate("ans").value();
   auto rewriting = FoRewriting::Build(pipeline.program(), ans);
   ASSERT_TRUE(rewriting.ok()) << rewriting.status().message();
   util::Rng rng(31);
   for (dl::FactId target : pipeline.SampleAnswers(3, rng)) {
-    auto enumerator = pipeline.MakeEnumerator(target);
+    auto enumerator = std::make_unique<WhyProvenanceEnumerator>(
+        pipeline.program(), pipeline.model(), target);
     for (auto member = enumerator->Next(); member.has_value();
          member = enumerator->Next()) {
       dl::Database dprime(scenario.symbols);
@@ -219,7 +222,7 @@ TEST(FoVsSatTest, DoctorsAgreement) {
 // linear recursive scenarios (CSDA) the inclusion can be strict.
 TEST(BaselineInclusionTest, CsdaWhyContainsWhyUn) {
   sc::GeneratedScenario scenario = sc::MakeCsda("httpd", 150, 13);
-  auto pipeline = scenario.MakePipeline();
+  const whyprov::Engine pipeline = scenario.MakeEngine();
   util::Rng rng(37);
   for (dl::FactId target : pipeline.SampleAnswers(3, rng)) {
     BaselineLimits limits;

@@ -83,13 +83,17 @@ GeneratedScenario MakeByName(const std::string& name, std::uint64_t seed) {
 TEST_P(EndToEndTest, SampleAndExplain) {
   const auto& [name, seed] = GetParam();
   const GeneratedScenario scenario = MakeByName(name, seed);
-  provenance::WhyProvenancePipeline pipeline = scenario.MakePipeline();
-  ASSERT_FALSE(pipeline.AnswerFactIds().empty())
+  const Engine engine = scenario.MakeEngine();
+  ASSERT_FALSE(engine.AnswerFactIds().empty())
       << name << ": no answers; enlarge the generator defaults";
   util::Rng rng(seed);
-  for (dl::FactId target : pipeline.SampleAnswers(3, rng)) {
-    auto enumerator = pipeline.MakeEnumerator(target);
-    auto member = enumerator->Next();
+  for (dl::FactId target : engine.SampleAnswers(3, rng)) {
+    EnumerateRequest request;
+    request.target = target;
+    request.max_members = 1;
+    auto enumeration = engine.Enumerate(request);
+    ASSERT_TRUE(enumeration.ok()) << enumeration.status().message();
+    auto member = enumeration.value().Next();
     ASSERT_TRUE(member.has_value())
         << name << ": derivable answer must have an explanation";
     for (const dl::Fact& fact : *member) {
