@@ -12,6 +12,9 @@
 // records the mapping.
 
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -19,6 +22,50 @@
 #include "scenarios/scenarios.h"
 
 namespace whyprov::bench {
+
+/// Shared command-line flags of the standalone JSON benchmarks
+/// (bench_throughput, bench_incremental).
+struct BenchFlags {
+  std::size_t requests = 0;  ///< 0 = binary default
+  std::size_t reps = 0;      ///< 0 = binary default
+  std::string out;           ///< empty = binary default
+};
+
+/// Parses `--requests=N`, `--reps=R`, `--out=PATH`, and the legacy
+/// positional output path into `flags` (leaving unset fields at their
+/// incoming defaults). Returns false — after printing a usage line with
+/// `binary_name` — on unknown flags or non-positive numeric values.
+inline bool ParseBenchFlags(int argc, char** argv, const char* binary_name,
+                            BenchFlags& flags) {
+  const auto positive = [](const char* text, std::size_t& value) {
+    const long long parsed = std::atoll(text);
+    if (parsed <= 0) return false;
+    value = static_cast<std::size_t>(parsed);
+    return true;
+  };
+  bool ok = true;
+  for (int i = 1; i < argc && ok; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--requests=", 11) == 0) {
+      ok = positive(arg + 11, flags.requests);
+    } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+      ok = positive(arg + 7, flags.reps);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      flags.out = arg + 6;
+    } else if (arg[0] != '-') {
+      flags.out = arg;  // legacy positional output path
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "usage: %s [--requests=N] [--reps=R] [--out=PATH]\n"
+                 "       (N and R must be positive)\n",
+                 binary_name);
+  }
+  return ok;
+}
 
 /// One database configuration of a scenario family.
 struct SuiteEntry {

@@ -1,0 +1,287 @@
+// bench_incremental: ApplyDelta + re-query versus full engine rebuild +
+// re-query, across scenarios and delta sizes.
+//
+// Each configuration builds an engine over a scenario database, warms the
+// plan cache with a serving set of sampled answer tuples, then applies a
+// delta of k database facts two ways:
+//
+//   incremental:  Engine::ApplyDelta (semi-naive delta re-evaluation with
+//                 selective plan invalidation), then re-query the serving
+//                 set against the (mostly retained) plans;
+//   rebuild:      Engine::FromParts on the updated database (from-scratch
+//                 evaluation, cold plan cache), then the same re-queries.
+//
+// Both directions are measured: removing the k facts from the full
+// database, and adding them back. The delta slice prefers facts outside
+// the serving set's plan closures — the production churn pattern the
+// incremental path is built for. `speedup_vs_rebuild` is the headline
+// metric; the acceptance floor is >= 5x at delta_size 1.
+//
+// Usage:
+//   bench_incremental [--reps=R] [--out=PATH]
+//
+//   --reps=R    measurement repetitions; the best (minimum-time) rep per
+//               side is reported (default 3)
+//   --out=PATH  output path (default BENCH_incremental.json)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/timer.h"
+#include "whyprov.h"
+
+namespace {
+
+using whyprov::bench::SuiteEntry;
+namespace dl = whyprov::datalog;
+
+constexpr std::size_t kMaxMembersPerRequest = 8;
+const std::size_t kDeltaSizes[] = {1, 10, 100};
+
+struct Run {
+  std::string scenario;
+  std::string database;
+  std::size_t delta_size = 0;
+  std::string direction;  // "remove" or "add"
+  std::size_t queries = 0;
+  double incremental_seconds = 0;  ///< ApplyDelta + re-query (best rep)
+  double rebuild_seconds = 0;      ///< FromParts + re-query (best rep)
+  double apply_seconds = 0;        ///< the ApplyDelta share (best rep)
+  double speedup_vs_rebuild = 0;
+  whyprov::DeltaStats delta_stats;  ///< from the last measured rep
+};
+
+/// The benchmark scenarios of the issue — Andersen, TransClosure,
+/// Doctors — at the canonical suite scales of bench_common.h (the
+/// databases a production rebuild would actually re-evaluate; the
+/// throughput bench shrinks them for CI speed, which would understate
+/// the rebuild cost here).
+std::vector<SuiteEntry> IncrementalSuite() {
+  using whyprov::bench::kSuiteSeed;
+  namespace scenarios = whyprov::scenarios;
+  return {
+      {"TransClosure", "Dbitcoin~",
+       [] {
+         return scenarios::MakeTransClosure(scenarios::GraphKind::kSparse,
+                                            3000, 4500, kSuiteSeed);
+       }},
+      {"Doctors-1", "D1",
+       [] { return scenarios::MakeDoctors(1, 2000, kSuiteSeed); }},
+      {"Andersen", "D1",
+       [] { return scenarios::MakeAndersen(2000, kSuiteSeed); }},
+  };
+}
+
+/// Runs the serving set once; returns the wall time.
+double Requery(const whyprov::Engine& engine,
+               const std::vector<std::string>& targets) {
+  whyprov::util::Timer timer;
+  for (const std::string& text : targets) {
+    whyprov::EnumerateRequest request;
+    request.target_text = text;
+    request.max_members = kMaxMembersPerRequest;
+    auto enumeration = engine.Enumerate(request);
+    if (enumeration.ok()) {
+      (void)enumeration.value().All();
+    }
+  }
+  return timer.ElapsedSeconds();
+}
+
+/// Picks `count` database facts, preferring ones outside every warmed
+/// plan closure (so the serving set's plans can survive the delta).
+std::vector<dl::Fact> PickDeltaSlice(
+    const whyprov::Engine& engine,
+    const std::vector<whyprov::PreparedQuery>& plans, std::size_t count) {
+  std::unordered_set<dl::FactId> closure_union;
+  for (const whyprov::PreparedQuery& plan : plans) {
+    const auto& facts = plan.plan()->closure_facts();
+    closure_union.insert(facts.begin(), facts.end());
+  }
+  std::vector<dl::Fact> outside, inside;
+  for (const dl::Fact& fact : engine.database().facts()) {
+    const auto id = engine.model().Find(fact);
+    if (id.has_value() && closure_union.contains(*id)) {
+      inside.push_back(fact);
+    } else {
+      outside.push_back(fact);
+    }
+  }
+  std::vector<dl::Fact> slice;
+  const std::size_t stride = std::max<std::size_t>(
+      1, outside.size() / std::max<std::size_t>(1, count));
+  for (std::size_t i = 0; slice.size() < count && i < outside.size();
+       i += stride) {
+    slice.push_back(outside[i]);
+  }
+  for (std::size_t i = 0; slice.size() < count && i < inside.size(); ++i) {
+    slice.push_back(inside[i]);  // fall back if the database is tiny
+  }
+  return slice;
+}
+
+/// One (scenario, delta size) measurement: returns the remove-direction
+/// and add-direction runs.
+std::pair<Run, Run> Measure(const SuiteEntry& entry, std::size_t delta_size,
+                            std::size_t reps) {
+  auto scenario = entry.make();
+  whyprov::EngineOptions options;
+  whyprov::Engine engine = scenario.MakeEngine(options);
+
+  // Warm the serving set: prepared plans for the sampled answers.
+  std::vector<std::string> target_texts;
+  std::vector<whyprov::PreparedQuery> plans;
+  for (auto target :
+       engine.SampleAnswers(whyprov::bench::kTuplesPerDatabase)) {
+    target_texts.push_back(engine.FactToText(target));
+    auto prepared = engine.Prepare(target);
+    if (prepared.ok()) plans.push_back(std::move(prepared).value());
+  }
+  Requery(engine, target_texts);
+
+  const std::vector<dl::Fact> slice =
+      PickDeltaSlice(engine, plans, delta_size);
+  plans.clear();  // drop the pins; the cache keeps the plans hot
+
+  dl::Database reduced = scenario.database;
+  for (const dl::Fact& fact : slice) reduced.Remove(fact);
+
+  Run remove_run, add_run;
+  remove_run.scenario = add_run.scenario = entry.scenario;
+  remove_run.database = add_run.database = entry.database;
+  remove_run.delta_size = add_run.delta_size = slice.size();
+  remove_run.direction = "remove";
+  add_run.direction = "add";
+  remove_run.queries = add_run.queries = target_texts.size();
+
+  whyprov::DeltaRequest remove_request, add_request;
+  remove_request.removed_facts = slice;
+  add_request.added_facts = slice;
+
+  for (std::size_t rep = 0; rep < std::max<std::size_t>(1, reps); ++rep) {
+    // Incremental, remove direction (engine: full -> reduced).
+    whyprov::util::Timer timer;
+    auto stats = engine.ApplyDelta(remove_request);
+    const double remove_apply = timer.ElapsedSeconds();
+    const double remove_total =
+        remove_apply + Requery(engine, target_texts);
+    if (stats.ok()) remove_run.delta_stats = stats.value();
+
+    // Incremental, add direction (engine: reduced -> full).
+    timer.Reset();
+    stats = engine.ApplyDelta(add_request);
+    const double add_apply = timer.ElapsedSeconds();
+    const double add_total = add_apply + Requery(engine, target_texts);
+    if (stats.ok()) add_run.delta_stats = stats.value();
+
+    // Rebuild comparators: fresh engines over the updated databases.
+    timer.Reset();
+    const whyprov::Engine reduced_engine = whyprov::Engine::FromParts(
+        scenario.program, reduced, engine.answer_predicate(), options);
+    const double rebuild_remove =
+        timer.ElapsedSeconds() + Requery(reduced_engine, target_texts);
+
+    timer.Reset();
+    const whyprov::Engine full_engine = whyprov::Engine::FromParts(
+        scenario.program, scenario.database, engine.answer_predicate(),
+        options);
+    const double rebuild_add =
+        timer.ElapsedSeconds() + Requery(full_engine, target_texts);
+
+    if (rep == 0 || remove_total < remove_run.incremental_seconds) {
+      remove_run.incremental_seconds = remove_total;
+      remove_run.apply_seconds = remove_apply;
+    }
+    if (rep == 0 || add_total < add_run.incremental_seconds) {
+      add_run.incremental_seconds = add_total;
+      add_run.apply_seconds = add_apply;
+    }
+    if (rep == 0 || rebuild_remove < remove_run.rebuild_seconds) {
+      remove_run.rebuild_seconds = rebuild_remove;
+    }
+    if (rep == 0 || rebuild_add < add_run.rebuild_seconds) {
+      add_run.rebuild_seconds = rebuild_add;
+    }
+  }
+  remove_run.speedup_vs_rebuild =
+      remove_run.incremental_seconds > 0
+          ? remove_run.rebuild_seconds / remove_run.incremental_seconds
+          : 0;
+  add_run.speedup_vs_rebuild =
+      add_run.incremental_seconds > 0
+          ? add_run.rebuild_seconds / add_run.incremental_seconds
+          : 0;
+  return {remove_run, add_run};
+}
+
+void WriteJson(std::FILE* out, const std::vector<Run>& runs) {
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    std::fprintf(
+        out,
+        "  {\"scenario\": \"%s\", \"database\": \"%s\", "
+        "\"delta_size\": %zu, \"direction\": \"%s\", \"queries\": %zu, "
+        "\"incremental_seconds\": %.6f, \"apply_seconds\": %.6f, "
+        "\"rebuild_seconds\": %.6f, \"speedup_vs_rebuild\": %.2f, "
+        "\"model_version\": %llu, \"facts_touched\": %zu, "
+        "\"plans_retained\": %zu, \"plans_invalidated\": %zu}%s\n",
+        run.scenario.c_str(), run.database.c_str(), run.delta_size,
+        run.direction.c_str(), run.queries, run.incremental_seconds,
+        run.apply_seconds, run.rebuild_seconds, run.speedup_vs_rebuild,
+        static_cast<unsigned long long>(run.delta_stats.model_version),
+        run.delta_stats.facts_touched, run.delta_stats.plans_retained,
+        run.delta_stats.plans_invalidated,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  whyprov::bench::BenchFlags flags;
+  flags.reps = 3;
+  flags.out = "BENCH_incremental.json";
+  if (!whyprov::bench::ParseBenchFlags(argc, argv, "bench_incremental",
+                                       flags)) {
+    return 2;
+  }
+  const std::size_t reps = flags.reps;
+  const std::string output_path = flags.out;
+
+  std::vector<Run> runs;
+  for (const SuiteEntry& entry : IncrementalSuite()) {
+    for (const std::size_t delta_size : kDeltaSizes) {
+      auto [remove_run, add_run] = Measure(entry, delta_size, reps);
+      for (const Run& run : {remove_run, add_run}) {
+        std::printf(
+            "%-14s %-12s delta=%-4zu %-7s incremental %8.5fs  "
+            "rebuild %8.5fs  speedup %6.1fx  (plans: %zu kept / %zu "
+            "dropped)\n",
+            run.scenario.c_str(), run.database.c_str(), run.delta_size,
+            run.direction.c_str(), run.incremental_seconds,
+            run.rebuild_seconds, run.speedup_vs_rebuild,
+            run.delta_stats.plans_retained,
+            run.delta_stats.plans_invalidated);
+        runs.push_back(run);
+      }
+    }
+  }
+
+  std::FILE* out = std::fopen(output_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", output_path.c_str());
+    return 1;
+  }
+  WriteJson(out, runs);
+  std::fclose(out);
+  std::printf("wrote %s\n", output_path.c_str());
+  return 0;
+}

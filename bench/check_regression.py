@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the BENCH_*.json perf-trajectory files.
+
+Compares a freshly produced benchmark JSON against the committed baseline
+and fails (exit 1) when a throughput-style metric dropped by more than the
+allowed fraction, or when an incremental-delta row misses the absolute
+speedup floor the acceptance criteria promise.
+
+Rows are matched on their identity fields (scenario, database, plan_cache,
+threads_requested, delta_size, direction — whichever are present), so a
+baseline recorded on a machine with a different core count still matches:
+`threads_requested` (0 = all cores) is stable while the resolved `threads`
+is not.
+
+Usage:
+  check_regression.py --baseline BENCH_throughput.json \
+      --current build/BENCH_throughput.json [--threshold 0.25]
+  check_regression.py --baseline BENCH_incremental.json \
+      --current build/BENCH_incremental.json --min-speedup 5
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that identify a run (used to match current rows to baseline rows).
+KEY_FIELDS = (
+    "scenario",
+    "database",
+    "plan_cache",
+    "threads_requested",
+    "delta_size",
+    "direction",
+)
+
+# Higher-is-better metrics compared against the baseline with the drop
+# threshold. speedup_vs_rebuild is deliberately NOT here: machine-ratio
+# metrics swing too much across CI hardware for a drop gate; the absolute
+# --min-speedup floor (with its wide margin at delta_size 1) guards it.
+METRIC_FIELDS = ("queries_per_second",)
+
+
+def row_key(row):
+    return tuple((field, row[field]) for field in KEY_FIELDS if field in row)
+
+
+def format_key(key):
+    return ", ".join(f"{field}={value}" for field, value in key)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json to compare against")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional drop per metric "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="absolute floor for speedup_vs_rebuild on "
+                             "delta_size == 1 rows of the current file")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline_rows = json.load(f)
+    with open(args.current) as f:
+        current_rows = json.load(f)
+
+    current_by_key = {row_key(row): row for row in current_rows}
+    failures = []
+    checks = 0
+
+    for baseline in baseline_rows:
+        key = row_key(baseline)
+        current = current_by_key.get(key)
+        if current is None:
+            failures.append(f"baseline row has no current match: "
+                            f"[{format_key(key)}]")
+            continue
+        for metric in METRIC_FIELDS:
+            if metric not in baseline or metric not in current:
+                continue
+            base_value = float(baseline[metric])
+            new_value = float(current[metric])
+            if base_value <= 0:
+                continue
+            checks += 1
+            floor = base_value * (1.0 - args.threshold)
+            status = "ok" if new_value >= floor else "REGRESSION"
+            print(f"{status:>10}  {metric}: {new_value:.2f} vs baseline "
+                  f"{base_value:.2f} (floor {floor:.2f})  "
+                  f"[{format_key(key)}]")
+            if new_value < floor:
+                failures.append(
+                    f"{metric} dropped {100 * (1 - new_value / base_value):.1f}% "
+                    f"(> {100 * args.threshold:.0f}% allowed) on "
+                    f"[{format_key(key)}]")
+
+    if args.min_speedup is not None:
+        for row in current_rows:
+            if row.get("delta_size") != 1 or "speedup_vs_rebuild" not in row:
+                continue
+            checks += 1
+            speedup = float(row["speedup_vs_rebuild"])
+            status = "ok" if speedup >= args.min_speedup else "REGRESSION"
+            print(f"{status:>10}  speedup_vs_rebuild floor: {speedup:.2f}x "
+                  f"vs required {args.min_speedup:.2f}x "
+                  f"[{format_key(row_key(row))}]")
+            if speedup < args.min_speedup:
+                failures.append(
+                    f"speedup_vs_rebuild {speedup:.2f}x misses the "
+                    f"{args.min_speedup:.2f}x floor on "
+                    f"[{format_key(row_key(row))}]")
+
+    if checks == 0:
+        print("error: no comparable metrics found "
+              "(wrong files, or key fields changed?)", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {checks} checks passed "
+          f"(threshold {100 * args.threshold:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,7 +64,8 @@ int main() {
                  enumeration.status().message().c_str());
     return 1;
   }
-  std::printf("whyUN((d), D, Q) — every member with a witnessing proof tree:\n");
+  std::printf(
+      "whyUN((d), D, Q) — every member with a witnessing proof tree:\n");
   int index = 0;
   for (const auto& member : enumeration.value()) {
     std::printf("\nmember %d: {", ++index);

@@ -10,6 +10,12 @@ bool Database::Insert(Fact fact) {
   return inserted;
 }
 
+bool Database::Remove(const Fact& fact) {
+  if (set_.erase(fact) == 0) return false;
+  facts_.erase(std::find(facts_.begin(), facts_.end(), fact));
+  return true;
+}
+
 std::vector<SymbolId> Database::ActiveDomain() const {
   std::vector<SymbolId> domain;
   for (const Fact& fact : facts_) {

@@ -23,6 +23,9 @@ class Database {
   /// Adds a fact; returns true if it was new.
   bool Insert(Fact fact);
 
+  /// Removes a fact; returns true if it was present.
+  bool Remove(const Fact& fact);
+
   /// True iff the fact is present.
   bool Contains(const Fact& fact) const { return set_.contains(fact); }
 

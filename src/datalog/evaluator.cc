@@ -8,7 +8,8 @@
 namespace whyprov::datalog {
 
 Model::Model(std::shared_ptr<SymbolTable> symbols)
-    : symbols_(std::move(symbols)) {}
+    : symbols_(std::move(symbols)),
+      fact_id_base_(std::make_shared<FactIdMap>()) {}
 
 std::vector<SymbolId> Model::ProjectKey(const Fact& fact,
                                         std::uint32_t mask) {
@@ -20,40 +21,156 @@ std::vector<SymbolId> Model::ProjectKey(const Fact& fact,
 }
 
 std::pair<FactId, bool> Model::Add(Fact fact, int rank) {
-  auto it = fact_ids_.find(fact);
-  if (it != fact_ids_.end()) {
-    // Ranks only shrink; the first derivation round is definitive because
-    // evaluation proceeds round by round, so this is defensive.
-    ranks_[it->second] = std::min(ranks_[it->second], rank);
-    return {it->second, false};
+  auto overlay_it = fact_id_overlay_.find(fact);
+  const FactIdMap::const_iterator base_it =
+      overlay_it == fact_id_overlay_.end() ? fact_id_base_->find(fact)
+                                           : fact_id_base_->cend();
+  if (overlay_it != fact_id_overlay_.end() ||
+      base_it != fact_id_base_->cend()) {
+    const FactId id = overlay_it != fact_id_overlay_.end()
+                          ? overlay_it->second
+                          : base_it->second;
+    if (alive(id)) {
+      // Ranks only shrink; the first derivation round is definitive because
+      // evaluation proceeds round by round, so this is defensive.
+      RelaxRank(id, rank);
+      return {id, false};
+    }
+    // Revive a tombstoned fact in place: the id re-enters the relation
+    // list and every existing index with its new rank.
+    alive_.writable(id) = 1;
+    ++num_alive_;
+    ranks_.writable(id) = rank;
+    AppendToIndexes(id);
+    return {id, true};
   }
-  const FactId id = static_cast<FactId>(facts_.size());
+  const FactId id = static_cast<FactId>(size_);
   const PredicateId pred = fact.predicate;
-  facts_.push_back(fact);
-  ranks_.push_back(rank);
-  fact_ids_.emplace(std::move(fact), id);
-  if (relations_.size() <= pred) relations_.resize(pred + 1);
-  relations_[pred].push_back(id);
-  // Keep existing lazy indexes on this predicate fresh.
-  const Fact& stored = facts_[id];
-  for (auto& [key, index] : indexes_) {
-    if (static_cast<PredicateId>(key >> 32) != pred) continue;
-    const std::uint32_t mask = static_cast<std::uint32_t>(key);
-    index[ProjectKey(stored, mask)].push_back(id);
+  facts_.append(size_, fact);
+  ranks_.append(size_, rank);
+  alive_.append(size_, 1);
+  ++size_;
+  ++num_alive_;
+  if (fact_id_base_.use_count() == 1) {
+    // Unshared base (the from-scratch evaluation case): insert in place.
+    fact_id_base_->emplace(std::move(fact), id);
+  } else {
+    fact_id_overlay_.emplace(std::move(fact), id);
+    if (fact_id_overlay_.size() > fact_id_base_->size() / 8 + 1024) {
+      // Fold the overlay into a fresh base (amortised across interns).
+      auto folded = std::make_shared<FactIdMap>(*fact_id_base_);
+      folded->insert(fact_id_overlay_.begin(), fact_id_overlay_.end());
+      fact_id_base_ = std::move(folded);
+      fact_id_overlay_.clear();
+    }
   }
+  if (relations_.size() <= pred) relations_.resize(pred + 1);
+  AppendToIndexes(id);
   return {id, true};
 }
 
+std::vector<FactId>& Model::WritableRelation(PredicateId p) {
+  if (relations_.size() <= p) relations_.resize(p + 1);
+  std::shared_ptr<std::vector<FactId>>& slot = relations_[p];
+  if (!slot) {
+    slot = std::make_shared<std::vector<FactId>>();
+  } else if (slot.use_count() > 1) {
+    slot = std::make_shared<std::vector<FactId>>(*slot);
+  }
+  return *slot;
+}
+
+Model::Index& Model::WritableIndex(IndexKey key) {
+  std::shared_ptr<Index>& slot = indexes_[key];
+  if (!slot) {
+    slot = std::make_shared<Index>();
+  } else if (slot.use_count() > 1) {
+    slot = std::make_shared<Index>(*slot);
+  }
+  return *slot;
+}
+
+void Model::AppendToIndexes(FactId id) {
+  const Fact& stored = fact(id);
+  const PredicateId pred = stored.predicate;
+  WritableRelation(pred).push_back(id);
+  // Keep existing lazy indexes on this predicate fresh.
+  for (auto& [key, index] : indexes_) {
+    if (static_cast<PredicateId>(key >> 32) != pred) continue;
+    const std::uint32_t mask = static_cast<std::uint32_t>(key);
+    WritableIndex(key)[ProjectKey(stored, mask)].push_back(id);
+  }
+}
+
+void Model::RemoveBatch(const std::vector<FactId>& ids) {
+  std::vector<PredicateId> affected;
+  for (FactId id : ids) {
+    if (!alive(id)) continue;
+    alive_.writable(id) = 0;
+    --num_alive_;
+    affected.push_back(fact(id).predicate);
+  }
+  if (affected.empty()) return;
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  // One compaction pass per affected predicate's relation list and built
+  // indexes, instead of per-fact erases.
+  const auto dead = [this](FactId id) { return !alive(id); };
+  for (PredicateId pred : affected) {
+    std::erase_if(WritableRelation(pred), dead);
+  }
+  for (auto& [key, index] : indexes_) {
+    const auto pred = static_cast<PredicateId>(key >> 32);
+    if (!std::binary_search(affected.begin(), affected.end(), pred)) {
+      continue;
+    }
+    for (auto& [project_key, bucket] : WritableIndex(key)) {
+      std::erase_if(bucket, dead);
+    }
+  }
+}
+
+bool Model::RelaxRank(FactId id, int rank) {
+  if (rank >= this->rank(id)) return false;
+  ranks_.writable(id) = rank;
+  return true;
+}
+
+Model Model::Clone() const {
+  Model copy(symbols_);
+  copy.size_ = size_;
+  copy.facts_ = facts_;
+  copy.ranks_ = ranks_;
+  copy.alive_ = alive_;
+  copy.num_alive_ = num_alive_;
+  copy.fact_id_base_ = fact_id_base_;
+  copy.fact_id_overlay_ = fact_id_overlay_;
+  copy.relations_ = relations_;
+  // A reader may be lazily building an index on this model right now.
+  const std::lock_guard<std::mutex> lock(*index_mutex_);
+  copy.indexes_ = indexes_;
+  return copy;
+}
+
 std::optional<FactId> Model::Find(const Fact& fact) const {
-  auto it = fact_ids_.find(fact);
-  if (it == fact_ids_.end()) return std::nullopt;
-  return it->second;
+  auto it = fact_id_overlay_.find(fact);
+  FactId id;
+  if (it != fact_id_overlay_.end()) {
+    id = it->second;
+  } else {
+    auto base_it = fact_id_base_->find(fact);
+    if (base_it == fact_id_base_->end()) return std::nullopt;
+    id = base_it->second;
+  }
+  if (!alive(id)) return std::nullopt;
+  return id;
 }
 
 const std::vector<FactId>& Model::Relation(PredicateId p) const {
   static const std::vector<FactId> kEmpty;
-  if (p >= relations_.size()) return kEmpty;
-  return relations_[p];
+  if (p >= relations_.size() || !relations_[p]) return kEmpty;
+  return *relations_[p];
 }
 
 const std::vector<FactId>& Model::Lookup(
@@ -66,20 +183,20 @@ const std::vector<FactId>& Model::Lookup(
   auto it = indexes_.find(index_key);
   if (it == indexes_.end()) {
     // Build the index over the current relation contents.
-    Index index;
+    auto index = std::make_shared<Index>();
     for (FactId id : Relation(p)) {
-      index[ProjectKey(facts_[id], mask)].push_back(id);
+      (*index)[ProjectKey(fact(id), mask)].push_back(id);
     }
     it = indexes_.emplace(index_key, std::move(index)).first;
   }
-  auto bucket = it->second.find(key);
-  if (bucket == it->second.end()) return kEmpty;
+  auto bucket = it->second->find(key);
+  if (bucket == it->second->end()) return kEmpty;
   return bucket->second;
 }
 
 std::vector<std::vector<SymbolId>> Model::AnswerTuples(PredicateId p) const {
   std::vector<std::vector<SymbolId>> tuples;
-  for (FactId id : Relation(p)) tuples.push_back(facts_[id].args);
+  for (FactId id : Relation(p)) tuples.push_back(fact(id).args);
   return tuples;
 }
 

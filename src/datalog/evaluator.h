@@ -39,29 +39,76 @@ inline constexpr SymbolId kUnboundSymbol =
 /// mutation a logically-const model performs, so `Lookup` serialises it
 /// behind a mutex: once evaluation is done, a model is safe to share
 /// across threads (concurrent Find/Relation/Lookup/fact/rank).
+///
+/// For incremental maintenance (delete-and-rederive) a fact can be
+/// tombstoned with `Remove`/`RemoveBatch`: its id stays interned (so ids
+/// of surviving facts — and the query plans built over them — remain
+/// stable across deltas) but it disappears from Find/Contains/Relation/
+/// Lookup. A later Add of the same fact revives the id in place.
+///
+/// Storage is structurally shared between versions: `Clone` is O(model /
+/// chunk size), not O(model). Fact payloads live in append-only shared
+/// chunks; ranks and liveness are chunked copy-on-write arrays (a delta
+/// copies only the chunks it writes); relation lists and join indexes are
+/// copy-on-write per predicate; and the fact-to-id map is a shared frozen
+/// base plus a small per-version overlay of newly interned facts. This is
+/// what makes `Engine::ApplyDelta` snapshots cheap enough to beat a
+/// from-scratch rebuild even on scenarios whose evaluation is linear.
 class Model {
  public:
   /// Creates an empty model over `symbols`.
   explicit Model(std::shared_ptr<SymbolTable> symbols);
 
-  /// Interns `fact` with the given rank. If the fact already exists, keeps
-  /// the existing (smaller) rank. Returns the fact id and whether it was new.
+  /// Interns `fact` with the given rank. If the fact is already live, keeps
+  /// the existing (smaller) rank; if it was tombstoned, revives its old id
+  /// with the given rank. Returns the fact id and whether it is (newly or
+  /// again) live.
   std::pair<FactId, bool> Add(Fact fact, int rank);
 
-  /// Finds a fact's id, if present.
+  /// Tombstones a live fact: it keeps its id but leaves the model (and all
+  /// relation lists / join indexes). No-op on an already-dead id.
+  void Remove(FactId id) { RemoveBatch({id}); }
+
+  /// Tombstones a batch of live facts with one compaction pass per
+  /// affected predicate (the delete step of delete-and-rederive).
+  void RemoveBatch(const std::vector<FactId>& ids);
+
+  /// Lowers the rank of a live fact; returns true iff the rank changed.
+  bool RelaxRank(FactId id, int rank);
+
+  /// Finds a live fact's id, if present.
   std::optional<FactId> Find(const Fact& fact) const;
 
-  /// True iff `fact` is in the model.
+  /// True iff `fact` is live in the model.
   bool Contains(const Fact& fact) const { return Find(fact).has_value(); }
 
-  /// The fact with id `id`.
-  const Fact& fact(FactId id) const { return facts_[id]; }
+  /// True iff `id` is interned and not tombstoned.
+  bool alive(FactId id) const {
+    return id < size_ && (*alive_.chunks[id >> kChunkBits])[id & kChunkMask];
+  }
+
+  /// The fact with id `id` (tombstoned ids keep their payload).
+  const Fact& fact(FactId id) const {
+    return (*facts_.chunks[id >> kChunkBits])[id & kChunkMask];
+  }
 
   /// The rank (first derivation round) of fact `id`.
-  int rank(FactId id) const { return ranks_[id]; }
+  int rank(FactId id) const {
+    return (*ranks_.chunks[id >> kChunkBits])[id & kChunkMask];
+  }
 
-  /// Number of facts in the model.
-  std::size_t size() const { return facts_.size(); }
+  /// Size of the id space: all facts ever interned, live or tombstoned.
+  std::size_t size() const { return size_; }
+
+  /// Number of live facts.
+  std::size_t num_alive() const { return num_alive_; }
+
+  /// A snapshot copy sharing the symbol table and all unchanged storage
+  /// chunks — the starting point of an incremental delta evaluation,
+  /// which mutates the copy (copy-on-write) while readers keep using the
+  /// original. Thread-safe against concurrent Lookup on this model (the
+  /// lazy-index mutex is held while copying).
+  Model Clone() const;
 
   /// All fact ids with predicate `p`, in insertion order.
   const std::vector<FactId>& Relation(PredicateId p) const;
@@ -83,6 +130,41 @@ class Model {
   const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
 
  private:
+  static constexpr std::size_t kChunkBits = 12;  // 4096 entries per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+  /// A chunked array whose copies share chunks; writers clone a chunk
+  /// before the first write if any other version still references it.
+  /// (`alive` uses uint8_t, not bool, so chunks are plain byte arrays.)
+  template <typename T>
+  struct ChunkedStore {
+    std::vector<std::shared_ptr<std::vector<T>>> chunks;
+
+    T read(std::size_t i) const {
+      return (*chunks[i >> kChunkBits])[i & kChunkMask];
+    }
+    /// A writable reference, cloning the chunk first if it is shared.
+    T& writable(std::size_t i) {
+      std::shared_ptr<std::vector<T>>& chunk = chunks[i >> kChunkBits];
+      if (chunk.use_count() > 1) {
+        chunk = std::make_shared<std::vector<T>>(*chunk);
+      }
+      return (*chunk)[i & kChunkMask];
+    }
+    /// Appends at index `size` (the caller tracks the logical size).
+    void append(std::size_t size, T value) {
+      if ((size & kChunkMask) == 0) {
+        chunks.push_back(std::make_shared<std::vector<T>>());
+        chunks.back()->reserve(kChunkSize);
+      } else if (chunks.back().use_count() > 1) {
+        chunks.back() = std::make_shared<std::vector<T>>(*chunks.back());
+        chunks.back()->reserve(kChunkSize);
+      }
+      chunks.back()->push_back(std::move(value));
+    }
+  };
+
   struct VectorHash {
     std::size_t operator()(const std::vector<SymbolId>& v) const {
       std::size_t h = 0xcbf29ce484222325ULL;
@@ -97,6 +179,7 @@ class Model {
       std::unordered_map<std::vector<SymbolId>, std::vector<FactId>,
                          VectorHash>;
   using IndexKey = std::uint64_t;  // (predicate << 32) | mask
+  using FactIdMap = std::unordered_map<Fact, FactId, FactHash>;
 
   static IndexKey MakeIndexKey(PredicateId p, std::uint32_t mask) {
     return (static_cast<std::uint64_t>(p) << 32) | mask;
@@ -104,15 +187,39 @@ class Model {
   static std::vector<SymbolId> ProjectKey(const Fact& fact,
                                           std::uint32_t mask);
 
+  /// A writable relation list for `p`, cloned first if shared.
+  std::vector<FactId>& WritableRelation(PredicateId p);
+
+  /// Re-registers a (new or revived) live fact with its relation list and
+  /// every already-built index on its predicate (cloning shared indexes
+  /// first — copy-on-write at index granularity).
+  void AppendToIndexes(FactId id);
+
+  /// A writable index for `key`, cloned first if shared with another
+  /// version. Must be called with `index_mutex_` NOT required (single
+  /// writer: mutation only happens during evaluation / delta application).
+  Index& WritableIndex(IndexKey key);
+
   std::shared_ptr<SymbolTable> symbols_;
-  std::vector<Fact> facts_;
-  std::vector<int> ranks_;
-  std::unordered_map<Fact, FactId, FactHash> fact_ids_;
-  std::vector<std::vector<FactId>> relations_;  // by predicate
-  mutable std::unordered_map<IndexKey, Index> indexes_;
+  std::size_t size_ = 0;  ///< id-space size (logical length of the stores)
+  ChunkedStore<Fact> facts_;       // append-only: payloads never change
+  ChunkedStore<int> ranks_;        // COW chunks
+  ChunkedStore<std::uint8_t> alive_;  // COW chunks
+  std::size_t num_alive_ = 0;
+  /// Maps every fact ever interned — live or tombstoned — to its id:
+  /// a shared base (mutated in place only while unshared, i.e. during a
+  /// from-scratch evaluation) plus this version's overlay of new interns.
+  /// The map is append-only (tombstoned facts keep their entry), so the
+  /// overlay is periodically folded into a fresh base.
+  std::shared_ptr<FactIdMap> fact_id_base_;
+  FactIdMap fact_id_overlay_;
+  /// Live fact ids by predicate, insertion order, COW per predicate.
+  std::vector<std::shared_ptr<std::vector<FactId>>> relations_;
+  /// Lazily built join indexes, COW per (predicate, mask).
+  mutable std::unordered_map<IndexKey, std::shared_ptr<Index>> indexes_;
   // Guards lazy builds in Lookup (a unique_ptr keeps the model movable).
-  // References returned by Lookup stay valid across later builds because
-  // unordered_map never relocates its nodes.
+  // References returned by Lookup stay valid across later lazy builds
+  // because the Index objects are heap-allocated and shared.
   mutable std::unique_ptr<std::mutex> index_mutex_ =
       std::make_unique<std::mutex>();
 };

@@ -38,9 +38,13 @@ std::vector<FactId> SortedUnique(std::vector<FactId> ids) {
 }  // namespace
 
 std::vector<RuleInstance> Grounder::InstancesWithHead(FactId head) const {
+  return InstancesDeriving(model_.fact(head), head);
+}
+
+std::vector<RuleInstance> Grounder::InstancesDeriving(const Fact& head_fact,
+                                                      FactId head) const {
   std::vector<RuleInstance> instances;
   std::set<std::pair<std::size_t, std::vector<FactId>>> seen;
-  const Fact& head_fact = model_.fact(head);
   for (std::size_t rule_index : program_.RulesForHead(head_fact.predicate)) {
     const Rule& rule = program_.rules()[rule_index];
     std::vector<SymbolId> binding(rule.num_variables, kUnboundSymbol);

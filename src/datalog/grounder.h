@@ -38,6 +38,15 @@ class Grounder {
   /// body-set; two homomorphisms producing the same body set collapse).
   std::vector<RuleInstance> InstancesWithHead(FactId head) const;
 
+  /// Same, but for a fact given by value — the fact need not be (live) in
+  /// the model. Bodies still match only live model facts, which is exactly
+  /// the re-derivation test of delete-and-rederive: a tombstoned fact is
+  /// rederivable iff this is non-empty. The returned instances carry
+  /// `head_id` as their head (pass the fact's interned id, or
+  /// kInvalidFact).
+  std::vector<RuleInstance> InstancesDeriving(const Fact& head_fact,
+                                              FactId head_id) const;
+
   /// All rule instances of the whole model: gri(D, Sigma). Deduplicated by
   /// (head, body-set).
   std::vector<RuleInstance> AllInstances() const;

@@ -1,0 +1,202 @@
+#include "datalog/incremental.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "datalog/grounder.h"
+
+namespace whyprov::datalog {
+
+namespace {
+
+/// Groups a frontier of fact ids by predicate so each rule/body-position
+/// pass can hand MatchBody one per-predicate delta, exactly like the
+/// semi-naive rounds of Evaluator::Evaluate.
+std::vector<std::vector<FactId>> GroupByPredicate(
+    const Model& model, const std::vector<FactId>& frontier,
+    std::size_t num_predicates) {
+  std::vector<std::vector<FactId>> by_pred(num_predicates);
+  for (FactId id : frontier) {
+    by_pred[model.fact(id).predicate].push_back(id);
+  }
+  return by_pred;
+}
+
+/// Runs `on_match(head_fact, matched_body)` for every rule instance of the
+/// current model with at least one body fact in `frontier` (each body
+/// position is pinned to the frontier in turn; instances with several
+/// frontier facts are simply visited more than once).
+template <typename Callback>
+void ForEachInstanceTouching(const Program& program, const Model& model,
+                             const std::vector<FactId>& frontier,
+                             const Callback& on_match) {
+  const std::vector<std::vector<FactId>> by_pred =
+      GroupByPredicate(model, frontier, program.symbols().NumPredicates());
+  for (const Rule& rule : program.rules()) {
+    std::vector<SymbolId> binding(rule.num_variables, kUnboundSymbol);
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      const std::vector<FactId>& delta = by_pred[rule.body[i].predicate];
+      if (delta.empty()) continue;
+      MatchBody(model, rule.body, i, &delta, binding,
+                [&](const std::vector<FactId>& matched) {
+                  on_match(GroundAtom(rule.head, binding), matched);
+                });
+    }
+  }
+}
+
+int CandidateRank(const Model& model, const std::vector<FactId>& body) {
+  int rank = 0;
+  for (FactId id : body) rank = std::max(rank, model.rank(id));
+  return rank + 1;
+}
+
+}  // namespace
+
+DeltaEvalResult IncrementalEvaluator::Apply(const Program& program,
+                                            Model& model,
+                                            const std::vector<Fact>& added,
+                                            const std::vector<Fact>& removed) {
+  DeltaEvalResult result;
+  std::unordered_set<FactId> touched;
+  // Live facts that are new, revived, or rank-lowered and still need their
+  // consequences propagated (the relaxation worklist).
+  std::vector<FactId> changed;
+
+  // --- Phase 1: pessimistic deletion (the "delete" of DRed) -------------
+  //
+  // The suspects are the forward closure of the removed facts through the
+  // *old* model's rule instances: every fact some derivation of which runs
+  // through a removed fact. Facts outside this set keep all their
+  // derivations, so their membership and rank are already final.
+  std::vector<FactId> suspects;
+  std::unordered_set<FactId> suspect_set;
+  for (const Fact& fact : removed) {
+    const auto id = model.Find(fact);
+    if (!id.has_value()) continue;
+    if (suspect_set.insert(*id).second) suspects.push_back(*id);
+    ++result.base_removed;
+  }
+  std::vector<FactId> frontier = suspects;
+  while (!frontier.empty()) {
+    std::vector<FactId> next;
+    ForEachInstanceTouching(
+        program, model, frontier,
+        [&](Fact head, const std::vector<FactId>&) {
+          const auto id = model.Find(head);
+          // The model is a fixpoint of the old database, so every
+          // derivable head is present.
+          if (!id.has_value()) return;
+          if (suspect_set.insert(*id).second) {
+            suspects.push_back(*id);
+            next.push_back(*id);
+          }
+        });
+    frontier = std::move(next);
+  }
+  model.RemoveBatch(suspects);
+  touched.insert(suspect_set.begin(), suspect_set.end());
+
+  // --- Phase 2: re-derivation (the "rederive" of DRed) ------------------
+  //
+  // A tombstoned suspect comes back iff some rule instance derives it from
+  // live facts only. One goal-directed pass suffices: any suspect whose
+  // support appears only after a later revival is caught by the forward
+  // worklist below (a revival is a model change like any other, and the
+  // instance that completes it necessarily contains the revived fact).
+  const Grounder grounder(program, model);
+  for (FactId id : suspects) {
+    const Fact& fact = model.fact(id);
+    if (!program.IsIntensional(fact.predicate)) continue;
+    const std::vector<RuleInstance> instances =
+        grounder.InstancesDeriving(fact, id);
+    if (instances.empty()) continue;
+    int rank = std::numeric_limits<int>::max();
+    for (const RuleInstance& instance : instances) {
+      rank = std::min(rank, CandidateRank(model, instance.body));
+    }
+    model.Add(fact, rank);
+    changed.push_back(id);
+  }
+
+  // --- Phase 3: insertions ----------------------------------------------
+  for (const Fact& fact : added) {
+    const auto live = model.Find(fact);
+    if (live.has_value()) {
+      // Already derivable; becoming a database fact drops its rank to 0.
+      if (model.RelaxRank(*live, 0)) {
+        ++result.rank_updates;
+        changed.push_back(*live);
+      }
+      touched.insert(*live);
+    } else {
+      const auto [id, inserted] = model.Add(fact, /*rank=*/0);
+      (void)inserted;
+      changed.push_back(id);
+      touched.insert(id);
+    }
+    ++result.base_added;
+  }
+
+  // --- Phase 4: semi-naive forward propagation + rank relaxation --------
+  //
+  // Every instance containing a changed fact either derives something new
+  // or offers a (possibly) shallower derivation of an existing fact. Ranks
+  // only decrease and are bounded by the true minimax depth, so the
+  // worklist converges to the least fixpoint.
+  while (!changed.empty()) {
+    ++result.rounds;
+    std::unordered_set<FactId> next_set;
+    // New heads are buffered until the pass completes: Add would append to
+    // the very index buckets MatchBody is iterating. Rank relaxation only
+    // writes the rank array, so it is safe (and beneficial) mid-pass.
+    std::unordered_map<Fact, int, FactHash> pending;
+    ForEachInstanceTouching(
+        program, model, changed,
+        [&](Fact head, const std::vector<FactId>& matched) {
+          const int candidate = CandidateRank(model, matched);
+          const auto id = model.Find(head);
+          if (!id.has_value()) {
+            const auto [it, inserted] =
+                pending.emplace(std::move(head), candidate);
+            if (!inserted) it->second = std::min(it->second, candidate);
+            return;
+          }
+          // Head of a new or changed instance: its derivations changed
+          // even when its rank did not.
+          touched.insert(*id);
+          if (model.RelaxRank(*id, candidate)) {
+            ++result.rank_updates;
+            next_set.insert(*id);
+          }
+        });
+    for (auto& [head, rank] : pending) {
+      const auto [id, inserted] = model.Add(head, rank);
+      (void)inserted;
+      // A deletion suspect coming back through propagation is a
+      // re-derivation (counted once the cascade settles), not an insert.
+      if (!suspect_set.contains(id)) ++result.derived_added;
+      touched.insert(id);
+      next_set.insert(id);
+    }
+    changed.assign(next_set.begin(), next_set.end());
+  }
+
+  // Settle the deletion counters now that cascaded revivals are final.
+  for (FactId id : suspects) {
+    if (model.alive(id)) {
+      if (model.rank(id) > 0) ++result.rederived;
+    } else if (model.rank(id) > 0) {
+      ++result.derived_deleted;
+    }
+  }
+
+  result.touched.assign(touched.begin(), touched.end());
+  std::sort(result.touched.begin(), result.touched.end());
+  return result;
+}
+
+}  // namespace whyprov::datalog

@@ -1,0 +1,56 @@
+#ifndef WHYPROV_DATALOG_INCREMENTAL_H_
+#define WHYPROV_DATALOG_INCREMENTAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+
+namespace whyprov::datalog {
+
+/// Outcome of one incremental delta evaluation.
+struct DeltaEvalResult {
+  std::size_t base_added = 0;       ///< database facts inserted (rank 0)
+  std::size_t base_removed = 0;     ///< database facts tombstoned
+  std::size_t derived_added = 0;    ///< facts newly derived by insertions
+  std::size_t derived_deleted = 0;  ///< derived facts that stayed dead
+  std::size_t rederived = 0;        ///< deletion suspects revived by DRed
+  std::size_t rank_updates = 0;     ///< live facts whose rank was lowered
+  std::size_t rounds = 0;           ///< insertion propagation rounds
+  /// Every fact id whose derivations (incident rule instances) or rank
+  /// may have changed: the removed/added facts, all deletion suspects,
+  /// and every head matched during propagation. Sorted, unique. A query
+  /// plan whose downward closure is disjoint from this set is still
+  /// valid — closure, encoding, and rank-greedy hints alike.
+  std::vector<FactId> touched;
+};
+
+/// Fact-level incremental maintenance of a materialised least model.
+///
+/// Insertions propagate forward with semi-naive delta rounds (each rule is
+/// re-matched only with one body atom pinned to the changed-fact delta);
+/// deletions use delete-and-rederive (DRed): the forward closure of the
+/// removed facts through the old model's rule instances is tombstoned
+/// pessimistically, then every suspect is goal-directedly re-derived from
+/// the surviving facts. Ranks (min proof-DAG depth, Proposition 28 of the
+/// paper) are maintained exactly by Bellman-Ford-style relaxation: a
+/// changed fact re-examines the instances it occurs in and lowers head
+/// ranks until the unique least fixpoint is reached. Fact ids of
+/// surviving facts never change, which is what lets query plans built
+/// over an earlier model version survive a delta untouched.
+class IncrementalEvaluator {
+ public:
+  /// `model` must be the least model (with exact ranks) of some database
+  /// D w.r.t. `program`; on return it is the least model of
+  /// (D \ removed) ∪ added. Facts in `added` must not be in D; facts in
+  /// `removed` must be in D (the engine pre-filters no-ops).
+  static DeltaEvalResult Apply(const Program& program, Model& model,
+                               const std::vector<Fact>& added,
+                               const std::vector<Fact>& removed);
+};
+
+}  // namespace whyprov::datalog
+
+#endif  // WHYPROV_DATALOG_INCREMENTAL_H_

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <unordered_set>
 #include <utility>
 
+#include "datalog/incremental.h"
 #include "datalog/parser.h"
 #include "provenance/proof_dag.h"
 #include "sat/solver_factory.h"
@@ -112,18 +114,56 @@ EngineState::EngineState(dl::Program program_in, dl::Database database_in,
                          dl::PredicateId answer_predicate_in,
                          EngineOptions options_in)
     : program(std::move(program_in)),
-      database(std::move(database_in)),
       answer_predicate(answer_predicate_in),
       options(std::move(options_in)),
-      model(EvaluateTimed(program, database, &eval_seconds)),
-      plan_cache(options.plan_cache_capacity) {}
+      model(EvaluateTimed(program, database_in, &eval_seconds)),
+      parse_mutex(std::make_shared<std::mutex>()),
+      plan_cache(options.plan_cache_capacity),
+      database_(std::move(database_in)) {}
+
+EngineState::EngineState(const EngineState& predecessor, dl::Model model_in,
+                         std::uint64_t model_version_in,
+                         double eval_seconds_in)
+    : program(predecessor.program),
+      answer_predicate(predecessor.answer_predicate),
+      options(predecessor.options),
+      model_version(model_version_in),
+      eval_seconds(eval_seconds_in),
+      model(std::move(model_in)),
+      parse_mutex(predecessor.parse_mutex),
+      plan_cache(options.plan_cache_capacity,
+                 predecessor.plan_cache.stats()) {}
+
+const dl::Database& EngineState::database() const {
+  const std::lock_guard<std::mutex> lock(database_mutex_);
+  if (!database_.has_value()) {
+    // The live rank-0 facts of the model are exactly the database of this
+    // version; materialise the view once, on first demand.
+    dl::Database database(model.symbols_ptr());
+    for (dl::FactId id = 0; id < model.size(); ++id) {
+      if (model.alive(id) && model.rank(id) == 0) {
+        database.Insert(model.fact(id));
+      }
+    }
+    database_.emplace(std::move(database));
+  }
+  return *database_;
+}
+
+bool EngineState::InDatabase(const dl::Fact& fact) const {
+  const auto id = model.Find(fact);
+  return id.has_value() && model.rank(*id) == 0;
+}
 
 std::shared_ptr<const pv::QueryPlan> EngineState::PlanFor(
     dl::FactId target, pv::AcyclicityEncoding acyclicity) const {
-  if (auto plan = plan_cache.Get(target, acyclicity)) return plan;
+  if (auto plan = plan_cache.Get(target, acyclicity, model_version)) {
+    return plan;
+  }
   pv::CnfEncoder::Options encoder_options;
   encoder_options.acyclicity = acyclicity;
   auto plan = pv::QueryPlan::Build(program, model, target, encoder_options);
+  plan->set_model_version(model_version);
   plan_cache.Put(target, acyclicity, plan);
   return plan;
 }
@@ -188,7 +228,7 @@ util::Result<Enumeration> PreparedQuery::ExecutePlan(
 dl::FactId PreparedQuery::target() const { return plan_->target(); }
 
 std::string PreparedQuery::target_text() const {
-  const std::lock_guard<std::mutex> lock(state_->parse_mutex);
+  const std::lock_guard<std::mutex> lock(*state_->parse_mutex);
   return dl::FactToString(state_->model.fact(plan_->target()),
                           state_->program.symbols());
 }
@@ -278,11 +318,12 @@ Engine Engine::FromParts(dl::Program program, dl::Database database,
 }
 
 std::vector<dl::FactId> Engine::AnswerFactIds() const {
-  return state_->model.Relation(state_->answer_predicate);
+  const auto state = snapshot();
+  return state->model.Relation(state->answer_predicate);
 }
 
 std::vector<dl::FactId> Engine::SampleAnswers(std::size_t count) const {
-  util::Rng rng(state_->options.sampling_seed);
+  util::Rng rng(snapshot()->options.sampling_seed);
   return SampleAnswers(count, rng);
 }
 
@@ -294,14 +335,18 @@ std::vector<dl::FactId> Engine::SampleAnswers(std::size_t count,
   return answers;
 }
 
-util::Result<dl::FactId> Engine::FactIdOf(std::string_view fact_text) const {
+namespace {
+
+/// FactIdOf against a pinned state snapshot.
+util::Result<dl::FactId> FactIdOn(const EngineState& state,
+                                  std::string_view fact_text) {
   // ParseFact interns constants into the shared symbol table, so parses
-  // must not run concurrently.
-  const std::lock_guard<std::mutex> lock(state_->parse_mutex);
+  // must not run concurrently (the lock is shared by all state versions).
+  const std::lock_guard<std::mutex> lock(*state.parse_mutex);
   util::Result<dl::Fact> fact =
-      dl::Parser::ParseFact(state_->database.symbols_ptr(), fact_text);
+      dl::Parser::ParseFact(state.model.symbols_ptr(), fact_text);
   if (!fact.ok()) return fact.status();
-  auto id = state_->model.Find(fact.value());
+  auto id = state.model.Find(fact.value());
   if (!id.has_value()) {
     return util::Status::NotFound("fact '" + std::string(fact_text) +
                                   "' is not derivable");
@@ -309,36 +354,46 @@ util::Result<dl::FactId> Engine::FactIdOf(std::string_view fact_text) const {
   return *id;
 }
 
+}  // namespace
+
+util::Result<dl::FactId> Engine::FactIdOf(std::string_view fact_text) const {
+  return FactIdOn(*snapshot(), fact_text);
+}
+
 std::string Engine::FactToText(dl::FactId id) const {
+  const auto state = snapshot();
   // Rendering reads the symbol table FactIdOf may be interning into from
   // another thread, so it takes the same lock.
-  const std::lock_guard<std::mutex> lock(state_->parse_mutex);
-  return dl::FactToString(state_->model.fact(id), state_->program.symbols());
+  const std::lock_guard<std::mutex> lock(*state->parse_mutex);
+  return dl::FactToString(state->model.fact(id), state->program.symbols());
 }
 
 std::string Engine::FactToText(const dl::Fact& fact) const {
-  const std::lock_guard<std::mutex> lock(state_->parse_mutex);
-  return dl::FactToString(fact, state_->program.symbols());
+  const auto state = snapshot();
+  const std::lock_guard<std::mutex> lock(*state->parse_mutex);
+  return dl::FactToString(fact, state->program.symbols());
 }
 
 util::Result<dl::FactId> Engine::ResolveTarget(
-    dl::FactId target, const std::string& target_text) const {
+    const EngineState& state, dl::FactId target,
+    const std::string& target_text) {
   if (target != dl::kInvalidFact) return target;
   if (target_text.empty()) {
     return util::Status::InvalidArgument(
         "the request names no target: set `target` or `target_text`");
   }
-  return FactIdOf(target_text);
+  return FactIdOn(state, target_text);
 }
 
 util::Result<PreparedQuery> Engine::Prepare(
     const PrepareRequest& request) const {
+  auto state = snapshot();
   util::Result<dl::FactId> target =
-      ResolveTarget(request.target, request.target_text);
+      ResolveTarget(*state, request.target, request.target_text);
   if (!target.ok()) return target.status();
-  auto plan = state_->PlanFor(
-      target.value(), request.acyclicity.value_or(state_->options.acyclicity));
-  return PreparedQuery(state_, std::move(plan));
+  auto plan = state->PlanFor(
+      target.value(), request.acyclicity.value_or(state->options.acyclicity));
+  return PreparedQuery(std::move(state), std::move(plan));
 }
 
 util::Result<PreparedQuery> Engine::Prepare(dl::FactId target) const {
@@ -354,38 +409,52 @@ util::Result<PreparedQuery> Engine::Prepare(
   return Prepare(request);
 }
 
-util::Result<Enumeration> Engine::Enumerate(
-    const EnumerateRequest& request) const {
+util::Result<Enumeration> Engine::EnumerateOn(
+    std::shared_ptr<const EngineState> state,
+    const EnumerateRequest& request) {
   util::Result<dl::FactId> target =
-      ResolveTarget(request.target, request.target_text);
+      ResolveTarget(*state, request.target, request.target_text);
   if (!target.ok()) return target.status();
-  auto plan = state_->PlanFor(
-      target.value(), request.acyclicity.value_or(state_->options.acyclicity));
-  return PreparedQuery::ExecutePlan(state_, std::move(plan), request);
+  auto plan = state->PlanFor(
+      target.value(), request.acyclicity.value_or(state->options.acyclicity));
+  return PreparedQuery::ExecutePlan(std::move(state), std::move(plan),
+                                    request);
 }
 
-util::Result<bool> Engine::Decide(const DecideRequest& request) const {
+util::Result<Enumeration> Engine::Enumerate(
+    const EnumerateRequest& request) const {
+  return EnumerateOn(snapshot(), request);
+}
+
+util::Result<bool> Engine::DecideOn(
+    const std::shared_ptr<const EngineState>& state,
+    const DecideRequest& request) {
   util::Result<dl::FactId> target =
-      ResolveTarget(request.target, request.target_text);
+      ResolveTarget(*state, request.target, request.target_text);
   if (!target.ok()) return target.status();
   // Only the SAT path consumes a plan; the exhaustive reference
   // algorithms must not pay (or cache-pollute with) a closure+encode.
   if (request.tree_class != pv::TreeClass::kUnambiguous) {
-    return ExecuteDecideExhaustive(*state_, target.value(), request);
+    return ExecuteDecideExhaustive(*state, target.value(), request);
   }
-  auto plan = state_->PlanFor(
-      target.value(), request.acyclicity.value_or(state_->options.acyclicity));
-  return ExecuteDecideSat(*state_, *plan, request);
+  auto plan = state->PlanFor(
+      target.value(), request.acyclicity.value_or(state->options.acyclicity));
+  return ExecuteDecideSat(*state, *plan, request);
+}
+
+util::Result<bool> Engine::Decide(const DecideRequest& request) const {
+  return DecideOn(snapshot(), request);
 }
 
 util::Result<pv::ProvenanceFamily> Engine::Baseline(
     const BaselineRequest& request) const {
+  const auto state = snapshot();
   util::Result<dl::FactId> target =
-      ResolveTarget(request.target, request.target_text);
+      ResolveTarget(*state, request.target, request.target_text);
   if (!target.ok()) return target.status();
   return pv::ComputeWhyAllAtOnce(
-      state_->program, state_->model, target.value(),
-      request.limits.value_or(state_->options.baseline_limits));
+      state->program, state->model, target.value(),
+      request.limits.value_or(state->options.baseline_limits));
 }
 
 util::Result<Explanation> Engine::Explain(
@@ -393,14 +462,170 @@ util::Result<Explanation> Engine::Explain(
   return ExplainVia(Enumerate(EnumerateRequestFor(request)), request);
 }
 
+// --- incremental updates -------------------------------------------------
+
+namespace {
+
+/// Parses the request's text-form facts and appends them to `facts`.
+util::Status ParseDeltaFacts(const EngineState& state,
+                             const std::vector<std::string>& texts,
+                             std::vector<dl::Fact>& facts) {
+  for (const std::string& text : texts) {
+    util::Result<dl::Fact> fact =
+        dl::Parser::ParseFact(state.model.symbols_ptr(), text);
+    if (!fact.ok()) return fact.status();
+    facts.push_back(std::move(fact).value());
+  }
+  return util::Status::Ok();
+}
+
+/// Every delta fact must be extensional: intensional facts are derived,
+/// not stored, so "removing" one is not a database operation.
+util::Status ValidateExtensional(const EngineState& state,
+                                 const std::vector<dl::Fact>& facts) {
+  for (const dl::Fact& fact : facts) {
+    if (!state.program.IsIntensional(fact.predicate)) continue;
+    const std::lock_guard<std::mutex> lock(*state.parse_mutex);
+    return util::Status::InvalidArgument(
+        "delta fact '" + dl::FactToString(fact, state.program.symbols()) +
+        "' has an intensional predicate; only database facts can be "
+        "added or removed");
+  }
+  return util::Status::Ok();
+}
+
+/// True iff the plan's downward closure contains any touched fact
+/// (`touched` is sorted; iterate whichever side is smaller).
+bool PlanTouchedBy(const pv::QueryPlan& plan,
+                   const std::vector<dl::FactId>& touched) {
+  const auto& closure = plan.closure_facts();
+  if (touched.size() <= closure.size()) {
+    for (dl::FactId fact : touched) {
+      if (closure.contains(fact)) return true;
+    }
+    return false;
+  }
+  for (dl::FactId fact : closure) {
+    if (std::binary_search(touched.begin(), touched.end(), fact)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+util::Result<DeltaStats> Engine::ApplyDelta(const DeltaRequest& request) {
+  // One delta at a time; readers keep serving the published snapshot.
+  const std::lock_guard<std::mutex> update_lock(*update_mutex_);
+  util::Timer total_timer;
+  const auto old_state = snapshot();
+
+  std::vector<dl::Fact> added = request.added_facts;
+  std::vector<dl::Fact> removed = request.removed_facts;
+  {
+    // Text-form facts intern constants into the shared symbol table.
+    const std::lock_guard<std::mutex> lock(*old_state->parse_mutex);
+    util::Status status =
+        ParseDeltaFacts(*old_state, request.added_fact_texts, added);
+    if (!status.ok()) return status;
+    status = ParseDeltaFacts(*old_state, request.removed_fact_texts, removed);
+    if (!status.ok()) return status;
+  }
+  util::Status status = ValidateExtensional(*old_state, added);
+  if (!status.ok()) return status;
+  status = ValidateExtensional(*old_state, removed);
+  if (!status.ok()) return status;
+
+  // Drop no-ops and duplicates; reject add/remove of the same fact in one
+  // delta (the intent is ambiguous, so make the caller pick an order).
+  std::unordered_set<dl::Fact, dl::FactHash> removed_set;
+  std::vector<dl::Fact> apply_removed;
+  for (dl::Fact& fact : removed) {
+    if (!old_state->InDatabase(fact)) continue;
+    if (removed_set.insert(fact).second) {
+      apply_removed.push_back(std::move(fact));
+    }
+  }
+  std::unordered_set<dl::Fact, dl::FactHash> added_set;
+  std::vector<dl::Fact> apply_added;
+  for (dl::Fact& fact : added) {
+    if (removed_set.contains(fact)) {
+      return util::Status::InvalidArgument(
+          "a delta cannot both add and remove the same fact");
+    }
+    if (old_state->InDatabase(fact)) continue;
+    if (added_set.insert(fact).second) {
+      apply_added.push_back(std::move(fact));
+    }
+  }
+
+  DeltaStats stats;
+  if (apply_added.empty() && apply_removed.empty()) {
+    // Nothing to do: keep the current snapshot (and its hot plans).
+    stats.model_version = old_state->model_version;
+    stats.plans_retained = old_state->plan_cache.stats().size;
+    stats.total_seconds = total_timer.ElapsedSeconds();
+    return stats;
+  }
+
+  // Semi-naive delta re-evaluation on a snapshot of the model (copy-on-
+  // write, so this is O(touched), not O(model)); the published model is
+  // never mutated, so in-flight executions are safe. The successor's
+  // database view materialises lazily from the model — ApplyDelta never
+  // pays O(database) to republish the fact list.
+  util::Timer eval_timer;
+  dl::Model model = old_state->model.Clone();
+  const dl::DeltaEvalResult delta = dl::IncrementalEvaluator::Apply(
+      old_state->program, model, apply_added, apply_removed);
+  stats.eval_seconds = eval_timer.ElapsedSeconds();
+
+  const std::uint64_t version = old_state->model_version + 1;
+  auto next = std::make_shared<EngineState>(*old_state, std::move(model),
+                                            version, stats.eval_seconds);
+
+  // Selective plan carry-over: a plan survives iff the delta touched
+  // nothing in its downward closure — then its closure sub-hypergraph,
+  // CNF encoding, and rank-greedy hints are all still exact, so it is
+  // re-stamped for the new version and stays hot. The rest are dropped
+  // and rebuilt lazily on their next use.
+  for (const PlanCache::Entry& entry : old_state->plan_cache.Entries()) {
+    if (!next->model.alive(entry.plan->target()) ||
+        PlanTouchedBy(*entry.plan, delta.touched)) {
+      ++stats.plans_invalidated;
+      continue;
+    }
+    entry.plan->set_model_version(version);
+    next->plan_cache.Put(entry.target, entry.acyclicity, entry.plan);
+    ++stats.plans_retained;
+  }
+  next->plan_cache.CountInvalidated(stats.plans_invalidated);
+
+  {
+    const std::lock_guard<std::mutex> lock(*state_mutex_);
+    state_ = std::move(next);
+  }
+
+  stats.model_version = version;
+  stats.facts_added = delta.base_added;
+  stats.facts_removed = delta.base_removed;
+  stats.facts_derived = delta.derived_added;
+  stats.facts_deleted = delta.derived_deleted;
+  stats.facts_rederived = delta.rederived;
+  stats.facts_touched = delta.touched.size();
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  return stats;
+}
+
 // --- batch serving -------------------------------------------------------
 
 BatchEnumerateResult Engine::EnumerateBatch(
     const std::vector<EnumerateRequest>& requests,
     const BatchOptions& options) const {
+  // One snapshot serves the whole batch: a delta landing mid-batch cannot
+  // mix model versions between the batch's requests.
+  const auto state = snapshot();
   BatchEnumerateResult result;
   result.outcomes.resize(requests.size());
-  const PlanCacheStats before = state_->plan_cache.stats();
+  const PlanCacheStats before = state->plan_cache.stats();
   util::Timer timer;
 
   // Resolve every target up front on this thread: fact-text parsing
@@ -408,7 +633,7 @@ BatchEnumerateResult Engine::EnumerateBatch(
   std::vector<dl::FactId> targets(requests.size(), dl::kInvalidFact);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     util::Result<dl::FactId> target =
-        ResolveTarget(requests[i].target, requests[i].target_text);
+        ResolveTarget(*state, requests[i].target, requests[i].target_text);
     if (!target.ok()) {
       result.outcomes[i].status = target.status();
     } else {
@@ -424,7 +649,7 @@ BatchEnumerateResult Engine::EnumerateBatch(
     EnumerateRequest request = requests[i];
     request.target = targets[i];
     request.target_text.clear();
-    util::Result<Enumeration> enumeration = Enumerate(request);
+    util::Result<Enumeration> enumeration = EnumerateOn(state, request);
     if (!enumeration.ok()) {
       outcome.status = enumeration.status();
       outcome.seconds = request_timer.ElapsedSeconds();
@@ -447,7 +672,7 @@ BatchEnumerateResult Engine::EnumerateBatch(
       ++result.stats.failed;
     }
   }
-  FinishBatchStats(before, state_->plan_cache.stats(), wall_seconds,
+  FinishBatchStats(before, state->plan_cache.stats(), wall_seconds,
                    requests.size(), result.stats);
   return result;
 }
@@ -455,15 +680,16 @@ BatchEnumerateResult Engine::EnumerateBatch(
 BatchDecideResult Engine::DecideBatch(
     const std::vector<DecideRequest>& requests,
     const BatchOptions& options) const {
+  const auto state = snapshot();
   BatchDecideResult result;
   result.outcomes.resize(requests.size());
-  const PlanCacheStats before = state_->plan_cache.stats();
+  const PlanCacheStats before = state->plan_cache.stats();
   util::Timer timer;
 
   std::vector<dl::FactId> targets(requests.size(), dl::kInvalidFact);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     util::Result<dl::FactId> target =
-        ResolveTarget(requests[i].target, requests[i].target_text);
+        ResolveTarget(*state, requests[i].target, requests[i].target_text);
     if (!target.ok()) {
       result.outcomes[i].status = target.status();
     } else {
@@ -479,7 +705,7 @@ BatchDecideResult Engine::DecideBatch(
     DecideRequest request = requests[i];
     request.target = targets[i];
     request.target_text.clear();
-    util::Result<bool> verdict = Decide(request);
+    util::Result<bool> verdict = DecideOn(state, request);
     if (!verdict.ok()) {
       outcome.status = verdict.status();
     } else {
@@ -496,7 +722,7 @@ BatchDecideResult Engine::DecideBatch(
       ++result.stats.failed;
     }
   }
-  FinishBatchStats(before, state_->plan_cache.stats(), wall_seconds,
+  FinishBatchStats(before, state->plan_cache.stats(), wall_seconds,
                    requests.size(), result.stats);
   return result;
 }

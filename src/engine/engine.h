@@ -84,7 +84,8 @@ struct DecideRequest {
 struct BaselineRequest {
   datalog::FactId target = datalog::kInvalidFact;
   std::string target_text;
-  std::optional<provenance::BaselineLimits> limits;  ///< engine default if unset
+  /// Engine default if unset.
+  std::optional<provenance::BaselineLimits> limits;
 };
 
 /// Parameters of Engine::Explain (proof-tree reconstruction).
@@ -108,6 +109,33 @@ struct PrepareRequest {
   std::optional<provenance::AcyclicityEncoding> acyclicity;
 };
 
+/// Parameters of Engine::ApplyDelta: a fact-level database update. Facts
+/// can be given parsed or as text ("edge(a, b)"); both lists may be used
+/// together. Every fact must be extensional (rules derive the rest).
+/// Additions already in the database and removals not in it are no-ops.
+struct DeltaRequest {
+  std::vector<datalog::Fact> added_facts;
+  std::vector<std::string> added_fact_texts;
+  std::vector<datalog::Fact> removed_facts;
+  std::vector<std::string> removed_fact_texts;
+};
+
+/// Outcome of Engine::ApplyDelta: the new model version plus counters for
+/// what the delta did to the model and the plan cache.
+struct DeltaStats {
+  std::uint64_t model_version = 0;  ///< the engine's version after the delta
+  std::size_t facts_added = 0;      ///< database facts actually inserted
+  std::size_t facts_removed = 0;    ///< database facts actually removed
+  std::size_t facts_derived = 0;    ///< derived facts added by propagation
+  std::size_t facts_deleted = 0;    ///< derived facts deleted by DRed
+  std::size_t facts_rederived = 0;  ///< deletion suspects that survived
+  std::size_t facts_touched = 0;    ///< facts whose derivations/rank changed
+  std::size_t plans_retained = 0;   ///< cached plans that survived the delta
+  std::size_t plans_invalidated = 0;  ///< cached plans dropped by the delta
+  double eval_seconds = 0;   ///< semi-naive delta evaluation time
+  double total_seconds = 0;  ///< end-to-end ApplyDelta time
+};
+
 /// Result of Engine::Explain: one why-provenance member together with a
 /// witnessing unambiguous proof tree.
 struct Explanation {
@@ -127,26 +155,54 @@ struct EngineState {
               datalog::PredicateId answer_predicate_in,
               EngineOptions options_in);
 
+  /// The successor state ApplyDelta builds: the delta-updated model, the
+  /// bumped version, and a plan cache that starts from the predecessor's
+  /// counters (retained plans are re-inserted by the caller). The parse
+  /// mutex is inherited: all versions share one symbol table, so they
+  /// must share the lock that guards it. The database view is NOT copied:
+  /// it materialises lazily from the model on first access.
+  EngineState(const EngineState& predecessor, datalog::Model model_in,
+              std::uint64_t model_version_in, double eval_seconds_in);
+
   /// Cache-through plan lookup: returns the cached plan for
-  /// (target, acyclicity) or builds and caches a fresh one.
+  /// (target, acyclicity) — provided it is stamped with this state's
+  /// model version — or builds, stamps, and caches a fresh one.
   std::shared_ptr<const provenance::QueryPlan> PlanFor(
       datalog::FactId target,
       provenance::AcyclicityEncoding acyclicity) const;
 
+  /// This version's database. Version 0 stores the parsed input; delta
+  /// successors materialise the view lazily from the model (the live
+  /// rank-0 facts are exactly the database), so ApplyDelta never pays
+  /// O(database) to republish the fact list. Thread-safe.
+  const datalog::Database& database() const;
+
+  /// True iff `fact` is a database fact of this version (answered from
+  /// the model, without materialising the database view).
+  bool InDatabase(const datalog::Fact& fact) const;
+
   datalog::Program program;
-  datalog::Database database;
   datalog::PredicateId answer_predicate;
   EngineOptions options;
+  /// Monotonic database/model version: 0 at construction, +1 per applied
+  /// delta. Plans are stamped with the version they are valid for.
+  std::uint64_t model_version = 0;
   // eval_seconds is written while model is initialised, so it must be
   // declared (and thus initialised) before model.
   double eval_seconds = 0;
   datalog::Model model;
   /// Serialises every engine-surface touch of the shared symbol table:
   /// fact-text parsing (ParseFact interns constants, mutating the table)
-  /// and fact rendering (which reads the interned names). Callers going
+  /// and fact rendering (which reads the interned names). Shared across
+  /// the engine's state versions, which share the table. Callers going
   /// straight to model().symbols() from several threads are on their own.
-  mutable std::mutex parse_mutex;
+  std::shared_ptr<std::mutex> parse_mutex;
   mutable PlanCache plan_cache;
+
+ private:
+  /// The lazily materialised database view (eager for version 0).
+  mutable std::optional<datalog::Database> database_;
+  mutable std::mutex database_mutex_;
 };
 
 /// A live why-provenance enumeration: a move-only, range-style handle
@@ -409,6 +465,14 @@ struct BatchDecideResult {
 /// fresh per-request solver. All request methods are const and
 /// thread-safe — hammer one engine from as many threads as you like, or
 /// use EnumerateBatch/DecideBatch to let the engine do the fan-out.
+///
+/// The database is mutable between requests: ApplyDelta applies a
+/// fact-level update by semi-naive delta re-evaluation (never a from-
+/// scratch rebuild), publishes a fresh immutable state snapshot under a
+/// bumped model version, and selectively invalidates only the cached
+/// plans whose downward closure the delta touched. Requests in flight
+/// (and PreparedQuery/Enumeration handles) keep serving the snapshot they
+/// started on.
 class Engine {
  public:
   /// Parses program/database text, resolves the answer predicate, and
@@ -425,23 +489,46 @@ class Engine {
                           EngineOptions options = EngineOptions());
 
   // --- views ------------------------------------------------------------
+  //
+  // Views return references into the engine's *current* state snapshot.
+  // They stay valid until the next ApplyDelta retires that snapshot; code
+  // that must keep reading one consistent model across deltas should hold
+  // a PreparedQuery (which pins its snapshot) instead.
 
-  const datalog::Program& program() const { return state_->program; }
-  const datalog::Database& database() const { return state_->database; }
-  const datalog::Model& model() const { return state_->model; }
+  const datalog::Program& program() const { return snapshot()->program; }
+  const datalog::Database& database() const { return snapshot()->database(); }
+  const datalog::Model& model() const { return snapshot()->model; }
   datalog::PredicateId answer_predicate() const {
-    return state_->answer_predicate;
+    return snapshot()->answer_predicate;
   }
-  const EngineOptions& options() const { return state_->options; }
+  const EngineOptions& options() const { return snapshot()->options; }
 
-  /// Seconds spent evaluating the least model.
-  double eval_seconds() const { return state_->eval_seconds; }
+  /// Seconds spent evaluating the least model (for version 0) or applying
+  /// the latest delta (after ApplyDelta).
+  double eval_seconds() const { return snapshot()->eval_seconds; }
 
-  /// Hit/miss/eviction counters of the plan cache behind the request
-  /// entry points.
+  /// The monotonic model version: 0 at construction, +1 per ApplyDelta.
+  std::uint64_t model_version() const { return snapshot()->model_version; }
+
+  /// Hit/miss/eviction/invalidation counters of the plan cache behind the
+  /// request entry points (cumulative across deltas).
   PlanCacheStats plan_cache_stats() const {
-    return state_->plan_cache.stats();
+    return snapshot()->plan_cache.stats();
   }
+
+  // --- incremental updates ----------------------------------------------
+
+  /// Applies a fact-level database delta in place: removals run
+  /// delete-and-rederive, additions propagate forward semi-naively, ranks
+  /// are relaxed to their exact values, and a fresh state snapshot is
+  /// published under `model_version() + 1`. Cached plans whose downward
+  /// closure is disjoint from the touched facts are carried over (still
+  /// hot); the rest are invalidated and rebuilt lazily on their next use.
+  /// Thread-safe: concurrent requests keep serving the snapshot they
+  /// started on, and concurrent ApplyDelta calls are serialised. Facts
+  /// must be extensional; unknown predicates or malformed text fail the
+  /// whole delta without publishing anything.
+  util::Result<DeltaStats> ApplyDelta(const DeltaRequest& request);
 
   // --- answers ----------------------------------------------------------
 
@@ -517,11 +604,36 @@ class Engine {
   Engine(datalog::Program program, datalog::Database database,
          datalog::PredicateId answer_predicate, EngineOptions options);
 
-  /// Resolves the (id, text) target pair every request struct carries.
-  util::Result<datalog::FactId> ResolveTarget(
-      datalog::FactId target, const std::string& target_text) const;
+  /// The current state snapshot (the engine's one word of mutable state,
+  /// swapped atomically by ApplyDelta).
+  std::shared_ptr<const EngineState> snapshot() const {
+    const std::lock_guard<std::mutex> lock(*state_mutex_);
+    return state_;
+  }
+
+  /// Resolves the (id, text) target pair every request struct carries
+  /// against one pinned snapshot.
+  static util::Result<datalog::FactId> ResolveTarget(
+      const EngineState& state, datalog::FactId target,
+      const std::string& target_text);
+
+  /// The request entry points against one pinned snapshot (shared by the
+  /// singular and batch paths, so a delta landing mid-batch cannot mix
+  /// model versions within the batch).
+  static util::Result<Enumeration> EnumerateOn(
+      std::shared_ptr<const EngineState> state,
+      const EnumerateRequest& request);
+  static util::Result<bool> DecideOn(
+      const std::shared_ptr<const EngineState>& state,
+      const DecideRequest& request);
 
   std::shared_ptr<const EngineState> state_;
+  /// Guards reads/swaps of `state_` (behind unique_ptr to stay movable).
+  std::unique_ptr<std::mutex> state_mutex_ =
+      std::make_unique<std::mutex>();
+  /// Serialises ApplyDelta calls end to end.
+  std::unique_ptr<std::mutex> update_mutex_ =
+      std::make_unique<std::mutex>();
 };
 
 }  // namespace whyprov

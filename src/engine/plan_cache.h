@@ -8,6 +8,7 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "datalog/evaluator.h"
 #include "provenance/query_plan.h"
@@ -17,8 +18,11 @@ namespace whyprov {
 /// Point-in-time snapshot of plan-cache effectiveness.
 struct PlanCacheStats {
   std::size_t hits = 0;       ///< Get calls answered from the cache
-  std::size_t misses = 0;     ///< Get calls that found nothing
+  std::size_t misses = 0;     ///< Get calls that found nothing (or stale)
   std::size_t evictions = 0;  ///< plans dropped to respect the capacity
+  std::size_t invalidated = 0;  ///< plans dropped because a delta touched
+                                ///< their closure (or their stamp trailed
+                                ///< the engine's model version)
   std::size_t size = 0;       ///< plans currently cached
   std::size_t capacity = 0;   ///< configured capacity (0 = disabled)
 };
@@ -29,6 +33,12 @@ struct PlanCacheStats {
 /// holding it. Capacity 0 disables caching (every Get misses, Put is a
 /// no-op) while still counting misses.
 ///
+/// Plans are version-stamped against the engine's monotonic model
+/// version. `Get` treats a plan whose stamp trails the expected version
+/// as missing (dropping it and counting an invalidation), so stale plans
+/// are rebuilt lazily on their next hit; `Entries`/`CountInvalidated`
+/// support the delta path's selective carry-over into a successor cache.
+///
 /// Two threads missing on the same key both build the plan and race the
 /// Put; the loser's plan simply replaces (or is replaced by) an identical
 /// one — correctness does not depend on single-flight building.
@@ -36,12 +46,32 @@ class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
 
+  /// A successor cache (after ApplyDelta): same capacity, counters carried
+  /// over from the predecessor so engine-level stats stay cumulative.
+  PlanCache(std::size_t capacity, const PlanCacheStats& carried)
+      : capacity_(capacity),
+        hits_(carried.hits),
+        misses_(carried.misses),
+        evictions_(carried.evictions),
+        invalidated_(carried.invalidated) {}
+
+  /// Returns the cached plan for the key if present and stamped with
+  /// `expected_version`; a stale entry is dropped (counted under
+  /// `invalidated`) and reported as a miss so the caller rebuilds it.
   std::shared_ptr<const provenance::QueryPlan> Get(
-      datalog::FactId target, provenance::AcyclicityEncoding acyclicity) {
+      datalog::FactId target, provenance::AcyclicityEncoding acyclicity,
+      std::uint64_t expected_version = 0) {
     const Key key = MakeKey(target, acyclicity);
     const std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(key);
     if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    if (it->second->second->model_version() != expected_version) {
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++invalidated_;
       ++misses_;
       return nullptr;
     }
@@ -70,12 +100,42 @@ class PlanCache {
     }
   }
 
+  /// One cached plan together with its key, for delta carry-over.
+  struct Entry {
+    datalog::FactId target;
+    provenance::AcyclicityEncoding acyclicity;
+    std::shared_ptr<const provenance::QueryPlan> plan;
+  };
+
+  /// The cached plans from least- to most-recently used, so re-Putting
+  /// them in order into a successor cache preserves the LRU order.
+  std::vector<Entry> Entries() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Entry> entries;
+    entries.reserve(lru_.size());
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      entries.push_back(Entry{static_cast<datalog::FactId>(it->first >> 8),
+                              static_cast<provenance::AcyclicityEncoding>(
+                                  it->first & 0xff),
+                              it->second});
+    }
+    return entries;
+  }
+
+  /// Records plans dropped by a delta's selective invalidation (they never
+  /// reach the successor cache, so Get cannot count them).
+  void CountInvalidated(std::size_t count) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    invalidated_ += count;
+  }
+
   PlanCacheStats stats() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     PlanCacheStats stats;
     stats.hits = hits_;
     stats.misses = misses_;
     stats.evictions = evictions_;
+    stats.invalidated = invalidated_;
     stats.size = lru_.size();
     stats.capacity = capacity_;
     return stats;
@@ -91,15 +151,17 @@ class PlanCache {
            static_cast<Key>(acyclicity);
   }
 
-  using Entry = std::pair<Key, std::shared_ptr<const provenance::QueryPlan>>;
+  using LruEntry =
+      std::pair<Key, std::shared_ptr<const provenance::QueryPlan>>;
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator> index_;
+  std::list<LruEntry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<LruEntry>::iterator> index_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t evictions_ = 0;
+  std::size_t invalidated_ = 0;
 };
 
 }  // namespace whyprov

@@ -9,7 +9,8 @@ namespace whyprov::provenance {
 namespace dl = whyprov::datalog;
 
 Encoding CnfEncoder::Encode(const DownwardClosure& closure,
-                            sat::SolverInterface& solver, const Options& options) {
+                            sat::SolverInterface& solver,
+                            const Options& options) {
   Encoding enc;
   enc.database_leaves = closure.DatabaseLeaves();
   if (!closure.derivable()) {

@@ -49,9 +49,11 @@ class CnfEncoder {
 
   /// Encodes the closure into `solver`. If the closure's target is not
   /// derivable the encoding is marked trivially unsatisfiable.
-  static Encoding Encode(const DownwardClosure& closure, sat::SolverInterface& solver,
+  static Encoding Encode(const DownwardClosure& closure,
+                         sat::SolverInterface& solver,
                          const Options& options);
-  static Encoding Encode(const DownwardClosure& closure, sat::SolverInterface& solver) {
+  static Encoding Encode(const DownwardClosure& closure,
+                         sat::SolverInterface& solver) {
     return Encode(closure, solver, Options());
   }
 };

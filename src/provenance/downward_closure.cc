@@ -13,7 +13,9 @@ DownwardClosure DownwardClosure::Build(const dl::Program& program,
                                        dl::FactId target) {
   DownwardClosure closure;
   closure.target_ = target;
-  if (target >= model.size()) return closure;
+  // A tombstoned target (deleted by an incremental delta) is no longer
+  // derivable and yields an empty closure, like an unknown id.
+  if (target >= model.size() || !model.alive(target)) return closure;
   closure.derivable_ = true;
 
   const dl::Grounder grounder(program, model);

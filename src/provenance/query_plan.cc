@@ -93,6 +93,11 @@ std::shared_ptr<const QueryPlan> QueryPlan::Build(
 
   util::Timer timer;
   plan->closure_ = DownwardClosure::Build(program, model, target);
+  plan->closure_facts_.insert(plan->closure_.nodes().begin(),
+                              plan->closure_.nodes().end());
+  // An underivable target has an empty node list but still depends on the
+  // target fact itself (re-adding it must invalidate this plan).
+  plan->closure_facts_.insert(target);
   plan->timings_.closure_seconds = timer.ElapsedSeconds();
 
   timer.Reset();

@@ -1,7 +1,10 @@
 #ifndef WHYPROV_PROVENANCE_QUERY_PLAN_H_
 #define WHYPROV_PROVENANCE_QUERY_PLAN_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <unordered_set>
 
 #include "datalog/evaluator.h"
 #include "datalog/program.h"
@@ -46,6 +49,32 @@ class QueryPlan {
   const sat::CnfFormula& formula() const { return formula_; }
   const PlanTimings& timings() const { return timings_; }
 
+  /// True iff `fact` is a node of the plan's downward closure (including
+  /// the target and the database leaves). This is the set an incremental
+  /// delta intersects with its touched facts to decide whether the plan
+  /// survives: a delta disjoint from the closure cannot change the
+  /// closure's sub-hypergraph, so closure, CNF, and hints all stay exact.
+  bool ClosureContains(datalog::FactId fact) const {
+    return closure_facts_.contains(fact);
+  }
+
+  /// The closure's fact set (e.g. for invalidation diagnostics).
+  const std::unordered_set<datalog::FactId>& closure_facts() const {
+    return closure_facts_;
+  }
+
+  /// The engine-state model version this plan was compiled against (or
+  /// re-validated for). Monotonic per engine; plans whose stamp trails the
+  /// current state are stale and get rebuilt lazily on their next cache
+  /// hit. The stamp is the one mutable field of a plan (atomic, so
+  /// carry-over re-stamping never races concurrent executions).
+  std::uint64_t model_version() const {
+    return model_version_.load(std::memory_order_acquire);
+  }
+  void set_model_version(std::uint64_t version) const {
+    model_version_.store(version, std::memory_order_release);
+  }
+
   /// Replays the formula and search hints into a fresh backend.
   void LoadInto(sat::SolverInterface& solver) const {
     formula_.LoadInto(solver);
@@ -55,10 +84,12 @@ class QueryPlan {
   QueryPlan() = default;
 
   DownwardClosure closure_;
+  std::unordered_set<datalog::FactId> closure_facts_;
   Encoding encoding_;
   sat::CnfFormula formula_;
   PlanTimings timings_;
   AcyclicityEncoding acyclicity_ = AcyclicityEncoding::kVertexElimination;
+  mutable std::atomic<std::uint64_t> model_version_{0};
 };
 
 }  // namespace whyprov::provenance

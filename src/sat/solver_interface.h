@@ -36,7 +36,8 @@ struct SolverOptions {
   bool phase_saving = true;         ///< reuse last polarity on decisions
   int reduce_base = 4000;           ///< learnt clauses before first reduce
   int reduce_increment = 1000;      ///< growth of the reduce threshold
-  std::int64_t conflict_budget = -1;  ///< stop after this many conflicts (<0 = off)
+  /// Stop after this many conflicts (<0 = off).
+  std::int64_t conflict_budget = -1;
 };
 
 /// The backend-neutral incremental SAT solver interface the provenance

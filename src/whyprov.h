@@ -8,7 +8,8 @@
 /// scenarios/ for the generated workloads) and talk to `whyprov::Engine`:
 ///
 ///   auto engine = whyprov::Engine::FromText(program, database, "path");
-///   auto enumeration = engine.value().Enumerate({.target_text = "path(a, c)"});
+///   auto enumeration =
+///       engine.value().Enumerate({.target_text = "path(a, c)"});
 ///   for (const auto& member : enumeration.value()) { ... }
 ///
 /// See README.md for a quickstart and the backend-registration recipe.

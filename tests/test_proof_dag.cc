@@ -161,7 +161,9 @@ std::size_t EdgeOf(const ClosureFixture& f, const char* head,
                    const std::vector<const char*>& body) {
   const dl::FactId head_id = *f.model.Find(f.w.ParseFact(head));
   std::vector<dl::FactId> body_ids;
-  for (const char* b : body) body_ids.push_back(*f.model.Find(f.w.ParseFact(b)));
+  for (const char* b : body) {
+    body_ids.push_back(*f.model.Find(f.w.ParseFact(b)));
+  }
   std::sort(body_ids.begin(), body_ids.end());
   for (std::size_t e : f.closure.EdgesWithHead(head_id)) {
     if (f.closure.edges()[e].body == body_ids) return e;
