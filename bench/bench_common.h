@@ -33,10 +33,32 @@ struct BenchFlags {
 
 /// Parses `--requests=N`, `--reps=R`, `--out=PATH`, and the legacy
 /// positional output path into `flags` (leaving unset fields at their
-/// incoming defaults). Returns false — after printing a usage line with
-/// `binary_name` — on unknown flags or non-positive numeric values.
+/// incoming defaults). `--help`/`-h` prints the usage (with the binary's
+/// baked-in defaults) to stdout and exits 0. Returns false — after
+/// printing the usage to stderr — on unknown flags or non-positive
+/// numeric values.
 inline bool ParseBenchFlags(int argc, char** argv, const char* binary_name,
                             BenchFlags& flags) {
+  // A binary that leaves flags.requests at 0 has no workload-size knob,
+  // so the usage omits --requests for it (it would be parsed but unused).
+  const bool has_requests = flags.requests > 0;
+  const auto usage = [&](std::FILE* out) {
+    std::fprintf(out, "usage: %s %s[--reps=R] [--out=PATH]\n", binary_name,
+                 has_requests ? "[--requests=N] " : "");
+    if (has_requests) {
+      std::fprintf(out,
+                   "  --requests=N   workload size per configuration "
+                   "(default %zu)\n",
+                   flags.requests);
+    }
+    std::fprintf(out,
+                 "  --reps=R       repetitions; the best rep is reported "
+                 "(default %zu)\n"
+                 "  --out=PATH     output JSON path (default %s; a bare\n"
+                 "                 positional argument also works)\n"
+                 "  %s must be positive\n",
+                 flags.reps, flags.out.c_str(), has_requests ? "N and R" : "R");
+  };
   const auto positive = [](const char* text, std::size_t& value) {
     const long long parsed = std::atoll(text);
     if (parsed <= 0) return false;
@@ -46,7 +68,10 @@ inline bool ParseBenchFlags(int argc, char** argv, const char* binary_name,
   bool ok = true;
   for (int i = 1; i < argc && ok; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--requests=", 11) == 0) {
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(stdout);
+      std::exit(0);
+    } else if (std::strncmp(arg, "--requests=", 11) == 0) {
       ok = positive(arg + 11, flags.requests);
     } else if (std::strncmp(arg, "--reps=", 7) == 0) {
       ok = positive(arg + 7, flags.reps);
@@ -58,12 +83,7 @@ inline bool ParseBenchFlags(int argc, char** argv, const char* binary_name,
       ok = false;
     }
   }
-  if (!ok) {
-    std::fprintf(stderr,
-                 "usage: %s [--requests=N] [--reps=R] [--out=PATH]\n"
-                 "       (N and R must be positive)\n",
-                 binary_name);
-  }
+  if (!ok) usage(stderr);
   return ok;
 }
 

@@ -1,0 +1,283 @@
+// bench_service: queries/sec and p50/p99 latency of the asynchronous
+// `whyprov::Service` front door under a mixed read/delta workload.
+//
+// Each configuration evaluates one scenario database, wraps the engine in
+// a Service, and replays a submission workload mixing the three serving
+// verbs: enumerations (the bulk), SAT membership decisions, and
+// ApplyDelta writes that alternately remove and restore one database
+// fact (so the database is stationary across reps while plans keep
+// getting selectively invalidated — the churn pattern a live deployment
+// sees). Requests are admitted through the service's bounded queue; a
+// full queue makes the submitter wait on the oldest in-flight ticket,
+// exactly like a backpressured client.
+//
+// Per-request latency is admission -> completion (queue wait + execution)
+// as reported by the ticket's Response; the JSON records the p50/p99
+// quantiles next to the throughput so the regression gate can hold both.
+//
+// Usage:
+//   bench_service [--requests=N] [--reps=R] [--out=PATH] [--help]
+//
+// CI compares the JSON against the committed BENCH_service.json baseline
+// via bench/check_regression.py: queries_per_second may not drop more
+// than the throughput threshold, and p99_seconds may not grow more than
+// the latency threshold.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "whyprov.h"
+
+namespace {
+
+using whyprov::bench::SuiteEntry;
+namespace dl = whyprov::datalog;
+
+constexpr std::size_t kDefaultRequests = 200;
+constexpr std::size_t kMaxMembersPerRequest = 8;
+/// Of every 20 requests: 1 delta write, 4 decides, 15 enumerations.
+constexpr std::size_t kMixPeriod = 20;
+constexpr std::size_t kDecidesPerPeriod = 4;
+
+struct Run {
+  std::string scenario;
+  std::string database;
+  std::size_t threads_requested = 0;
+  std::size_t threads = 0;
+  std::size_t requests = 0;
+  std::size_t enumerates = 0;
+  std::size_t decides = 0;
+  std::size_t deltas = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::uint64_t rejected = 0;  ///< admission refusals ridden out
+  double wall_seconds = 0;
+  double queries_per_second = 0;
+  double p50_seconds = 0;
+  double p99_seconds = 0;
+};
+
+/// The same scaled-down representatives the throughput bench serves.
+std::vector<SuiteEntry> ServiceSuite() {
+  using whyprov::bench::kSuiteSeed;
+  namespace scenarios = whyprov::scenarios;
+  return {
+      {"TransClosure", "Dbitcoin~",
+       [] {
+         return scenarios::MakeTransClosure(scenarios::GraphKind::kSparse,
+                                            600, 900, kSuiteSeed);
+       }},
+      {"Doctors-1", "D1",
+       [] { return scenarios::MakeDoctors(1, 400, kSuiteSeed); }},
+      {"Andersen", "D1",
+       [] { return scenarios::MakeAndersen(500, kSuiteSeed); }},
+  };
+}
+
+double Percentile(std::vector<double> sorted_values, double q) {
+  if (sorted_values.empty()) return 0;
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_values.size() - 1));
+  return sorted_values[index];
+}
+
+/// Admits `request`, riding out a full queue by waiting on the oldest
+/// unfinished ticket (the backpressured-client pattern). Counts refusals.
+whyprov::Ticket SubmitWithBackpressure(whyprov::Service& service,
+                                       const whyprov::Request& request,
+                                       std::vector<whyprov::Ticket>& tickets,
+                                       std::uint64_t& rejected) {
+  while (true) {
+    auto ticket = service.Submit(request);
+    if (ticket.ok()) return std::move(ticket).value();
+    ++rejected;
+    for (const whyprov::Ticket& earlier : tickets) {
+      if (earlier.valid() && !earlier.done()) {
+        earlier.WaitFor(0.01);
+        break;
+      }
+    }
+  }
+}
+
+Run RunWorkload(const SuiteEntry& entry, std::size_t threads,
+                std::size_t total_requests, std::size_t reps) {
+  auto scenario = entry.make();
+  whyprov::EngineOptions engine_options;
+  whyprov::ServiceOptions service_options;
+  service_options.num_threads = threads;
+  service_options.queue_capacity = 64;
+  whyprov::Service service(scenario.MakeEngine(engine_options),
+                           service_options);
+
+  // The serving set: sampled answer targets, plus one true member per
+  // target as the Decide candidate (warmed through the service itself).
+  const auto targets =
+      service.engine().SampleAnswers(whyprov::bench::kTuplesPerDatabase);
+  std::vector<std::vector<dl::Fact>> candidates(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    whyprov::EnumerateRequest warm;
+    warm.target = targets[i];
+    warm.max_members = 1;
+    whyprov::Request request;
+    request.op = warm;
+    auto ticket = service.Submit(request);
+    if (!ticket.ok()) continue;
+    const whyprov::Response& response = ticket.value().Wait();
+    if (response.status.ok() && !response.members.empty()) {
+      candidates[i] = response.members.front();
+    }
+  }
+
+  // The delta slice: one database fact per write, removed then restored.
+  const std::vector<dl::Fact>& db_facts =
+      service.engine().database().facts();
+  const dl::Fact churn_fact =
+      db_facts.empty() ? dl::Fact() : db_facts[db_facts.size() / 2];
+
+  Run run;
+  run.scenario = entry.scenario;
+  run.database = entry.database;
+  run.threads_requested = threads;
+  run.threads = whyprov::util::ResolveThreadCount(threads);
+  if (targets.empty()) return run;
+
+  for (std::size_t rep = 0; rep < std::max<std::size_t>(1, reps); ++rep) {
+    std::vector<whyprov::Ticket> tickets;
+    tickets.reserve(total_requests);
+    std::uint64_t rejected = 0;
+    bool fact_removed = false;
+    std::size_t enumerates = 0, decides = 0, deltas = 0;
+    whyprov::util::Timer timer;
+    for (std::size_t i = 0; i < total_requests; ++i) {
+      const std::size_t target_index = i % targets.size();
+      whyprov::Request request;
+      const std::size_t phase = i % kMixPeriod;
+      if (phase == kMixPeriod - 1 && !db_facts.empty()) {
+        whyprov::DeltaRequest delta;
+        if (fact_removed) {
+          delta.added_facts = {churn_fact};
+        } else {
+          delta.removed_facts = {churn_fact};
+        }
+        fact_removed = !fact_removed;
+        request.op = std::move(delta);
+        ++deltas;
+      } else if (phase < kDecidesPerPeriod &&
+                 !candidates[target_index].empty()) {
+        whyprov::DecideRequest decide;
+        decide.target = targets[target_index];
+        decide.candidate = candidates[target_index];
+        request.op = std::move(decide);
+        ++decides;
+      } else {
+        whyprov::EnumerateRequest enumerate;
+        enumerate.target = targets[target_index];
+        enumerate.max_members = kMaxMembersPerRequest;
+        request.op = std::move(enumerate);
+        ++enumerates;
+      }
+      tickets.push_back(
+          SubmitWithBackpressure(service, request, tickets, rejected));
+    }
+
+    std::size_t succeeded = 0, failed = 0;
+    std::vector<double> latencies;
+    latencies.reserve(tickets.size());
+    for (const whyprov::Ticket& ticket : tickets) {
+      const whyprov::Response& response = ticket.Wait();
+      if (response.status.ok()) {
+        ++succeeded;
+      } else {
+        ++failed;
+      }
+      latencies.push_back(response.queue_seconds + response.exec_seconds);
+    }
+    const double wall_seconds = timer.ElapsedSeconds();
+    const double qps =
+        wall_seconds > 0
+            ? static_cast<double>(tickets.size()) / wall_seconds
+            : 0;
+    if (rep == 0 || qps > run.queries_per_second) {
+      std::sort(latencies.begin(), latencies.end());
+      run.requests = tickets.size();
+      run.enumerates = enumerates;
+      run.decides = decides;
+      run.deltas = deltas;
+      run.succeeded = succeeded;
+      run.failed = failed;
+      run.rejected = rejected;
+      run.wall_seconds = wall_seconds;
+      run.queries_per_second = qps;
+      run.p50_seconds = Percentile(latencies, 0.50);
+      run.p99_seconds = Percentile(std::move(latencies), 0.99);
+    }
+  }
+  return run;
+}
+
+void WriteJson(std::FILE* out, const std::vector<Run>& runs) {
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    std::fprintf(
+        out,
+        "  {\"scenario\": \"%s\", \"database\": \"%s\", "
+        "\"threads_requested\": %zu, \"threads\": %zu, "
+        "\"requests\": %zu, \"enumerates\": %zu, \"decides\": %zu, "
+        "\"deltas\": %zu, \"succeeded\": %zu, \"failed\": %zu, "
+        "\"rejected\": %llu, \"wall_seconds\": %.6f, "
+        "\"queries_per_second\": %.2f, \"p50_seconds\": %.6f, "
+        "\"p99_seconds\": %.6f}%s\n",
+        run.scenario.c_str(), run.database.c_str(), run.threads_requested,
+        run.threads, run.requests, run.enumerates, run.decides, run.deltas,
+        run.succeeded, run.failed,
+        static_cast<unsigned long long>(run.rejected), run.wall_seconds,
+        run.queries_per_second, run.p50_seconds, run.p99_seconds,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  whyprov::bench::BenchFlags flags;
+  flags.requests = kDefaultRequests;
+  flags.reps = 1;
+  flags.out = "BENCH_service.json";
+  if (!whyprov::bench::ParseBenchFlags(argc, argv, "bench_service", flags)) {
+    return 2;
+  }
+
+  std::vector<Run> runs;
+  for (const SuiteEntry& entry : ServiceSuite()) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+      runs.push_back(
+          RunWorkload(entry, threads, flags.requests, flags.reps));
+      const Run& run = runs.back();
+      std::printf(
+          "%-14s %-12s threads=%-2zu  %8.1f q/s  p50 %.4fs  p99 %.4fs  "
+          "(%zu enum / %zu decide / %zu delta, %zu ok / %zu failed)\n",
+          run.scenario.c_str(), run.database.c_str(), run.threads,
+          run.queries_per_second, run.p50_seconds, run.p99_seconds,
+          run.enumerates, run.decides, run.deltas, run.succeeded,
+          run.failed);
+    }
+  }
+
+  std::FILE* out = std::fopen(flags.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", flags.out.c_str());
+    return 1;
+  }
+  WriteJson(out, runs);
+  std::fclose(out);
+  std::printf("wrote %s\n", flags.out.c_str());
+  return 0;
+}

@@ -1,12 +1,15 @@
-// bench_throughput: queries/sec of the batch serving API, with and
-// without the plan cache, across scenario instances.
+// bench_throughput: queries/sec of the serving path, with and without
+// the plan cache, across scenario instances.
 //
 // Each configuration evaluates one scenario database, samples a small set
 // of answer tuples, and replays a workload of enumeration requests that
 // revisits each tuple many times (the serving pattern the plan cache
-// targets). The same workload runs on an engine with the cache enabled
-// and one with it disabled, single-threaded and with the full worker
-// pool, so the JSON records both the caching and the batching speedups.
+// targets). The workload is served through the asynchronous
+// `whyprov::Service` front door (submission queue + worker pool — the
+// production path since the service layer landed), once on an engine
+// with the cache enabled and once with it disabled, single-threaded and
+// with the full worker pool, so the JSON records both the caching and
+// the batching speedups.
 //
 // Usage:
 //   bench_throughput [--requests=N] [--reps=R] [--out=PATH] [output.json]
@@ -35,7 +38,6 @@
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "util/parallel.h"
 #include "whyprov.h"
 
 namespace {
@@ -78,7 +80,10 @@ Run RunWorkload(const SuiteEntry& entry, bool cache_enabled,
   auto scenario = entry.make();
   whyprov::EngineOptions options;
   options.plan_cache_capacity = cache_enabled ? 64 : 0;
-  const whyprov::Engine engine = scenario.MakeEngine(options);
+  whyprov::ServiceOptions service_options;
+  service_options.num_threads = threads;
+  whyprov::Service service(scenario.MakeEngine(options), service_options);
+  const whyprov::Engine& engine = service.engine();
 
   const auto targets = engine.SampleAnswers(whyprov::bench::kTuplesPerDatabase);
   const std::size_t rounds =
@@ -96,8 +101,6 @@ Run RunWorkload(const SuiteEntry& entry, bool cache_enabled,
     }
   }
 
-  whyprov::BatchOptions batch;
-  batch.num_threads = threads;
   Run run;
   run.scenario = entry.scenario;
   run.database = entry.database;
@@ -106,7 +109,7 @@ Run RunWorkload(const SuiteEntry& entry, bool cache_enabled,
   run.threads = whyprov::util::ResolveThreadCount(threads);
   for (std::size_t rep = 0; rep < std::max<std::size_t>(1, reps); ++rep) {
     const whyprov::BatchStats stats =
-        engine.EnumerateBatch(requests, batch).stats;
+        service.EnumerateBatch(requests).stats;
     if (rep == 0 ||
         stats.queries_per_second > run.stats.queries_per_second) {
       run.stats = stats;

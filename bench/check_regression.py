@@ -17,6 +17,8 @@ Usage:
       --current build/BENCH_throughput.json [--threshold 0.25]
   check_regression.py --baseline BENCH_incremental.json \
       --current build/BENCH_incremental.json --min-speedup 5
+  check_regression.py --baseline BENCH_service.json \
+      --current build/BENCH_service.json --latency-threshold 1.0
 """
 
 import argparse
@@ -39,6 +41,12 @@ KEY_FIELDS = (
 # --min-speedup floor (with its wide margin at delta_size 1) guards it.
 METRIC_FIELDS = ("queries_per_second",)
 
+# Lower-is-better metrics (tail latency of BENCH_service.json), gated by
+# --latency-threshold: the allowed fractional *increase* over the
+# baseline. Tail latency is noisier than throughput on shared runners, so
+# it gets its own (wider) threshold instead of reusing --threshold.
+LATENCY_FIELDS = ("p99_seconds",)
+
 
 def row_key(row):
     return tuple((field, row[field]) for field in KEY_FIELDS if field in row)
@@ -60,6 +68,10 @@ def main():
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="absolute floor for speedup_vs_rebuild on "
                              "delta_size == 1 rows of the current file")
+    parser.add_argument("--latency-threshold", type=float, default=None,
+                        help="max allowed fractional p99-latency increase "
+                             "(e.g. 1.0 = p99 may at most double); latency "
+                             "fields are ignored when unset")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -95,6 +107,26 @@ def main():
                 failures.append(
                     f"{metric} dropped {100 * (1 - new_value / base_value):.1f}% "
                     f"(> {100 * args.threshold:.0f}% allowed) on "
+                    f"[{format_key(key)}]")
+        if args.latency_threshold is None:
+            continue
+        for metric in LATENCY_FIELDS:
+            if metric not in baseline or metric not in current:
+                continue
+            base_value = float(baseline[metric])
+            new_value = float(current[metric])
+            if base_value <= 0:
+                continue
+            checks += 1
+            ceiling = base_value * (1.0 + args.latency_threshold)
+            status = "ok" if new_value <= ceiling else "REGRESSION"
+            print(f"{status:>10}  {metric}: {new_value:.6f} vs baseline "
+                  f"{base_value:.6f} (ceiling {ceiling:.6f})  "
+                  f"[{format_key(key)}]")
+            if new_value > ceiling:
+                failures.append(
+                    f"{metric} grew {100 * (new_value / base_value - 1):.1f}% "
+                    f"(> {100 * args.latency_threshold:.0f}% allowed) on "
                     f"[{format_key(key)}]")
 
     if args.min_speedup is not None:

@@ -1,4 +1,5 @@
-// explain_cli: a command-line why-provenance explainer.
+// explain_cli: a command-line why-provenance explainer, served through
+// the asynchronous `whyprov::Service` front door.
 //
 // Usage:
 //   explain_cli <program.dl> <database.dl> <answer_predicate> [options]
@@ -7,16 +8,22 @@
 //   --fact "tc(a, b)"   explain this answer (default: first 3 answers)
 //   --max N             emit at most N members per answer (default 10)
 //   --backend NAME      SAT backend (cdcl | dpll | dimacs-pipe | ...)
+//   --deadline S        per-request deadline in seconds (default: none);
+//                       an expired enumeration reports DEADLINE_EXCEEDED
 //   --tree              print a witnessing proof tree per member
 //   --dot               print a Graphviz rendering of the first tree
 //
-// The files use the repository's Datalog dialect (see README.md).
+// Members stream through a bounded MemberStream (the CLI consumes them as
+// the solver produces them); proof trees arrive via submitted Explain
+// requests against the same cached plan. The files use the repository's
+// Datalog dialect (see README.md).
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "whyprov.h"
@@ -38,7 +45,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: explain_cli <program.dl> <database.dl> "
                "<answer_predicate> [--fact F] [--max N] [--backend B] "
-               "[--tree] [--dot]\n");
+               "[--deadline S] [--tree] [--dot]\n");
   return 2;
 }
 
@@ -59,6 +66,7 @@ int main(int argc, char** argv) {
   const char* answer_predicate = argv[3];
   const char* fact_text = nullptr;
   std::size_t max_members = 10;
+  double deadline_seconds = 0;
   bool print_tree = false;
   bool print_dot = false;
   whyprov::EngineOptions options;
@@ -69,6 +77,8 @@ int main(int argc, char** argv) {
       max_members = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       options.solver_backend = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
+      deadline_seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--tree") == 0) {
       print_tree = true;
     } else if (std::strcmp(argv[i], "--dot") == 0) {
@@ -84,68 +94,86 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", engine.status().message().c_str());
     return 1;
   }
+  whyprov::Service service(std::move(engine).value());
   std::printf("%zu database facts, %zu derived answers for '%s'\n",
-              engine.value().database().size(),
-              engine.value().AnswerFactIds().size(), answer_predicate);
+              service.engine().database().size(),
+              service.engine().AnswerFactIds().size(), answer_predicate);
 
   std::vector<dl::FactId> targets;
   if (fact_text != nullptr) {
-    auto target = engine.value().FactIdOf(fact_text);
+    auto target = service.engine().FactIdOf(fact_text);
     if (!target.ok()) {
       std::fprintf(stderr, "error: %s\n", target.status().message().c_str());
       return 1;
     }
     targets.push_back(target.value());
   } else {
-    targets = engine.value().SampleAnswers(3);
+    targets = service.engine().SampleAnswers(3);
   }
 
   for (dl::FactId target : targets) {
-    std::printf("\nwhy %s ?\n", engine.value().FactToText(target).c_str());
-    // Compile once (plan-cached across repeated targets), execute after.
-    auto prepared = engine.value().Prepare(target);
-    if (!prepared.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   prepared.status().message().c_str());
-      continue;
-    }
+    std::printf("\nwhy %s ?\n",
+                service.engine().FactToText(target).c_str());
     whyprov::EnumerateRequest request;
+    request.target = target;
     request.max_members = max_members;
-    auto enumeration = prepared.value().Enumerate(request);
-    if (!enumeration.ok()) {
+    auto streamed = service.Stream(std::move(request),
+                                   /*stream_capacity=*/8, deadline_seconds);
+    if (!streamed.ok()) {
       std::fprintf(stderr, "error: %s\n",
-                   enumeration.status().message().c_str());
+                   streamed.status().message().c_str());
       continue;
     }
+    auto [ticket, stream] = std::move(streamed).value();
     std::size_t count = 0;
     bool dot_done = false;
-    for (const auto& member : enumeration.value()) {
+    while (auto member = stream->Pop()) {
       std::printf("  [%zu] {", ++count);
-      for (std::size_t i = 0; i < member.size(); ++i) {
+      for (std::size_t i = 0; i < member->size(); ++i) {
         std::printf("%s%s", i > 0 ? ", " : "",
-                    engine.value().FactToText(member[i]).c_str());
+                    service.engine().FactToText((*member)[i]).c_str());
       }
       std::printf("}\n");
       if (print_tree || (print_dot && !dot_done)) {
-        auto tree = enumeration.value().ExplainLast();
-        if (tree.ok()) {
+        whyprov::ExplainRequest explain;
+        explain.target = target;
+        explain.member_index = count - 1;
+        whyprov::Request explain_request;
+        explain_request.op = explain;
+        explain_request.deadline_seconds = deadline_seconds;
+        auto explain_ticket = service.Submit(std::move(explain_request));
+        if (!explain_ticket.ok()) continue;
+        const whyprov::Response& response = explain_ticket.value().Wait();
+        if (response.status.ok() && response.explanation.has_value()) {
+          const auto& tree = response.explanation->tree;
           if (print_tree) {
-            std::printf("%s", tree.value()
-                                  .ToString(engine.value().model().symbols())
-                                  .c_str());
+            std::printf(
+                "%s",
+                tree.ToString(service.engine().model().symbols()).c_str());
           }
           if (print_dot && !dot_done) {
-            std::printf("%s", whyprov::provenance::ProofTreeToDot(
-                                  tree.value(),
-                                  engine.value().model().symbols())
-                                  .c_str());
+            std::printf("%s",
+                        whyprov::provenance::ProofTreeToDot(
+                            tree, service.engine().model().symbols())
+                            .c_str());
             dot_done = true;
           }
         }
       }
     }
-    if (count == 0) std::printf("  (no explanations)\n");
-    if (enumeration.value().incomplete()) {
+    const whyprov::Response& summary = ticket.Wait();
+    if (count == 0 && summary.status.ok()) {
+      std::printf("  (no explanations)\n");
+    }
+    if (summary.status.code() == whyprov::util::StatusCode::kDeadlineExceeded) {
+      std::fprintf(stderr,
+                   "warning: the %.3fs deadline expired after %zu "
+                   "member(s); the family may have more\n",
+                   deadline_seconds, count);
+    } else if (!summary.status.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   summary.status.message().c_str());
+    } else if (summary.incomplete) {
       std::fprintf(stderr,
                    "warning: the solver backend gave up; the family may "
                    "be incomplete\n");

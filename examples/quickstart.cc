@@ -1,16 +1,18 @@
 // Quickstart: the paper's running example end to end, via the public
-// `whyprov::Engine` facade (include "whyprov.h" and nothing else).
+// serving API (include "whyprov.h" and nothing else).
 //
 // Builds the path-accessibility query (Example 1 of "The Complexity of
 // Why-Provenance for Datalog Queries"), evaluates it with
-// Engine::FromText, compiles the answer (d) into a reusable plan with
-// Engine::Prepare, enumerates its why-provenance relative to unambiguous
-// proof trees with PreparedQuery::Enumerate, and reconstructs a
-// witnessing proof tree for each member with Enumeration::ExplainLast.
-// The prepared plan is immutable and thread-shareable: every Enumerate
-// call on it is an independent execution with its own SAT solver.
+// Engine::FromText, and serves it through the asynchronous
+// `whyprov::Service` front door: the why-provenance of the answer (d)
+// streams member-by-member through a bounded `MemberStream` (backpressure
+// instead of a materialised vector), and a witnessing unambiguous proof
+// tree per member arrives via submitted Explain requests. Every
+// submission returns a `Ticket` immediately and could carry a deadline
+// (`Request::deadline_seconds`) or be abandoned with `Ticket::Cancel()`.
 
 #include <cstdio>
+#include <utility>
 
 #include "whyprov.h"
 
@@ -30,59 +32,72 @@ int main() {
     std::fprintf(stderr, "error: %s\n", engine.status().message().c_str());
     return 1;
   }
+  // The service owns the engine: requests are submitted, executed on a
+  // worker pool, and observed through tickets/streams.
+  whyprov::Service service(std::move(engine).value());
 
   std::printf("Datalog program:\n%s\n",
-              engine.value().program().ToString().c_str());
+              service.engine().program().ToString().c_str());
   std::printf("Database D:\n%s\n",
-              engine.value().database().ToString().c_str());
+              service.engine().database().ToString().c_str());
   std::printf("Answers to Q = (Sigma, a): ");
-  for (auto id : engine.value().AnswerFactIds()) {
-    std::printf("%s ", engine.value().FactToText(id).c_str());
+  for (auto id : service.engine().AnswerFactIds()) {
+    std::printf("%s ", service.engine().FactToText(id).c_str());
   }
   std::printf("\n\n");
 
-  // Explain the tuple (d): why is d accessible? Prepare compiles the
-  // downward closure and the CNF encoding once; executions reuse it.
-  auto prepared = engine.value().Prepare("a(d)");
-  if (!prepared.ok()) {
-    std::fprintf(stderr, "error: %s\n", prepared.status().message().c_str());
-    return 1;
-  }
-  std::printf(
-      "prepared %s: %zu closure nodes, %zu hyperedges, %d variables, "
-      "%zu clauses (closure %.3fms + encode %.3fms)\n\n",
-      prepared.value().target_text().c_str(),
-      prepared.value().closure().nodes().size(),
-      prepared.value().closure().edges().size(),
-      prepared.value().formula().num_vars,
-      prepared.value().formula().num_clauses(),
-      prepared.value().timings().closure_seconds * 1e3,
-      prepared.value().timings().encode_seconds * 1e3);
-  auto enumeration = prepared.value().Enumerate();
-  if (!enumeration.ok()) {
+  // Explain the tuple (d): why is d accessible? The enumeration streams
+  // through a bounded buffer — the worker blocks once it is 4 members
+  // ahead of this consumer, so memory stays bounded however large the
+  // family is. (Walking away early is one `stream->Close()` — or one
+  // `ticket.Cancel()` — away, and a deadline is one field on Request.)
+  whyprov::EnumerateRequest enumerate;
+  enumerate.target_text = "a(d)";
+  auto streamed = service.Stream(std::move(enumerate),
+                                 /*stream_capacity=*/4);
+  if (!streamed.ok()) {
     std::fprintf(stderr, "error: %s\n",
-                 enumeration.status().message().c_str());
+                 streamed.status().message().c_str());
     return 1;
   }
+  auto [ticket, stream] = std::move(streamed).value();
+
   std::printf(
       "whyUN((d), D, Q) — every member with a witnessing proof tree:\n");
-  int index = 0;
-  for (const auto& member : enumeration.value()) {
-    std::printf("\nmember %d: {", ++index);
-    for (std::size_t i = 0; i < member.size(); ++i) {
+  std::size_t index = 0;
+  while (auto member = stream->Pop()) {
+    std::printf("\nmember %zu: {", index + 1);
+    for (std::size_t i = 0; i < member->size(); ++i) {
       std::printf("%s%s", i > 0 ? ", " : "",
-                  engine.value().FactToText(member[i]).c_str());
+                  service.engine().FactToText((*member)[i]).c_str());
     }
     std::printf("}\n");
-    // Reconstruct an unambiguous proof tree from the SAT witness.
-    auto tree = enumeration.value().ExplainLast();
-    if (tree.ok()) {
-      std::printf("proof tree:\n%s",
-                  tree.value()
-                      .ToString(engine.value().model().symbols())
-                      .c_str());
+    // An unambiguous proof tree witnessing this member, as its own
+    // submitted request (Explain re-enumerates to the member's index
+    // against the cached plan).
+    whyprov::ExplainRequest explain;
+    explain.target_text = "a(d)";
+    explain.member_index = index;
+    whyprov::Request request;
+    request.op = explain;
+    auto explain_ticket = service.Submit(std::move(request));
+    if (explain_ticket.ok()) {
+      const whyprov::Response& response = explain_ticket.value().Wait();
+      if (response.status.ok() && response.explanation.has_value()) {
+        std::printf("proof tree:\n%s",
+                    response.explanation->tree
+                        .ToString(service.engine().model().symbols())
+                        .c_str());
+      }
     }
+    ++index;
   }
+
+  const whyprov::Response& summary = ticket.Wait();
+  std::printf("\n%zu members, served from model version %llu (%s)\n",
+              summary.members_emitted,
+              static_cast<unsigned long long>(summary.model_version),
+              summary.exhausted ? "exhausted" : "stopped early");
   std::printf(
       "\nNote: for *arbitrary* proof trees the whole database is also a "
       "member\n(Example 2 of the paper), but its witness derives a(a) from "

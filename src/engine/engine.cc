@@ -9,7 +9,7 @@
 #include "datalog/parser.h"
 #include "provenance/proof_dag.h"
 #include "sat/solver_factory.h"
-#include "util/parallel.h"
+#include "util/executor.h"
 
 namespace whyprov {
 
@@ -39,12 +39,25 @@ util::Result<std::unique_ptr<sat::SolverInterface>> MakeSolver(
 util::Result<bool> ExecuteDecideSat(const EngineState& state,
                                     const pv::QueryPlan& plan,
                                     const DecideRequest& request) {
+  if (request.cancellation.ShouldStop()) {
+    return request.cancellation.InterruptionStatus();
+  }
   auto solver = MakeSolver(state, request.solver_backend);
   if (!solver.ok()) return solver.status();
+  if (request.cancellation.valid()) {
+    solver.value()->SetInterruptCheck(
+        [token = request.cancellation] { return token.ShouldStop(); });
+  }
+  util::Result<bool> verdict = pv::IsWhyUnMemberPrepared(
+      plan, state.model, request.candidate, *solver.value());
+  // An interrupted solve surfaces as the backend "giving up"; reclassify
+  // it as the interruption the caller asked for.
+  if (!verdict.ok() && request.cancellation.ShouldStop()) {
+    return request.cancellation.InterruptionStatus();
+  }
   // Propagates kResourceExhausted when the backend gives up instead of
   // misreporting "not a member".
-  return pv::IsWhyUnMemberPrepared(plan, state.model, request.candidate,
-                                   *solver.value());
+  return verdict;
 }
 
 /// The exhaustive-reference Decide step; needs no plan (and must not
@@ -70,6 +83,9 @@ util::Result<Explanation> ExplainVia(util::Result<Enumeration> enumeration,
   for (std::size_t i = 0; i <= request.member_index; ++i) {
     member = enumeration.value().Next();
     if (!member.has_value()) {
+      const util::Status interrupted =
+          enumeration.value().interruption_status();
+      if (!interrupted.ok()) return interrupted;
       return util::Status::NotFound(
           "the enumeration has only " +
           std::to_string(enumeration.value().members_emitted()) +
@@ -91,6 +107,7 @@ EnumerateRequest EnumerateRequestFor(const ExplainRequest& request) {
   enumerate.max_members = request.member_index + 1;
   enumerate.acyclicity = request.acyclicity;
   enumerate.solver_backend = request.solver_backend;
+  enumerate.cancellation = request.cancellation;
   return enumerate;
 }
 
@@ -171,7 +188,18 @@ std::shared_ptr<const pv::QueryPlan> EngineState::PlanFor(
 // --- Enumeration ---------------------------------------------------------
 
 std::optional<std::vector<dl::Fact>> Enumeration::Next() {
-  if (exhausted_ || hit_member_cap_ || hit_timeout_) return std::nullopt;
+  if (exhausted_ || hit_member_cap_ || hit_timeout_ || cancelled_ ||
+      hit_deadline_) {
+    return std::nullopt;
+  }
+  if (cancel_.cancelled()) {
+    cancelled_ = true;
+    return std::nullopt;
+  }
+  if (cancel_.expired()) {
+    hit_deadline_ = true;
+    return std::nullopt;
+  }
   if (emitted_ >= max_members_) {
     hit_member_cap_ = true;
     return std::nullopt;
@@ -182,6 +210,16 @@ std::optional<std::vector<dl::Fact>> Enumeration::Next() {
   }
   std::optional<std::vector<dl::Fact>> member = impl_->Next();
   if (!member.has_value()) {
+    if (impl_->interrupted()) {
+      // The token fired mid-solve; explicit cancel wins the classification
+      // (both can be true when a cancelled request also had a deadline).
+      if (cancel_.cancelled()) {
+        cancelled_ = true;
+      } else {
+        hit_deadline_ = true;
+      }
+      return std::nullopt;
+    }
     exhausted_ = true;
     return std::nullopt;
   }
@@ -221,8 +259,10 @@ util::Result<Enumeration> PreparedQuery::ExecutePlan(
   const dl::FactId target = plan->target();
   auto impl = std::make_unique<pv::WhyProvenanceEnumerator>(
       state->model, std::move(plan), std::move(solver).value());
+  impl->SetCancellation(request.cancellation);
   return Enumeration(std::move(state), std::move(impl), target,
-                     request.max_members, request.timeout_seconds);
+                     request.max_members, request.timeout_seconds,
+                     request.cancellation);
 }
 
 dl::FactId PreparedQuery::target() const { return plan_->target(); }
@@ -617,6 +657,75 @@ util::Result<DeltaStats> Engine::ApplyDelta(const DeltaRequest& request) {
 
 // --- batch serving -------------------------------------------------------
 
+namespace {
+
+/// The scaffolding both batch flavours used to duplicate: pin one
+/// snapshot's plan-cache counters, resolve every target up front on the
+/// calling thread (fact-text parsing mutates the shared symbol table, so
+/// it stays out of the fan-out), fan the per-request work across a scoped
+/// `util::Executor` (the calling thread participates as one worker), and
+/// fill the aggregate stats. `run_one(request, outcome)` executes one
+/// already-resolved request.
+template <typename RequestT, typename OutcomeT, typename ResolveT,
+          typename RunOne>
+BatchStats RunBatch(const EngineState& state,
+                    const std::vector<RequestT>& requests,
+                    const BatchOptions& options,
+                    std::vector<OutcomeT>& outcomes,
+                    const ResolveT& resolve, const RunOne& run_one) {
+  outcomes.resize(requests.size());
+  const PlanCacheStats before = state.plan_cache.stats();
+  util::Timer timer;
+
+  std::vector<dl::FactId> targets(requests.size(), dl::kInvalidFact);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    util::Result<dl::FactId> target =
+        resolve(requests[i].target, requests[i].target_text);
+    if (!target.ok()) {
+      outcomes[i].status = target.status();
+    } else {
+      targets[i] = target.value();
+    }
+  }
+
+  const auto run_indexed = [&](std::size_t i) {
+    OutcomeT& outcome = outcomes[i];
+    if (!outcome.status.ok()) return;
+    util::Timer request_timer;
+    RequestT request = requests[i];
+    request.target = targets[i];
+    request.target_text.clear();
+    run_one(request, outcome);
+    outcome.seconds = request_timer.ElapsedSeconds();
+  };
+
+  const std::size_t participants =
+      std::min(util::ResolveThreadCount(options.num_threads),
+               std::max<std::size_t>(requests.size(), 1));
+  if (participants <= 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) run_indexed(i);
+  } else {
+    util::Executor executor(
+        {/*num_threads=*/participants - 1,
+         /*queue_capacity=*/participants - 1});
+    executor.Map(requests.size(), run_indexed);
+  }
+
+  BatchStats stats;
+  for (const OutcomeT& outcome : outcomes) {
+    if (outcome.status.ok()) {
+      ++stats.succeeded;
+    } else {
+      ++stats.failed;
+    }
+  }
+  FinishBatchStats(before, state.plan_cache.stats(), timer.ElapsedSeconds(),
+                   requests.size(), stats);
+  return stats;
+}
+
+}  // namespace
+
 BatchEnumerateResult Engine::EnumerateBatch(
     const std::vector<EnumerateRequest>& requests,
     const BatchOptions& options) const {
@@ -624,56 +733,30 @@ BatchEnumerateResult Engine::EnumerateBatch(
   // mix model versions between the batch's requests.
   const auto state = snapshot();
   BatchEnumerateResult result;
-  result.outcomes.resize(requests.size());
-  const PlanCacheStats before = state->plan_cache.stats();
-  util::Timer timer;
-
-  // Resolve every target up front on this thread: fact-text parsing
-  // mutates the shared symbol table, so it stays out of the fan-out.
-  std::vector<dl::FactId> targets(requests.size(), dl::kInvalidFact);
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    util::Result<dl::FactId> target =
-        ResolveTarget(*state, requests[i].target, requests[i].target_text);
-    if (!target.ok()) {
-      result.outcomes[i].status = target.status();
-    } else {
-      targets[i] = target.value();
-    }
-  }
-
-  util::ParallelFor(requests.size(), options.num_threads,
-                    [&](std::size_t i) {
-    BatchEnumerateOutcome& outcome = result.outcomes[i];
-    if (!outcome.status.ok()) return;
-    util::Timer request_timer;
-    EnumerateRequest request = requests[i];
-    request.target = targets[i];
-    request.target_text.clear();
-    util::Result<Enumeration> enumeration = EnumerateOn(state, request);
-    if (!enumeration.ok()) {
-      outcome.status = enumeration.status();
-      outcome.seconds = request_timer.ElapsedSeconds();
-      return;
-    }
-    outcome.members = enumeration.value().All();
-    outcome.exhausted = enumeration.value().exhausted();
-    outcome.incomplete = enumeration.value().incomplete();
-    outcome.hit_member_cap = enumeration.value().hit_member_cap();
-    outcome.hit_timeout = enumeration.value().hit_timeout();
-    outcome.seconds = request_timer.ElapsedSeconds();
-  });
-
-  const double wall_seconds = timer.ElapsedSeconds();
+  result.stats = RunBatch(
+      *state, requests, options, result.outcomes,
+      [&state](dl::FactId target, const std::string& text) {
+        return ResolveTarget(*state, target, text);
+      },
+      [&state](const EnumerateRequest& request,
+               BatchEnumerateOutcome& outcome) {
+        util::Result<Enumeration> enumeration = EnumerateOn(state, request);
+        if (!enumeration.ok()) {
+          outcome.status = enumeration.status();
+          return;
+        }
+        outcome.members = enumeration.value().All();
+        outcome.status = enumeration.value().interruption_status();
+        outcome.exhausted = enumeration.value().exhausted();
+        outcome.incomplete = enumeration.value().incomplete();
+        outcome.hit_member_cap = enumeration.value().hit_member_cap();
+        outcome.hit_timeout = enumeration.value().hit_timeout();
+      });
   for (const BatchEnumerateOutcome& outcome : result.outcomes) {
     if (outcome.status.ok()) {
-      ++result.stats.succeeded;
       result.stats.members_emitted += outcome.members.size();
-    } else {
-      ++result.stats.failed;
     }
   }
-  FinishBatchStats(before, state->plan_cache.stats(), wall_seconds,
-                   requests.size(), result.stats);
   return result;
 }
 
@@ -682,48 +765,19 @@ BatchDecideResult Engine::DecideBatch(
     const BatchOptions& options) const {
   const auto state = snapshot();
   BatchDecideResult result;
-  result.outcomes.resize(requests.size());
-  const PlanCacheStats before = state->plan_cache.stats();
-  util::Timer timer;
-
-  std::vector<dl::FactId> targets(requests.size(), dl::kInvalidFact);
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    util::Result<dl::FactId> target =
-        ResolveTarget(*state, requests[i].target, requests[i].target_text);
-    if (!target.ok()) {
-      result.outcomes[i].status = target.status();
-    } else {
-      targets[i] = target.value();
-    }
-  }
-
-  util::ParallelFor(requests.size(), options.num_threads,
-                    [&](std::size_t i) {
-    BatchDecideOutcome& outcome = result.outcomes[i];
-    if (!outcome.status.ok()) return;
-    util::Timer request_timer;
-    DecideRequest request = requests[i];
-    request.target = targets[i];
-    request.target_text.clear();
-    util::Result<bool> verdict = DecideOn(state, request);
-    if (!verdict.ok()) {
-      outcome.status = verdict.status();
-    } else {
-      outcome.member = verdict.value();
-    }
-    outcome.seconds = request_timer.ElapsedSeconds();
-  });
-
-  const double wall_seconds = timer.ElapsedSeconds();
-  for (const BatchDecideOutcome& outcome : result.outcomes) {
-    if (outcome.status.ok()) {
-      ++result.stats.succeeded;
-    } else {
-      ++result.stats.failed;
-    }
-  }
-  FinishBatchStats(before, state->plan_cache.stats(), wall_seconds,
-                   requests.size(), result.stats);
+  result.stats = RunBatch(
+      *state, requests, options, result.outcomes,
+      [&state](dl::FactId target, const std::string& text) {
+        return ResolveTarget(*state, target, text);
+      },
+      [&state](const DecideRequest& request, BatchDecideOutcome& outcome) {
+        util::Result<bool> verdict = DecideOn(state, request);
+        if (!verdict.ok()) {
+          outcome.status = verdict.status();
+        } else {
+          outcome.member = verdict.value();
+        }
+      });
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include "provenance/proof_tree.h"
 #include "provenance/query_plan.h"
 #include "sat/solver_interface.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -67,6 +68,11 @@ struct EnumerateRequest {
   /// plan-scoped and fixed at Prepare time.)
   std::optional<provenance::AcyclicityEncoding> acyclicity;
   std::string solver_backend;  ///< empty = engine default
+  /// Cooperative cancellation/deadline token (empty = never interrupts):
+  /// checked between members *and* polled inside the SAT search, so a
+  /// cancel or deadline stops a long solve promptly. The Enumeration
+  /// handle reports the reason via cancelled()/deadline_exceeded().
+  util::CancellationToken cancellation;
 };
 
 /// Parameters of Engine::Decide: is `candidate` a member of the
@@ -78,6 +84,9 @@ struct DecideRequest {
   provenance::TreeClass tree_class = provenance::TreeClass::kUnambiguous;
   std::optional<provenance::AcyclicityEncoding> acyclicity;
   std::string solver_backend;  ///< empty = engine default
+  /// Interrupts the SAT decision mid-solve; an interrupted Decide returns
+  /// kCancelled/kDeadlineExceeded instead of a verdict.
+  util::CancellationToken cancellation;
 };
 
 /// Parameters of Engine::Baseline (all-at-once materialisation).
@@ -99,6 +108,8 @@ struct ExplainRequest {
   /// Request-scoped overrides, as in EnumerateRequest.
   std::optional<provenance::AcyclicityEncoding> acyclicity;
   std::string solver_backend;  ///< empty = engine default
+  /// Interrupts the backing enumeration, as in EnumerateRequest.
+  util::CancellationToken cancellation;
 };
 
 /// Parameters of Engine::Prepare.
@@ -246,6 +257,28 @@ class Enumeration {
   /// True once the request's timeout stopped the enumeration.
   bool hit_timeout() const { return hit_timeout_; }
 
+  /// True once the request's cancellation token stopped the enumeration
+  /// (between members or mid-solve).
+  bool cancelled() const { return cancelled_; }
+
+  /// True once the request's deadline (carried by the token) expired.
+  bool deadline_exceeded() const { return hit_deadline_; }
+
+  /// kCancelled/kDeadlineExceeded once the token stopped the enumeration,
+  /// Ok() otherwise (including exhaustion and budget stops).
+  util::Status interruption_status() const {
+    if (cancelled_) return util::Status::Cancelled("the request was cancelled");
+    if (hit_deadline_) {
+      return util::Status::DeadlineExceeded("the request deadline passed");
+    }
+    return util::Status::Ok();
+  }
+
+  /// The model version of the engine-state snapshot this enumeration is
+  /// pinned to (what a serving layer reports as the version it answered
+  /// from).
+  std::uint64_t model_version() const { return state_->model_version; }
+
   /// The fact being explained.
   datalog::FactId target() const { return target_; }
 
@@ -314,23 +347,27 @@ class Enumeration {
   Enumeration(std::shared_ptr<const EngineState> state,
               std::unique_ptr<provenance::WhyProvenanceEnumerator> impl,
               datalog::FactId target, std::size_t max_members,
-              double timeout_seconds)
+              double timeout_seconds, util::CancellationToken cancellation)
       : state_(std::move(state)),
         impl_(std::move(impl)),
         target_(target),
         max_members_(max_members),
-        timeout_seconds_(timeout_seconds) {}
+        timeout_seconds_(timeout_seconds),
+        cancel_(std::move(cancellation)) {}
 
   std::shared_ptr<const EngineState> state_;
   std::unique_ptr<provenance::WhyProvenanceEnumerator> impl_;
   datalog::FactId target_;
   std::size_t max_members_;
   double timeout_seconds_;
+  util::CancellationToken cancel_;
   util::Timer clock_;  // starts when Enumerate returns the handle
   std::size_t emitted_ = 0;
   bool exhausted_ = false;
   bool hit_member_cap_ = false;
   bool hit_timeout_ = false;
+  bool cancelled_ = false;
+  bool hit_deadline_ = false;
 };
 
 /// An immutable, thread-shareable compiled query: the downward closure and
@@ -362,6 +399,10 @@ class PreparedQuery {
 
   /// The backend-neutral CNF formula (e.g. for variable/clause counts).
   const sat::CnfFormula& formula() const;
+
+  /// The model version of the engine-state snapshot this plan is pinned
+  /// to (every execution through this handle serves that version).
+  std::uint64_t model_version() const { return state_->model_version; }
 
   /// The underlying shared plan.
   const std::shared_ptr<const provenance::QueryPlan>& plan() const {

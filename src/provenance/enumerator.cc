@@ -60,7 +60,23 @@ WhyProvenanceEnumerator::WhyProvenanceEnumerator(
   plan_->LoadInto(*solver_);
 }
 
+void WhyProvenanceEnumerator::SetCancellation(util::CancellationToken token) {
+  cancel_ = std::move(token);
+  if (cancel_.valid()) {
+    // The solver re-polls the same token inside its search loop, so a
+    // cancel/deadline fires mid-solve, not just between members.
+    solver_->SetInterruptCheck(
+        [token = cancel_] { return token.ShouldStop(); });
+  } else {
+    solver_->SetInterruptCheck(nullptr);
+  }
+}
+
 std::optional<std::vector<dl::Fact>> WhyProvenanceEnumerator::Next() {
+  if (cancel_.ShouldStop()) {
+    interrupted_ = true;
+    return std::nullopt;
+  }
   if (exhausted_ || !solver_->ok()) {
     exhausted_ = true;
     return std::nullopt;
@@ -68,6 +84,12 @@ std::optional<std::vector<dl::Fact>> WhyProvenanceEnumerator::Next() {
   util::Timer timer;
   const sat::SolveResult result = solver_->Solve();
   if (result != sat::SolveResult::kSat) {
+    if (result == sat::SolveResult::kUnknown && cancel_.ShouldStop()) {
+      // An interrupted search is not exhaustion: the family may have more
+      // members, the request just stopped wanting them.
+      interrupted_ = true;
+      return std::nullopt;
+    }
     exhausted_ = true;
     if (result == sat::SolveResult::kUnknown) incomplete_ = true;
     return std::nullopt;

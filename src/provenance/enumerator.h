@@ -16,6 +16,7 @@
 #include "provenance/downward_closure.h"
 #include "provenance/query_plan.h"
 #include "sat/solver_interface.h"
+#include "util/cancellation.h"
 #include "util/stats.h"
 
 namespace whyprov::provenance {
@@ -87,6 +88,18 @@ class WhyProvenanceEnumerator {
   std::vector<std::vector<datalog::Fact>> All(
       std::size_t max_members = kNoLimit);
 
+  /// Installs a cancellation/deadline token: Next() checks it between
+  /// solver calls and the solver polls it *during* a solve, so a cancelled
+  /// or expired request stops promptly even mid-search. An interrupted
+  /// Next() returns nullopt without marking the enumeration exhausted —
+  /// see interrupted() — and the caller classifies the reason via the
+  /// token it holds.
+  void SetCancellation(util::CancellationToken token);
+
+  /// True if a cancellation and/or deadline interrupt (not exhaustion and
+  /// not a backend give-up) stopped the most recent Next().
+  bool interrupted() const { return interrupted_; }
+
   /// True if a Solve() answered kUnknown (backend failure or budget
   /// exhaustion): the enumeration stopped, but the emitted members may
   /// not be the whole family. Distinguishes "no more members" from
@@ -124,10 +137,12 @@ class WhyProvenanceEnumerator {
   const datalog::Model* model_;
   std::shared_ptr<const QueryPlan> plan_;
   std::unique_ptr<sat::SolverInterface> solver_;
+  util::CancellationToken cancel_;
   std::vector<double> delays_ms_;
   std::unordered_map<datalog::FactId, std::size_t> last_witness_choices_;
   bool exhausted_ = false;
   bool incomplete_ = false;
+  bool interrupted_ = false;
 };
 
 }  // namespace whyprov::provenance

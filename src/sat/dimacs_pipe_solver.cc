@@ -69,6 +69,10 @@ bool DimacsPipeSolver::AddClause(std::vector<Lit> lits) {
 
 SolveResult DimacsPipeSolver::Solve(const std::vector<Lit>& assumptions) {
   if (!ok_) return SolveResult::kUnsat;
+  // A spawned external process cannot be interrupted mid-run, so the
+  // cooperative check only gates Solve() entry: a cancelled or expired
+  // request at least skips the dump + spawn entirely.
+  if (InterruptRequested()) return SolveResult::kUnknown;
   const std::string path = WriteTempCnf(num_vars_, clauses_, assumptions);
   if (path.empty()) return SolveResult::kUnknown;
   const std::string invocation = command_ + " " + path + " 2>/dev/null";

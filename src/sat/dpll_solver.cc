@@ -71,6 +71,11 @@ bool DpllSolver::Propagate(std::vector<LBool>& assigns, bool* satisfied,
 }
 
 bool DpllSolver::Search(std::vector<LBool>& assigns) {
+  if (interrupted_) return false;
+  if ((++poll_steps_ & 63) == 0 && InterruptRequested()) {
+    interrupted_ = true;
+    return false;
+  }
   bool satisfied = false;
   Var branch = kUndefVar;
   if (!Propagate(assigns, &satisfied, &branch)) return false;
@@ -97,6 +102,8 @@ bool DpllSolver::Search(std::vector<LBool>& assigns) {
 
 SolveResult DpllSolver::Solve(const std::vector<Lit>& assumptions) {
   if (!ok_) return SolveResult::kUnsat;
+  interrupted_ = false;
+  if (InterruptRequested()) return SolveResult::kUnknown;
   std::vector<LBool> assigns(num_vars_, LBool::kUndef);
   for (Lit l : assumptions) {
     const LBool forced = l.negated() ? LBool::kFalse : LBool::kTrue;
@@ -105,7 +112,8 @@ SolveResult DpllSolver::Solve(const std::vector<Lit>& assumptions) {
     }
     assigns[l.var()] = forced;
   }
-  return Search(assigns) ? SolveResult::kSat : SolveResult::kUnsat;
+  if (Search(assigns)) return SolveResult::kSat;
+  return interrupted_ ? SolveResult::kUnknown : SolveResult::kUnsat;
 }
 
 }  // namespace whyprov::sat

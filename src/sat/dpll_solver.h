@@ -56,6 +56,11 @@ class DpllSolver : public SolverInterface {
 
   SolverOptions options_;
   int num_vars_ = 0;
+  /// Set when the interrupt check fired mid-search: the enclosing Solve()
+  /// reports kUnknown instead of treating the abandoned branch as UNSAT.
+  bool interrupted_ = false;
+  /// Amortises the interrupt poll to every 64th Search() node.
+  std::uint64_t poll_steps_ = 0;
   std::vector<std::vector<Lit>> clauses_;
   std::vector<bool> prefer_true_;
   std::vector<LBool> model_;

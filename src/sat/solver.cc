@@ -398,9 +398,17 @@ void Solver::ReduceDB() {
 SolveResult Solver::Search(std::int64_t conflicts_allowed,
                            const std::vector<Lit>& assumptions) {
   std::int64_t conflicts_here = 0;
+  std::int64_t steps = 0;
   std::vector<Lit> learnt;
 
   while (true) {
+    // Cooperative interruption (deadlines, cancellation), amortised so
+    // the poll — which may read a clock — stays off the hot path. Solve()
+    // re-polls after every kUnknown to tell an interrupt from a restart.
+    if ((++steps & 63) == 0 && InterruptRequested()) {
+      CancelUntil(0);
+      return SolveResult::kUnknown;
+    }
     const ClauseRef conflict = Propagate();
     if (conflict != kNoClause) {
       ++stats_.conflicts;
@@ -476,6 +484,7 @@ SolveResult Solver::Search(std::int64_t conflicts_allowed,
 
 SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
   if (!ok_) return SolveResult::kUnsat;
+  if (InterruptRequested()) return SolveResult::kUnknown;
   CancelUntil(0);
   if (Propagate() != kNoClause) {
     ok_ = false;
@@ -486,6 +495,7 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
     const std::int64_t budget = Luby(restart) * options_.restart_base;
     const SolveResult result = Search(budget, assumptions);
     if (result != SolveResult::kUnknown) return result;
+    if (InterruptRequested()) return SolveResult::kUnknown;
     if (options_.conflict_budget >= 0 &&
         static_cast<std::int64_t>(stats_.conflicts) >=
             options_.conflict_budget) {

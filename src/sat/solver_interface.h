@@ -2,7 +2,9 @@
 #define WHYPROV_SAT_SOLVER_INTERFACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sat/types.h"
@@ -95,6 +97,17 @@ class SolverInterface {
   /// Backends without budget support ignore it.
   virtual void SetConflictBudget(std::int64_t budget) { (void)budget; }
 
+  /// Installs a cooperative interruption check: backends poll `poll`
+  /// periodically while Solve() searches and, once it returns true,
+  /// abandon the search and return kUnknown promptly. This is what makes
+  /// request deadlines and cancellation (`util::CancellationToken`) bite
+  /// *inside* a long solve instead of only between solves. An empty
+  /// function clears the check. Backends that cannot poll mid-search
+  /// (e.g. an external process) check at least on Solve() entry.
+  virtual void SetInterruptCheck(std::function<bool()> poll) {
+    interrupt_check_ = std::move(poll);
+  }
+
   /// Optional hint: the phase the next decision on `v` should try first.
   virtual void SetPolarity(Var v, bool prefer_true) {
     (void)v;
@@ -106,6 +119,17 @@ class SolverInterface {
     (void)v;
     (void)amount;
   }
+
+ protected:
+  /// True once the installed check demands a stop. Amortise calls (the
+  /// check may read a clock): poll every few dozen conflicts, not every
+  /// propagation.
+  bool InterruptRequested() const {
+    return interrupt_check_ && interrupt_check_();
+  }
+
+ private:
+  std::function<bool()> interrupt_check_;
 };
 
 }  // namespace whyprov::sat

@@ -1,0 +1,515 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace whyprov {
+
+namespace dl = whyprov::datalog;
+
+// --- MemberStream --------------------------------------------------------
+
+bool MemberStream::OnMember(std::vector<dl::Fact> member) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Backpressure: block the producing worker until the consumer pops or
+  // abandons the stream. This is what keeps memory bounded by `capacity_`
+  // instead of the family size.
+  producer_cv_.wait(lock,
+                    [this] { return closed_ || buffer_.size() < capacity_; });
+  if (closed_) return false;
+  buffer_.push_back(std::move(member));
+  consumer_cv_.notify_one();
+  return true;
+}
+
+void MemberStream::OnComplete(const util::Status& status) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    complete_ = true;
+    status_ = status;
+  }
+  consumer_cv_.notify_all();
+}
+
+std::optional<std::vector<dl::Fact>> MemberStream::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  consumer_cv_.wait(
+      lock, [this] { return !buffer_.empty() || complete_ || closed_; });
+  if (!buffer_.empty()) {
+    std::vector<dl::Fact> member = std::move(buffer_.front());
+    buffer_.pop_front();
+    producer_cv_.notify_one();
+    return member;
+  }
+  return std::nullopt;
+}
+
+void MemberStream::Close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    buffer_.clear();  // an abandoned stream keeps no members alive
+  }
+  producer_cv_.notify_all();
+  consumer_cv_.notify_all();
+}
+
+bool MemberStream::finished() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return complete_ || closed_;
+}
+
+util::Status MemberStream::final_status() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return status_;
+}
+
+// --- Ticket --------------------------------------------------------------
+
+struct Ticket::State {
+  std::uint64_t id = 0;
+  Request request;
+  std::shared_ptr<MemberSink> sink;
+  util::CancellationSource cancel;
+  util::Timer submit_timer;  ///< starts at admission; measures queue wait
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Response response;
+};
+
+std::uint64_t Ticket::id() const { return shared_ ? shared_->id : 0; }
+
+bool Ticket::done() const {
+  if (!shared_) return true;
+  const std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->done;
+}
+
+void Ticket::Cancel() {
+  if (!shared_) return;
+  shared_->cancel.Cancel();
+  // A producer blocked on a full stream polls no token; wake it so the
+  // enumeration observes the cancel promptly.
+  if (shared_->sink) shared_->sink->OnCancel();
+}
+
+const Response& Ticket::Wait() const {
+  static const Response kEmpty;
+  if (!shared_) return kEmpty;
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  shared_->cv.wait(lock, [this] { return shared_->done; });
+  return shared_->response;
+}
+
+Response Ticket::Take() {
+  if (!shared_) return Response();
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  shared_->cv.wait(lock, [this] { return shared_->done; });
+  Response response = std::move(shared_->response);
+  // Keep the terminal scalars observable through later Wait() calls; only
+  // the heavy payloads move out.
+  shared_->response.status = response.status;
+  shared_->response.kind = response.kind;
+  shared_->response.members_emitted = response.members_emitted;
+  shared_->response.model_version = response.model_version;
+  return response;
+}
+
+bool Ticket::WaitFor(double seconds) const {
+  if (!shared_) return true;
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  return shared_->cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                              [this] { return shared_->done; });
+}
+
+// --- Service -------------------------------------------------------------
+
+namespace {
+
+RequestKind KindOf(const Request& request) {
+  switch (request.op.index()) {
+    case 0:
+      return RequestKind::kEnumerate;
+    case 1:
+      return RequestKind::kDecide;
+    case 2:
+      return RequestKind::kExplain;
+    default:
+      return RequestKind::kApplyDelta;
+  }
+}
+
+}  // namespace
+
+Service::Service(Engine engine, ServiceOptions options)
+    : engine_(std::move(engine)),
+      options_(options),
+      executor_(util::Executor::Options{
+          options.num_threads,
+          options.queue_capacity == 0 ? 1 : options.queue_capacity}) {}
+
+Service::~Service() {
+  // Drains every admitted request (their tickets complete) and joins.
+  executor_.Shutdown();
+}
+
+util::Result<Ticket> Service::Submit(Request request,
+                                     std::shared_ptr<MemberSink> sink) {
+  auto state = std::make_shared<Ticket::State>();
+  state->request = std::move(request);
+  state->sink = std::move(sink);
+  const double deadline = state->request.deadline_seconds > 0
+                              ? state->request.deadline_seconds
+                              : options_.default_deadline_seconds;
+  // The deadline clock starts at admission: queue wait counts against it,
+  // exactly like a client-side deadline would.
+  if (deadline > 0) state->cancel.SetTimeout(deadline);
+
+  // Count the submission (and stamp the id) before the task can run, so
+  // no observer ever sees completed > submitted; roll back on rejection.
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+    state->id = ++next_id_;
+  }
+  const util::Status admitted =
+      executor_.TrySubmit([this, state] { Execute(state); });
+  if (!admitted.ok()) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    --stats_.submitted;
+    ++stats_.rejected;
+    return admitted;
+  }
+  return Ticket(state);
+}
+
+util::Result<PreparedQuery> Service::PrepareFor(
+    dl::FactId target, const std::string& target_text,
+    std::optional<provenance::AcyclicityEncoding> acyclicity) const {
+  PrepareRequest prepare;
+  prepare.target = target;
+  prepare.target_text = target_text;
+  prepare.acyclicity = acyclicity;
+  return engine_.Prepare(prepare);
+}
+
+util::Result<std::pair<Ticket, std::shared_ptr<MemberStream>>>
+Service::Stream(EnumerateRequest request, std::size_t stream_capacity,
+                double deadline_seconds) {
+  auto stream = std::make_shared<MemberStream>(stream_capacity);
+  Request unified;
+  unified.op = std::move(request);
+  unified.deadline_seconds = deadline_seconds;
+  util::Result<Ticket> ticket = Submit(std::move(unified), stream);
+  if (!ticket.ok()) return ticket.status();
+  return std::make_pair(std::move(ticket).value(), std::move(stream));
+}
+
+void Service::ExecuteEnumerate(const std::shared_ptr<Ticket::State>& state,
+                               Response& response) {
+  EnumerateRequest request = std::get<EnumerateRequest>(state->request.op);
+  request.cancellation = state->cancel.token();
+  util::Result<Enumeration> enumeration = engine_.Enumerate(request);
+  if (!enumeration.ok()) {
+    response.status = enumeration.status();
+    return;
+  }
+  response.model_version = enumeration.value().model_version();
+  bool sink_stopped = false;
+  for (std::optional<std::vector<dl::Fact>> member =
+           enumeration.value().Next();
+       member.has_value(); member = enumeration.value().Next()) {
+    if (state->sink != nullptr) {
+      if (!state->sink->OnMember(std::move(*member))) {
+        sink_stopped = true;
+        break;
+      }
+    } else {
+      response.members.push_back(std::move(*member));
+    }
+    ++response.members_emitted;
+  }
+  response.exhausted = enumeration.value().exhausted();
+  response.incomplete = enumeration.value().incomplete();
+  response.hit_member_cap = enumeration.value().hit_member_cap();
+  response.hit_timeout = enumeration.value().hit_timeout();
+  response.status = enumeration.value().interruption_status();
+  if (response.status.ok() && sink_stopped) {
+    // The consumer closed its stream: the client stopped wanting the
+    // answer, which is a cancellation in all but the signal path.
+    response.status =
+        util::Status::Cancelled("the member sink stopped the enumeration");
+  }
+}
+
+void Service::Execute(const std::shared_ptr<Ticket::State>& state) {
+  Response response;
+  response.kind = KindOf(state->request);
+  response.queue_seconds = state->submit_timer.ElapsedSeconds();
+  const util::CancellationToken token = state->cancel.token();
+  util::Timer exec_timer;
+
+  if (token.ShouldStop()) {
+    // Cancelled or expired while queued: never touches the engine, so a
+    // dead request cannot add load (and releases no snapshot — it never
+    // pinned one).
+    response.status = token.InterruptionStatus();
+    response.model_version = engine_.model_version();
+    response.exec_seconds = exec_timer.ElapsedSeconds();
+    Finish(state, std::move(response));
+    return;
+  }
+
+  switch (response.kind) {
+    case RequestKind::kEnumerate:
+      ExecuteEnumerate(state, response);
+      break;
+    case RequestKind::kDecide: {
+      DecideRequest request = std::get<DecideRequest>(state->request.op);
+      request.cancellation = token;
+      if (request.tree_class == provenance::TreeClass::kUnambiguous) {
+        // Execute through a prepared plan: it pins one snapshot, so the
+        // reported model_version is exactly the version the verdict was
+        // computed against even if a delta lands mid-request.
+        util::Result<PreparedQuery> prepared = PrepareFor(
+            request.target, request.target_text, request.acyclicity);
+        if (!prepared.ok()) {
+          response.status = prepared.status();
+          break;
+        }
+        response.model_version = prepared.value().model_version();
+        util::Result<bool> verdict = prepared.value().Decide(request);
+        if (verdict.ok()) {
+          response.member = verdict.value();
+        } else {
+          response.status = verdict.status();
+        }
+        break;
+      }
+      // The exhaustive reference classes deliberately skip Prepare (no
+      // plan wanted), so there is no pinned handle to report a version
+      // from: best effort, read the version the engine serves right now.
+      response.model_version = engine_.model_version();
+      util::Result<bool> verdict = engine_.Decide(request);
+      if (verdict.ok()) {
+        response.member = verdict.value();
+      } else {
+        response.status = verdict.status();
+      }
+      break;
+    }
+    case RequestKind::kExplain: {
+      ExplainRequest request = std::get<ExplainRequest>(state->request.op);
+      request.cancellation = token;
+      // As for Decide: the prepared plan pins the snapshot the proof tree
+      // is reconstructed from, making the reported version exact.
+      util::Result<PreparedQuery> prepared = PrepareFor(
+          request.target, request.target_text, request.acyclicity);
+      if (!prepared.ok()) {
+        response.status = prepared.status();
+        break;
+      }
+      response.model_version = prepared.value().model_version();
+      util::Result<Explanation> explanation =
+          prepared.value().Explain(request);
+      if (explanation.ok()) {
+        response.explanation = std::move(explanation).value();
+      } else {
+        response.status = explanation.status();
+      }
+      break;
+    }
+    case RequestKind::kApplyDelta: {
+      // Writes lean on the engine's snapshot versioning: ApplyDelta
+      // serialises against other deltas inside the engine and publishes a
+      // fresh snapshot, while every in-flight read keeps the snapshot it
+      // pinned — so a delta neither waits for nor tears running reads.
+      // (The evaluation itself is not interruptible: a delta is either
+      // applied or not, never half-propagated.)
+      util::Result<DeltaStats> delta =
+          engine_.ApplyDelta(std::get<DeltaRequest>(state->request.op));
+      if (delta.ok()) {
+        response.model_version = delta.value().model_version;
+        response.delta = std::move(delta).value();
+      } else {
+        response.status = delta.status();
+      }
+      break;
+    }
+  }
+  response.exec_seconds = exec_timer.ElapsedSeconds();
+  Finish(state, std::move(response));
+}
+
+void Service::Finish(const std::shared_ptr<Ticket::State>& state,
+                     Response response) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.completed;
+    switch (response.status.code()) {
+      case util::StatusCode::kOk:
+        ++stats_.succeeded;
+        break;
+      case util::StatusCode::kCancelled:
+        ++stats_.cancelled;
+        break;
+      case util::StatusCode::kDeadlineExceeded:
+        ++stats_.deadline_exceeded;
+        break;
+      default:
+        ++stats_.failed;
+        break;
+    }
+    stats_.members_delivered += response.members_emitted;
+  }
+  // Complete the sink before publishing the response: a consumer woken by
+  // the ticket must find its stream already terminal.
+  if (state->sink) state->sink->OnComplete(response.status);
+  {
+    const std::lock_guard<std::mutex> lock(state->mutex);
+    state->response = std::move(response);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.queue_depth = executor_.pending();
+  snapshot.in_flight = executor_.active();
+  return snapshot;
+}
+
+// --- blocking batch conveniences -----------------------------------------
+
+namespace {
+
+/// The aggregate tail both blocking batch flavours share.
+void FillBatchStats(const PlanCacheStats& before, const PlanCacheStats& after,
+                    double wall_seconds, std::size_t requests,
+                    BatchStats& stats) {
+  stats.requests = requests;
+  stats.wall_seconds = wall_seconds;
+  stats.queries_per_second =
+      wall_seconds > 0 ? static_cast<double>(requests) / wall_seconds : 0;
+  stats.plan_cache_hits = after.hits - before.hits;
+  stats.plan_cache_misses = after.misses - before.misses;
+}
+
+/// Admits one request, riding out kResourceExhausted: when the queue is
+/// full, waits briefly on the oldest outstanding ticket (draining the
+/// queue is what frees a slot) and retries. Returns the ticket or a
+/// non-retryable admission error.
+util::Result<Ticket> SubmitBlocking(Service& service, const Request& request,
+                                    const std::vector<Ticket>& outstanding) {
+  while (true) {
+    util::Result<Ticket> ticket = service.Submit(request);
+    if (ticket.ok() ||
+        ticket.status().code() != util::StatusCode::kResourceExhausted) {
+      return ticket;
+    }
+    bool waited = false;
+    for (const Ticket& earlier : outstanding) {
+      if (earlier.valid() && !earlier.done()) {
+        earlier.WaitFor(0.01);
+        waited = true;
+        break;
+      }
+    }
+    if (!waited) {
+      // The backlog is someone else's traffic; back off and retry.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+}  // namespace
+
+BatchEnumerateResult Service::EnumerateBatch(
+    const std::vector<EnumerateRequest>& requests) {
+  const PlanCacheStats before = engine_.plan_cache_stats();
+  util::Timer timer;
+  std::vector<Ticket> tickets(requests.size());
+  BatchEnumerateResult result;
+  result.outcomes.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Request request;
+    request.op = requests[i];
+    util::Result<Ticket> ticket = SubmitBlocking(*this, request, tickets);
+    if (!ticket.ok()) {
+      result.outcomes[i].status = ticket.status();
+      continue;
+    }
+    tickets[i] = std::move(ticket).value();
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!tickets[i].valid()) continue;
+    Response response = tickets[i].Take();  // move the members, not copy
+    BatchEnumerateOutcome& outcome = result.outcomes[i];
+    outcome.status = std::move(response.status);
+    outcome.members = std::move(response.members);
+    outcome.exhausted = response.exhausted;
+    outcome.incomplete = response.incomplete;
+    outcome.hit_member_cap = response.hit_member_cap;
+    outcome.hit_timeout = response.hit_timeout;
+    outcome.seconds = response.exec_seconds;
+  }
+  for (const BatchEnumerateOutcome& outcome : result.outcomes) {
+    if (outcome.status.ok()) {
+      ++result.stats.succeeded;
+      result.stats.members_emitted += outcome.members.size();
+    } else {
+      ++result.stats.failed;
+    }
+  }
+  FillBatchStats(before, engine_.plan_cache_stats(), timer.ElapsedSeconds(),
+                 requests.size(), result.stats);
+  return result;
+}
+
+BatchDecideResult Service::DecideBatch(
+    const std::vector<DecideRequest>& requests) {
+  const PlanCacheStats before = engine_.plan_cache_stats();
+  util::Timer timer;
+  std::vector<Ticket> tickets(requests.size());
+  BatchDecideResult result;
+  result.outcomes.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Request request;
+    request.op = requests[i];
+    util::Result<Ticket> ticket = SubmitBlocking(*this, request, tickets);
+    if (!ticket.ok()) {
+      result.outcomes[i].status = ticket.status();
+      continue;
+    }
+    tickets[i] = std::move(ticket).value();
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!tickets[i].valid()) continue;
+    const Response& response = tickets[i].Wait();
+    BatchDecideOutcome& outcome = result.outcomes[i];
+    outcome.status = response.status;
+    outcome.member = response.member;
+    outcome.seconds = response.exec_seconds;
+  }
+  for (const BatchDecideOutcome& outcome : result.outcomes) {
+    if (outcome.status.ok()) {
+      ++result.stats.succeeded;
+    } else {
+      ++result.stats.failed;
+    }
+  }
+  FillBatchStats(before, engine_.plan_cache_stats(), timer.ElapsedSeconds(),
+                 requests.size(), result.stats);
+  return result;
+}
+
+}  // namespace whyprov

@@ -1,0 +1,297 @@
+#ifndef WHYPROV_SERVICE_SERVICE_H_
+#define WHYPROV_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "engine/engine.h"
+#include "util/cancellation.h"
+#include "util/executor.h"
+#include "util/status.h"
+
+namespace whyprov {
+
+/// Which operation a service `Request` carries (mirrors the variant's
+/// alternatives; also reported back in the `Response`).
+enum class RequestKind { kEnumerate, kDecide, kExplain, kApplyDelta };
+
+/// The unified submission unit of the service: one of the engine's typed
+/// operations plus the request-scoped serving policy (deadline). The
+/// per-operation structs are exactly the engine's — the service adds
+/// admission, scheduling, streaming, and interruption around them, not a
+/// second request vocabulary. Leave each op's `cancellation` field empty:
+/// the service installs the ticket's own token on execution.
+struct Request {
+  std::variant<EnumerateRequest, DecideRequest, ExplainRequest, DeltaRequest>
+      op;
+  /// Wall-clock budget measured from Submit — queue wait counts, as it
+  /// must in a serving system (a client's deadline does not pause while
+  /// the request sits in line). <= 0 means no deadline (the service's
+  /// `default_deadline_seconds` may still apply).
+  double deadline_seconds = 0;
+};
+
+/// Outcome of one submitted request, delivered through its `Ticket`.
+/// `status` is Ok, a per-operation failure, or the interruption verdicts:
+/// kCancelled (Ticket::Cancel, or a streaming consumer that closed its
+/// stream), kDeadlineExceeded, kResourceExhausted (never stored here —
+/// admission rejections fail Submit itself).
+struct Response {
+  util::Status status;
+  RequestKind kind = RequestKind::kEnumerate;
+
+  // Enumerate: the materialised members — empty when the request streamed
+  // through a MemberSink (then `members_emitted` still counts them).
+  std::vector<std::vector<datalog::Fact>> members;
+  std::size_t members_emitted = 0;
+  bool exhausted = false;
+  bool incomplete = false;
+  bool hit_member_cap = false;
+  bool hit_timeout = false;
+
+  bool member = false;  ///< Decide verdict (meaningful when status.ok())
+  std::optional<Explanation> explanation;  ///< Explain payload
+  std::optional<DeltaStats> delta;         ///< ApplyDelta payload
+
+  double queue_seconds = 0;  ///< admission -> execution start
+  double exec_seconds = 0;   ///< execution wall-clock
+  /// The model version the request was served from (reads) or produced
+  /// (deltas). In-flight tickets keep their snapshot across deltas, so
+  /// two concurrent responses may legitimately report different versions.
+  std::uint64_t model_version = 0;
+};
+
+/// Streaming consumer of enumeration members: the service calls
+/// `OnMember` once per member, in emission order, from the worker thread
+/// executing the request. Implementations may block — that is the
+/// backpressure mechanism bounding the service's memory — and return
+/// false to stop the enumeration early. `OnComplete` is called exactly
+/// once, after the final member (or failure/interruption); `OnCancel` may
+/// be called from any thread by `Ticket::Cancel` and must unblock a
+/// producer waiting inside `OnMember`.
+class MemberSink {
+ public:
+  virtual ~MemberSink() = default;
+
+  /// One member of the family. Return false to stop the enumeration
+  /// (reported as kCancelled).
+  virtual bool OnMember(std::vector<datalog::Fact> member) = 0;
+
+  /// Terminal notification with the request's final status.
+  virtual void OnComplete(const util::Status& status) { (void)status; }
+
+  /// The ticket was cancelled; unblock any producer stuck in OnMember.
+  virtual void OnCancel() {}
+};
+
+/// A bounded member queue bridging the worker (producer) and a consumer
+/// thread: the pull flavour of `MemberSink`. Holding at most `capacity`
+/// members, `OnMember` blocks once the buffer is full until the consumer
+/// pops — so a slow reader stalls the SAT enumeration instead of
+/// ballooning a result vector; memory stays O(capacity), never O(family).
+/// `Pop` blocks until a member arrives or the enumeration finishes;
+/// `Close` abandons the stream from the consumer side (the producer's
+/// next OnMember returns false and the request ends kCancelled).
+class MemberStream final : public MemberSink {
+ public:
+  explicit MemberStream(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  bool OnMember(std::vector<datalog::Fact> member) override;
+  void OnComplete(const util::Status& status) override;
+  void OnCancel() override { Close(); }
+
+  /// The next member, or nullopt once the stream finished (drained after
+  /// completion) or was closed. Single consumer.
+  std::optional<std::vector<datalog::Fact>> Pop();
+
+  /// Consumer-side abandonment: wakes a blocked producer, whose OnMember
+  /// then returns false.
+  void Close();
+
+  /// True once the producer finished (status available) or Close ran.
+  bool finished() const;
+
+  /// The request's final status (Ok until OnComplete).
+  util::Status final_status() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable producer_cv_;
+  std::condition_variable consumer_cv_;
+  std::deque<std::vector<datalog::Fact>> buffer_;
+  util::Status status_;
+  bool complete_ = false;
+  bool closed_ = false;
+};
+
+/// A future-style handle on one submitted request. Copyable (shares the
+/// underlying state); the service keeps a reference until the request
+/// finished, so dropping every Ticket does not abandon the work — call
+/// Cancel() for that. All methods are thread-safe.
+class Ticket {
+ public:
+  /// An empty ticket (valid() == false); Submit returns connected ones.
+  Ticket() = default;
+
+  bool valid() const { return shared_ != nullptr; }
+
+  /// Monotonic per-service request id (1-based submission order).
+  std::uint64_t id() const;
+
+  /// True once the response is available.
+  bool done() const;
+
+  /// Requests cooperative cancellation: raises the token the solver loop
+  /// polls and unblocks a streaming producer. The response arrives with
+  /// kCancelled unless the request already finished (Cancel never
+  /// un-finishes a response). Idempotent.
+  void Cancel();
+
+  /// Blocks until the response is available, then returns it. The
+  /// reference stays valid for the ticket's lifetime.
+  const Response& Wait() const;
+
+  /// Blocks like Wait(), then moves the response out — for consumers that
+  /// want the member vectors without a deep copy. Single-shot: later
+  /// Wait()/Take() calls on any copy of this ticket see a hollowed-out
+  /// response (status and scalars intact, payloads gone).
+  Response Take();
+
+  /// Waits up to `seconds`; true iff the response became available.
+  bool WaitFor(double seconds) const;
+
+ private:
+  friend class Service;
+  struct State;
+  explicit Ticket(std::shared_ptr<State> shared)
+      : shared_(std::move(shared)) {}
+
+  std::shared_ptr<State> shared_;
+};
+
+/// Serving-policy knobs of a Service.
+struct ServiceOptions {
+  /// Worker threads executing requests (0 = one per hardware thread).
+  std::size_t num_threads = 0;
+  /// Admitted-but-unstarted requests the service will hold; Submit
+  /// refuses with kResourceExhausted beyond it (admission control).
+  std::size_t queue_capacity = 256;
+  /// Deadline applied to requests that carry none (<= 0 = none).
+  double default_deadline_seconds = 0;
+};
+
+/// Point-in-time serving counters (cumulative since construction).
+struct ServiceStats {
+  std::uint64_t submitted = 0;   ///< requests admitted
+  std::uint64_t rejected = 0;    ///< Submit refusals (queue full)
+  std::uint64_t completed = 0;   ///< responses delivered (any status)
+  std::uint64_t succeeded = 0;   ///< responses with an Ok status
+  std::uint64_t cancelled = 0;   ///< responses with kCancelled
+  std::uint64_t deadline_exceeded = 0;  ///< responses with kDeadlineExceeded
+  std::uint64_t failed = 0;      ///< responses with any other error
+  std::uint64_t members_delivered = 0;  ///< members streamed + materialised
+  std::size_t queue_depth = 0;   ///< admitted, unstarted right now
+  std::size_t in_flight = 0;     ///< executing right now
+};
+
+/// The serving front door over a `whyprov::Engine`: submission-based,
+/// non-blocking, and streaming — the API shape a system answering heavy
+/// interactive traffic needs, where the engine's blocking calls that
+/// materialise full result vectors do not fit.
+///
+///   * `Submit` admits a unified `Request` (Enumerate / Decide / Explain
+///     / ApplyDelta) onto a bounded queue and returns a `Ticket`
+///     immediately; a full queue refuses with kResourceExhausted instead
+///     of buffering unboundedly.
+///   * A fixed worker pool (`util::Executor`) executes requests; results
+///     arrive through `Ticket::Wait` or, for enumerations, stream
+///     member-by-member through a `MemberSink`/`MemberStream` with
+///     backpressure — bounded memory regardless of family size.
+///   * Every request carries a deadline (measured from Submit, queue wait
+///     included) and a cancellation token; both are polled between
+///     members *and* inside the SAT search, so `Ticket::Cancel` or an
+///     expired deadline stops a long solve promptly with kCancelled /
+///     kDeadlineExceeded — without blocking other in-flight requests.
+///   * Writes (`ApplyDelta`) ride the engine's snapshot versioning:
+///     deltas serialise against each other inside the engine while
+///     in-flight reads keep serving the snapshot they started on, so a
+///     submitted delta never waits for (or tears) running enumerations.
+///
+/// The engine's direct `EnumerateBatch`/`DecideBatch` calls remain for
+/// offline bulk work, but serving traffic should come through here.
+/// Thread-safe; create once, share freely. Destruction drains admitted
+/// requests (their tickets complete) before joining the workers.
+class Service {
+ public:
+  explicit Service(Engine engine, ServiceOptions options = ServiceOptions());
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admits `request`; `sink` (optional) streams Enumerate members and is
+  /// ignored by the other kinds. Refuses with kResourceExhausted when the
+  /// queue is full — the client should back off and retry.
+  util::Result<Ticket> Submit(Request request,
+                              std::shared_ptr<MemberSink> sink = nullptr);
+
+  /// Convenience: submit an enumeration streaming into a fresh bounded
+  /// `MemberStream` of `stream_capacity` members; returns the ticket and
+  /// the stream to pull from.
+  util::Result<std::pair<Ticket, std::shared_ptr<MemberStream>>> Stream(
+      EnumerateRequest request, std::size_t stream_capacity = 8,
+      double deadline_seconds = 0);
+
+  /// Blocking conveniences: submit a whole batch, wait for every ticket,
+  /// and repackage the responses in the engine's batch result shapes.
+  /// Unlike the engine's own batch calls these interleave with any other
+  /// traffic on the service (and respect its admission bound: requests
+  /// are fed as the queue drains rather than rejected).
+  BatchEnumerateResult EnumerateBatch(
+      const std::vector<EnumerateRequest>& requests);
+  BatchDecideResult DecideBatch(const std::vector<DecideRequest>& requests);
+
+  /// The served engine (views only — route mutations through Submit so
+  /// they order with the queue; direct ApplyDelta calls are still safe,
+  /// just invisible to the service's stats).
+  const Engine& engine() const { return engine_; }
+
+  ServiceStats stats() const;
+  std::size_t num_threads() const { return executor_.num_threads(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  void Execute(const std::shared_ptr<Ticket::State>& state);
+  void Finish(const std::shared_ptr<Ticket::State>& state,
+              Response response);
+  void ExecuteEnumerate(const std::shared_ptr<Ticket::State>& state,
+                        Response& response);
+  /// Cache-through Prepare for a request's (target, acyclicity): pins the
+  /// snapshot the execution serves, so Response::model_version is exact.
+  util::Result<PreparedQuery> PrepareFor(
+      datalog::FactId target, const std::string& target_text,
+      std::optional<provenance::AcyclicityEncoding> acyclicity) const;
+
+  Engine engine_;
+  ServiceOptions options_;
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  std::uint64_t next_id_ = 0;
+  /// Declared last: workers touch everything above, so the executor must
+  /// be destroyed (drained + joined) first.
+  util::Executor executor_;
+};
+
+}  // namespace whyprov
+
+#endif  // WHYPROV_SERVICE_SERVICE_H_

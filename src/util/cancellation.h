@@ -1,0 +1,108 @@
+#ifndef WHYPROV_UTIL_CANCELLATION_H_
+#define WHYPROV_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "util/status.h"
+
+namespace whyprov::util {
+
+/// A copyable, thread-safe view onto one request's interruption state: an
+/// explicit cancel flag (raised by `CancellationSource::Cancel`) plus an
+/// optional absolute deadline. Cheap to copy (one shared_ptr) and safe to
+/// poll from any thread — the solver loop, the enumerator, and the service
+/// worker all poll the same token. A default-constructed token is empty
+/// and never reports an interruption, so plumbing stays unconditional.
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+
+  /// True iff this token is connected to a source (an empty token never
+  /// stops anything).
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the source's Cancel() was called.
+  bool cancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// True once the deadline (if any) has passed.
+  bool expired() const {
+    return state_ != nullptr && state_->has_deadline &&
+           Clock::now() >= state_->deadline;
+  }
+
+  /// The one predicate long-running loops poll: stop on either reason.
+  bool ShouldStop() const { return cancelled() || expired(); }
+
+  /// Classifies the interruption: kCancelled (explicit cancel wins),
+  /// kDeadlineExceeded, or Ok when the token does not demand a stop.
+  Status InterruptionStatus() const {
+    if (cancelled()) {
+      return Status::Cancelled("the request was cancelled");
+    }
+    if (expired()) {
+      return Status::DeadlineExceeded("the request deadline passed");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  friend class CancellationSource;
+
+  struct State {
+    std::atomic<bool> cancelled{false};
+    /// The deadline is written once, before the token is shared (see
+    /// CancellationSource::SetDeadline), so readers need no lock.
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+  };
+
+  explicit CancellationToken(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const State> state_;
+};
+
+/// The producer side: owns the shared state, hands out tokens, and raises
+/// the cancel flag. One source per request; Cancel() is idempotent and
+/// may race freely with any number of polling tokens.
+class CancellationSource {
+ public:
+  CancellationSource()
+      : state_(std::make_shared<CancellationToken::State>()) {}
+
+  /// Raises the cancel flag; every token observes it on its next poll.
+  void Cancel() { state_->cancelled.store(true, std::memory_order_release); }
+
+  /// Installs an absolute deadline. Must be called before tokens are
+  /// handed to other threads (the deadline fields are not atomic).
+  void SetDeadline(CancellationToken::Clock::time_point deadline) {
+    state_->has_deadline = true;
+    state_->deadline = deadline;
+  }
+
+  /// Installs a deadline `seconds` from now (<= 0 clears nothing: no-op).
+  void SetTimeout(double seconds) {
+    if (seconds <= 0) return;
+    SetDeadline(CancellationToken::Clock::now() +
+                std::chrono::duration_cast<CancellationToken::Clock::duration>(
+                    std::chrono::duration<double>(seconds)));
+  }
+
+  /// A token sharing this source's state.
+  CancellationToken token() const { return CancellationToken(state_); }
+
+ private:
+  std::shared_ptr<CancellationToken::State> state_;
+};
+
+}  // namespace whyprov::util
+
+#endif  // WHYPROV_UTIL_CANCELLATION_H_

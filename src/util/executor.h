@@ -1,0 +1,210 @@
+#ifndef WHYPROV_UTIL_EXECUTOR_H_
+#define WHYPROV_UTIL_EXECUTOR_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace whyprov::util {
+
+/// Resolves a thread-count request: 0 means "one per hardware thread"
+/// (at least 1).
+inline std::size_t ResolveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+/// A fixed worker pool with a bounded FIFO task queue — the generalisation
+/// of the old `util::ParallelFor` fan-out into a reusable building block.
+/// Two usage modes:
+///
+///   * long-lived serving pool (`whyprov::Service`): tasks enter through
+///     `TrySubmit`, which refuses with `kResourceExhausted` once the queue
+///     holds `queue_capacity` unstarted tasks — the admission-control
+///     backstop that keeps a flooded server's memory bounded;
+///   * scoped batch fan-out (`Engine::EnumerateBatch` and friends):
+///     `Map(n, fn)` runs `fn(0..n-1)` across the workers plus the calling
+///     thread, dynamically load-balanced, and blocks until every index
+///     completed.
+///
+/// Tasks must not throw. Destruction (or `Shutdown`) stops admission,
+/// drains every already-queued task, and joins the workers.
+struct ExecutorOptions {
+  /// Worker threads (0 = one per hardware thread).
+  std::size_t num_threads = 0;
+  /// Unstarted tasks the queue will hold before TrySubmit refuses.
+  std::size_t queue_capacity = 1024;
+};
+
+class Executor {
+ public:
+  /// Declared at namespace scope (as ExecutorOptions) so it can appear in
+  /// default arguments; the nested alias is the ergonomic name.
+  using Options = ExecutorOptions;
+
+  explicit Executor(Options options = Options())
+      : capacity_(std::max<std::size_t>(1, options.queue_capacity)) {
+    const std::size_t threads = ResolveThreadCount(options.num_threads);
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  ~Executor() { Shutdown(); }
+
+  /// Enqueues `task` for a worker. Refuses with kResourceExhausted when
+  /// the queue is at capacity and with kInvalidArgument after Shutdown —
+  /// callers surface the former as server-overloaded to their clients.
+  Status TrySubmit(std::function<void()> task) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) {
+        return Status::InvalidArgument("the executor is shut down");
+      }
+      if (queue_.size() >= capacity_) {
+        return Status::ResourceExhausted(
+            "the executor queue is full (" + std::to_string(capacity_) +
+            " pending tasks)");
+      }
+      queue_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Worker threads in the pool.
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks admitted but not yet started.
+  std::size_t pending() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Tasks currently executing on workers.
+  std::size_t active() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+  }
+
+  /// Stops admission, drains every queued task, joins the workers.
+  /// Idempotent.
+  void Shutdown() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) {
+        // A second Shutdown (e.g. destructor after an explicit call) must
+        // still wait for the joins below, but they already happened.
+        if (workers_.empty()) return;
+      }
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+  }
+
+  /// Runs `fn(0) ... fn(n - 1)` across the pool plus the calling thread,
+  /// dynamically load-balanced via an atomic index; blocks until every
+  /// call returned. Callers are responsible for making `fn` safe to run
+  /// concurrently; distinct indices must touch distinct output slots.
+  /// Bypasses the admission bound: the helper tasks it enqueues only
+  /// steal indices, so any that are refused simply shift work onto the
+  /// remaining participants.
+  template <typename Fn>
+  void Map(std::size_t n, const Fn& fn) {
+    if (n == 0) return;
+    struct Shared {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> live_helpers{0};
+      std::mutex mutex;
+      std::condition_variable done_cv;
+    };
+    const auto shared = std::make_shared<Shared>();
+    const auto drain = [shared, n, &fn] {
+      for (std::size_t i =
+               shared->next.fetch_add(1, std::memory_order_relaxed);
+           i < n;
+           i = shared->next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    };
+    // One index-stealing helper per worker (capped at n - 1: the caller
+    // takes an index too). `fn` is captured by reference — safe because
+    // Map blocks until every helper finished.
+    const std::size_t helpers = std::min(num_threads(), n - 1);
+    std::size_t enqueued = 0;
+    for (std::size_t i = 0; i < helpers; ++i) {
+      shared->live_helpers.fetch_add(1, std::memory_order_relaxed);
+      const Status submitted = TrySubmit([shared, drain] {
+        drain();
+        if (shared->live_helpers.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          const std::lock_guard<std::mutex> lock(shared->mutex);
+          shared->done_cv.notify_all();
+        }
+      });
+      if (!submitted.ok()) {
+        shared->live_helpers.fetch_sub(1, std::memory_order_acq_rel);
+        break;  // queue full: the caller and accepted helpers cover it
+      }
+      ++enqueued;
+    }
+    drain();  // the calling thread participates
+    if (enqueued > 0) {
+      std::unique_lock<std::mutex> lock(shared->mutex);
+      shared->done_cv.wait(lock, [&shared] {
+        return shared->live_helpers.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown with a drained queue
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      task();
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+      }
+    }
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace whyprov::util
+
+#endif  // WHYPROV_UTIL_EXECUTOR_H_

@@ -18,6 +18,8 @@ enum class StatusCode {
   kNotFound,           ///< a named entity does not exist
   kParseError,         ///< program/database/fact text failed to parse
   kResourceExhausted,  ///< an explicit budget or limit was exceeded
+  kCancelled,          ///< the caller cancelled the operation
+  kDeadlineExceeded,   ///< the operation's deadline passed before it finished
 };
 
 /// Human-readable name of a code, e.g. "NOT_FOUND".
@@ -62,6 +64,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Error(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Error(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Error(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   /// True iff this status represents success.

@@ -14,6 +14,11 @@
 ///
 /// See README.md for a quickstart and the backend-registration recipe.
 
+// The serving front door: Service (submission-based async API with
+// admission control), Ticket, streaming MemberSink/MemberStream, and the
+// unified Request/Response pair with deadlines and cancellation.
+#include "service/service.h"
+
 // The facade: Engine, EngineOptions, the request/response structs, the
 // Enumeration handle, PreparedQuery (compile-once/execute-many plans), the
 // plan cache, and the batch serving API.
@@ -43,7 +48,10 @@
 #include "sat/solver_factory.h"
 #include "sat/solver_interface.h"
 
-// Error handling, timing, and deterministic randomness.
+// Error handling, cancellation/deadlines, the worker-pool executor,
+// timing, and deterministic randomness.
+#include "util/cancellation.h"
+#include "util/executor.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"

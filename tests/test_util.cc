@@ -1,10 +1,17 @@
-// Tests for the util foundation: Status/Result, RNG, statistics, timer.
+// Tests for the util foundation: Status/Result, RNG, statistics, timer,
+// cancellation tokens, and the bounded-queue executor.
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/cancellation.h"
+#include "util/executor.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -184,6 +191,93 @@ TEST(TimerTest, ElapsedIsMonotone) {
   timer.Reset();
   EXPECT_GE(timer.ElapsedMillis(), 0.0);
   EXPECT_GE(timer.ElapsedMicros(), 0.0);
+}
+
+TEST(CancellationTest, EmptyTokenNeverStops) {
+  const CancellationToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_TRUE(token.InterruptionStatus().ok());
+}
+
+TEST(CancellationTest, CancelReachesEveryToken) {
+  CancellationSource source;
+  const CancellationToken a = source.token();
+  const CancellationToken b = source.token();
+  EXPECT_FALSE(a.ShouldStop());
+  source.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_EQ(a.InterruptionStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, DeadlineExpiryIsDeadlineExceeded) {
+  CancellationSource source;
+  source.SetTimeout(1e-9);
+  const CancellationToken token = source.token();
+  EXPECT_TRUE(token.expired());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.InterruptionStatus().code(),
+            StatusCode::kDeadlineExceeded);
+  // An explicit cancel outranks the expired deadline.
+  source.Cancel();
+  EXPECT_EQ(token.InterruptionStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutorTest, MapCoversEveryIndexExactlyOnce) {
+  Executor executor({/*num_threads=*/3, /*queue_capacity=*/8});
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  executor.Map(kN, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, MapWorksWhenQueueIsTinyOrNIsSmall) {
+  Executor executor({/*num_threads=*/4, /*queue_capacity=*/1});
+  std::atomic<std::size_t> sum{0};
+  executor.Map(10, [&sum](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45u);
+  executor.Map(1, [&sum](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 46u);
+  executor.Map(0, [&sum](std::size_t) { sum.fetch_add(100); });
+  EXPECT_EQ(sum.load(), 46u);
+}
+
+TEST(ExecutorTest, TrySubmitRefusesWhenTheQueueIsFull) {
+  Executor executor({/*num_threads=*/1, /*queue_capacity=*/1});
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  // Park the single worker...
+  ASSERT_TRUE(executor
+                  .TrySubmit([&] {
+                    std::unique_lock<std::mutex> lock(mutex);
+                    cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
+  // ...wait until it actually picked the task up (pending -> 0)...
+  while (executor.pending() != 0) {
+    std::this_thread::yield();
+  }
+  // ...fill the one queue slot, then watch the bound refuse.
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(executor.TrySubmit([&ran] { ran.store(true); }).ok());
+  const Status refused = executor.TrySubmit([] {});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  executor.Shutdown();  // drains the queued task before joining
+  EXPECT_TRUE(ran.load());
+  // After shutdown, admission is closed for good.
+  EXPECT_FALSE(executor.TrySubmit([] {}).ok());
 }
 
 }  // namespace
