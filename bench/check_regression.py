@@ -3,14 +3,21 @@
 
 Compares a freshly produced benchmark JSON against the committed baseline
 and fails (exit 1) when a throughput-style metric dropped by more than the
-allowed fraction, or when an incremental-delta row misses the absolute
-speedup floor the acceptance criteria promise.
+allowed fraction, when an incremental-delta row misses the absolute
+speedup floor the acceptance criteria promise, or when sharded serving
+stops scaling (2-shard q/s vs 1-shard q/s in the *current* run).
 
 Rows are matched on their identity fields (scenario, database, plan_cache,
-threads_requested, delta_size, direction — whichever are present), so a
-baseline recorded on a machine with a different core count still matches:
-`threads_requested` (0 = all cores) is stable while the resolved `threads`
-is not.
+threads_requested, shards, delta_size, direction — whichever are present),
+so a baseline recorded on a machine with a different core count still
+matches: `threads_requested` (0 = all cores) is stable while the resolved
+`threads` is not.
+
+All failure modes exit with a one-line diagnosis, never a traceback: a
+missing baseline file (e.g. a brand-new benchmark whose JSON was not
+committed yet), malformed JSON, rows that are not objects, and baseline
+metrics absent from the current rows are all reported with what to do
+about them.
 
 Usage:
   check_regression.py --baseline BENCH_throughput.json \
@@ -18,7 +25,8 @@ Usage:
   check_regression.py --baseline BENCH_incremental.json \
       --current build/BENCH_incremental.json --min-speedup 5
   check_regression.py --baseline BENCH_service.json \
-      --current build/BENCH_service.json --latency-threshold 1.0
+      --current build/BENCH_service.json --latency-threshold 1.0 \
+      --min-shard-scaling 0.75
 """
 
 import argparse
@@ -31,6 +39,7 @@ KEY_FIELDS = (
     "database",
     "plan_cache",
     "threads_requested",
+    "shards",
     "delta_size",
     "direction",
 )
@@ -48,12 +57,94 @@ METRIC_FIELDS = ("queries_per_second",)
 LATENCY_FIELDS = ("p99_seconds",)
 
 
+def fail(message):
+    """One-line fatal diagnosis (no traceback)."""
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_rows(path, role):
+    """Loads a BENCH_*.json row list with clear failure messages."""
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except FileNotFoundError:
+        hint = ""
+        if role == "baseline":
+            hint = (" — if this benchmark is new, run it once and commit "
+                    "its JSON as the baseline")
+        fail(f"no {role} file at '{path}'{hint}")
+    except json.JSONDecodeError as e:
+        fail(f"{role} file '{path}' is not valid JSON ({e})")
+    if not isinstance(rows, list):
+        fail(f"{role} file '{path}' must hold a JSON array of rows, "
+             f"got {type(rows).__name__}")
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            fail(f"{role} file '{path}' row {index} must be a JSON object, "
+                 f"got {type(row).__name__}")
+        if not any(field in row for field in KEY_FIELDS):
+            fail(f"{role} file '{path}' row {index} has none of the "
+                 f"identity keys {KEY_FIELDS} — wrong file, or the schema "
+                 "changed without updating check_regression.py")
+    return rows
+
+
+def metric_value(row, metric, path):
+    try:
+        return float(row[metric])
+    except (TypeError, ValueError):
+        fail(f"'{metric}' in '{path}' is not numeric "
+             f"(got {row[metric]!r} on [{format_key(row_key(row))}])")
+
+
 def row_key(row):
     return tuple((field, row[field]) for field in KEY_FIELDS if field in row)
 
 
 def format_key(key):
     return ", ".join(f"{field}={value}" for field, value in key)
+
+
+def check_shard_scaling(current_rows, current_path, min_scaling, failures):
+    """Self-relative shard-scaling gate: within the *current* run, every
+    multi-shard row's q/s must be at least `min_scaling` times the
+    matching 1-shard row's. Self-relative, so the gate holds on any
+    hardware (on a single-core runner sharding cannot scale, only avoid
+    collapsing; raise the factor above 1 on multi-core fleets)."""
+    checks = 0
+    by_group = {}
+    for row in current_rows:
+        if "shards" not in row or "queries_per_second" not in row:
+            continue
+        group = tuple((f, row[f]) for f in ("scenario", "database",
+                                            "threads_requested")
+                      if f in row)
+        by_group.setdefault(group, {})[row["shards"]] = row
+    for group, by_shards in by_group.items():
+        base = by_shards.get(1)
+        if base is None:
+            continue
+        base_qps = metric_value(base, "queries_per_second", current_path)
+        if base_qps <= 0:
+            continue
+        for shards, row in sorted(by_shards.items()):
+            if shards == 1:
+                continue
+            checks += 1
+            qps = metric_value(row, "queries_per_second", current_path)
+            floor = base_qps * min_scaling
+            status = "ok" if qps >= floor else "REGRESSION"
+            print(f"{status:>10}  shard scaling: {shards}-shard "
+                  f"{qps:.2f} q/s vs 1-shard {base_qps:.2f} "
+                  f"(floor {floor:.2f} = {min_scaling:.2f}x)  "
+                  f"[{format_key(group)}]")
+            if qps < floor:
+                failures.append(
+                    f"{shards}-shard q/s is {qps / base_qps:.2f}x the "
+                    f"1-shard q/s (< {min_scaling:.2f}x floor) on "
+                    f"[{format_key(group)}]")
+    return checks
 
 
 def main():
@@ -72,12 +163,13 @@ def main():
                         help="max allowed fractional p99-latency increase "
                              "(e.g. 1.0 = p99 may at most double); latency "
                              "fields are ignored when unset")
+    parser.add_argument("--min-shard-scaling", type=float, default=None,
+                        help="floor for (N-shard q/s) / (1-shard q/s) "
+                             "within the current file; ignored when unset")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline_rows = json.load(f)
-    with open(args.current) as f:
-        current_rows = json.load(f)
+    baseline_rows = load_rows(args.baseline, "baseline")
+    current_rows = load_rows(args.current, "current")
 
     current_by_key = {row_key(row): row for row in current_rows}
     failures = []
@@ -88,13 +180,22 @@ def main():
         current = current_by_key.get(key)
         if current is None:
             failures.append(f"baseline row has no current match: "
-                            f"[{format_key(key)}]")
+                            f"[{format_key(key)}] — if the benchmark's "
+                            "configurations changed, refresh the committed "
+                            "baseline")
             continue
         for metric in METRIC_FIELDS:
-            if metric not in baseline or metric not in current:
+            if metric not in baseline:
                 continue
-            base_value = float(baseline[metric])
-            new_value = float(current[metric])
+            if metric not in current:
+                failures.append(
+                    f"baseline key '{metric}' is missing from the current "
+                    f"row [{format_key(key)}] — the benchmark stopped "
+                    "reporting it; update the baseline (or the gate) "
+                    "deliberately")
+                continue
+            base_value = metric_value(baseline, metric, args.baseline)
+            new_value = metric_value(current, metric, args.current)
             if base_value <= 0:
                 continue
             checks += 1
@@ -113,8 +214,8 @@ def main():
         for metric in LATENCY_FIELDS:
             if metric not in baseline or metric not in current:
                 continue
-            base_value = float(baseline[metric])
-            new_value = float(current[metric])
+            base_value = metric_value(baseline, metric, args.baseline)
+            new_value = metric_value(current, metric, args.current)
             if base_value <= 0:
                 continue
             checks += 1
@@ -134,7 +235,7 @@ def main():
             if row.get("delta_size") != 1 or "speedup_vs_rebuild" not in row:
                 continue
             checks += 1
-            speedup = float(row["speedup_vs_rebuild"])
+            speedup = metric_value(row, "speedup_vs_rebuild", args.current)
             status = "ok" if speedup >= args.min_speedup else "REGRESSION"
             print(f"{status:>10}  speedup_vs_rebuild floor: {speedup:.2f}x "
                   f"vs required {args.min_speedup:.2f}x "
@@ -144,6 +245,10 @@ def main():
                     f"speedup_vs_rebuild {speedup:.2f}x misses the "
                     f"{args.min_speedup:.2f}x floor on "
                     f"[{format_key(row_key(row))}]")
+
+    if args.min_shard_scaling is not None:
+        checks += check_shard_scaling(current_rows, args.current,
+                                      args.min_shard_scaling, failures)
 
     if checks == 0:
         print("error: no comparable metrics found "

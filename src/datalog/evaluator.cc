@@ -153,6 +153,58 @@ Model Model::Clone() const {
   return copy;
 }
 
+std::size_t Model::ApproxRetainedBytes() const {
+  // Runs on every snapshot publish, so it must stay O(#chunks +
+  // #relations + #indexes) — never O(#facts): container sizes are read,
+  // variable-size payloads (fact argument vectors, hash-map nodes) are
+  // charged at flat per-element estimates. Weight shared storage by its
+  // sharer count so the measure neither double-counts a chunk across the
+  // versions holding it nor zeroes out a version whose storage happens
+  // to be momentarily shared.
+  constexpr std::size_t kApproxArgsBytes = 16;     // small args heap block
+  constexpr std::size_t kApproxMapNodeBytes = 32;  // hash-map node overhead
+  const auto weighted = [](std::size_t bytes, long sharers) {
+    return sharers > 0 ? bytes / static_cast<std::size_t>(sharers) : bytes;
+  };
+  std::size_t bytes = 0;
+  for (const auto& chunk : facts_.chunks) {
+    bytes += weighted(chunk->capacity() * sizeof(Fact) +
+                          chunk->size() * kApproxArgsBytes,
+                      chunk.use_count());
+  }
+  for (const auto& chunk : ranks_.chunks) {
+    bytes += weighted(chunk->capacity() * sizeof(int), chunk.use_count());
+  }
+  for (const auto& chunk : alive_.chunks) {
+    bytes += weighted(chunk->capacity(), chunk.use_count());
+  }
+  constexpr std::size_t kApproxFactEntryBytes =
+      sizeof(Fact) + sizeof(FactId) + kApproxArgsBytes + kApproxMapNodeBytes;
+  if (fact_id_base_) {
+    bytes += weighted(fact_id_base_->size() * kApproxFactEntryBytes,
+                      fact_id_base_.use_count());
+  }
+  bytes += fact_id_overlay_.size() * kApproxFactEntryBytes;
+  for (const auto& relation : relations_) {
+    if (relation) {
+      bytes += weighted(relation->capacity() * sizeof(FactId),
+                        relation.use_count());
+    }
+  }
+  // A reader may be lazily building an index on this model right now.
+  const std::lock_guard<std::mutex> lock(*index_mutex_);
+  for (const auto& [key, index] : indexes_) {
+    (void)key;
+    if (!index) continue;
+    // Every live fact of the indexed predicate appears in exactly one
+    // bucket, so entries × flat estimates bound the buckets' storage.
+    bytes += weighted(index->size() * (kApproxMapNodeBytes +
+                                       kApproxArgsBytes + sizeof(FactId)),
+                      index.use_count());
+  }
+  return bytes;
+}
+
 std::optional<FactId> Model::Find(const Fact& fact) const {
   auto it = fact_id_overlay_.find(fact);
   FactId id;

@@ -129,6 +129,17 @@ class Model {
   /// The shared symbol table handle.
   const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
 
+  /// Approximate heap bytes attributable to this model version: each COW
+  /// chunk, relation list, and join index is weighted by its number of
+  /// sharers (bytes / use_count), plus the per-version fact-id overlay
+  /// in full. Weighting makes the measure stable under structural
+  /// sharing — a chunk shared by k versions contributes its size once
+  /// across the k of them — so summing the at-birth numbers over a COW
+  /// chain's retained snapshots approximates the chain's total footprint
+  /// (the snapshot-accounting signal a serving layer surfaces).
+  /// Thread-safe against concurrent Lookup.
+  std::size_t ApproxRetainedBytes() const;
+
  private:
   static constexpr std::size_t kChunkBits = 12;  // 4096 entries per chunk
   static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;

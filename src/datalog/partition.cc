@@ -1,0 +1,47 @@
+#include "datalog/partition.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace whyprov::datalog {
+
+std::vector<PredicateId> DependencyClosure(
+    const Program& program, const std::vector<PredicateId>& roots) {
+  std::unordered_set<PredicateId> seen(roots.begin(), roots.end());
+  std::deque<PredicateId> frontier(roots.begin(), roots.end());
+  while (!frontier.empty()) {
+    const PredicateId head = frontier.front();
+    frontier.pop_front();
+    for (const std::size_t rule_index : program.RulesForHead(head)) {
+      for (const Atom& atom : program.rules()[rule_index].body) {
+        if (seen.insert(atom.predicate).second) {
+          frontier.push_back(atom.predicate);
+        }
+      }
+    }
+  }
+  std::vector<PredicateId> closure(seen.begin(), seen.end());
+  std::sort(closure.begin(), closure.end());
+  return closure;
+}
+
+util::Result<Program> SliceProgram(
+    const Program& program,
+    const std::unordered_set<PredicateId>& predicates) {
+  std::vector<Rule> rules;
+  for (const Rule& rule : program.rules()) {
+    if (predicates.contains(rule.head.predicate)) rules.push_back(rule);
+  }
+  return Program::Create(program.symbols_ptr(), std::move(rules));
+}
+
+Database SliceDatabase(const Database& database,
+                       const std::unordered_set<PredicateId>& predicates) {
+  Database slice(database.symbols_ptr());
+  for (const Fact& fact : database.facts()) {
+    if (predicates.contains(fact.predicate)) slice.Insert(fact);
+  }
+  return slice;
+}
+
+}  // namespace whyprov::datalog

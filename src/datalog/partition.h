@@ -1,0 +1,38 @@
+#ifndef WHYPROV_DATALOG_PARTITION_H_
+#define WHYPROV_DATALOG_PARTITION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/database.h"
+#include "datalog/program.h"
+#include "util/status.h"
+
+namespace whyprov::datalog {
+
+/// The downward dependency closure of `roots` in the program's predicate
+/// graph: every predicate (intensional or extensional) reachable from a
+/// root by following rules head -> body. This is the correctness boundary
+/// of model partitioning: the derivations — and hence the why-provenance —
+/// of any fact over a root predicate only ever mention predicates in this
+/// set, so a model restricted to the closure answers root-predicate
+/// queries bit-identically to the full model. Returned ascending by id.
+std::vector<PredicateId> DependencyClosure(
+    const Program& program, const std::vector<PredicateId>& roots);
+
+/// Restricts `program` to the rules whose head predicate is in
+/// `predicates` (a dependency closure, so every body predicate of a kept
+/// rule is in the set too). The slice shares the symbol table.
+util::Result<Program> SliceProgram(
+    const Program& program,
+    const std::unordered_set<PredicateId>& predicates);
+
+/// Restricts `database` to the facts whose predicate is in `predicates`,
+/// preserving insertion order (so slices evaluate deterministically).
+/// The slice shares the symbol table.
+Database SliceDatabase(const Database& database,
+                       const std::unordered_set<PredicateId>& predicates);
+
+}  // namespace whyprov::datalog
+
+#endif  // WHYPROV_DATALOG_PARTITION_H_

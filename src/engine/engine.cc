@@ -47,6 +47,9 @@ util::Result<bool> ExecuteDecideSat(const EngineState& state,
   if (request.cancellation.valid()) {
     solver.value()->SetInterruptCheck(
         [token = request.cancellation] { return token.ShouldStop(); });
+    if (const auto deadline = request.cancellation.deadline()) {
+      solver.value()->SetDeadlineHint(*deadline);
+    }
   }
   util::Result<bool> verdict = pv::IsWhyUnMemberPrepared(
       plan, state.model, request.candidate, *solver.value());
@@ -134,9 +137,15 @@ EngineState::EngineState(dl::Program program_in, dl::Database database_in,
       answer_predicate(answer_predicate_in),
       options(std::move(options_in)),
       model(EvaluateTimed(program, database_in, &eval_seconds)),
-      parse_mutex(std::make_shared<std::mutex>()),
+      parse_mutex(options.parse_mutex ? options.parse_mutex
+                                      : std::make_shared<std::mutex>()),
       plan_cache(options.plan_cache_capacity),
-      database_(std::move(database_in)) {}
+      accounting(std::make_shared<SnapshotAccounting>()),
+      database_(std::move(database_in)) {
+  accounted_bytes_ = model.ApproxRetainedBytes();
+  accounting->retained.fetch_add(1, std::memory_order_relaxed);
+  accounting->bytes.fetch_add(accounted_bytes_, std::memory_order_relaxed);
+}
 
 EngineState::EngineState(const EngineState& predecessor, dl::Model model_in,
                          std::uint64_t model_version_in,
@@ -149,7 +158,22 @@ EngineState::EngineState(const EngineState& predecessor, dl::Model model_in,
       model(std::move(model_in)),
       parse_mutex(predecessor.parse_mutex),
       plan_cache(options.plan_cache_capacity,
-                 predecessor.plan_cache.stats()) {}
+                 predecessor.plan_cache.stats()),
+      accounting(predecessor.accounting) {
+  // At-birth attribution, sharer-weighted: chunks this delta cloned or
+  // appended count (nearly) in full, storage still shared with older
+  // versions counts at its shared fraction. Summing over retained
+  // versions therefore approximates the chain's footprint without
+  // re-walking old snapshots.
+  accounted_bytes_ = model.ApproxRetainedBytes();
+  accounting->retained.fetch_add(1, std::memory_order_relaxed);
+  accounting->bytes.fetch_add(accounted_bytes_, std::memory_order_relaxed);
+}
+
+EngineState::~EngineState() {
+  accounting->retained.fetch_sub(1, std::memory_order_relaxed);
+  accounting->bytes.fetch_sub(accounted_bytes_, std::memory_order_relaxed);
+}
 
 const dl::Database& EngineState::database() const {
   const std::lock_guard<std::mutex> lock(database_mutex_);
@@ -553,10 +577,9 @@ bool PlanTouchedBy(const pv::QueryPlan& plan,
 
 }  // namespace
 
-util::Result<DeltaStats> Engine::ApplyDelta(const DeltaRequest& request) {
-  // One delta at a time; readers keep serving the published snapshot.
-  const std::lock_guard<std::mutex> update_lock(*update_mutex_);
-  util::Timer total_timer;
+util::Result<EvaluatedDelta> Engine::EvaluateDelta(
+    const DeltaRequest& request) const {
+  util::Timer eval_timer;
   const auto old_state = snapshot();
 
   std::vector<dl::Fact> added = request.added_facts;
@@ -598,29 +621,62 @@ util::Result<DeltaStats> Engine::ApplyDelta(const DeltaRequest& request) {
     }
   }
 
-  DeltaStats stats;
-  if (apply_added.empty() && apply_removed.empty()) {
+  // Semi-naive delta re-evaluation on a snapshot of the model (copy-on-
+  // write, so this is O(touched), not O(model)); the published model is
+  // never mutated, so in-flight executions are safe. The successor's
+  // database view materialises lazily from the model — a delta never
+  // pays O(database) to republish the fact list.
+  EvaluatedDelta result{old_state->model_version,
+                        apply_added.empty() && apply_removed.empty(),
+                        old_state->model.Clone(),
+                        {},
+                        DeltaStats{}};
+  if (result.noop) {
+    result.stats.model_version = old_state->model_version;
+    result.stats.total_seconds = eval_timer.ElapsedSeconds();
+    return result;
+  }
+  dl::DeltaEvalResult delta = dl::IncrementalEvaluator::Apply(
+      old_state->program, result.model, apply_added, apply_removed);
+  result.stats.eval_seconds = eval_timer.ElapsedSeconds();
+  result.stats.facts_added = delta.base_added;
+  result.stats.facts_removed = delta.base_removed;
+  result.stats.facts_derived = delta.derived_added;
+  result.stats.facts_deleted = delta.derived_deleted;
+  result.stats.facts_rederived = delta.rederived;
+  result.stats.facts_touched = delta.touched.size();
+  result.touched = std::move(delta.touched);
+  return result;
+}
+
+util::Result<DeltaStats> Engine::AdoptLocked(const EvaluatedDelta& delta,
+                                             dl::Model model) {
+  util::Timer total_timer;
+  const auto old_state = snapshot();
+  DeltaStats stats = delta.stats;
+
+  if (delta.noop) {
     // Nothing to do: keep the current snapshot (and its hot plans).
     stats.model_version = old_state->model_version;
     stats.plans_retained = old_state->plan_cache.stats().size;
     stats.total_seconds = total_timer.ElapsedSeconds();
     return stats;
   }
+  if (old_state->model_version != delta.base_version) {
+    return util::Status::InvalidArgument(
+        "AdoptDelta requires lockstep replicas: this engine serves model "
+        "version " +
+        std::to_string(old_state->model_version) +
+        " but the delta was evaluated on version " +
+        std::to_string(delta.base_version));
+  }
 
-  // Semi-naive delta re-evaluation on a snapshot of the model (copy-on-
-  // write, so this is O(touched), not O(model)); the published model is
-  // never mutated, so in-flight executions are safe. The successor's
-  // database view materialises lazily from the model — ApplyDelta never
-  // pays O(database) to republish the fact list.
-  util::Timer eval_timer;
-  dl::Model model = old_state->model.Clone();
-  const dl::DeltaEvalResult delta = dl::IncrementalEvaluator::Apply(
-      old_state->program, model, apply_added, apply_removed);
-  stats.eval_seconds = eval_timer.ElapsedSeconds();
-
-  const std::uint64_t version = old_state->model_version + 1;
+  const std::uint64_t version = delta.base_version + 1;
+  stats.plans_retained = 0;
+  stats.plans_invalidated = 0;
   auto next = std::make_shared<EngineState>(*old_state, std::move(model),
-                                            version, stats.eval_seconds);
+                                            version,
+                                            delta.stats.eval_seconds);
 
   // Selective plan carry-over: a plan survives iff the delta touched
   // nothing in its downward closure — then its closure sub-hypergraph,
@@ -645,14 +701,30 @@ util::Result<DeltaStats> Engine::ApplyDelta(const DeltaRequest& request) {
   }
 
   stats.model_version = version;
-  stats.facts_added = delta.base_added;
-  stats.facts_removed = delta.base_removed;
-  stats.facts_derived = delta.derived_added;
-  stats.facts_deleted = delta.derived_deleted;
-  stats.facts_rederived = delta.rederived;
-  stats.facts_touched = delta.touched.size();
   stats.total_seconds = total_timer.ElapsedSeconds();
   return stats;
+}
+
+util::Result<DeltaStats> Engine::AdoptDelta(const EvaluatedDelta& delta) {
+  const std::lock_guard<std::mutex> update_lock(*update_mutex_);
+  // Clone: the caller's EvaluatedDelta stays adoptable by sibling
+  // replicas (structurally shared chunks make this cheap).
+  return AdoptLocked(delta, delta.model.Clone());
+}
+
+util::Result<DeltaStats> Engine::ApplyDelta(const DeltaRequest& request) {
+  // One delta at a time; readers keep serving the published snapshot.
+  const std::lock_guard<std::mutex> update_lock(*update_mutex_);
+  util::Timer total_timer;
+  util::Result<EvaluatedDelta> evaluated = EvaluateDelta(request);
+  if (!evaluated.ok()) return evaluated.status();
+  // Single consumer: publish the evaluated model directly, no clone.
+  EvaluatedDelta delta = std::move(evaluated).value();
+  util::Result<DeltaStats> stats = AdoptLocked(delta, std::move(delta.model));
+  if (!stats.ok()) return stats.status();
+  DeltaStats result = std::move(stats).value();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
 }
 
 // --- batch serving -------------------------------------------------------

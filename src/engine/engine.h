@@ -1,6 +1,7 @@
 #ifndef WHYPROV_ENGINE_ENGINE_H_
 #define WHYPROV_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -51,6 +52,12 @@ struct EngineOptions {
   /// Plans kept by the LRU plan cache behind Enumerate/Decide/Explain
   /// (keyed by target fact and acyclicity encoding; 0 disables caching).
   std::size_t plan_cache_capacity = 64;
+  /// Serialisation of fact-text parsing/rendering against the symbol
+  /// table. Normally left null (the engine makes its own mutex); a
+  /// multi-engine layer whose engines share one symbol table — the
+  /// sharded service's replicas — must inject one shared mutex here, or
+  /// concurrent parses on two engines would race on the shared table.
+  std::shared_ptr<std::mutex> parse_mutex;
 };
 
 /// Parameters of Engine::Enumerate.
@@ -154,6 +161,34 @@ struct Explanation {
   provenance::ProofTree tree;
 };
 
+/// An already-evaluated delta, produced by Engine::EvaluateDelta: the
+/// post-delta model (structurally sharing unchanged storage with the
+/// source snapshot) plus everything a replica needs to publish it —
+/// the touched facts driving selective plan invalidation and the fact
+/// counters. One evaluation can be adopted by every engine of a replica
+/// group (see AdoptDelta), so N lockstep shards pay the semi-naive
+/// propagation once, not N times.
+struct EvaluatedDelta {
+  std::uint64_t base_version = 0;  ///< version the delta was evaluated on
+  bool noop = false;  ///< delta had no effective facts (nothing to adopt)
+  datalog::Model model;  ///< the post-delta model (COW; = base when noop)
+  std::vector<datalog::FactId> touched;  ///< sorted; plan invalidation key
+  DeltaStats stats;  ///< fact counters + eval time (plan fields unset)
+};
+
+/// Snapshot-retention accounting of one engine (see Engine::snapshot_
+/// stats): how many model-state snapshots are currently alive — the
+/// published one plus every older version pinned by in-flight
+/// PreparedQuery/Enumeration handles — and their approximate heap bytes.
+/// Bytes are attributed at snapshot birth from the COW chunk stats,
+/// weighting each chunk by its sharer count (a chunk shared by k
+/// versions contributes its size once across the k), so the sum tracks
+/// the chain's footprint without walking retired snapshots.
+struct SnapshotStats {
+  std::size_t retained_snapshots = 0;
+  std::size_t approx_bytes = 0;
+};
+
 /// The shared, immutable core of an engine: the parsed inputs, the
 /// evaluated least model, the options, and (logically mutable but
 /// internally synchronised) the plan cache. Held by shared_ptr from the
@@ -162,6 +197,15 @@ struct Explanation {
 /// Everything here except the plan cache and the parse mutex is
 /// bitwise-immutable after construction and therefore thread-shareable.
 struct EngineState {
+  /// Shared retention counters of one engine's snapshot chain: every
+  /// EngineState registers at construction and deregisters at
+  /// destruction, so the counts reflect exactly the versions still pinned
+  /// somewhere (the engine itself, or a live handle).
+  struct SnapshotAccounting {
+    std::atomic<std::size_t> retained{0};
+    std::atomic<std::size_t> bytes{0};
+  };
+
   EngineState(datalog::Program program_in, datalog::Database database_in,
               datalog::PredicateId answer_predicate_in,
               EngineOptions options_in);
@@ -174,6 +218,8 @@ struct EngineState {
   /// it materialises lazily from the model on first access.
   EngineState(const EngineState& predecessor, datalog::Model model_in,
               std::uint64_t model_version_in, double eval_seconds_in);
+
+  ~EngineState();
 
   /// Cache-through plan lookup: returns the cached plan for
   /// (target, acyclicity) — provided it is stamped with this state's
@@ -209,11 +255,16 @@ struct EngineState {
   /// straight to model().symbols() from several threads are on their own.
   std::shared_ptr<std::mutex> parse_mutex;
   mutable PlanCache plan_cache;
+  /// Shared across the engine's versions; see SnapshotAccounting.
+  std::shared_ptr<SnapshotAccounting> accounting;
 
  private:
   /// The lazily materialised database view (eager for version 0).
   mutable std::optional<datalog::Database> database_;
   mutable std::mutex database_mutex_;
+  /// This version's at-birth exclusive bytes (what it adds to, and on
+  /// destruction removes from, the accounting).
+  std::size_t accounted_bytes_ = 0;
 };
 
 /// A live why-provenance enumeration: a move-only, range-style handle
@@ -557,6 +608,17 @@ class Engine {
     return snapshot()->plan_cache.stats();
   }
 
+  /// Live snapshot count and approximate retained bytes: the published
+  /// state plus every older version still pinned by an in-flight
+  /// PreparedQuery/Enumeration handle (long-lived tickets show up here).
+  SnapshotStats snapshot_stats() const {
+    const auto state = snapshot();
+    SnapshotStats stats;
+    stats.retained_snapshots = state->accounting->retained.load();
+    stats.approx_bytes = state->accounting->bytes.load();
+    return stats;
+  }
+
   // --- incremental updates ----------------------------------------------
 
   /// Applies a fact-level database delta in place: removals run
@@ -570,6 +632,26 @@ class Engine {
   /// must be extensional; unknown predicates or malformed text fail the
   /// whole delta without publishing anything.
   util::Result<DeltaStats> ApplyDelta(const DeltaRequest& request);
+
+  /// The evaluate half of ApplyDelta, without publishing: parses and
+  /// validates the request, runs the semi-naive insertion propagation and
+  /// delete-and-rederive against the *current* snapshot, and returns the
+  /// resulting model plus the touched-fact set. Pure with respect to this
+  /// engine's published state. The caller owns ordering: adopting the
+  /// result is only valid while the engine still serves `base_version`
+  /// (AdoptDelta checks). This is the replication primitive behind
+  /// sharded serving — one shard evaluates, every lockstep replica
+  /// adopts.
+  util::Result<EvaluatedDelta> EvaluateDelta(const DeltaRequest& request) const;
+
+  /// The publish half of ApplyDelta: clones `delta.model` (cheap —
+  /// structurally shared chunks), runs this engine's own selective
+  /// plan-cache carry-over against `delta.touched`, and swaps in the new
+  /// snapshot under `base_version + 1`. Fails with kInvalidArgument when
+  /// this engine's published version is not `delta.base_version` — adopt
+  /// requires replicas in lockstep (identical fact-id spaces), which the
+  /// sharded delta lane guarantees by total-ordering deltas.
+  util::Result<DeltaStats> AdoptDelta(const EvaluatedDelta& delta);
 
   // --- answers ----------------------------------------------------------
 
@@ -667,6 +749,15 @@ class Engine {
   static util::Result<bool> DecideOn(
       const std::shared_ptr<const EngineState>& state,
       const DecideRequest& request);
+
+  /// The publish half of a delta, with update_mutex_ already held.
+  /// `model` is the model to publish: AdoptDelta passes a clone (so the
+  /// shared EvaluatedDelta stays adoptable by sibling replicas), while
+  /// ApplyDelta moves its own evaluation in — the single-engine write
+  /// path pays exactly one clone, as before the split. Must not read
+  /// `delta.model` (ApplyDelta's call has moved it out).
+  util::Result<DeltaStats> AdoptLocked(const EvaluatedDelta& delta,
+                                       datalog::Model model);
 
   std::shared_ptr<const EngineState> state_;
   /// Guards reads/swaps of `state_` (behind unique_ptr to stay movable).

@@ -67,8 +67,18 @@ void WhyProvenanceEnumerator::SetCancellation(util::CancellationToken token) {
     // cancel/deadline fires mid-solve, not just between members.
     solver_->SetInterruptCheck(
         [token = cancel_] { return token.ShouldStop(); });
+    // A deadline additionally becomes a budget hint, so a deadline-bound
+    // backend can stop at a restart boundary (kUnknown, enumeration
+    // incomplete) instead of being chopped mid-search by the poll. A
+    // token without one clears any hint a previous token installed.
+    if (const auto deadline = cancel_.deadline()) {
+      solver_->SetDeadlineHint(*deadline);
+    } else {
+      solver_->ClearDeadlineHint();
+    }
   } else {
     solver_->SetInterruptCheck(nullptr);
+    solver_->ClearDeadlineHint();
   }
 }
 

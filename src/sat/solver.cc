@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdint>
 #include <utility>
 
 namespace whyprov::sat {
@@ -490,9 +492,33 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
     ok_ = false;
     return SolveResult::kUnsat;
   }
+  // Online conflict-rate estimation for the deadline hint: measured over
+  // this Solve() call only, so a long-lived incremental solver re-learns
+  // the rate of the formula it currently has.
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point solve_start = Clock::now();
+  const std::uint64_t conflicts_at_start = stats_.conflicts;
   std::int64_t restart = 0;
   while (true) {
-    const std::int64_t budget = Luby(restart) * options_.restart_base;
+    std::int64_t budget = Luby(restart) * options_.restart_base;
+    if (deadline_hint_.has_value()) {
+      const double remaining =
+          std::chrono::duration<double>(*deadline_hint_ - Clock::now())
+              .count();
+      if (remaining <= 0) return SolveResult::kUnknown;  // budget spent
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - solve_start).count();
+      const std::uint64_t done = stats_.conflicts - conflicts_at_start;
+      if (done > 0 && elapsed > 0) {
+        // Spend at most ~80% of the projected remaining conflict
+        // throughput: the margin is what turns "chopped mid-restart by
+        // the poll" into "returned kUnknown at a boundary".
+        const auto affordable =
+            static_cast<std::int64_t>(done / elapsed * remaining * 0.8);
+        if (affordable < 1) return SolveResult::kUnknown;
+        budget = std::min(budget, affordable);
+      }
+    }
     const SolveResult result = Search(budget, assumptions);
     if (result != SolveResult::kUnknown) return result;
     if (InterruptRequested()) return SolveResult::kUnknown;

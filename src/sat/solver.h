@@ -1,6 +1,7 @@
 #ifndef WHYPROV_SAT_SOLVER_H_
 #define WHYPROV_SAT_SOLVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string_view>
@@ -59,6 +60,19 @@ class Solver : public SolverInterface {
   void SetConflictBudget(std::int64_t budget) override {
     options_.conflict_budget = budget;
   }
+
+  /// Installs a deadline hint: Solve() estimates its conflict throughput
+  /// online (conflicts per second over the current call) and, at every
+  /// restart boundary, clamps the next restart's conflict budget to what
+  /// it can afford before `deadline` — so a deadline-bound search returns
+  /// kUnknown gracefully at a boundary instead of being chopped
+  /// mid-restart by the interrupt poll.
+  void SetDeadlineHint(std::chrono::steady_clock::time_point deadline)
+      override {
+    deadline_hint_ = deadline;
+  }
+
+  void ClearDeadlineHint() override { deadline_hint_.reset(); }
 
   /// Sets the phase the next decision on `v` will try first (phase saving
   /// overwrites it once the search assigns and unassigns `v`). Callers use
@@ -143,6 +157,7 @@ class Solver : public SolverInterface {
   std::vector<LBool> model_;
   SolverStats stats_;
   int reduce_threshold_ = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline_hint_;
 };
 
 }  // namespace whyprov::sat

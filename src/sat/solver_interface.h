@@ -1,6 +1,7 @@
 #ifndef WHYPROV_SAT_SOLVER_INTERFACE_H_
 #define WHYPROV_SAT_SOLVER_INTERFACE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string_view>
@@ -107,6 +108,21 @@ class SolverInterface {
   virtual void SetInterruptCheck(std::function<bool()> poll) {
     interrupt_check_ = std::move(poll);
   }
+
+  /// Optional deadline hint: backends that can budget their search use it
+  /// to *degrade gracefully* — estimate their conflict rate online and
+  /// stop at a restart boundary with kUnknown shortly before `deadline`,
+  /// instead of burning the remaining budget on a search the interruption
+  /// poll is about to chop mid-restart. Purely advisory: the installed
+  /// interrupt check (see SetInterruptCheck) remains the authoritative
+  /// stop, and backends without budget support ignore the hint.
+  virtual void SetDeadlineHint(
+      std::chrono::steady_clock::time_point deadline) {
+    (void)deadline;
+  }
+
+  /// Removes a previously installed deadline hint (no-op by default).
+  virtual void ClearDeadlineHint() {}
 
   /// Optional hint: the phase the next decision on `v` should try first.
   virtual void SetPolarity(Var v, bool prefer_true) {

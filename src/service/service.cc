@@ -1,13 +1,15 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
-#include <thread>
 
+#include "service/serving_internal.h"
 #include "util/timer.h"
 
 namespace whyprov {
 
 namespace dl = whyprov::datalog;
+namespace si = whyprov::serving_internal;
 
 // --- MemberStream --------------------------------------------------------
 
@@ -66,20 +68,37 @@ util::Status MemberStream::final_status() const {
   return status_;
 }
 
+// --- MemberMerge ---------------------------------------------------------
+
+std::optional<std::vector<dl::Fact>> MemberMerge::Pop() {
+  while (current_ < parts_.size()) {
+    // Drains part `current_` to completion before touching the next —
+    // the stable ordering contract. Later parts keep producing into
+    // their own bounded buffers meanwhile (or block on them: that is
+    // their backpressure, not ours).
+    if (auto member = parts_[current_].stream->Pop()) return member;
+    ++current_;
+  }
+  return std::nullopt;
+}
+
+void MemberMerge::Close() {
+  for (Part& part : parts_) part.stream->Close();
+}
+
+void MemberMerge::Wait() const {
+  for (const Part& part : parts_) part.ticket.Wait();
+}
+
+util::Status MemberMerge::final_status() const {
+  for (const Part& part : parts_) {
+    util::Status status = part.stream->final_status();
+    if (!status.ok()) return status;
+  }
+  return util::Status::Ok();
+}
+
 // --- Ticket --------------------------------------------------------------
-
-struct Ticket::State {
-  std::uint64_t id = 0;
-  Request request;
-  std::shared_ptr<MemberSink> sink;
-  util::CancellationSource cancel;
-  util::Timer submit_timer;  ///< starts at admission; measures queue wait
-
-  mutable std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;
-  Response response;
-};
 
 std::uint64_t Ticket::id() const { return shared_ ? shared_->id : 0; }
 
@@ -128,33 +147,32 @@ bool Ticket::WaitFor(double seconds) const {
 
 // --- Service -------------------------------------------------------------
 
-namespace {
-
-RequestKind KindOf(const Request& request) {
-  switch (request.op.index()) {
-    case 0:
-      return RequestKind::kEnumerate;
-    case 1:
-      return RequestKind::kDecide;
-    case 2:
-      return RequestKind::kExplain;
-    default:
-      return RequestKind::kApplyDelta;
-  }
-}
-
-}  // namespace
-
 Service::Service(Engine engine, ServiceOptions options)
     : engine_(std::move(engine)),
       options_(options),
-      executor_(util::Executor::Options{
+      owns_executor_(true),
+      executor_(std::make_shared<util::Executor>(util::Executor::Options{
           options.num_threads,
-          options.queue_capacity == 0 ? 1 : options.queue_capacity}) {}
+          options.queue_capacity == 0 ? 1 : options.queue_capacity})) {}
+
+Service::Service(Engine engine, std::shared_ptr<util::Executor> executor,
+                 ServiceOptions options)
+    : engine_(std::move(engine)),
+      options_(options),
+      owns_executor_(false),
+      executor_(std::move(executor)) {}
 
 Service::~Service() {
-  // Drains every admitted request (their tickets complete) and joins.
-  executor_.Shutdown();
+  if (owns_executor_) {
+    // Drains every admitted request (their tickets complete) and joins.
+    executor_->Shutdown();
+    return;
+  }
+  // Shared pool: its owner decides when it dies; this service only waits
+  // until none of its own requests remain queued or executing (each
+  // holds a `this` capture).
+  std::unique_lock<std::mutex> lock(outstanding_mutex_);
+  outstanding_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 util::Result<Ticket> Service::Submit(Request request,
@@ -176,12 +194,29 @@ util::Result<Ticket> Service::Submit(Request request,
     ++stats_.submitted;
     state->id = ++next_id_;
   }
-  const util::Status admitted =
-      executor_.TrySubmit([this, state] { Execute(state); });
+  {
+    const std::lock_guard<std::mutex> lock(outstanding_mutex_);
+    ++outstanding_;
+  }
+  // The notify happens under the mutex: with it outside, the destructor
+  // could observe outstanding_ == 0 between a worker's unlock and its
+  // notify_all and free the condition variable the worker is about to
+  // signal.
+  const util::Status admitted = executor_->TrySubmit([this, state] {
+    Execute(state);
+    const std::lock_guard<std::mutex> lock(outstanding_mutex_);
+    --outstanding_;
+    outstanding_cv_.notify_all();
+  });
   if (!admitted.ok()) {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    --stats_.submitted;
-    ++stats_.rejected;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      --stats_.submitted;
+      ++stats_.rejected;
+    }
+    const std::lock_guard<std::mutex> lock(outstanding_mutex_);
+    --outstanding_;
+    outstanding_cv_.notify_all();
     return admitted;
   }
   return Ticket(state);
@@ -207,6 +242,13 @@ Service::Stream(EnumerateRequest request, std::size_t stream_capacity,
   util::Result<Ticket> ticket = Submit(std::move(unified), stream);
   if (!ticket.ok()) return ticket.status();
   return std::make_pair(std::move(ticket).value(), std::move(stream));
+}
+
+util::Result<std::shared_ptr<MemberMerge>> Service::StreamMany(
+    std::vector<EnumerateRequest> requests, std::size_t stream_capacity,
+    double deadline_seconds) {
+  return si::StreamManyOn(*this, std::move(requests), stream_capacity,
+                          deadline_seconds);
 }
 
 void Service::ExecuteEnumerate(const std::shared_ptr<Ticket::State>& state,
@@ -247,8 +289,12 @@ void Service::ExecuteEnumerate(const std::shared_ptr<Ticket::State>& state,
 }
 
 void Service::Execute(const std::shared_ptr<Ticket::State>& state) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++started_;
+  }
   Response response;
-  response.kind = KindOf(state->request);
+  response.kind = si::KindOf(state->request);
   response.queue_seconds = state->submit_timer.ElapsedSeconds();
   const util::CancellationToken token = state->cancel.token();
   util::Timer exec_timer;
@@ -347,34 +393,7 @@ void Service::Execute(const std::shared_ptr<Ticket::State>& state) {
 
 void Service::Finish(const std::shared_ptr<Ticket::State>& state,
                      Response response) {
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.completed;
-    switch (response.status.code()) {
-      case util::StatusCode::kOk:
-        ++stats_.succeeded;
-        break;
-      case util::StatusCode::kCancelled:
-        ++stats_.cancelled;
-        break;
-      case util::StatusCode::kDeadlineExceeded:
-        ++stats_.deadline_exceeded;
-        break;
-      default:
-        ++stats_.failed;
-        break;
-    }
-    stats_.members_delivered += response.members_emitted;
-  }
-  // Complete the sink before publishing the response: a consumer woken by
-  // the ticket must find its stream already terminal.
-  if (state->sink) state->sink->OnComplete(response.status);
-  {
-    const std::lock_guard<std::mutex> lock(state->mutex);
-    state->response = std::move(response);
-    state->done = true;
-  }
-  state->cv.notify_all();
+  si::FinishTicket(state, std::move(response), stats_, stats_mutex_);
 }
 
 ServiceStats Service::stats() const {
@@ -382,134 +401,35 @@ ServiceStats Service::stats() const {
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     snapshot = stats_;
+    // Derived from the counters (not the executor, which may be shared
+    // with sibling shards): exact per-service gauges either way.
+    snapshot.queue_depth =
+        static_cast<std::size_t>(stats_.submitted - started_);
+    snapshot.in_flight =
+        static_cast<std::size_t>(started_ - stats_.completed);
   }
-  snapshot.queue_depth = executor_.pending();
-  snapshot.in_flight = executor_.active();
+  snapshot.model_version = engine_.model_version();
+  const SnapshotStats snapshots = engine_.snapshot_stats();
+  snapshot.retained_snapshots = snapshots.retained_snapshots;
+  snapshot.retained_snapshot_bytes = snapshots.approx_bytes;
+  const double uptime = uptime_.ElapsedSeconds();
+  snapshot.queries_per_second =
+      uptime > 0 ? static_cast<double>(snapshot.completed) / uptime : 0;
   return snapshot;
 }
 
 // --- blocking batch conveniences -----------------------------------------
 
-namespace {
-
-/// The aggregate tail both blocking batch flavours share.
-void FillBatchStats(const PlanCacheStats& before, const PlanCacheStats& after,
-                    double wall_seconds, std::size_t requests,
-                    BatchStats& stats) {
-  stats.requests = requests;
-  stats.wall_seconds = wall_seconds;
-  stats.queries_per_second =
-      wall_seconds > 0 ? static_cast<double>(requests) / wall_seconds : 0;
-  stats.plan_cache_hits = after.hits - before.hits;
-  stats.plan_cache_misses = after.misses - before.misses;
-}
-
-/// Admits one request, riding out kResourceExhausted: when the queue is
-/// full, waits briefly on the oldest outstanding ticket (draining the
-/// queue is what frees a slot) and retries. Returns the ticket or a
-/// non-retryable admission error.
-util::Result<Ticket> SubmitBlocking(Service& service, const Request& request,
-                                    const std::vector<Ticket>& outstanding) {
-  while (true) {
-    util::Result<Ticket> ticket = service.Submit(request);
-    if (ticket.ok() ||
-        ticket.status().code() != util::StatusCode::kResourceExhausted) {
-      return ticket;
-    }
-    bool waited = false;
-    for (const Ticket& earlier : outstanding) {
-      if (earlier.valid() && !earlier.done()) {
-        earlier.WaitFor(0.01);
-        waited = true;
-        break;
-      }
-    }
-    if (!waited) {
-      // The backlog is someone else's traffic; back off and retry.
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
-  }
-}
-
-}  // namespace
-
 BatchEnumerateResult Service::EnumerateBatch(
     const std::vector<EnumerateRequest>& requests) {
-  const PlanCacheStats before = engine_.plan_cache_stats();
-  util::Timer timer;
-  std::vector<Ticket> tickets(requests.size());
-  BatchEnumerateResult result;
-  result.outcomes.resize(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    Request request;
-    request.op = requests[i];
-    util::Result<Ticket> ticket = SubmitBlocking(*this, request, tickets);
-    if (!ticket.ok()) {
-      result.outcomes[i].status = ticket.status();
-      continue;
-    }
-    tickets[i] = std::move(ticket).value();
-  }
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    if (!tickets[i].valid()) continue;
-    Response response = tickets[i].Take();  // move the members, not copy
-    BatchEnumerateOutcome& outcome = result.outcomes[i];
-    outcome.status = std::move(response.status);
-    outcome.members = std::move(response.members);
-    outcome.exhausted = response.exhausted;
-    outcome.incomplete = response.incomplete;
-    outcome.hit_member_cap = response.hit_member_cap;
-    outcome.hit_timeout = response.hit_timeout;
-    outcome.seconds = response.exec_seconds;
-  }
-  for (const BatchEnumerateOutcome& outcome : result.outcomes) {
-    if (outcome.status.ok()) {
-      ++result.stats.succeeded;
-      result.stats.members_emitted += outcome.members.size();
-    } else {
-      ++result.stats.failed;
-    }
-  }
-  FillBatchStats(before, engine_.plan_cache_stats(), timer.ElapsedSeconds(),
-                 requests.size(), result.stats);
-  return result;
+  return si::ServeEnumerateBatch(
+      *this, [this] { return engine_.plan_cache_stats(); }, requests);
 }
 
 BatchDecideResult Service::DecideBatch(
     const std::vector<DecideRequest>& requests) {
-  const PlanCacheStats before = engine_.plan_cache_stats();
-  util::Timer timer;
-  std::vector<Ticket> tickets(requests.size());
-  BatchDecideResult result;
-  result.outcomes.resize(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    Request request;
-    request.op = requests[i];
-    util::Result<Ticket> ticket = SubmitBlocking(*this, request, tickets);
-    if (!ticket.ok()) {
-      result.outcomes[i].status = ticket.status();
-      continue;
-    }
-    tickets[i] = std::move(ticket).value();
-  }
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    if (!tickets[i].valid()) continue;
-    const Response& response = tickets[i].Wait();
-    BatchDecideOutcome& outcome = result.outcomes[i];
-    outcome.status = response.status;
-    outcome.member = response.member;
-    outcome.seconds = response.exec_seconds;
-  }
-  for (const BatchDecideOutcome& outcome : result.outcomes) {
-    if (outcome.status.ok()) {
-      ++result.stats.succeeded;
-    } else {
-      ++result.stats.failed;
-    }
-  }
-  FillBatchStats(before, engine_.plan_cache_stats(), timer.ElapsedSeconds(),
-                 requests.size(), result.stats);
-  return result;
+  return si::ServeDecideBatch(
+      *this, [this] { return engine_.plan_cache_stats(); }, requests);
 }
 
 }  // namespace whyprov

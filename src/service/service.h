@@ -137,9 +137,16 @@ class MemberStream final : public MemberSink {
 /// A future-style handle on one submitted request. Copyable (shares the
 /// underlying state); the service keeps a reference until the request
 /// finished, so dropping every Ticket does not abandon the work — call
-/// Cancel() for that. All methods are thread-safe.
+/// Cancel() for that. All methods are thread-safe. Tickets are minted by
+/// every serving front door (`Service`, `ShardedService`) — the state and
+/// completion plumbing are shared, not duplicated per front end.
 class Ticket {
  public:
+  /// The shared per-request state. Declared here so the serving front
+  /// ends' shared plumbing can name it; defined in serving_internal.h,
+  /// which only the serving .cc files include — not part of the API.
+  struct State;
+
   /// An empty ticket (valid() == false); Submit returns connected ones.
   Ticket() = default;
 
@@ -172,11 +179,51 @@ class Ticket {
 
  private:
   friend class Service;
-  struct State;
+  friend class ShardedService;
   explicit Ticket(std::shared_ptr<State> shared)
       : shared_(std::move(shared)) {}
 
   std::shared_ptr<State> shared_;
+};
+
+/// Ordered gather over several member streams: the pull side of the
+/// scatter/gather read path. Each part is one enumeration (a ticket plus
+/// its bounded `MemberStream`); `Pop` yields every member of part 0, then
+/// every member of part 1, and so on — *stable member ordering* in
+/// request order, independent of which worker (or, under sharding, which
+/// shard) produced what and how the executions interleaved. Backpressure
+/// is the parts' own: each sub-stream's bounded buffer blocks its
+/// producer, so total buffered memory is O(parts × capacity) regardless
+/// of family sizes. Single consumer, like MemberStream.
+class MemberMerge {
+ public:
+  struct Part {
+    Ticket ticket;
+    std::shared_ptr<MemberStream> stream;
+  };
+
+  explicit MemberMerge(std::vector<Part> parts) : parts_(std::move(parts)) {}
+
+  /// The next member in request order, or nullopt once every part
+  /// finished (or Close ran). Blocks on the current part's stream.
+  std::optional<std::vector<datalog::Fact>> Pop();
+
+  /// Abandons the whole gather mid-flight: closes every sub-stream, so
+  /// each producer's next OnMember returns false and its request ends
+  /// kCancelled — one call cancels the full scatter.
+  void Close();
+
+  /// Blocks until every part's response is available.
+  void Wait() const;
+
+  /// First non-ok final status across the parts (Ok while clean).
+  util::Status final_status() const;
+
+  const std::vector<Part>& parts() const { return parts_; }
+
+ private:
+  std::vector<Part> parts_;
+  std::size_t current_ = 0;  ///< single consumer, like MemberStream::Pop
 };
 
 /// Serving-policy knobs of a Service.
@@ -188,6 +235,25 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;
   /// Deadline applied to requests that carry none (<= 0 = none).
   double default_deadline_seconds = 0;
+};
+
+/// One shard's row inside a sharded service's `ServiceStats` — the
+/// per-shard serving health a fleet dashboard needs: its share of the
+/// (shared) queue, its throughput, the model version it currently serves
+/// (versions legitimately skew when delta fan-out prunes a shard), its
+/// delta fan-out counters, and its snapshot retention.
+struct ShardStats {
+  std::size_t queue_depth = 0;   ///< this shard's admitted, unstarted
+  std::size_t in_flight = 0;     ///< executing on this shard right now
+  std::uint64_t submitted = 0;   ///< requests routed to this shard
+  std::uint64_t completed = 0;
+  std::uint64_t succeeded = 0;
+  double queries_per_second = 0;  ///< completed / seconds since start
+  std::uint64_t model_version = 0;  ///< version this shard serves now
+  std::uint64_t deltas_applied = 0;  ///< deltas whose fan-out included it
+  std::uint64_t deltas_skipped = 0;  ///< deltas pruned before this shard
+  std::size_t retained_snapshots = 0;  ///< live model versions (pinned)
+  std::size_t retained_snapshot_bytes = 0;  ///< approximate, COW-chunk based
 };
 
 /// Point-in-time serving counters (cumulative since construction).
@@ -202,6 +268,20 @@ struct ServiceStats {
   std::uint64_t members_delivered = 0;  ///< members streamed + materialised
   std::size_t queue_depth = 0;   ///< admitted, unstarted right now
   std::size_t in_flight = 0;     ///< executing right now
+  double queries_per_second = 0;  ///< completed / seconds since start
+  std::uint64_t model_version = 0;  ///< newest version served (max shard)
+  /// Snapshot retention (ROADMAP "Snapshot GC & memory observability"):
+  /// live model versions — the published one plus those pinned by
+  /// in-flight tickets — and their approximate bytes from the COW chunk
+  /// stats. Sums over shards for a sharded service.
+  std::size_t retained_snapshots = 0;
+  std::size_t retained_snapshot_bytes = 0;
+  /// Sharded services only: spread between the newest and oldest model
+  /// version across shards (non-zero when delta fan-out pruning lets
+  /// untouched shards keep serving an older version), and one row per
+  /// shard. Empty / zero on a single-engine service.
+  std::uint64_t version_skew = 0;
+  std::vector<ShardStats> shards;
 };
 
 /// The serving front door over a `whyprov::Engine`: submission-based,
@@ -234,6 +314,17 @@ struct ServiceStats {
 class Service {
  public:
   explicit Service(Engine engine, ServiceOptions options = ServiceOptions());
+
+  /// Serves `engine` on a *caller-owned* worker pool instead of creating
+  /// one: `ShardedService` uses this so N shard services sit behind one
+  /// submission queue and one admission bound, rather than duplicating
+  /// the queue/worker-pool/deadline plumbing per shard. The caller must
+  /// keep the executor alive and drained past this service's destruction
+  /// (the destructor waits for this service's own requests, then leaves
+  /// the pool running).
+  Service(Engine engine, std::shared_ptr<util::Executor> executor,
+          ServiceOptions options = ServiceOptions());
+
   ~Service();
 
   Service(const Service&) = delete;
@@ -252,6 +343,15 @@ class Service {
       EnumerateRequest request, std::size_t stream_capacity = 8,
       double deadline_seconds = 0);
 
+  /// Submits every enumeration with its own bounded stream and returns a
+  /// `MemberMerge` gathering them in request order (stable member
+  /// ordering; per-part backpressure). Fails — cancelling the parts
+  /// already admitted — if admission refuses a part; size the queue for
+  /// the fan-out.
+  util::Result<std::shared_ptr<MemberMerge>> StreamMany(
+      std::vector<EnumerateRequest> requests, std::size_t stream_capacity = 8,
+      double deadline_seconds = 0);
+
   /// Blocking conveniences: submit a whole batch, wait for every ticket,
   /// and repackage the responses in the engine's batch result shapes.
   /// Unlike the engine's own batch calls these interleave with any other
@@ -267,10 +367,12 @@ class Service {
   const Engine& engine() const { return engine_; }
 
   ServiceStats stats() const;
-  std::size_t num_threads() const { return executor_.num_threads(); }
+  std::size_t num_threads() const { return executor_->num_threads(); }
   const ServiceOptions& options() const { return options_; }
 
  private:
+  friend class ShardedService;  ///< drives the shard engines' delta path
+
   void Execute(const std::shared_ptr<Ticket::State>& state);
   void Finish(const std::shared_ptr<Ticket::State>& state,
               Response response);
@@ -284,12 +386,22 @@ class Service {
 
   Engine engine_;
   ServiceOptions options_;
+  util::Timer uptime_;  ///< denominator of queries_per_second
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
+  std::uint64_t started_ = 0;  ///< requests whose execution began
   std::uint64_t next_id_ = 0;
-  /// Declared last: workers touch everything above, so the executor must
-  /// be destroyed (drained + joined) first.
-  util::Executor executor_;
+  /// Counts this service's requests living in the executor (queued or
+  /// executing); a shared-pool service must drain to zero before dying.
+  mutable std::mutex outstanding_mutex_;
+  std::condition_variable outstanding_cv_;
+  std::size_t outstanding_ = 0;
+  const bool owns_executor_;
+  /// Declared last: workers touch everything above, so an owned executor
+  /// must be destroyed (drained + joined) first. A shared executor
+  /// outlives this service; the destructor only drains this service's
+  /// own outstanding requests.
+  std::shared_ptr<util::Executor> executor_;
 };
 
 }  // namespace whyprov

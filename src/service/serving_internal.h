@@ -1,0 +1,254 @@
+#ifndef WHYPROV_SERVICE_SERVING_INTERNAL_H_
+#define WHYPROV_SERVICE_SERVING_INTERNAL_H_
+
+// Shared plumbing of the serving front ends (`Service` and
+// `ShardedService`): the ticket state, the terminal bookkeeping, blocking
+// admission, and the batch/stream scatter-gather scaffolding. Internal —
+// included by the serving .cc files only, never by API users. Keeping it
+// here is what lets the sharded path reuse the queue/ticket/deadline
+// machinery instead of growing a second copy.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/service.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace whyprov {
+
+/// The shared per-request state behind a `Ticket`: the request itself,
+/// the streaming sink, the cancellation source whose token the execution
+/// polls, the queue-wait clock, and the completion slot.
+struct Ticket::State {
+  std::uint64_t id = 0;
+  Request request;
+  std::shared_ptr<MemberSink> sink;
+  util::CancellationSource cancel;
+  util::Timer submit_timer;  ///< starts at admission; measures queue wait
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Response response;
+};
+
+namespace serving_internal {
+
+inline RequestKind KindOf(const Request& request) {
+  switch (request.op.index()) {
+    case 0:
+      return RequestKind::kEnumerate;
+    case 1:
+      return RequestKind::kDecide;
+    case 2:
+      return RequestKind::kExplain;
+    default:
+      return RequestKind::kApplyDelta;
+  }
+}
+
+/// The terminal bookkeeping every front end shares: count the outcome,
+/// complete the sink *before* publishing the response (a consumer woken
+/// by the ticket must find its stream already terminal), publish, wake
+/// waiters.
+inline void FinishTicket(const std::shared_ptr<Ticket::State>& state,
+                         Response response, ServiceStats& stats,
+                         std::mutex& stats_mutex) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.completed;
+    switch (response.status.code()) {
+      case util::StatusCode::kOk:
+        ++stats.succeeded;
+        break;
+      case util::StatusCode::kCancelled:
+        ++stats.cancelled;
+        break;
+      case util::StatusCode::kDeadlineExceeded:
+        ++stats.deadline_exceeded;
+        break;
+      default:
+        ++stats.failed;
+        break;
+    }
+    stats.members_delivered += response.members_emitted;
+  }
+  if (state->sink) state->sink->OnComplete(response.status);
+  {
+    const std::lock_guard<std::mutex> lock(state->mutex);
+    state->response = std::move(response);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+/// The aggregate tail both blocking batch flavours share.
+inline void FillBatchStats(const PlanCacheStats& before,
+                           const PlanCacheStats& after, double wall_seconds,
+                           std::size_t requests, BatchStats& stats) {
+  stats.requests = requests;
+  stats.wall_seconds = wall_seconds;
+  stats.queries_per_second =
+      wall_seconds > 0 ? static_cast<double>(requests) / wall_seconds : 0;
+  stats.plan_cache_hits = after.hits - before.hits;
+  stats.plan_cache_misses = after.misses - before.misses;
+}
+
+/// Admits one request on any front end, riding out kResourceExhausted:
+/// when the queue is full, waits briefly on the oldest outstanding ticket
+/// (draining the queue is what frees a slot) and retries. Returns the
+/// ticket or a non-retryable admission error.
+template <typename ServiceT>
+util::Result<Ticket> SubmitBlocking(ServiceT& service, const Request& request,
+                                    const std::vector<Ticket>& outstanding) {
+  while (true) {
+    util::Result<Ticket> ticket = service.Submit(request);
+    if (ticket.ok() ||
+        ticket.status().code() != util::StatusCode::kResourceExhausted) {
+      return ticket;
+    }
+    bool waited = false;
+    for (const Ticket& earlier : outstanding) {
+      if (earlier.valid() && !earlier.done()) {
+        earlier.WaitFor(0.01);
+        waited = true;
+        break;
+      }
+    }
+    if (!waited) {
+      // The backlog is someone else's traffic; back off and retry.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+/// Blocking batch enumeration over any submitting front end: scatter the
+/// requests through Submit (the sharded service's Submit routes each to
+/// its owning shard), wait for every ticket, and gather the outcomes
+/// positionally — stable ordering regardless of execution interleaving.
+/// `plan_stats()` reads the (aggregated) plan-cache counters so the batch
+/// stats report cache effectiveness.
+template <typename ServiceT, typename PlanStatsFn>
+BatchEnumerateResult ServeEnumerateBatch(
+    ServiceT& service, const PlanStatsFn& plan_stats,
+    const std::vector<EnumerateRequest>& requests) {
+  const PlanCacheStats before = plan_stats();
+  util::Timer timer;
+  std::vector<Ticket> tickets(requests.size());
+  BatchEnumerateResult result;
+  result.outcomes.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Request request;
+    request.op = requests[i];
+    util::Result<Ticket> ticket = SubmitBlocking(service, request, tickets);
+    if (!ticket.ok()) {
+      result.outcomes[i].status = ticket.status();
+      continue;
+    }
+    tickets[i] = std::move(ticket).value();
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!tickets[i].valid()) continue;
+    Response response = tickets[i].Take();  // move the members, not copy
+    BatchEnumerateOutcome& outcome = result.outcomes[i];
+    outcome.status = std::move(response.status);
+    outcome.members = std::move(response.members);
+    outcome.exhausted = response.exhausted;
+    outcome.incomplete = response.incomplete;
+    outcome.hit_member_cap = response.hit_member_cap;
+    outcome.hit_timeout = response.hit_timeout;
+    outcome.seconds = response.exec_seconds;
+  }
+  for (const BatchEnumerateOutcome& outcome : result.outcomes) {
+    if (outcome.status.ok()) {
+      ++result.stats.succeeded;
+      result.stats.members_emitted += outcome.members.size();
+    } else {
+      ++result.stats.failed;
+    }
+  }
+  FillBatchStats(before, plan_stats(), timer.ElapsedSeconds(),
+                 requests.size(), result.stats);
+  return result;
+}
+
+/// Blocking batch decisions, same scatter/gather shape.
+template <typename ServiceT, typename PlanStatsFn>
+BatchDecideResult ServeDecideBatch(ServiceT& service,
+                                   const PlanStatsFn& plan_stats,
+                                   const std::vector<DecideRequest>& requests) {
+  const PlanCacheStats before = plan_stats();
+  util::Timer timer;
+  std::vector<Ticket> tickets(requests.size());
+  BatchDecideResult result;
+  result.outcomes.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Request request;
+    request.op = requests[i];
+    util::Result<Ticket> ticket = SubmitBlocking(service, request, tickets);
+    if (!ticket.ok()) {
+      result.outcomes[i].status = ticket.status();
+      continue;
+    }
+    tickets[i] = std::move(ticket).value();
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!tickets[i].valid()) continue;
+    const Response& response = tickets[i].Wait();
+    BatchDecideOutcome& outcome = result.outcomes[i];
+    outcome.status = response.status;
+    outcome.member = response.member;
+    outcome.seconds = response.exec_seconds;
+  }
+  for (const BatchDecideOutcome& outcome : result.outcomes) {
+    if (outcome.status.ok()) {
+      ++result.stats.succeeded;
+    } else {
+      ++result.stats.failed;
+    }
+  }
+  FillBatchStats(before, plan_stats(), timer.ElapsedSeconds(),
+                 requests.size(), result.stats);
+  return result;
+}
+
+/// The streaming scatter half behind StreamMany: one bounded stream per
+/// request, gathered by a MemberMerge in request order. Admission
+/// refusals abort the scatter (cancel + close what was admitted) instead
+/// of riding them out: parts already admitted may be blocked on their
+/// full streams, which only the (not yet existing) consumer could drain,
+/// so waiting here could deadlock.
+template <typename ServiceT>
+util::Result<std::shared_ptr<MemberMerge>> StreamManyOn(
+    ServiceT& service, std::vector<EnumerateRequest> requests,
+    std::size_t stream_capacity, double deadline_seconds) {
+  std::vector<MemberMerge::Part> parts;
+  parts.reserve(requests.size());
+  for (EnumerateRequest& request : requests) {
+    auto streamed =
+        service.Stream(std::move(request), stream_capacity, deadline_seconds);
+    if (!streamed.ok()) {
+      for (MemberMerge::Part& part : parts) {
+        part.ticket.Cancel();
+        part.stream->Close();
+      }
+      return streamed.status();
+    }
+    auto [ticket, stream] = std::move(streamed).value();
+    parts.push_back(MemberMerge::Part{std::move(ticket), std::move(stream)});
+  }
+  return std::make_shared<MemberMerge>(std::move(parts));
+}
+
+}  // namespace serving_internal
+}  // namespace whyprov
+
+#endif  // WHYPROV_SERVICE_SERVING_INTERNAL_H_

@@ -1,0 +1,129 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+#include <string>
+
+#include "datalog/partition.h"
+
+namespace whyprov {
+
+namespace dl = whyprov::datalog;
+
+std::string_view ShardPolicyName(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::kAuto:
+      return "auto";
+    case ShardPolicy::kByPredicate:
+      return "by-predicate";
+    case ShardPolicy::kByFactRange:
+      return "fact-range";
+  }
+  return "unknown";
+}
+
+util::Result<ShardMap> ShardMap::Build(const dl::Program& program,
+                                       std::size_t num_shards,
+                                       ShardPolicy policy) {
+  if (num_shards == 0) {
+    return util::Status::InvalidArgument(
+        "a shard map needs at least one shard");
+  }
+  const std::vector<dl::PredicateId> intensional =
+      program.IntensionalPredicates();
+
+  ShardPolicy resolved = policy;
+  if (policy == ShardPolicy::kAuto) {
+    // By-predicate only pays off when every shard gets something to own;
+    // single-predicate models (and overly fine shard counts) fall back to
+    // striping the fact-id space across replicas.
+    resolved = (num_shards > 1 && intensional.size() >= num_shards)
+                   ? ShardPolicy::kByPredicate
+                   : ShardPolicy::kByFactRange;
+  }
+  if (resolved == ShardPolicy::kByPredicate &&
+      intensional.size() < num_shards) {
+    return util::Status::InvalidArgument(
+        "by-predicate sharding needs at least as many intensional "
+        "predicates as shards (" +
+        std::to_string(intensional.size()) + " < " +
+        std::to_string(num_shards) + "); use fact-range or kAuto");
+  }
+
+  ShardMap map;
+  map.policy_ = resolved;
+  map.num_shards_ = num_shards;
+  map.owned_.resize(num_shards);
+  map.closures_.resize(num_shards);
+
+  if (resolved == ShardPolicy::kByFactRange) {
+    // Full replicas: every shard's model contains every predicate that
+    // occurs in the program (plus whatever only occurs in the database,
+    // which Covers treats as covered — see below).
+    std::vector<dl::PredicateId> everything = intensional;
+    for (const dl::PredicateId p : program.ExtensionalPredicates()) {
+      everything.push_back(p);
+    }
+    std::sort(everything.begin(), everything.end());
+    for (std::size_t shard = 0; shard < num_shards; ++shard) {
+      map.closures_[shard] = everything;
+    }
+    return map;
+  }
+
+  // Round-robin the intensional predicates (ascending id, so the
+  // assignment is deterministic and independent of hash order).
+  for (std::size_t i = 0; i < intensional.size(); ++i) {
+    const std::size_t shard = i % num_shards;
+    map.owned_[shard].push_back(intensional[i]);
+    map.owner_.emplace(intensional[i], shard);
+  }
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    map.closures_[shard] = dl::DependencyClosure(program, map.owned_[shard]);
+  }
+  return map;
+}
+
+std::size_t ShardMap::OwnerOfPredicate(dl::PredicateId predicate) const {
+  const auto it = owner_.find(predicate);
+  if (it != owner_.end()) return it->second;
+  // Extensional (or unknown) predicate: any shard whose model contains it
+  // can serve its targets; pick the first for determinism.
+  for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+    if (Covers(shard, predicate)) return shard;
+  }
+  return 0;
+}
+
+bool ShardMap::Covers(std::size_t shard, dl::PredicateId predicate) const {
+  if (policy_ == ShardPolicy::kByFactRange) {
+    // Replicas hold the full database, including facts over predicates
+    // the program never mentions.
+    return true;
+  }
+  const std::vector<dl::PredicateId>& closure = closures_[shard];
+  return std::binary_search(closure.begin(), closure.end(), predicate);
+}
+
+std::vector<std::size_t> ShardMap::ShardsForDelta(
+    const std::vector<dl::PredicateId>& predicates) const {
+  std::vector<std::size_t> shards;
+  if (policy_ == ShardPolicy::kByFactRange) {
+    // Replicas must stay lockstep: every delta reaches every shard.
+    shards.reserve(num_shards_);
+    for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+      shards.push_back(shard);
+    }
+    return shards;
+  }
+  for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+    for (const dl::PredicateId predicate : predicates) {
+      if (Covers(shard, predicate)) {
+        shards.push_back(shard);
+        break;
+      }
+    }
+  }
+  return shards;
+}
+
+}  // namespace whyprov

@@ -1,0 +1,112 @@
+#ifndef WHYPROV_SHARD_SHARD_MAP_H_
+#define WHYPROV_SHARD_SHARD_MAP_H_
+
+#include <cstddef>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "util/status.h"
+
+namespace whyprov {
+
+/// How a `ShardMap` partitions one logical model's target space across N
+/// shard engines.
+enum class ShardPolicy {
+  /// Resolve at Build time: by-predicate when the program has at least as
+  /// many intensional predicates as shards, fact-range otherwise (the
+  /// single-predicate scenarios — TransClosure, Andersen, CSDA — always
+  /// fall back to fact-range).
+  kAuto,
+  /// Partition the intensional predicates across shards (round-robin in
+  /// predicate order). The partition lives in the routing and the writes,
+  /// not the storage: targets route to the shard owning their predicate,
+  /// and a delta fans out only to the shards whose owned *dependency
+  /// closure* intersects its predicates — untouched shards are skipped
+  /// entirely, keep serving (and keep their plan caches hot), and their
+  /// model version legitimately trails. Correctness boundary: a skipped
+  /// delta cannot touch any fact in an owned target's downward closure,
+  /// so the stale replica still answers its own targets bit-identically.
+  kByPredicate,
+  /// Stripe the target fact-id space across shards holding full replicas
+  /// in lockstep (identical fact-id spaces, maintained by evaluate-once/
+  /// adopt-everywhere deltas). The fallback for single-predicate models,
+  /// where every target shares one predicate.
+  kByFactRange,
+};
+
+/// Human-readable policy name, e.g. "by-predicate".
+std::string_view ShardPolicyName(ShardPolicy policy);
+
+/// The partitioning decision of a sharded deployment: which shard owns
+/// which slice of the target space, which predicates each shard's model
+/// must contain (the dependency closure that makes its answers
+/// bit-identical to the unsharded engine's), and which shards a delta
+/// must reach. Immutable once built; cheap to copy.
+class ShardMap {
+ public:
+  /// Builds the map for `program` partitioned `num_shards` ways.
+  /// kByPredicate fails when the program has fewer intensional predicates
+  /// than shards (a shard would own nothing); kAuto falls back to
+  /// fact-range in that situation instead.
+  static util::Result<ShardMap> Build(const datalog::Program& program,
+                                      std::size_t num_shards,
+                                      ShardPolicy policy = ShardPolicy::kAuto);
+
+  /// The resolved policy (never kAuto).
+  ShardPolicy policy() const { return policy_; }
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// Owner of targets over `predicate` (by-predicate routing). Extensional
+  /// predicates route to the first shard whose closure contains them.
+  std::size_t OwnerOfPredicate(datalog::PredicateId predicate) const;
+
+  /// Owner of target `fact` (fact-range routing over lockstep replicas).
+  std::size_t OwnerOfFact(datalog::FactId fact) const {
+    return static_cast<std::size_t>(fact) % num_shards_;
+  }
+
+  /// The intensional predicates `shard` owns (empty under fact-range).
+  const std::vector<datalog::PredicateId>& owned_predicates(
+      std::size_t shard) const {
+    return owned_[shard];
+  }
+
+  /// The dependency closure of `shard`'s owned predicates — the
+  /// correctness boundary of its reads, the fan-out filter of its
+  /// writes, and what `datalog::SliceProgram`/`SliceDatabase` would keep
+  /// for an offline per-shard model reduction (sorted ascending). Under
+  /// fact-range: every predicate of the program (full replicas).
+  const std::vector<datalog::PredicateId>& closure_predicates(
+      std::size_t shard) const {
+    return closures_[shard];
+  }
+
+  /// True iff `shard`'s model contains `predicate` (so a delta over it
+  /// must reach the shard).
+  bool Covers(std::size_t shard, datalog::PredicateId predicate) const;
+
+  /// The shards a delta over `predicates` must fan out to: all of them
+  /// under fact-range (replicas must stay lockstep); under by-predicate,
+  /// only the shards whose closure intersects — the others are skipped
+  /// entirely, which is what keeps write serialisation local and lets
+  /// their snapshot versions trail (see ServiceStats::version_skew).
+  std::vector<std::size_t> ShardsForDelta(
+      const std::vector<datalog::PredicateId>& predicates) const;
+
+ private:
+  ShardMap() = default;
+
+  ShardPolicy policy_ = ShardPolicy::kByFactRange;
+  std::size_t num_shards_ = 1;
+  std::vector<std::vector<datalog::PredicateId>> owned_;
+  std::vector<std::vector<datalog::PredicateId>> closures_;  // sorted
+  std::unordered_map<datalog::PredicateId, std::size_t> owner_;
+};
+
+}  // namespace whyprov
+
+#endif  // WHYPROV_SHARD_SHARD_MAP_H_

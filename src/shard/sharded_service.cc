@@ -1,0 +1,588 @@
+#include "shard/sharded_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "datalog/parser.h"
+#include "service/serving_internal.h"
+
+namespace whyprov {
+
+namespace dl = whyprov::datalog;
+namespace si = whyprov::serving_internal;
+
+namespace {
+
+/// Syntactic predicate name of a fact text like "path(a, b)" — enough to
+/// route without parsing (parsing interns constants, which routing must
+/// not do on a shard that will never see the request).
+std::string PredicateNameOf(const std::string& text) {
+  const std::size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return std::string();
+  const std::size_t end = text.find_first_of("( \t\r\n", begin);
+  return text.substr(begin,
+                     (end == std::string::npos ? text.size() : end) - begin);
+}
+
+/// The (target, target_text) pair every read op carries; null for deltas.
+struct TargetRef {
+  dl::FactId* target = nullptr;
+  std::string* text = nullptr;
+};
+
+TargetRef TargetOf(Request& request) {
+  return std::visit(
+      [](auto& op) -> TargetRef {
+        using Op = std::decay_t<decltype(op)>;
+        if constexpr (std::is_same_v<Op, DeltaRequest>) {
+          return TargetRef{};
+        } else {
+          return TargetRef{&op.target, &op.target_text};
+        }
+      },
+      request.op);
+}
+
+}  // namespace
+
+// --- construction --------------------------------------------------------
+
+ShardedService::ShardedService(ShardMap map, ShardedServiceOptions options,
+                               std::shared_ptr<std::mutex> parse_mutex,
+                               std::shared_ptr<util::Executor> executor)
+    : map_(std::move(map)),
+      options_(std::move(options)),
+      parse_mutex_(std::move(parse_mutex)),
+      lane_capacity_(options_.service.queue_capacity == 0
+                         ? 1
+                         : options_.service.queue_capacity),
+      executor_(std::move(executor)) {}
+
+ShardedService::~ShardedService() {
+  // One pool serves every shard and the delta lane: drain it before any
+  // shard (or the lane state the tasks capture) is destroyed.
+  executor_->Shutdown();
+}
+
+util::Result<std::unique_ptr<ShardedService>> ShardedService::Create(
+    const dl::Program& program, const dl::Database& database,
+    dl::PredicateId answer_predicate, ShardedServiceOptions options) {
+  util::Result<ShardMap> map =
+      ShardMap::Build(program, options.num_shards, options.policy);
+  if (!map.ok()) return map.status();
+
+  // The shard engines share one symbol table, so they must share one
+  // parse mutex — otherwise two shards parsing fact text concurrently
+  // would race on the table.
+  if (!options.engine.parse_mutex) {
+    options.engine.parse_mutex = std::make_shared<std::mutex>();
+  }
+  auto executor = std::make_shared<util::Executor>(util::Executor::Options{
+      options.service.num_threads,
+      options.service.queue_capacity == 0 ? 1
+                                          : options.service.queue_capacity});
+
+  std::unique_ptr<ShardedService> service(
+      new ShardedService(std::move(map).value(), options,
+                         options.engine.parse_mutex, executor));
+  const ShardMap& shard_map = service->map_;
+  for (std::size_t s = 0; s < shard_map.num_shards(); ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Every shard evaluates the same parts: deterministic evaluation from
+    // identical inputs gives identical models *and identical fact-id
+    // spaces*, which is what makes sharded answers bit-identical to the
+    // unsharded engine's — fact ids drive the CNF variable layout, so
+    // even the enumeration order is preserved. (Under by-predicate the
+    // partition lives in the routing and the delta fan-out, not in the
+    // storage: a shard that skips a delta goes stale only on predicates
+    // outside its owned dependency closures, which its reads never
+    // touch. The `datalog/partition.h` slicers remain available for
+    // offline per-shard model reduction where order-identical
+    // enumeration is not required.)
+    shard->service = std::make_unique<Service>(
+        Engine::FromParts(program, database, answer_predicate,
+                          options.engine),
+        executor, options.service);
+    service->shards_.push_back(std::move(shard));
+  }
+  return service;
+}
+
+util::Result<std::unique_ptr<ShardedService>> ShardedService::FromText(
+    std::string_view program_text, std::string_view database_text,
+    std::string_view answer_predicate, ShardedServiceOptions options) {
+  auto symbols = std::make_shared<dl::SymbolTable>();
+  util::Result<dl::Program> program =
+      dl::Parser::ParseProgram(symbols, program_text);
+  if (!program.ok()) return program.status();
+  util::Result<dl::Database> database =
+      dl::Parser::ParseDatabase(symbols, database_text);
+  if (!database.ok()) return database.status();
+  util::Result<dl::PredicateId> predicate =
+      symbols->FindPredicate(answer_predicate);
+  if (!predicate.ok()) {
+    return util::Status::NotFound("answer predicate '" +
+                                  std::string(answer_predicate) +
+                                  "' does not occur in the program");
+  }
+  if (!program.value().IsIntensional(predicate.value())) {
+    return util::Status::InvalidArgument("answer predicate '" +
+                                         std::string(answer_predicate) +
+                                         "' is not intensional");
+  }
+  return Create(program.value(), database.value(), predicate.value(),
+                std::move(options));
+}
+
+const Engine& ShardedService::engine() const {
+  return shards_.front()->service->engine();
+}
+
+// --- read routing --------------------------------------------------------
+
+util::Result<std::size_t> ShardedService::RouteRead(Request& request) const {
+  const TargetRef target = TargetOf(request);
+
+  if (map_.policy() == ShardPolicy::kByFactRange) {
+    if (*target.target != dl::kInvalidFact) {
+      return map_.OwnerOfFact(*target.target);
+    }
+    if (!target.text->empty()) {
+      // Canonicalise on the reference replica: the resolved id is valid
+      // on every shard (lockstep), so the owner never re-parses and the
+      // same target always routes to the same shard however its text is
+      // spelled.
+      util::Result<dl::FactId> id = engine().FactIdOf(*target.text);
+      if (id.ok()) {
+        *target.target = id.value();
+        target.text->clear();
+        return map_.OwnerOfFact(id.value());
+      }
+      // Unresolvable: any shard reproduces the engine's own error
+      // through the ticket; spread by text hash.
+      return std::hash<std::string>{}(*target.text) % shards_.size();
+    }
+    return std::size_t{0};  // "no target" — the shard surfaces the error
+  }
+
+  // By-predicate: route on the target's predicate, read syntactically off
+  // the text (no interning on the router).
+  if (!target.text->empty()) {
+    const std::string name = PredicateNameOf(*target.text);
+    const std::lock_guard<std::mutex> lock(*parse_mutex_);
+    util::Result<dl::PredicateId> predicate =
+        engine().model().symbols().FindPredicate(name);
+    if (!predicate.ok()) return std::size_t{0};  // shard surfaces the error
+    return map_.OwnerOfPredicate(predicate.value());
+  }
+  if (*target.target != dl::kInvalidFact) {
+    return util::Status::InvalidArgument(
+        "by-predicate sharding routes reads by target text: fact ids are "
+        "shard-local, so a bare id cannot name its owner");
+  }
+  return std::size_t{0};
+}
+
+util::Result<Ticket> ShardedService::Submit(Request request,
+                                            std::shared_ptr<MemberSink> sink) {
+  if (si::KindOf(request) == RequestKind::kApplyDelta) {
+    return SubmitDelta(std::move(request));
+  }
+  util::Result<std::size_t> shard = RouteRead(request);
+  if (!shard.ok()) return shard.status();
+  return shards_[shard.value()]->service->Submit(std::move(request),
+                                                 std::move(sink));
+}
+
+util::Result<std::pair<Ticket, std::shared_ptr<MemberStream>>>
+ShardedService::Stream(EnumerateRequest request, std::size_t stream_capacity,
+                       double deadline_seconds) {
+  auto stream = std::make_shared<MemberStream>(stream_capacity);
+  Request unified;
+  unified.op = std::move(request);
+  unified.deadline_seconds = deadline_seconds;
+  util::Result<Ticket> ticket = Submit(std::move(unified), stream);
+  if (!ticket.ok()) return ticket.status();
+  return std::make_pair(std::move(ticket).value(), std::move(stream));
+}
+
+util::Result<std::shared_ptr<MemberMerge>> ShardedService::StreamMany(
+    std::vector<EnumerateRequest> requests, std::size_t stream_capacity,
+    double deadline_seconds) {
+  return si::StreamManyOn(*this, std::move(requests), stream_capacity,
+                          deadline_seconds);
+}
+
+PlanCacheStats ShardedService::AggregatePlanCacheStats() const {
+  PlanCacheStats total;
+  for (const auto& shard : shards_) {
+    const PlanCacheStats stats = shard->service->engine().plan_cache_stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.evictions += stats.evictions;
+    total.invalidated += stats.invalidated;
+    total.size += stats.size;
+    total.capacity += stats.capacity;
+  }
+  return total;
+}
+
+BatchEnumerateResult ShardedService::EnumerateBatch(
+    const std::vector<EnumerateRequest>& requests) {
+  return si::ServeEnumerateBatch(
+      *this, [this] { return AggregatePlanCacheStats(); }, requests);
+}
+
+BatchDecideResult ShardedService::DecideBatch(
+    const std::vector<DecideRequest>& requests) {
+  return si::ServeDecideBatch(
+      *this, [this] { return AggregatePlanCacheStats(); }, requests);
+}
+
+// --- the write path: ordered delta lane ----------------------------------
+
+util::Status ShardedService::ParseDeltaTexts(DeltaRequest& delta) {
+  const std::lock_guard<std::mutex> lock(*parse_mutex_);
+  const std::shared_ptr<dl::SymbolTable>& symbols =
+      engine().model().symbols_ptr();
+  for (auto [texts, facts] :
+       {std::make_pair(&delta.added_fact_texts, &delta.added_facts),
+        std::make_pair(&delta.removed_fact_texts, &delta.removed_facts)}) {
+    for (const std::string& text : *texts) {
+      util::Result<dl::Fact> fact = dl::Parser::ParseFact(symbols, text);
+      if (!fact.ok()) return fact.status();
+      facts->push_back(std::move(fact).value());
+    }
+    texts->clear();
+  }
+  return util::Status::Ok();
+}
+
+std::vector<dl::PredicateId> ShardedService::DeltaPredicates(
+    const DeltaRequest& delta) const {
+  std::vector<dl::PredicateId> predicates;
+  for (const dl::Fact& fact : delta.added_facts) {
+    predicates.push_back(fact.predicate);
+  }
+  for (const dl::Fact& fact : delta.removed_facts) {
+    predicates.push_back(fact.predicate);
+  }
+  std::sort(predicates.begin(), predicates.end());
+  predicates.erase(std::unique(predicates.begin(), predicates.end()),
+                   predicates.end());
+  return predicates;
+}
+
+bool ShardedService::CoveredByAnyShard(dl::PredicateId predicate) const {
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (map_.Covers(shard, predicate)) return true;
+  }
+  return false;
+}
+
+util::Status ShardedService::EnqueueDelta(std::function<void()> task) {
+  const std::lock_guard<std::mutex> lock(lane_mutex_);
+  // The write path honours the same admission bound as the read path: a
+  // drain in progress must not let the lane grow without limit.
+  if (lane_.size() >= lane_capacity_) {
+    return util::Status::ResourceExhausted(
+        "the delta lane is full (" + std::to_string(lane_capacity_) +
+        " pending deltas)");
+  }
+  lane_.push_back(std::move(task));
+  if (!lane_draining_) {
+    const util::Status submitted =
+        executor_->TrySubmit([this] { DrainDeltaLane(); });
+    if (!submitted.ok()) {
+      lane_.pop_back();
+      return submitted;
+    }
+    lane_draining_ = true;
+  }
+  return util::Status::Ok();
+}
+
+void ShardedService::DrainDeltaLane() {
+  while (true) {
+    std::function<void()> task;
+    {
+      const std::lock_guard<std::mutex> lock(lane_mutex_);
+      if (lane_.empty()) {
+        lane_draining_ = false;
+        return;
+      }
+      task = std::move(lane_.front());
+      lane_.pop_front();
+      // Marked under the lane mutex so stats() never sees the delta in
+      // neither gauge (popped from lane_ yet not counted executing).
+      lane_active_.fetch_add(1, std::memory_order_relaxed);
+    }
+    task();
+    lane_active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// Merges one shard's delta outcome into the logical view: replicas (and
+/// overlapping closures) apply the same base facts on several shards, so
+/// fact counters take the max (the logical counts, or an upper bound of
+/// them) while the per-shard plan-cache counters genuinely add up.
+void MergeDeltaStats(const DeltaStats& shard_stats, bool first,
+                     DeltaStats& merged) {
+  if (first) {
+    merged = shard_stats;
+    return;
+  }
+  merged.model_version =
+      std::max(merged.model_version, shard_stats.model_version);
+  merged.facts_added = std::max(merged.facts_added, shard_stats.facts_added);
+  merged.facts_removed =
+      std::max(merged.facts_removed, shard_stats.facts_removed);
+  merged.facts_derived =
+      std::max(merged.facts_derived, shard_stats.facts_derived);
+  merged.facts_deleted =
+      std::max(merged.facts_deleted, shard_stats.facts_deleted);
+  merged.facts_rederived =
+      std::max(merged.facts_rederived, shard_stats.facts_rederived);
+  merged.facts_touched =
+      std::max(merged.facts_touched, shard_stats.facts_touched);
+  merged.plans_retained += shard_stats.plans_retained;
+  merged.plans_invalidated += shard_stats.plans_invalidated;
+  merged.eval_seconds = std::max(merged.eval_seconds, shard_stats.eval_seconds);
+}
+
+}  // namespace
+
+util::Result<Ticket> ShardedService::SubmitDelta(Request request) {
+  auto state = std::make_shared<Ticket::State>();
+  state->request = std::move(request);
+  const double deadline = state->request.deadline_seconds > 0
+                              ? state->request.deadline_seconds
+                              : options_.service.default_deadline_seconds;
+  if (deadline > 0) state->cancel.SetTimeout(deadline);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+    state->id = ++next_id_;
+  }
+
+  // The fan-out decision happens at admission (under fact-range it is
+  // trivially "all shards"); the lane then executes deltas one at a time
+  // in admission order, so every shard observes one consistent write
+  // order while only the intersecting shards' engines are ever written.
+  std::vector<std::size_t> targets;
+  if (map_.policy() == ShardPolicy::kByFactRange) {
+    targets = map_.ShardsForDelta({});
+  } else {
+    // By-predicate routing needs every fact's predicate, so text facts
+    // are parsed once here (the shards then never re-parse). A malformed
+    // text fails the whole delta through the ticket, exactly like the
+    // unsharded engine's own delta parsing.
+    DeltaRequest& delta = std::get<DeltaRequest>(state->request.op);
+    const util::Status parsed = ParseDeltaTexts(delta);
+    if (!parsed.ok()) {
+      Response response;
+      response.kind = RequestKind::kApplyDelta;
+      response.status = parsed;
+      si::FinishTicket(state, std::move(response), stats_, stats_mutex_);
+      return Ticket(state);
+    }
+    targets = map_.ShardsForDelta(DeltaPredicates(delta));
+    // Facts over predicates outside every shard's partition (predicates
+    // no rule mentions) still belong in the logical database; they land
+    // on shard 0, where predicate routing also defaults — so a client
+    // that writes them can read them back.
+    bool orphans = false;
+    for (const std::vector<dl::Fact>* facts :
+         {&delta.added_facts, &delta.removed_facts}) {
+      for (const dl::Fact& fact : *facts) {
+        if (!CoveredByAnyShard(fact.predicate)) {
+          orphans = true;
+          break;
+        }
+      }
+      if (orphans) break;
+    }
+    if (orphans &&
+        std::find(targets.begin(), targets.end(), std::size_t{0}) ==
+            targets.end()) {
+      targets.insert(targets.begin(), 0);
+    }
+  }
+
+  const util::Status enqueued =
+      EnqueueDelta([this, state, targets = std::move(targets)] {
+        ExecuteDelta(state, targets);
+      });
+  if (!enqueued.ok()) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    --stats_.submitted;
+    ++stats_.rejected;
+    return enqueued;
+  }
+  return Ticket(state);
+}
+
+void ShardedService::ExecuteDelta(const std::shared_ptr<Ticket::State>& state,
+                                  const std::vector<std::size_t>& targets) {
+  Response response;
+  response.kind = RequestKind::kApplyDelta;
+  response.queue_seconds = state->submit_timer.ElapsedSeconds();
+  util::Timer exec_timer;
+  const util::CancellationToken token = state->cancel.token();
+  const DeltaRequest& delta = std::get<DeltaRequest>(state->request.op);
+
+  if (token.ShouldStop()) {
+    // Cancelled or expired while queued in the lane: no shard applied
+    // anything, so the abort is trivially all-or-nothing.
+    response.status = token.InterruptionStatus();
+  } else if (targets.empty()) {
+    // The delta intersects no shard's partition: an applied no-op.
+    DeltaStats stats;
+    for (const auto& shard : shards_) {
+      stats.model_version = std::max(
+          stats.model_version, shard->service->engine().model_version());
+      shard->deltas_skipped.fetch_add(1, std::memory_order_relaxed);
+    }
+    stats.total_seconds = exec_timer.ElapsedSeconds();
+    response.model_version = stats.model_version;
+    response.delta = stats;
+  } else if (map_.policy() == ShardPolicy::kByFactRange) {
+    // Evaluate once on the lead replica, adopt everywhere: N shards pay
+    // one semi-naive propagation plus N cheap snapshot publishes (each
+    // with its own selective plan invalidation), and their fact-id
+    // spaces stay lockstep.
+    util::Result<EvaluatedDelta> evaluated =
+        ShardEngine(targets.front()).EvaluateDelta(delta);
+    if (!evaluated.ok()) {
+      response.status = evaluated.status();
+    } else {
+      DeltaStats merged;
+      bool first = true;
+      for (const std::size_t s : targets) {
+        util::Result<DeltaStats> adopted =
+            ShardEngine(s).AdoptDelta(evaluated.value());
+        if (!adopted.ok()) {
+          response.status = adopted.status();
+          break;
+        }
+        shards_[s]->deltas_applied.fetch_add(1, std::memory_order_relaxed);
+        MergeDeltaStats(adopted.value(), first, merged);
+        first = false;
+      }
+      if (response.status.ok()) {
+        merged.total_seconds = exec_timer.ElapsedSeconds();
+        response.model_version = merged.model_version;
+        response.delta = merged;
+      }
+    }
+  } else {
+    // By-predicate: each intersecting shard applies its split of the
+    // delta (facts its dependency closure covers; shard 0 additionally
+    // takes the facts no partition covers); the others are skipped
+    // outright and keep serving their current version.
+    DeltaStats merged;
+    bool first = true;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (std::find(targets.begin(), targets.end(), s) == targets.end()) {
+        shards_[s]->deltas_skipped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      util::Result<DeltaStats> applied = ShardEngine(s).ApplyDelta(
+          SplitDeltaFor(s, delta, /*take_orphans=*/s == 0));
+      if (!applied.ok()) {
+        response.status = applied.status();
+        break;
+      }
+      shards_[s]->deltas_applied.fetch_add(1, std::memory_order_relaxed);
+      MergeDeltaStats(applied.value(), first, merged);
+      first = false;
+    }
+    if (response.status.ok()) {
+      merged.total_seconds = exec_timer.ElapsedSeconds();
+      response.model_version = merged.model_version;
+      response.delta = merged;
+    }
+  }
+  response.exec_seconds = exec_timer.ElapsedSeconds();
+  si::FinishTicket(state, std::move(response), stats_, stats_mutex_);
+}
+
+DeltaRequest ShardedService::SplitDeltaFor(std::size_t shard,
+                                           const DeltaRequest& delta,
+                                           bool take_orphans) const {
+  // Texts were normalised into the fact vectors at admission.
+  const auto wanted = [&](const dl::Fact& fact) {
+    return map_.Covers(shard, fact.predicate) ||
+           (take_orphans && !CoveredByAnyShard(fact.predicate));
+  };
+  DeltaRequest sub;
+  for (const dl::Fact& fact : delta.added_facts) {
+    if (wanted(fact)) sub.added_facts.push_back(fact);
+  }
+  for (const dl::Fact& fact : delta.removed_facts) {
+    if (wanted(fact)) sub.removed_facts.push_back(fact);
+  }
+  return sub;
+}
+
+// --- stats ---------------------------------------------------------------
+
+ServiceStats ShardedService::stats() const {
+  ServiceStats total;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    total = stats_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(lane_mutex_);
+    total.queue_depth += lane_.size();
+    total.in_flight += lane_active_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min_version = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_version = 0;
+  total.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const ServiceStats s = shard->service->stats();
+    total.submitted += s.submitted;
+    total.rejected += s.rejected;
+    total.completed += s.completed;
+    total.succeeded += s.succeeded;
+    total.cancelled += s.cancelled;
+    total.deadline_exceeded += s.deadline_exceeded;
+    total.failed += s.failed;
+    total.members_delivered += s.members_delivered;
+    total.queue_depth += s.queue_depth;
+    total.in_flight += s.in_flight;
+    total.retained_snapshots += s.retained_snapshots;
+    total.retained_snapshot_bytes += s.retained_snapshot_bytes;
+    min_version = std::min(min_version, s.model_version);
+    max_version = std::max(max_version, s.model_version);
+
+    ShardStats row;
+    row.queue_depth = s.queue_depth;
+    row.in_flight = s.in_flight;
+    row.submitted = s.submitted;
+    row.completed = s.completed;
+    row.succeeded = s.succeeded;
+    row.queries_per_second = s.queries_per_second;
+    row.model_version = s.model_version;
+    row.deltas_applied =
+        shard->deltas_applied.load(std::memory_order_relaxed);
+    row.deltas_skipped =
+        shard->deltas_skipped.load(std::memory_order_relaxed);
+    row.retained_snapshots = s.retained_snapshots;
+    row.retained_snapshot_bytes = s.retained_snapshot_bytes;
+    total.shards.push_back(row);
+  }
+  total.model_version = max_version;
+  total.version_skew = shards_.empty() ? 0 : max_version - min_version;
+  const double uptime = uptime_.ElapsedSeconds();
+  total.queries_per_second =
+      uptime > 0 ? static_cast<double>(total.completed) / uptime : 0;
+  return total;
+}
+
+}  // namespace whyprov

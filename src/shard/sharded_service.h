@@ -1,0 +1,220 @@
+#ifndef WHYPROV_SHARD_SHARDED_SERVICE_H_
+#define WHYPROV_SHARD_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "service/service.h"
+#include "shard/shard_map.h"
+#include "util/executor.h"
+
+namespace whyprov {
+
+/// Configuration of a sharded deployment: the partitioning (see
+/// ShardPolicy), the per-shard engine tuning, and the *shared* serving
+/// policy — one worker pool, one submission queue, one admission bound
+/// for all shards.
+struct ShardedServiceOptions {
+  std::size_t num_shards = 2;
+  ShardPolicy policy = ShardPolicy::kAuto;
+  /// Per-shard engine configuration. `engine.parse_mutex` is overridden:
+  /// the shards share one symbol table, so the sharded service installs
+  /// one shared parse mutex across them.
+  EngineOptions engine;
+  /// The shared pool/queue/deadline policy (num_threads, queue_capacity,
+  /// default_deadline_seconds apply to the whole service, not per shard).
+  ServiceOptions service;
+};
+
+/// One logical model partitioned across N engines behind the `Service`
+/// API, unchanged for clients: the same `Request` variant, the same
+/// `Ticket`/`Response`, the same streaming sinks.
+///
+///   * A router pins every Enumerate/Decide/Explain to the shard owning
+///     its target (by predicate, or by fact-range striping over lockstep
+///     replicas — see ShardPolicy), so a target's plan is compiled and
+///     cached exactly once, on its owner.
+///   * `ApplyDelta` fans out only to the shards whose partition
+///     intersects the delta. Under fact-range the delta is *evaluated
+///     once* and adopted by every replica (Engine::EvaluateDelta /
+///     AdoptDelta), so N shards do not pay N propagations; under
+///     by-predicate each intersecting shard applies its split of the
+///     delta and untouched shards keep serving an older version
+///     (ServiceStats::version_skew). A single ordered delta lane gives
+///     all shards one consistent write order while only the intersecting
+///     shards' engines are ever written.
+///   * Cross-shard reads scatter/gather: `EnumerateBatch`/`DecideBatch`
+///     fan requests to their owners and gather outcomes positionally;
+///     `StreamMany` merges per-request bounded `MemberStream`s through a
+///     `MemberMerge` with stable member ordering and end-to-end
+///     backpressure.
+///   * All shards sit behind ONE `util::Executor` (queue + workers +
+///     admission bound): the queue/worker/deadline plumbing is the
+///     single-engine `Service`'s, shared, not duplicated.
+///
+/// Equivalence guarantee: for any sequence of requests where each delta
+/// is awaited before dependent reads, results are bit-identical to one
+/// unsharded engine serving the same sequence, for every shard count and
+/// both policies (tests/test_shard.cc holds this across the scenario
+/// generators).
+class ShardedService {
+ public:
+  /// Builds the shard engines from one parsed program/database: every
+  /// shard evaluates the same parts, so the replicas start with
+  /// identical models and fact-id spaces (the bit-identity invariant);
+  /// the partition lives in the routing and the delta fan-out.
+  static util::Result<std::unique_ptr<ShardedService>> Create(
+      const datalog::Program& program, const datalog::Database& database,
+      datalog::PredicateId answer_predicate,
+      ShardedServiceOptions options = ShardedServiceOptions());
+
+  /// Parses program/database text, resolves the answer predicate, then
+  /// Create().
+  static util::Result<std::unique_ptr<ShardedService>> FromText(
+      std::string_view program_text, std::string_view database_text,
+      std::string_view answer_predicate,
+      ShardedServiceOptions options = ShardedServiceOptions());
+
+  ~ShardedService();
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Admits `request`, routed to its owning shard (reads) or through the
+  /// ordered delta lane (writes). Same contract as Service::Submit; under
+  /// by-predicate, reads must name their target by text (fact ids are
+  /// shard-local there — under fact-range both work, and ids are
+  /// portable across shards).
+  util::Result<Ticket> Submit(Request request,
+                              std::shared_ptr<MemberSink> sink = nullptr);
+
+  /// Streaming enumeration on the owning shard (see Service::Stream).
+  util::Result<std::pair<Ticket, std::shared_ptr<MemberStream>>> Stream(
+      EnumerateRequest request, std::size_t stream_capacity = 8,
+      double deadline_seconds = 0);
+
+  /// Cross-shard streaming scatter/gather: every enumeration runs on its
+  /// owner with its own bounded stream, merged in request order.
+  util::Result<std::shared_ptr<MemberMerge>> StreamMany(
+      std::vector<EnumerateRequest> requests, std::size_t stream_capacity = 8,
+      double deadline_seconds = 0);
+
+  /// Blocking scatter/gather batches (see Service::EnumerateBatch).
+  BatchEnumerateResult EnumerateBatch(
+      const std::vector<EnumerateRequest>& requests);
+  BatchDecideResult DecideBatch(const std::vector<DecideRequest>& requests);
+
+  /// Aggregated counters plus one ShardStats row per shard (queue depth,
+  /// q/s, model version, delta fan-out, snapshot retention) and the
+  /// snapshot-version skew across shards.
+  ServiceStats stats() const;
+
+  const ShardMap& shard_map() const { return map_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Shard `i`'s service (views/diagnostics; submit through the router).
+  const Service& shard(std::size_t i) const { return *shards_[i]->service; }
+
+  /// The reference engine for id/answer bookkeeping (shard 0). Under
+  /// fact-range it is a full replica whose fact ids are valid on every
+  /// shard; under by-predicate it only holds shard 0's slice — use
+  /// target texts there.
+  const Engine& engine() const;
+
+  std::size_t num_threads() const { return executor_->num_threads(); }
+  const ShardedServiceOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<Service> service;
+    std::atomic<std::uint64_t> deltas_applied{0};
+    std::atomic<std::uint64_t> deltas_skipped{0};
+  };
+
+  ShardedService(ShardMap map, ShardedServiceOptions options,
+                 std::shared_ptr<std::mutex> parse_mutex,
+                 std::shared_ptr<util::Executor> executor);
+
+  /// Picks the owning shard for a read request, canonicalising the target
+  /// (under fact-range, text targets are resolved to portable fact ids on
+  /// the reference replica so the owner never re-parses). Routing errors
+  /// that a single engine would also report (unparsable/unknown targets)
+  /// are left for the owning shard to surface through the ticket.
+  util::Result<std::size_t> RouteRead(Request& request) const;
+
+  /// The write path: split/fan-out decision, then one ordered lane task.
+  util::Result<Ticket> SubmitDelta(Request request);
+
+  /// The lane task: evaluate-once/adopt-everywhere (fact-range) or
+  /// split-and-apply per intersecting shard (by-predicate).
+  void ExecuteDelta(const std::shared_ptr<Ticket::State>& state,
+                    const std::vector<std::size_t>& targets);
+
+  /// Parses a delta's text-form facts into its fact vectors (one parse at
+  /// the router instead of one per shard); fails exactly like the
+  /// engine's own delta parsing would.
+  util::Status ParseDeltaTexts(DeltaRequest& delta);
+
+  /// The facts of `delta` whose predicate `shard`'s partition covers;
+  /// with `take_orphans`, also the facts no shard's partition covers
+  /// (predicates outside every dependency closure land on shard 0, which
+  /// is also where predicate routing defaults — read-your-writes holds).
+  DeltaRequest SplitDeltaFor(std::size_t shard, const DeltaRequest& delta,
+                             bool take_orphans) const;
+
+  /// True iff some shard's partition covers `predicate`.
+  bool CoveredByAnyShard(datalog::PredicateId predicate) const;
+
+  /// Enqueues `task` on the delta lane (bounded by the service queue
+  /// capacity — admission control for the write path too), spinning up a
+  /// drain task on the shared executor when none is running.
+  util::Status EnqueueDelta(std::function<void()> task);
+  void DrainDeltaLane();
+
+  /// The predicates a (text-normalised) delta mentions, deduplicated.
+  std::vector<datalog::PredicateId> DeltaPredicates(
+      const DeltaRequest& delta) const;
+
+  /// Plan-cache counters summed across the shards.
+  PlanCacheStats AggregatePlanCacheStats() const;
+
+  Engine& ShardEngine(std::size_t shard) {
+    return shards_[shard]->service->engine_;
+  }
+
+  ShardMap map_;
+  ShardedServiceOptions options_;
+  std::shared_ptr<std::mutex> parse_mutex_;  ///< shared with every engine
+  util::Timer uptime_;
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;  ///< the router's own traffic: the delta lane
+  std::uint64_t next_id_ = 0;
+
+  // The ordered delta lane: tasks run FIFO on the shared executor, one at
+  // a time — every shard observes the same write order (lockstep for
+  // replicas) while each delta only touches its target shards' engines.
+  mutable std::mutex lane_mutex_;
+  std::deque<std::function<void()>> lane_;
+  bool lane_draining_ = false;
+  std::size_t lane_capacity_ = 1;  ///< admission bound of the write path
+  /// Deltas currently executing on the lane (0 or 1): popped from lane_
+  /// but not yet finished, so stats() can still count them in-flight.
+  std::atomic<std::size_t> lane_active_{0};
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Declared last (after the shards that share it): the destructor
+  /// shuts it down first, draining every queued request and lane task.
+  std::shared_ptr<util::Executor> executor_;
+};
+
+}  // namespace whyprov
+
+#endif  // WHYPROV_SHARD_SHARDED_SERVICE_H_

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "util/status.h"
@@ -40,6 +41,15 @@ class CancellationToken {
 
   /// The one predicate long-running loops poll: stop on either reason.
   bool ShouldStop() const { return cancelled() || expired(); }
+
+  /// The absolute deadline carried by this token, if any. Long-running
+  /// backends use it as a *hint* — e.g. the CDCL solver budgets its
+  /// remaining conflicts against it so it can stop at a restart boundary
+  /// instead of being chopped mid-search by the poll.
+  std::optional<Clock::time_point> deadline() const {
+    if (state_ == nullptr || !state_->has_deadline) return std::nullopt;
+    return state_->deadline;
+  }
 
   /// Classifies the interruption: kCancelled (explicit cancel wins),
   /// kDeadlineExceeded, or Ok when the token does not demand a stop.

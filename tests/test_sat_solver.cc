@@ -1,6 +1,7 @@
 // Unit and property tests for the CDCL SAT solver substrate.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -152,6 +153,25 @@ TEST(SolverTest, ConflictBudgetReturnsUnknown) {
   ASSERT_TRUE(LoadIntoSolver(Pigeonhole(8), solver));
   solver.SetConflictBudget(10);
   EXPECT_EQ(solver.Solve(), SolveResult::kUnknown);
+}
+
+TEST(SolverTest, DeadlineHintDegradesToUnknownGracefully) {
+  // An already-spent deadline: the solver must give up at a restart
+  // boundary — here before the first restart even starts — instead of
+  // burning conflicts a poll would chop mid-search. No interrupt check is
+  // installed, so kUnknown can only come from the hint's budgeting.
+  Solver hinted;
+  ASSERT_TRUE(LoadIntoSolver(Pigeonhole(8), hinted));
+  hinted.SetDeadlineHint(std::chrono::steady_clock::now() -
+                         std::chrono::milliseconds(1));
+  EXPECT_EQ(hinted.Solve(), SolveResult::kUnknown);
+
+  // A comfortable deadline leaves the search unimpeded.
+  Solver relaxed;
+  ASSERT_TRUE(LoadIntoSolver(Pigeonhole(5), relaxed));
+  relaxed.SetDeadlineHint(std::chrono::steady_clock::now() +
+                          std::chrono::minutes(5));
+  EXPECT_EQ(relaxed.Solve(), SolveResult::kUnsat);
 }
 
 TEST(DimacsTest, ParseWriteRoundTrip) {

@@ -481,6 +481,55 @@ TEST(ServiceConcurrencyTest, MixedWorkloadFromManySubmittersCompletes) {
   EXPECT_EQ(service.stats().in_flight, 0u);
 }
 
+// --- stats: throughput, versions, snapshot accounting --------------------
+
+TEST(ServiceStatsTest, ReportsThroughputVersionAndSnapshotRetention) {
+  ServiceOptions options;
+  options.num_threads = 2;  // the delta must run beside the blocked stream
+  Service service(MakeEngine(kDiamondProgram, kDiamondDatabase, "path"),
+                  options);
+  auto first = service.Submit(EnumerateOp("path(a, b)"));
+  ASSERT_TRUE(first.ok());
+  first.value().Wait();
+
+  ServiceStats stats = service.stats();
+  EXPECT_GT(stats.queries_per_second, 0.0);
+  EXPECT_EQ(stats.model_version, 0u);
+  EXPECT_EQ(stats.retained_snapshots, 1u);  // just the published state
+  EXPECT_GT(stats.retained_snapshot_bytes, 0u);
+  EXPECT_EQ(stats.version_skew, 0u);
+  EXPECT_TRUE(stats.shards.empty()) << "single-engine services have no rows";
+
+  // An in-flight streaming enumeration pins its snapshot across a delta:
+  // the retired version must show up in the retention gauges until the
+  // stream finishes.
+  EnumerateRequest enumerate;
+  enumerate.target_text = "path(a, b)";
+  auto streamed = service.Stream(std::move(enumerate), /*stream_capacity=*/1);
+  ASSERT_TRUE(streamed.ok());
+  auto [ticket, stream] = std::move(streamed).value();
+  ASSERT_TRUE(stream->Pop().has_value());  // provably mid-flight
+
+  DeltaRequest delta;
+  delta.removed_fact_texts = {"edge(a, m1)"};
+  Request delta_request;
+  delta_request.op = delta;
+  auto delta_ticket = service.Submit(std::move(delta_request));
+  ASSERT_TRUE(delta_ticket.ok());
+  ASSERT_TRUE(delta_ticket.value().Wait().status.ok());
+
+  stats = service.stats();
+  EXPECT_EQ(stats.model_version, 1u);
+  EXPECT_EQ(stats.retained_snapshots, 2u)
+      << "the pinned v0 snapshot plus the published v1";
+
+  while (stream->Pop().has_value()) {
+  }
+  ticket.Wait();
+  EXPECT_EQ(service.stats().retained_snapshots, 1u)
+      << "draining the stream must release the retired snapshot";
+}
+
 // --- blocking batch conveniences -----------------------------------------
 
 TEST(ServiceBatchTest, EnumerateBatchMatchesEngineBatch) {
