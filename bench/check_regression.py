@@ -8,7 +8,8 @@ speedup floor the acceptance criteria promise, or when sharded serving
 stops scaling (2-shard q/s vs 1-shard q/s in the *current* run).
 
 Rows are matched on their identity fields (scenario, database, plan_cache,
-threads_requested, shards, delta_size, direction — whichever are present),
+threads_requested, shards, clients, delta_size, direction — whichever are
+present),
 so a baseline recorded on a machine with a different core count still
 matches: `threads_requested` (0 = all cores) is stable while the resolved
 `threads` is not.
@@ -40,6 +41,7 @@ KEY_FIELDS = (
     "plan_cache",
     "threads_requested",
     "shards",
+    "clients",
     "delta_size",
     "direction",
 )

@@ -1,0 +1,222 @@
+// whyprov_server: the network serving tier as a standalone binary —
+// whyprov_service_create (C ABI) wrapped in net::Server, speaking the
+// length-prefixed wire protocol on loopback.
+//
+// Build & run:
+//   ./build/whyprov_server                         # demo program, port 0
+//   ./build/whyprov_server --port=7411
+//   ./build/whyprov_server --program=p.dl --database=d.dl --answer=path
+//   ./build/whyprov_server --selfcheck             # CI smoke test
+//
+// Prints the bound port (ephemeral with --port=0, the default), then
+// serves until stdin reaches EOF (Ctrl-D, or a closed pipe — which is
+// how scripts stop it). With --selfcheck it instead connects a wire
+// client to itself, runs one streaming enumeration, one decision, and a
+// stats probe, prints what came back, and exits 0 on success — the CI
+// loopback smoke test.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "net/whyprov_c.h"
+
+namespace {
+
+constexpr const char* kDemoProgram = R"(
+  path(X, Y) :- edge(X, Y).
+  path(X, Y) :- edge(X, Z), path(Z, Y).
+)";
+constexpr const char* kDemoDatabase = R"(
+  edge(a, m1). edge(m1, b).
+  edge(a, m2). edge(m2, b).
+  edge(b, c).
+)";
+constexpr const char* kDemoAnswer = "path";
+constexpr const char* kDemoTarget = "path(a, b)";
+
+bool ReadFile(const char* path, std::string& out) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) return false;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out.append(buffer, got);
+  }
+  std::fclose(file);
+  return true;
+}
+
+int SelfCheck(std::uint16_t port, const std::string& target) {
+  auto client = whyprov::net::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "selfcheck: connect failed: %s\n",
+                 client.status().message().c_str());
+    return 1;
+  }
+
+  // A streaming enumeration: members arrive as batch frames.
+  std::size_t streamed = 0;
+  auto outcome = client.value().Enumerate(
+      target, /*max_members=*/4, /*deadline_seconds=*/30, /*stream=*/true,
+      /*batch_size=*/0, [&](const std::vector<std::string>& member) {
+        std::string line = "  {";
+        for (std::size_t i = 0; i < member.size(); ++i) {
+          if (i > 0) line += ", ";
+          line += member[i];
+        }
+        std::printf("%s}\n", line.c_str());
+        ++streamed;
+        return true;
+      });
+  if (!outcome.ok() || !outcome.value().ok()) {
+    std::fprintf(stderr, "selfcheck: enumerate failed\n");
+    return 1;
+  }
+  std::printf("selfcheck: streamed %zu member(s) of %s\n", streamed,
+              target.c_str());
+  if (streamed == 0) {
+    std::fprintf(stderr, "selfcheck: expected at least one member\n");
+    return 1;
+  }
+
+  // Decide with the first streamed member as the candidate is only
+  // possible when we kept it; re-enumerate materialised for simplicity.
+  auto materialised = client.value().Enumerate(target, /*max_members=*/1);
+  if (materialised.ok() && materialised.value().ok() &&
+      !materialised.value().final.members.empty()) {
+    auto decided = client.value().Decide(
+        target, materialised.value().final.members.front());
+    if (!decided.ok() || !decided.value().ok() ||
+        decided.value().final.verdict != 1) {
+      std::fprintf(stderr, "selfcheck: decide did not confirm membership\n");
+      return 1;
+    }
+    std::printf("selfcheck: decide confirmed membership\n");
+  }
+
+  auto stats = client.value().Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "selfcheck: stats failed: %s\n",
+                 stats.status().message().c_str());
+    return 1;
+  }
+  std::printf("selfcheck: server completed %llu request(s), version %llu\n",
+              static_cast<unsigned long long>(stats.value().completed),
+              static_cast<unsigned long long>(stats.value().model_version));
+  std::printf("selfcheck: ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 0;
+  const char* program_path = nullptr;
+  const char* database_path = nullptr;
+  const char* answer = nullptr;
+  std::size_t shards = 0;
+  bool selfcheck = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      port = std::atol(arg + 7);
+    } else if (std::strncmp(arg, "--program=", 10) == 0) {
+      program_path = arg + 10;
+    } else if (std::strncmp(arg, "--database=", 11) == 0) {
+      database_path = arg + 11;
+    } else if (std::strncmp(arg, "--answer=", 9) == 0) {
+      answer = arg + 9;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      shards = static_cast<std::size_t>(std::atol(arg + 9));
+    } else if (std::strcmp(arg, "--selfcheck") == 0) {
+      selfcheck = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port=N] [--program=FILE --database=FILE "
+                   "--answer=PREDICATE] [--shards=N] [--selfcheck]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "error: --port must be 0..65535\n");
+    return 2;
+  }
+  if ((program_path != nullptr) != (database_path != nullptr) ||
+      (program_path != nullptr && answer == nullptr)) {
+    std::fprintf(stderr,
+                 "error: --program, --database, and --answer go together\n");
+    return 2;
+  }
+
+  std::string program_text = kDemoProgram;
+  std::string database_text = kDemoDatabase;
+  std::string answer_predicate = kDemoAnswer;
+  if (program_path != nullptr) {
+    program_text.clear();
+    database_text.clear();
+    if (!ReadFile(program_path, program_text)) {
+      std::fprintf(stderr, "error: cannot read %s\n", program_path);
+      return 1;
+    }
+    if (!ReadFile(database_path, database_text)) {
+      std::fprintf(stderr, "error: cannot read %s\n", database_path);
+      return 1;
+    }
+    answer_predicate = answer;
+  }
+
+  whyprov_options options;
+  whyprov_options_init(&options);
+  options.num_shards = shards;
+  whyprov_service* service = nullptr;
+  char error_message[256];
+  const whyprov_status created = whyprov_service_create(
+      program_text.c_str(), database_text.c_str(), answer_predicate.c_str(),
+      &options, &service, error_message, sizeof(error_message));
+  if (created != WHYPROV_OK) {
+    std::fprintf(stderr, "error: %s (%s)\n", error_message,
+                 whyprov_status_name(created));
+    return 1;
+  }
+
+  whyprov::net::Server server(service);
+  if (auto status = server.Start(static_cast<std::uint16_t>(port));
+      !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    whyprov_service_destroy(service);
+    return 1;
+  }
+  std::printf("whyprov_server: serving '%s' on 127.0.0.1:%u\n",
+              answer_predicate.c_str(), server.port());
+  std::fflush(stdout);
+
+  int exit_code = 0;
+  if (selfcheck) {
+    // The demo target only exists for the built-in program; a custom
+    // program self-checks against its first sampled answer... which the
+    // ABI doesn't expose, so --selfcheck requires the demo program.
+    if (program_path != nullptr) {
+      std::fprintf(stderr,
+                   "error: --selfcheck works with the built-in demo only\n");
+      exit_code = 2;
+    } else {
+      exit_code = SelfCheck(server.port(), kDemoTarget);
+    }
+  } else {
+    std::printf("whyprov_server: reading stdin; EOF (Ctrl-D) stops\n");
+    std::fflush(stdout);
+    int c;
+    while ((c = std::getchar()) != EOF) {
+    }
+  }
+
+  server.Stop();
+  whyprov_service_destroy(service);
+  return exit_code;
+}

@@ -198,15 +198,16 @@ bool EngineState::InDatabase(const dl::Fact& fact) const {
 
 std::shared_ptr<const pv::QueryPlan> EngineState::PlanFor(
     dl::FactId target, pv::AcyclicityEncoding acyclicity) const {
-  if (auto plan = plan_cache.Get(target, acyclicity, model_version)) {
+  // Single-flight: concurrent misses on one target (the post-delta
+  // stampede, when every hot plan was just invalidated) compile the plan
+  // once and share it instead of each paying the closure+encode cost.
+  return plan_cache.GetOrBuild(target, acyclicity, model_version, [&] {
+    pv::CnfEncoder::Options encoder_options;
+    encoder_options.acyclicity = acyclicity;
+    auto plan = pv::QueryPlan::Build(program, model, target, encoder_options);
+    plan->set_model_version(model_version);
     return plan;
-  }
-  pv::CnfEncoder::Options encoder_options;
-  encoder_options.acyclicity = acyclicity;
-  auto plan = pv::QueryPlan::Build(program, model, target, encoder_options);
-  plan->set_model_version(model_version);
-  plan_cache.Put(target, acyclicity, plan);
-  return plan;
+  });
 }
 
 // --- Enumeration ---------------------------------------------------------

@@ -52,6 +52,19 @@ struct EngineOptions {
   /// Plans kept by the LRU plan cache behind Enumerate/Decide/Explain
   /// (keyed by target fact and acyclicity encoding; 0 disables caching).
   std::size_t plan_cache_capacity = 64;
+  /// Snapshot GC policy (serving-side): the number of deltas a running
+  /// request may trail the published model by while keeping its snapshot
+  /// pinned. When > 0, the serving layer fails an enumeration whose
+  /// pinned version lags the engine's by more than this
+  /// (kResourceExhausted, counted under ServiceStats::snapshot_evictions)
+  /// — cutting the pin so the COW chain stays bounded instead of growing
+  /// with the slowest consumer. 0 = never evict (the default).
+  std::size_t max_snapshot_lag = 0;
+  /// Alarm threshold on retained snapshot bytes: when > 0 and the COW
+  /// chain's approximate footprint exceeds it, ServiceStats reports
+  /// snapshot_alarm = true. Observability only; pair with
+  /// max_snapshot_lag for enforcement. 0 = no alarm.
+  std::size_t snapshot_alarm_bytes = 0;
   /// Serialisation of fact-text parsing/rendering against the symbol
   /// table. Normally left null (the engine makes its own mutex); a
   /// multi-engine layer whose engines share one symbol table — the

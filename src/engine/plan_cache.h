@@ -1,6 +1,7 @@
 #ifndef WHYPROV_ENGINE_PLAN_CACHE_H_
 #define WHYPROV_ENGINE_PLAN_CACHE_H_
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -23,6 +24,9 @@ struct PlanCacheStats {
   std::size_t invalidated = 0;  ///< plans dropped because a delta touched
                                 ///< their closure (or their stamp trailed
                                 ///< the engine's model version)
+  std::size_t coalesced = 0;  ///< GetOrBuild calls that waited on another
+                              ///< thread's in-flight build instead of
+                              ///< compiling the plan themselves
   std::size_t size = 0;       ///< plans currently cached
   std::size_t capacity = 0;   ///< configured capacity (0 = disabled)
 };
@@ -39,9 +43,13 @@ struct PlanCacheStats {
 /// are rebuilt lazily on their next hit; `Entries`/`CountInvalidated`
 /// support the delta path's selective carry-over into a successor cache.
 ///
-/// Two threads missing on the same key both build the plan and race the
-/// Put; the loser's plan simply replaces (or is replaced by) an identical
-/// one — correctness does not depend on single-flight building.
+/// `GetOrBuild` is the single-flight entry point: concurrent misses on
+/// one (key, version) compile the plan once — the first thread builds
+/// while the rest wait on a build latch and share the result (counted
+/// under `coalesced`), so a post-delta stampede on a hot target costs one
+/// compilation instead of one per requester. The raw Get/Put pair remains
+/// for callers that want the racy fallback; correctness never depends on
+/// single-flight building, only latency does.
 class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
@@ -53,7 +61,8 @@ class PlanCache {
         hits_(carried.hits),
         misses_(carried.misses),
         evictions_(carried.evictions),
-        invalidated_(carried.invalidated) {}
+        invalidated_(carried.invalidated),
+        coalesced_(carried.coalesced) {}
 
   /// Returns the cached plan for the key if present and stamped with
   /// `expected_version`; a stale entry is dropped (counted under
@@ -61,42 +70,74 @@ class PlanCache {
   std::shared_ptr<const provenance::QueryPlan> Get(
       datalog::FactId target, provenance::AcyclicityEncoding acyclicity,
       std::uint64_t expected_version = 0) {
-    const Key key = MakeKey(target, acyclicity);
     const std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it == index_.end()) {
-      ++misses_;
-      return nullptr;
-    }
-    if (it->second->second->model_version() != expected_version) {
-      lru_.erase(it->second);
-      index_.erase(it);
-      ++invalidated_;
-      ++misses_;
-      return nullptr;
-    }
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
-    return it->second->second;
+    return GetLocked(MakeKey(target, acyclicity), expected_version);
   }
 
   void Put(datalog::FactId target, provenance::AcyclicityEncoding acyclicity,
            std::shared_ptr<const provenance::QueryPlan> plan) {
-    if (capacity_ == 0) return;
-    const Key key = MakeKey(target, acyclicity);
     const std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      it->second->second = std::move(plan);
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return;
-    }
-    lru_.emplace_front(key, std::move(plan));
-    index_.emplace(key, lru_.begin());
-    if (lru_.size() > capacity_) {
-      index_.erase(lru_.back().first);
-      lru_.pop_back();
-      ++evictions_;
+    PutLocked(MakeKey(target, acyclicity), std::move(plan));
+  }
+
+  /// Single-flight cache-through lookup: the cached plan for the key at
+  /// `expected_version`, or the result of running `build` — exactly once
+  /// across every thread concurrently missing on this key. The winner
+  /// compiles (outside the cache lock: builds are the expensive part) and
+  /// Puts; the others block on the build latch and share the winner's
+  /// plan. `build` must return a plan already stamped with
+  /// `expected_version`; a waiter handed a plan stamped otherwise (a
+  /// delta landed mid-build) retries the whole lookup, becoming the
+  /// builder for its own version if need be. Works with capacity 0 too:
+  /// the latch map is independent of the LRU, so concurrent misses still
+  /// coalesce even when nothing is retained afterwards.
+  template <typename BuildFn>
+  std::shared_ptr<const provenance::QueryPlan> GetOrBuild(
+      datalog::FactId target, provenance::AcyclicityEncoding acyclicity,
+      std::uint64_t expected_version, const BuildFn& build) {
+    const Key key = MakeKey(target, acyclicity);
+    while (true) {
+      std::shared_ptr<Flight> flight;
+      bool builder = false;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (auto plan = GetLocked(key, expected_version)) return plan;
+        auto it = flights_.find(key);
+        if (it == flights_.end()) {
+          flight = std::make_shared<Flight>();
+          flights_.emplace(key, flight);
+          builder = true;
+        } else {
+          flight = it->second;
+          ++coalesced_;
+        }
+      }
+      if (builder) {
+        std::shared_ptr<const provenance::QueryPlan> plan = build();
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          PutLocked(key, plan);
+          flights_.erase(key);
+        }
+        {
+          const std::lock_guard<std::mutex> lock(flight->mutex);
+          flight->plan = plan;
+          flight->done = true;
+        }
+        flight->cv.notify_all();
+        return plan;
+      }
+      std::shared_ptr<const provenance::QueryPlan> plan;
+      {
+        std::unique_lock<std::mutex> lock(flight->mutex);
+        flight->cv.wait(lock, [&] { return flight->done; });
+        plan = flight->plan;
+      }
+      if (plan != nullptr && plan->model_version() == expected_version) {
+        return plan;
+      }
+      // The build this thread latched onto was for another model version;
+      // loop and build (or find) one for the expected version.
     }
   }
 
@@ -136,6 +177,7 @@ class PlanCache {
     stats.misses = misses_;
     stats.evictions = evictions_;
     stats.invalidated = invalidated_;
+    stats.coalesced = coalesced_;
     stats.size = lru_.size();
     stats.capacity = capacity_;
     return stats;
@@ -151,6 +193,51 @@ class PlanCache {
            static_cast<Key>(acyclicity);
   }
 
+  /// One in-flight plan build: the latch concurrent missers wait on.
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const provenance::QueryPlan> plan;
+  };
+
+  /// Get with mutex_ already held (shared by Get and GetOrBuild).
+  std::shared_ptr<const provenance::QueryPlan> GetLocked(
+      Key key, std::uint64_t expected_version) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    if (it->second->second->model_version() != expected_version) {
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++invalidated_;
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+    return it->second->second;
+  }
+
+  /// Put with mutex_ already held (shared by Put and GetOrBuild).
+  void PutLocked(Key key, std::shared_ptr<const provenance::QueryPlan> plan) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(plan);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(plan));
+    index_.emplace(key, lru_.begin());
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
   using LruEntry =
       std::pair<Key, std::shared_ptr<const provenance::QueryPlan>>;
 
@@ -158,10 +245,13 @@ class PlanCache {
   mutable std::mutex mutex_;
   std::list<LruEntry> lru_;  // front = most recently used
   std::unordered_map<Key, std::list<LruEntry>::iterator> index_;
+  /// In-flight builds by key (guarded by mutex_; see GetOrBuild).
+  std::unordered_map<Key, std::shared_ptr<Flight>> flights_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t evictions_ = 0;
   std::size_t invalidated_ = 0;
+  std::size_t coalesced_ = 0;
 };
 
 }  // namespace whyprov

@@ -1,0 +1,188 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace whyprov::net {
+
+util::Result<Client> Client::Connect(const std::string& host,
+                                     std::uint16_t port) {
+  auto socket = util::ConnectTcp(host, port);
+  if (!socket.ok()) return socket.status();
+  Client client;
+  client.socket_ = std::move(socket).value();
+  return client;
+}
+
+util::Status Client::Send(const EnumerateFrame& frame) {
+  return WriteFrame(socket_, kFrameEnumerate, Encode(frame));
+}
+
+util::Status Client::Send(const DecideFrame& frame) {
+  return WriteFrame(socket_, kFrameDecide, Encode(frame));
+}
+
+util::Status Client::Send(const ExplainFrame& frame) {
+  return WriteFrame(socket_, kFrameExplain, Encode(frame));
+}
+
+util::Status Client::Send(const DeltaFrame& frame) {
+  return WriteFrame(socket_, kFrameDelta, Encode(frame));
+}
+
+util::Status Client::Send(const StatsFrame& frame) {
+  return WriteFrame(socket_, kFrameStats, Encode(frame));
+}
+
+util::Status Client::SendRaw(std::uint8_t type, std::string_view body) {
+  return WriteFrame(socket_, type, body);
+}
+
+util::Status Client::SendBytes(const void* data, std::size_t size) {
+  return socket_.SendAll(data, size);
+}
+
+util::Status Client::ReadFrameRaw(std::uint8_t* type, std::string* body) {
+  return ReadFrame(socket_, type, body);
+}
+
+util::Result<Outcome> Client::AwaitFinal(std::uint64_t request_id,
+                                         const MemberCallback& on_member) {
+  Outcome outcome;
+  bool consuming = true;
+  while (true) {
+    std::uint8_t type = 0;
+    std::string body;
+    if (auto status = ReadFrame(socket_, &type, &body); !status.ok()) {
+      if (status.code() == util::StatusCode::kNotFound) {
+        return util::Status::Error(
+            "the server closed the connection before the final frame");
+      }
+      return status;
+    }
+    switch (type) {
+      case kFrameMembers: {
+        auto members = DecodeMembers(body);
+        if (!members.ok()) return members.status();
+        if (members.value().request_id != request_id) {
+          return util::Status::Error(
+              "member batch for an unexpected request id");
+        }
+        for (auto& member : members.value().members) {
+          if (on_member != nullptr) {
+            if (consuming && !on_member(member)) consuming = false;
+          } else {
+            outcome.streamed_members.push_back(std::move(member));
+          }
+        }
+        break;
+      }
+      case kFrameFinal: {
+        auto final = DecodeFinal(body);
+        if (!final.ok()) return final.status();
+        if (final.value().request_id != request_id) {
+          return util::Status::Error(
+              "final frame for an unexpected request id");
+        }
+        outcome.final = std::move(final).value();
+        return outcome;
+      }
+      case kFrameError: {
+        auto error = DecodeError(body);
+        if (!error.ok()) return error.status();
+        return util::Status::Error(
+            static_cast<util::StatusCode>(error.value().status_code),
+            "server error: " + error.value().message);
+      }
+      default:
+        return util::Status::Error("unexpected frame type " +
+                                   std::to_string(static_cast<int>(type)));
+    }
+  }
+}
+
+util::Result<Outcome> Client::Enumerate(const std::string& target,
+                                        std::uint64_t max_members,
+                                        double deadline_seconds, bool stream,
+                                        std::uint32_t batch_size,
+                                        MemberCallback on_member) {
+  EnumerateFrame frame;
+  frame.request_id = NextRequestId();
+  frame.target = target;
+  frame.max_members = max_members;
+  frame.deadline_seconds = deadline_seconds;
+  frame.stream = stream ? 1 : 0;
+  frame.batch_size = batch_size;
+  if (auto status = Send(frame); !status.ok()) return status;
+  return AwaitFinal(frame.request_id, on_member);
+}
+
+util::Result<Outcome> Client::Decide(
+    const std::string& target,
+    const std::vector<std::string>& candidate_facts,
+    whyprov_tree_class tree_class, double deadline_seconds) {
+  DecideFrame frame;
+  frame.request_id = NextRequestId();
+  frame.target = target;
+  frame.tree_class = static_cast<std::uint8_t>(tree_class);
+  frame.candidate_facts = candidate_facts;
+  frame.deadline_seconds = deadline_seconds;
+  if (auto status = Send(frame); !status.ok()) return status;
+  return AwaitFinal(frame.request_id);
+}
+
+util::Result<Outcome> Client::Explain(const std::string& target,
+                                      std::uint64_t member_index,
+                                      double deadline_seconds) {
+  ExplainFrame frame;
+  frame.request_id = NextRequestId();
+  frame.target = target;
+  frame.member_index = member_index;
+  frame.deadline_seconds = deadline_seconds;
+  if (auto status = Send(frame); !status.ok()) return status;
+  return AwaitFinal(frame.request_id);
+}
+
+util::Result<Outcome> Client::ApplyDelta(
+    const std::vector<std::string>& added_facts,
+    const std::vector<std::string>& removed_facts, double deadline_seconds) {
+  DeltaFrame frame;
+  frame.request_id = NextRequestId();
+  frame.added_facts = added_facts;
+  frame.removed_facts = removed_facts;
+  frame.deadline_seconds = deadline_seconds;
+  if (auto status = Send(frame); !status.ok()) return status;
+  return AwaitFinal(frame.request_id);
+}
+
+util::Result<whyprov_stats> Client::Stats() {
+  StatsFrame frame;
+  frame.request_id = NextRequestId();
+  if (auto status = Send(frame); !status.ok()) return status;
+  while (true) {
+    std::uint8_t type = 0;
+    std::string body;
+    if (auto status = ReadFrame(socket_, &type, &body); !status.ok()) {
+      return status;
+    }
+    if (type == kFrameStatsReply) {
+      auto reply = DecodeStatsReply(body);
+      if (!reply.ok()) return reply.status();
+      if (reply.value().request_id != frame.request_id) {
+        return util::Status::Error(
+            "stats reply for an unexpected request id");
+      }
+      return reply.value().stats;
+    }
+    if (type == kFrameError) {
+      auto error = DecodeError(body);
+      if (!error.ok()) return error.status();
+      return util::Status::Error(
+          static_cast<util::StatusCode>(error.value().status_code),
+          "server error: " + error.value().message);
+    }
+    return util::Status::Error("unexpected frame type " +
+                               std::to_string(static_cast<int>(type)));
+  }
+}
+
+}  // namespace whyprov::net

@@ -1,0 +1,130 @@
+#ifndef WHYPROV_NET_CLIENT_H_
+#define WHYPROV_NET_CLIENT_H_
+
+// Wire-protocol client: the counterpart of net/server.h for tests, the
+// load generator, and anything else that wants the serving tier over a
+// socket. Two levels:
+//
+//   * High-level synchronous calls (Enumerate/Decide/Explain/
+//     ApplyDelta/Stats): send one request, read frames until its final
+//     frame, return the decoded payload. Streamed member batches are
+//     delivered through an optional per-member callback and (when no
+//     callback consumes them) accumulated on the outcome — so the
+//     streamed and materialised modes produce comparable results.
+//   * Low-level Send*/ReadFrameRaw for pipelining several requests on
+//     one connection, protocol tests (malformed frames via SendRaw),
+//     and mid-stream disconnect tests (Close mid-enumeration).
+//
+// A Client is one connection and is not thread-safe; use one per
+// thread. Request ids are assigned monotonically per connection.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/whyprov_c.h"
+#include "net/wire.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace whyprov::net {
+
+/// Outcome of one high-level call: the decoded final frame plus, for a
+/// streaming enumeration without a consuming callback, the members
+/// gathered from the batch frames (in emission order).
+struct Outcome {
+  FinalFrame final;
+  std::vector<std::vector<std::string>> streamed_members;
+
+  bool ok() const { return final.status_code == WHYPROV_OK; }
+  whyprov_status code() const {
+    return static_cast<whyprov_status>(final.status_code);
+  }
+};
+
+class Client {
+ public:
+  /// Called once per streamed member; return false to stop consuming
+  /// (remaining frames are still drained so the connection stays usable).
+  using MemberCallback =
+      std::function<bool(const std::vector<std::string>& member)>;
+
+  Client() = default;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  static util::Result<Client> Connect(const std::string& host,
+                                      std::uint16_t port);
+
+  bool connected() const { return socket_.valid(); }
+
+  /// Abrupt teardown — from the server's point of view, a disconnect.
+  /// The destructor does the same; this is for tests that need to
+  /// drop the connection mid-stream, deliberately.
+  void Close() { socket_.Close(); }
+
+  // --- high-level synchronous calls ------------------------------------
+
+  /// Enumerate `target`. With `stream` the members arrive as batch
+  /// frames (`on_member` sees each one; without a callback they are
+  /// accumulated on the outcome); without it they ride the final frame.
+  util::Result<Outcome> Enumerate(const std::string& target,
+                                  std::uint64_t max_members = 0,
+                                  double deadline_seconds = 0,
+                                  bool stream = false,
+                                  std::uint32_t batch_size = 0,
+                                  MemberCallback on_member = nullptr);
+
+  util::Result<Outcome> Decide(
+      const std::string& target,
+      const std::vector<std::string>& candidate_facts,
+      whyprov_tree_class tree_class = WHYPROV_TREE_UNAMBIGUOUS,
+      double deadline_seconds = 0);
+
+  util::Result<Outcome> Explain(const std::string& target,
+                                std::uint64_t member_index = 0,
+                                double deadline_seconds = 0);
+
+  util::Result<Outcome> ApplyDelta(
+      const std::vector<std::string>& added_facts,
+      const std::vector<std::string>& removed_facts,
+      double deadline_seconds = 0);
+
+  util::Result<whyprov_stats> Stats();
+
+  // --- low-level access -------------------------------------------------
+
+  /// Next request id (also what the following Send* will stamp).
+  std::uint64_t NextRequestId() { return ++next_id_; }
+
+  util::Status Send(const EnumerateFrame& frame);
+  util::Status Send(const DecideFrame& frame);
+  util::Status Send(const ExplainFrame& frame);
+  util::Status Send(const DeltaFrame& frame);
+  util::Status Send(const StatsFrame& frame);
+
+  /// Raw frame write — for protocol tests (malformed bodies, unknown
+  /// types, hand-built length prefixes go straight through SendBytes).
+  util::Status SendRaw(std::uint8_t type, std::string_view body);
+  util::Status SendBytes(const void* data, std::size_t size);
+
+  /// Reads one frame (type + body). kNotFound = server closed cleanly.
+  util::Status ReadFrameRaw(std::uint8_t* type, std::string* body);
+
+  /// Reads frames for `request_id` until its final frame: member
+  /// batches go to `on_member`/`streamed` (either may be null), an
+  /// error frame fails the call with its carried status. Used by the
+  /// high-level calls; exposed for pipelined low-level use.
+  util::Result<Outcome> AwaitFinal(std::uint64_t request_id,
+                                   const MemberCallback& on_member = nullptr);
+
+ private:
+  util::Socket socket_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace whyprov::net
+
+#endif  // WHYPROV_NET_CLIENT_H_

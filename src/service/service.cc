@@ -261,10 +261,21 @@ void Service::ExecuteEnumerate(const std::shared_ptr<Ticket::State>& state,
     return;
   }
   response.model_version = enumeration.value().model_version();
+  // Snapshot GC: a slow (typically streaming) consumer keeps this
+  // enumeration's snapshot pinned while deltas stack newer versions on
+  // top. With a lag bound configured, cut the pin once the gap exceeds
+  // it instead of retaining an unbounded COW chain.
+  const std::size_t max_lag = engine_.options().max_snapshot_lag;
   bool sink_stopped = false;
+  bool evicted = false;
   for (std::optional<std::vector<dl::Fact>> member =
            enumeration.value().Next();
        member.has_value(); member = enumeration.value().Next()) {
+    if (max_lag > 0 &&
+        engine_.model_version() > response.model_version + max_lag) {
+      evicted = true;
+      break;
+    }
     if (state->sink != nullptr) {
       if (!state->sink->OnMember(std::move(*member))) {
         sink_stopped = true;
@@ -280,6 +291,13 @@ void Service::ExecuteEnumerate(const std::shared_ptr<Ticket::State>& state,
   response.hit_member_cap = enumeration.value().hit_member_cap();
   response.hit_timeout = enumeration.value().hit_timeout();
   response.status = enumeration.value().interruption_status();
+  if (response.status.ok() && evicted) {
+    response.status = util::Status::ResourceExhausted(
+        "snapshot GC: the request's pinned model version trailed the "
+        "engine by more than max_snapshot_lag deltas");
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.snapshot_evictions;
+  }
   if (response.status.ok() && sink_stopped) {
     // The consumer closed its stream: the client stopped wanting the
     // answer, which is a cancellation in all but the signal path.
@@ -412,6 +430,9 @@ ServiceStats Service::stats() const {
   const SnapshotStats snapshots = engine_.snapshot_stats();
   snapshot.retained_snapshots = snapshots.retained_snapshots;
   snapshot.retained_snapshot_bytes = snapshots.approx_bytes;
+  const std::size_t alarm_bytes = engine_.options().snapshot_alarm_bytes;
+  snapshot.snapshot_alarm =
+      alarm_bytes > 0 && snapshot.retained_snapshot_bytes > alarm_bytes;
   const double uptime = uptime_.ElapsedSeconds();
   snapshot.queries_per_second =
       uptime > 0 ? static_cast<double>(snapshot.completed) / uptime : 0;

@@ -276,6 +276,14 @@ struct ServiceStats {
   /// stats. Sums over shards for a sharded service.
   std::size_t retained_snapshots = 0;
   std::size_t retained_snapshot_bytes = 0;
+  /// Requests failed by the snapshot GC policy because their pinned
+  /// version trailed the engine by more than
+  /// EngineOptions::max_snapshot_lag deltas (they end kResourceExhausted).
+  std::uint64_t snapshot_evictions = 0;
+  /// True while retained_snapshot_bytes exceeds the engine's
+  /// EngineOptions::snapshot_alarm_bytes threshold (any shard's, for a
+  /// sharded service). Always false when the threshold is 0.
+  bool snapshot_alarm = false;
   /// Sharded services only: spread between the newest and oldest model
   /// version across shards (non-zero when delta fan-out pruning lets
   /// untouched shards keep serving an older version), and one row per

@@ -558,6 +558,8 @@ ServiceStats ShardedService::stats() const {
     total.in_flight += s.in_flight;
     total.retained_snapshots += s.retained_snapshots;
     total.retained_snapshot_bytes += s.retained_snapshot_bytes;
+    total.snapshot_evictions += s.snapshot_evictions;
+    total.snapshot_alarm = total.snapshot_alarm || s.snapshot_alarm;
     min_version = std::min(min_version, s.model_version);
     max_version = std::max(max_version, s.model_version);
 

@@ -1,0 +1,157 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace whyprov::util {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status Socket::SendAll(const void* data, std::size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size > 0) {
+    // MSG_NOSIGNAL: a disconnected peer must surface as a status the
+    // serving loop can react to (cancel the session), not as SIGPIPE.
+    const ssize_t sent = ::send(fd_, cursor, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    cursor += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return Status::Ok();
+}
+
+Status Socket::RecvAll(void* data, std::size_t size) {
+  char* cursor = static_cast<char*>(data);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t got = ::recv(fd_, cursor + received, size - received, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (got == 0) {
+      // Clean EOF at a message boundary is the peer hanging up; inside a
+      // buffer it is a truncated stream. Callers branch on the code.
+      return received == 0
+                 ? Status::NotFound("connection closed")
+                 : Status::Error("connection closed mid-message");
+    }
+    received += static_cast<std::size_t>(got);
+  }
+  return Status::Ok();
+}
+
+void Socket::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ListenSocket> ListenSocket::Listen(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  ListenSocket listener;
+  listener.fd_.store(fd);
+
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd, backlog) != 0) return ErrnoStatus("listen");
+
+  // Report the ephemeral port the kernel picked for port 0.
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_size) !=
+      0) {
+    return ErrnoStatus("getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<Socket> ListenSocket::Accept() {
+  while (true) {
+    const int listen_fd = fd_.load();
+    if (listen_fd < 0) return Status::Cancelled("the listener was closed");
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      // Frames are small and latency-sensitive; don't let Nagle batch
+      // a final frame behind a member batch.
+      const int enable = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EBADF || errno == EINVAL) {
+      // The listener was closed under us: the shutdown path.
+      return Status::Cancelled("the listener was closed");
+    }
+    return ErrnoStatus("accept");
+  }
+}
+
+void ListenSocket::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() before close(): closing a listening descriptor does not
+    // reliably wake a thread blocked in accept() on Linux; shutting it
+    // down fails the accept with EINVAL, which Accept maps to kCancelled.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+Result<Socket> ConnectTcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &address.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host address '" + host +
+                                   "' (dotted-quad IPv4 or 'localhost')");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  Socket socket(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    return ErrnoStatus("connect");
+  }
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return socket;
+}
+
+}  // namespace whyprov::util

@@ -1,0 +1,122 @@
+#ifndef WHYPROV_UTIL_SOCKET_H_
+#define WHYPROV_UTIL_SOCKET_H_
+
+// Thin RAII wrappers over POSIX TCP sockets — just enough plumbing for
+// the network serving tier (src/net/): a connected stream socket with
+// whole-buffer send/receive, a listening socket with ephemeral-port
+// support, and a client-side connect. All errors surface as util::Status
+// (no exceptions, no errno spelunking at call sites); writes use
+// MSG_NOSIGNAL so a peer disconnect is an EPIPE status, never a SIGPIPE.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace whyprov::util {
+
+/// A connected TCP stream socket (move-only; closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends the whole buffer (looping over short writes). A closed or
+  /// reset peer returns an error status — the serving tier's disconnect
+  /// signal on the write side.
+  Status SendAll(const void* data, std::size_t size);
+
+  /// Receives exactly `size` bytes (looping over short reads). A clean
+  /// EOF before any byte reports kNotFound("connection closed"); a mid-
+  /// buffer EOF or socket error reports kUnknown.
+  Status RecvAll(void* data, std::size_t size);
+
+  /// Shuts down the write side (the peer's next read sees EOF) without
+  /// closing the read side — the polite half of a client disconnect.
+  void ShutdownWrite();
+
+  /// Shuts down both directions without closing the descriptor: a thread
+  /// blocked in RecvAll on this socket wakes with EOF. The teardown
+  /// signal for a session whose reader another thread must unblock
+  /// (close() alone does not reliably wake a blocked recv, and would
+  /// race the descriptor away under the reader).
+  void ShutdownBoth();
+
+  /// Closes the descriptor now (idempotent; also run by the destructor).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (the serving tier is
+/// loopback-first; put a real front end or a tunnel in front for anything
+/// else). Move-only; closes on destruction.
+/// Close() may race with a blocked Accept() on another thread (that is
+/// the shutdown path), so the descriptor is atomic.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+
+  ListenSocket(ListenSocket&& other) noexcept
+      : fd_(other.fd_.exchange(-1)), port_(other.port_) {
+    other.port_ = 0;
+  }
+  ListenSocket& operator=(ListenSocket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_.store(other.fd_.exchange(-1));
+      port_ = other.port_;
+      other.port_ = 0;
+    }
+    return *this;
+  }
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds and listens on `port` (0 = pick an ephemeral port; the chosen
+  /// one is reported by port()).
+  static Result<ListenSocket> Listen(std::uint16_t port, int backlog = 64);
+
+  /// Accepts one connection (blocking). kCancelled once Close() ran —
+  /// the server's shutdown path closes the listener to unblock the
+  /// accept loop.
+  Result<Socket> Accept();
+
+  bool valid() const { return fd_.load() >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Closes the listener; a blocked Accept returns kCancelled.
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to `host:port` (host as dotted-quad or "localhost").
+Result<Socket> ConnectTcp(const std::string& host, std::uint16_t port);
+
+}  // namespace whyprov::util
+
+#endif  // WHYPROV_UTIL_SOCKET_H_

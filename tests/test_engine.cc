@@ -4,7 +4,11 @@
 // cache, batch serving, multi-threaded request hammering), and
 // cross-checks against the expectations of test_enumerator.cc.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -14,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/plan_cache.h"
+#include "provenance/query_plan.h"
 #include "scenarios/scenarios.h"
 #include "tests/workspace.h"
 #include "whyprov.h"
@@ -433,6 +439,71 @@ TEST(EnginePlanCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.misses, 2u);
   EXPECT_EQ(stats.size, 0u);
+}
+
+TEST(EnginePlanCacheTest, GetOrBuildCoalescesConcurrentMisses) {
+  auto engine = Engine::FromText(kExample1Program, kExample1Database, "a");
+  ASSERT_TRUE(engine.ok());
+  const auto target = engine.value().FactIdOf("a(d)");
+  ASSERT_TRUE(target.ok());
+
+  // One real plan compiled up front; the gated build function below
+  // hands it out, so the test controls when the single allowed build
+  // finishes — and the waiters must be parked on the flight until then.
+  auto plan = pv::QueryPlan::Build(engine.value().program(),
+                                   engine.value().model(), target.value(),
+                                   pv::CnfEncoder::Options());
+  ASSERT_NE(plan, nullptr);
+  constexpr std::uint64_t kVersion = 7;
+  plan->set_model_version(kVersion);
+
+  PlanCache cache(/*capacity=*/4);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<std::size_t> builds{0};
+  const auto build = [&] {
+    ++builds;
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    return plan;
+  };
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const pv::QueryPlan>> results(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = cache.GetOrBuild(
+          target.value(), pv::AcyclicityEncoding::kVertexElimination,
+          kVersion, build);
+    });
+  }
+  // Exactly one thread became the builder (parked on the gate); the
+  // stats expose the others latching onto its flight as they arrive.
+  while (cache.stats().coalesced < kThreads - 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(builds.load(), 1u);
+  for (const auto& result : results) EXPECT_EQ(result, plan);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.coalesced, kThreads - 1);
+  EXPECT_EQ(stats.size, 1u);
+
+  // The flight is gone: a follow-up lookup is a plain hit, no build.
+  EXPECT_EQ(cache.GetOrBuild(target.value(),
+                             pv::AcyclicityEncoding::kVertexElimination,
+                             kVersion, build),
+            plan);
+  EXPECT_EQ(builds.load(), 1u);
+  EXPECT_EQ(cache.stats().hits, stats.hits + 1);
 }
 
 // --- Concurrency ----------------------------------------------------------
