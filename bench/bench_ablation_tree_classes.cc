@@ -9,6 +9,7 @@
 // (b) the set-of-supports materialisation of the arbitrary-tree family.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include <benchmark/benchmark.h>
@@ -42,6 +43,7 @@ Instance MakeAccessibility(std::size_t domain, std::size_t conditions,
     a(X) :- a(Y), a(Z), t(Y, Z, X).
   )");
   auto database = dl::Parser::ParseDatabase(symbols, facts);
+  if (!program.ok() || !database.ok()) std::abort();  // generated input
   return Instance{symbols, std::move(program).value(),
                   std::move(database).value()};
 }

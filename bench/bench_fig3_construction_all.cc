@@ -10,7 +10,7 @@
 
 namespace {
 
-using namespace whyprov::bench;  // NOLINT(build/namespaces)
+using namespace whyprov::bench;  // NOLINT(build/namespaces): bench shorthand
 
 void BM_Construction(benchmark::State& state, const SuiteEntry entry) {
   for (auto _ : state) {

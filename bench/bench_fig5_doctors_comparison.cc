@@ -18,7 +18,7 @@
 
 namespace {
 
-using namespace whyprov::bench;  // NOLINT(build/namespaces)
+using namespace whyprov::bench;  // NOLINT(build/namespaces): bench shorthand
 namespace pv = whyprov::provenance;
 
 void BM_DoctorsComparison(benchmark::State& state, const SuiteEntry entry) {

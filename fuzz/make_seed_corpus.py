@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Regenerates the committed seed corpus for fuzz_wire.
+
+Each corpus file is one fuzzer input: a frame-type selector byte
+followed by a frame body in the wire encoding (net/wire.h) — the same
+bytes a frame carries on the socket minus the length prefix. The seeds
+cover every frame kind's happy path plus the hostile shapes from
+tests/test_net.cc (truncations, trailing garbage, dishonest list
+counts, unknown final kinds), so the fuzzer starts from both sides of
+every accept/reject boundary.
+
+Usage: python3 fuzz/make_seed_corpus.py  (writes into fuzz/corpus/)
+"""
+
+import pathlib
+import struct
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parent / "corpus"
+
+# Frame type bytes (net/wire.h FrameType).
+ENUMERATE, DECIDE, EXPLAIN, DELTA, STATS = 0x01, 0x02, 0x03, 0x04, 0x05
+MEMBERS, FINAL, ERROR, STATS_REPLY = 0x81, 0x82, 0x83, 0x84
+
+
+def u8(v):
+    return struct.pack("<B", v)
+
+
+def u32(v):
+    return struct.pack("<I", v)
+
+
+def u64(v):
+    return struct.pack("<Q", v)
+
+
+def f64(v):
+    return struct.pack("<d", v)
+
+
+def string(s):
+    raw = s.encode()
+    return u32(len(raw)) + raw
+
+
+def string_list(items):
+    return u32(len(items)) + b"".join(string(s) for s in items)
+
+
+def members(member_list):
+    return u32(len(member_list)) + b"".join(string_list(m) for m in member_list)
+
+
+def enumerate_body(request_id=1, target="path(a, b)", max_members=0,
+                   deadline=0.0, stream=1, batch_size=3):
+    return (u64(request_id) + string(target) + u64(max_members) +
+            f64(deadline) + u8(stream) + u32(batch_size))
+
+
+def decide_body(request_id=2, target="path(a, b)", tree_class=0,
+                candidates=("edge(a, m1)", "edge(m1, b)"), deadline=1.5):
+    return (u64(request_id) + string(target) + u8(tree_class) +
+            string_list(list(candidates)) + f64(deadline))
+
+
+def explain_body(request_id=3, target="path(a, b)", member_index=4,
+                 deadline=0.0):
+    return u64(request_id) + string(target) + u64(member_index) + f64(deadline)
+
+
+def delta_body(request_id=4, added=("edge(a, b)",), removed=("edge(b, c)",),
+               deadline=0.0):
+    return (u64(request_id) + string_list(list(added)) +
+            string_list(list(removed)) + f64(deadline))
+
+
+def final_prefix(request_id=7, status_code=0, message="", kind=ENUMERATE,
+                 model_version=1):
+    return (u64(request_id) + u8(status_code) + string(message) + u8(kind) +
+            u64(model_version))
+
+
+def stats_reply_body(alarm=0):
+    body = u64(9)                      # request_id
+    body += b"".join(u64(n) for n in range(10))  # counters through in_flight
+    body += f64(123.5)                 # queries_per_second
+    body += u64(7) + u64(2) + u64(64)  # model_version, snapshots, bytes
+    body += u64(0)                     # snapshot_evictions
+    body += u8(alarm)                  # snapshot_alarm
+    body += u64(0) + u64(4)            # version_skew, num_shards
+    return body
+
+
+SEEDS = {
+    # One valid body per frame kind.
+    "enumerate_stream": u8(ENUMERATE) + enumerate_body(),
+    "enumerate_materialised": u8(ENUMERATE) +
+        enumerate_body(stream=0, max_members=10, deadline=2.5),
+    "decide_candidates": u8(DECIDE) + decide_body(),
+    "explain_member": u8(EXPLAIN) + explain_body(),
+    "delta_add_remove": u8(DELTA) + delta_body(),
+    "stats_request": u8(STATS) + u64(5),
+    "members_batch": u8(MEMBERS) + u64(6) +
+        members([["edge(a, m1)", "edge(m1, b)"], ["edge(a, b)"]]),
+    "final_enumerate": u8(FINAL) + final_prefix() + u64(2) + u8(1) +
+        members([["edge(a, b)"]]),
+    "final_decide": u8(FINAL) + final_prefix(kind=DECIDE) + u8(1),
+    "final_explain": u8(FINAL) + final_prefix(kind=EXPLAIN) + u8(1) +
+        string_list(["edge(a, b)"]) + string("path(a, b) <- edge(a, b)"),
+    "final_delta": u8(FINAL) + final_prefix(kind=DELTA) + u8(1) +
+        b"".join(u64(n) for n in range(9)),
+    "final_stats_kind": u8(FINAL) + final_prefix(kind=STATS),
+    "error_unknown_type": u8(ERROR) + u64(0) + u8(2) +
+        string("unknown frame type 127"),
+    "stats_reply": u8(STATS_REPLY) + stats_reply_body(),
+
+    # Hostile shapes from tests/test_net.cc's rejection cases.
+    "truncated_enumerate": (u8(ENUMERATE) + enumerate_body())[:9],
+    "trailing_garbage_stats": u8(STATS) + u64(5) + b"x",
+    "hostile_delta_count": u8(DELTA) + u64(1) + u32(0xFFFFFFF0),
+    "hostile_members_count": u8(MEMBERS) + u64(2) + u32(0xFFFFFFF0),
+    "unknown_final_kind": u8(FINAL) + final_prefix(kind=0x66),
+    "noncanonical_alarm": u8(STATS_REPLY) + stats_reply_body(alarm=2),
+    "empty_input": b"",
+    "unknown_selector": u8(0x7F) + u64(1),
+}
+
+
+def main():
+    CORPUS_DIR.mkdir(parents=True, exist_ok=True)
+    for name, data in SEEDS.items():
+        (CORPUS_DIR / name).write_bytes(data)
+    print(f"wrote {len(SEEDS)} seeds to {CORPUS_DIR}")
+
+
+if __name__ == "__main__":
+    main()

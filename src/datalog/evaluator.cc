@@ -148,7 +148,7 @@ Model Model::Clone() const {
   copy.fact_id_overlay_ = fact_id_overlay_;
   copy.relations_ = relations_;
   // A reader may be lazily building an index on this model right now.
-  const std::lock_guard<std::mutex> lock(*index_mutex_);
+  const util::MutexLock lock(*index_mutex_);
   copy.indexes_ = indexes_;
   return copy;
 }
@@ -192,7 +192,7 @@ std::size_t Model::ApproxRetainedBytes() const {
     }
   }
   // A reader may be lazily building an index on this model right now.
-  const std::lock_guard<std::mutex> lock(*index_mutex_);
+  const util::MutexLock lock(*index_mutex_);
   for (const auto& [key, index] : indexes_) {
     (void)key;
     if (!index) continue;
@@ -231,7 +231,7 @@ const std::vector<FactId>& Model::Lookup(
   static const std::vector<FactId> kEmpty;
   if (mask == 0) return Relation(p);
   const IndexKey index_key = MakeIndexKey(p, mask);
-  const std::lock_guard<std::mutex> lock(*index_mutex_);
+  const util::MutexLock lock(*index_mutex_);
   auto it = indexes_.find(index_key);
   if (it == indexes_.end()) {
     // Build the index over the current relation contents.

@@ -5,7 +5,6 @@
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +13,8 @@
 #include "datalog/database.h"
 #include "datalog/program.h"
 #include "datalog/symbol_table.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace whyprov::datalog {
 
@@ -226,13 +227,14 @@ class Model {
   FactIdMap fact_id_overlay_;
   /// Live fact ids by predicate, insertion order, COW per predicate.
   std::vector<std::shared_ptr<std::vector<FactId>>> relations_;
-  /// Lazily built join indexes, COW per (predicate, mask).
-  mutable std::unordered_map<IndexKey, std::shared_ptr<Index>> indexes_;
   // Guards lazy builds in Lookup (a unique_ptr keeps the model movable).
   // References returned by Lookup stay valid across later lazy builds
   // because the Index objects are heap-allocated and shared.
-  mutable std::unique_ptr<std::mutex> index_mutex_ =
-      std::make_unique<std::mutex>();
+  mutable std::unique_ptr<util::Mutex> index_mutex_ =
+      std::make_unique<util::Mutex>();
+  /// Lazily built join indexes, COW per (predicate, mask).
+  mutable std::unordered_map<IndexKey, std::shared_ptr<Index>> indexes_
+      GUARDED_BY(*index_mutex_);
 };
 
 /// Callback receiving, for each homomorphism from a rule body into the

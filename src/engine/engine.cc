@@ -138,7 +138,7 @@ EngineState::EngineState(dl::Program program_in, dl::Database database_in,
       options(std::move(options_in)),
       model(EvaluateTimed(program, database_in, &eval_seconds)),
       parse_mutex(options.parse_mutex ? options.parse_mutex
-                                      : std::make_shared<std::mutex>()),
+                                      : std::make_shared<util::Mutex>()),
       plan_cache(options.plan_cache_capacity),
       accounting(std::make_shared<SnapshotAccounting>()),
       database_(std::move(database_in)) {
@@ -176,19 +176,25 @@ EngineState::~EngineState() {
 }
 
 const dl::Database& EngineState::database() const {
-  const std::lock_guard<std::mutex> lock(database_mutex_);
-  if (!database_.has_value()) {
-    // The live rank-0 facts of the model are exactly the database of this
-    // version; materialise the view once, on first demand.
-    dl::Database database(model.symbols_ptr());
-    for (dl::FactId id = 0; id < model.size(); ++id) {
-      if (model.alive(id) && model.rank(id) == 0) {
-        database.Insert(model.fact(id));
+  const dl::Database* view = nullptr;
+  {
+    const util::MutexLock lock(database_mutex_);
+    if (!database_.has_value()) {
+      // The live rank-0 facts of the model are exactly the database of
+      // this version; materialise the view once, on first demand.
+      dl::Database database(model.symbols_ptr());
+      for (dl::FactId id = 0; id < model.size(); ++id) {
+        if (model.alive(id) && model.rank(id) == 0) {
+          database.Insert(model.fact(id));
+        }
       }
+      database_.emplace(std::move(database));
     }
-    database_.emplace(std::move(database));
+    // Write-once: the materialised view is never replaced, so the
+    // reference stays valid after the lock is released.
+    view = &*database_;
   }
-  return *database_;
+  return *view;
 }
 
 bool EngineState::InDatabase(const dl::Fact& fact) const {
@@ -293,7 +299,7 @@ util::Result<Enumeration> PreparedQuery::ExecutePlan(
 dl::FactId PreparedQuery::target() const { return plan_->target(); }
 
 std::string PreparedQuery::target_text() const {
-  const std::lock_guard<std::mutex> lock(*state_->parse_mutex);
+  const util::MutexLock lock(*state_->parse_mutex);
   return dl::FactToString(state_->model.fact(plan_->target()),
                           state_->program.symbols());
 }
@@ -407,7 +413,7 @@ util::Result<dl::FactId> FactIdOn(const EngineState& state,
                                   std::string_view fact_text) {
   // ParseFact interns constants into the shared symbol table, so parses
   // must not run concurrently (the lock is shared by all state versions).
-  const std::lock_guard<std::mutex> lock(*state.parse_mutex);
+  const util::MutexLock lock(*state.parse_mutex);
   util::Result<dl::Fact> fact =
       dl::Parser::ParseFact(state.model.symbols_ptr(), fact_text);
   if (!fact.ok()) return fact.status();
@@ -429,13 +435,13 @@ std::string Engine::FactToText(dl::FactId id) const {
   const auto state = snapshot();
   // Rendering reads the symbol table FactIdOf may be interning into from
   // another thread, so it takes the same lock.
-  const std::lock_guard<std::mutex> lock(*state->parse_mutex);
+  const util::MutexLock lock(*state->parse_mutex);
   return dl::FactToString(state->model.fact(id), state->program.symbols());
 }
 
 std::string Engine::FactToText(const dl::Fact& fact) const {
   const auto state = snapshot();
-  const std::lock_guard<std::mutex> lock(*state->parse_mutex);
+  const util::MutexLock lock(*state->parse_mutex);
   return dl::FactToString(fact, state->program.symbols());
 }
 
@@ -550,7 +556,7 @@ util::Status ValidateExtensional(const EngineState& state,
                                  const std::vector<dl::Fact>& facts) {
   for (const dl::Fact& fact : facts) {
     if (!state.program.IsIntensional(fact.predicate)) continue;
-    const std::lock_guard<std::mutex> lock(*state.parse_mutex);
+    const util::MutexLock lock(*state.parse_mutex);
     return util::Status::InvalidArgument(
         "delta fact '" + dl::FactToString(fact, state.program.symbols()) +
         "' has an intensional predicate; only database facts can be "
@@ -587,7 +593,7 @@ util::Result<EvaluatedDelta> Engine::EvaluateDelta(
   std::vector<dl::Fact> removed = request.removed_facts;
   {
     // Text-form facts intern constants into the shared symbol table.
-    const std::lock_guard<std::mutex> lock(*old_state->parse_mutex);
+    const util::MutexLock lock(*old_state->parse_mutex);
     util::Status status =
         ParseDeltaFacts(*old_state, request.added_fact_texts, added);
     if (!status.ok()) return status;
@@ -697,7 +703,7 @@ util::Result<DeltaStats> Engine::AdoptLocked(const EvaluatedDelta& delta,
   next->plan_cache.CountInvalidated(stats.plans_invalidated);
 
   {
-    const std::lock_guard<std::mutex> lock(*state_mutex_);
+    const util::MutexLock lock(*state_mutex_);
     state_ = std::move(next);
   }
 
@@ -707,7 +713,7 @@ util::Result<DeltaStats> Engine::AdoptLocked(const EvaluatedDelta& delta,
 }
 
 util::Result<DeltaStats> Engine::AdoptDelta(const EvaluatedDelta& delta) {
-  const std::lock_guard<std::mutex> update_lock(*update_mutex_);
+  const util::MutexLock update_lock(*update_mutex_);
   // Clone: the caller's EvaluatedDelta stays adoptable by sibling
   // replicas (structurally shared chunks make this cheap).
   return AdoptLocked(delta, delta.model.Clone());
@@ -715,7 +721,7 @@ util::Result<DeltaStats> Engine::AdoptDelta(const EvaluatedDelta& delta) {
 
 util::Result<DeltaStats> Engine::ApplyDelta(const DeltaRequest& request) {
   // One delta at a time; readers keep serving the published snapshot.
-  const std::lock_guard<std::mutex> update_lock(*update_mutex_);
+  const util::MutexLock update_lock(*update_mutex_);
   util::Timer total_timer;
   util::Result<EvaluatedDelta> evaluated = EvaluateDelta(request);
   if (!evaluated.ok()) return evaluated.status();

@@ -5,7 +5,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -24,8 +23,10 @@
 #include "provenance/query_plan.h"
 #include "sat/solver_interface.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace whyprov {
@@ -70,7 +71,7 @@ struct EngineOptions {
   /// multi-engine layer whose engines share one symbol table — the
   /// sharded service's replicas — must inject one shared mutex here, or
   /// concurrent parses on two engines would race on the shared table.
-  std::shared_ptr<std::mutex> parse_mutex;
+  std::shared_ptr<util::Mutex> parse_mutex;
 };
 
 /// Parameters of Engine::Enumerate.
@@ -266,15 +267,18 @@ struct EngineState {
   /// and fact rendering (which reads the interned names). Shared across
   /// the engine's state versions, which share the table. Callers going
   /// straight to model().symbols() from several threads are on their own.
-  std::shared_ptr<std::mutex> parse_mutex;
+  std::shared_ptr<util::Mutex> parse_mutex;
   mutable PlanCache plan_cache;
   /// Shared across the engine's versions; see SnapshotAccounting.
   std::shared_ptr<SnapshotAccounting> accounting;
 
  private:
-  /// The lazily materialised database view (eager for version 0).
-  mutable std::optional<datalog::Database> database_;
-  mutable std::mutex database_mutex_;
+  mutable util::Mutex database_mutex_;
+  /// The lazily materialised database view (eager for version 0). Write
+  /// -once under the mutex; the reference database() returns stays valid
+  /// because the view is never re-materialised.
+  mutable std::optional<datalog::Database> database_
+      GUARDED_BY(database_mutex_);
   /// This version's at-birth exclusive bytes (what it adds to, and on
   /// destruction removes from, the accounting).
   std::size_t accounted_bytes_ = 0;
@@ -743,7 +747,7 @@ class Engine {
   /// The current state snapshot (the engine's one word of mutable state,
   /// swapped atomically by ApplyDelta).
   std::shared_ptr<const EngineState> snapshot() const {
-    const std::lock_guard<std::mutex> lock(*state_mutex_);
+    const util::MutexLock lock(*state_mutex_);
     return state_;
   }
 
@@ -770,15 +774,16 @@ class Engine {
   /// path pays exactly one clone, as before the split. Must not read
   /// `delta.model` (ApplyDelta's call has moved it out).
   util::Result<DeltaStats> AdoptLocked(const EvaluatedDelta& delta,
-                                       datalog::Model model);
+                                       datalog::Model model)
+      REQUIRES(*update_mutex_);
 
-  std::shared_ptr<const EngineState> state_;
   /// Guards reads/swaps of `state_` (behind unique_ptr to stay movable).
-  std::unique_ptr<std::mutex> state_mutex_ =
-      std::make_unique<std::mutex>();
+  std::unique_ptr<util::Mutex> state_mutex_ =
+      std::make_unique<util::Mutex>();
   /// Serialises ApplyDelta calls end to end.
-  std::unique_ptr<std::mutex> update_mutex_ =
-      std::make_unique<std::mutex>();
+  std::unique_ptr<util::Mutex> update_mutex_ =
+      std::make_unique<util::Mutex>();
+  std::shared_ptr<const EngineState> state_ GUARDED_BY(*state_mutex_);
 };
 
 }  // namespace whyprov

@@ -1,18 +1,18 @@
 #ifndef WHYPROV_ENGINE_PLAN_CACHE_H_
 #define WHYPROV_ENGINE_PLAN_CACHE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "datalog/evaluator.h"
 #include "provenance/query_plan.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace whyprov {
 
@@ -69,14 +69,15 @@ class PlanCache {
   /// `invalidated`) and reported as a miss so the caller rebuilds it.
   std::shared_ptr<const provenance::QueryPlan> Get(
       datalog::FactId target, provenance::AcyclicityEncoding acyclicity,
-      std::uint64_t expected_version = 0) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+      std::uint64_t expected_version = 0) EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     return GetLocked(MakeKey(target, acyclicity), expected_version);
   }
 
   void Put(datalog::FactId target, provenance::AcyclicityEncoding acyclicity,
-           std::shared_ptr<const provenance::QueryPlan> plan) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+           std::shared_ptr<const provenance::QueryPlan> plan)
+      EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     PutLocked(MakeKey(target, acyclicity), std::move(plan));
   }
 
@@ -94,13 +95,14 @@ class PlanCache {
   template <typename BuildFn>
   std::shared_ptr<const provenance::QueryPlan> GetOrBuild(
       datalog::FactId target, provenance::AcyclicityEncoding acyclicity,
-      std::uint64_t expected_version, const BuildFn& build) {
+      std::uint64_t expected_version, const BuildFn& build)
+      EXCLUDES(mutex_) {
     const Key key = MakeKey(target, acyclicity);
     while (true) {
       std::shared_ptr<Flight> flight;
       bool builder = false;
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         if (auto plan = GetLocked(key, expected_version)) return plan;
         auto it = flights_.find(key);
         if (it == flights_.end()) {
@@ -115,22 +117,22 @@ class PlanCache {
       if (builder) {
         std::shared_ptr<const provenance::QueryPlan> plan = build();
         {
-          const std::lock_guard<std::mutex> lock(mutex_);
+          const util::MutexLock lock(mutex_);
           PutLocked(key, plan);
           flights_.erase(key);
         }
         {
-          const std::lock_guard<std::mutex> lock(flight->mutex);
+          const util::MutexLock lock(flight->mutex);
           flight->plan = plan;
           flight->done = true;
         }
-        flight->cv.notify_all();
+        flight->cv.NotifyAll();
         return plan;
       }
       std::shared_ptr<const provenance::QueryPlan> plan;
       {
-        std::unique_lock<std::mutex> lock(flight->mutex);
-        flight->cv.wait(lock, [&] { return flight->done; });
+        const util::MutexLock lock(flight->mutex);
+        while (!flight->done) flight->cv.Wait(flight->mutex);
         plan = flight->plan;
       }
       if (plan != nullptr && plan->model_version() == expected_version) {
@@ -150,8 +152,8 @@ class PlanCache {
 
   /// The cached plans from least- to most-recently used, so re-Putting
   /// them in order into a successor cache preserves the LRU order.
-  std::vector<Entry> Entries() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> Entries() const EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     std::vector<Entry> entries;
     entries.reserve(lru_.size());
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
@@ -165,13 +167,13 @@ class PlanCache {
 
   /// Records plans dropped by a delta's selective invalidation (they never
   /// reach the successor cache, so Get cannot count them).
-  void CountInvalidated(std::size_t count) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void CountInvalidated(std::size_t count) EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     invalidated_ += count;
   }
 
-  PlanCacheStats stats() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  PlanCacheStats stats() const EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     PlanCacheStats stats;
     stats.hits = hits_;
     stats.misses = misses_;
@@ -195,15 +197,15 @@ class PlanCache {
 
   /// One in-flight plan build: the latch concurrent missers wait on.
   struct Flight {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    std::shared_ptr<const provenance::QueryPlan> plan;
+    util::Mutex mutex;
+    util::CondVar cv;
+    bool done GUARDED_BY(mutex) = false;
+    std::shared_ptr<const provenance::QueryPlan> plan GUARDED_BY(mutex);
   };
 
   /// Get with mutex_ already held (shared by Get and GetOrBuild).
   std::shared_ptr<const provenance::QueryPlan> GetLocked(
-      Key key, std::uint64_t expected_version) {
+      Key key, std::uint64_t expected_version) REQUIRES(mutex_) {
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
@@ -222,7 +224,8 @@ class PlanCache {
   }
 
   /// Put with mutex_ already held (shared by Put and GetOrBuild).
-  void PutLocked(Key key, std::shared_ptr<const provenance::QueryPlan> plan) {
+  void PutLocked(Key key, std::shared_ptr<const provenance::QueryPlan> plan)
+      REQUIRES(mutex_) {
     if (capacity_ == 0) return;
     auto it = index_.find(key);
     if (it != index_.end()) {
@@ -242,16 +245,19 @@ class PlanCache {
       std::pair<Key, std::shared_ptr<const provenance::QueryPlan>>;
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<LruEntry> lru_;  // front = most recently used
-  std::unordered_map<Key, std::list<LruEntry>::iterator> index_;
-  /// In-flight builds by key (guarded by mutex_; see GetOrBuild).
-  std::unordered_map<Key, std::shared_ptr<Flight>> flights_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t evictions_ = 0;
-  std::size_t invalidated_ = 0;
-  std::size_t coalesced_ = 0;
+  mutable util::Mutex mutex_;
+  /// front = most recently used
+  std::list<LruEntry> lru_ GUARDED_BY(mutex_);
+  std::unordered_map<Key, std::list<LruEntry>::iterator> index_
+      GUARDED_BY(mutex_);
+  /// In-flight builds by key (see GetOrBuild).
+  std::unordered_map<Key, std::shared_ptr<Flight>> flights_
+      GUARDED_BY(mutex_);
+  std::size_t hits_ GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ GUARDED_BY(mutex_) = 0;
+  std::size_t evictions_ GUARDED_BY(mutex_) = 0;
+  std::size_t invalidated_ GUARDED_BY(mutex_) = 0;
+  std::size_t coalesced_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace whyprov

@@ -38,6 +38,9 @@ util::Status Client::SendRaw(std::uint8_t type, std::string_view body) {
 }
 
 util::Status Client::SendBytes(const void* data, std::size_t size) {
+  // The deliberately unframed escape hatch: tests use it to send
+  // malformed and hostile byte sequences past the framing helpers.
+  // NOLINTNEXTLINE(whyprov-raw-frame-io): hostile-input escape hatch
   return socket_.SendAll(data, size);
 }
 

@@ -1,10 +1,12 @@
 #include "net/server.h"
 
-#include <condition_variable>
 #include <deque>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace whyprov::net {
 
@@ -32,14 +34,17 @@ struct ServerSession {
   std::thread reader;
   std::thread responder;
 
-  std::mutex mutex;
-  std::condition_variable work_cv;   // responder: queue non-empty / done
-  std::condition_variable space_cv;  // reader: below the in-flight cap
-  std::deque<Pending> queue;
-  whyprov_ticket* active = nullptr;  // the entry the responder serves now
-  bool reader_done = false;          // no further entries will arrive
-  bool failed = false;  // a write failed or the error entry was served:
-                        // drain the rest without touching the socket
+  util::Mutex mutex;
+  util::CondVar work_cv;   // responder: queue non-empty / done
+  util::CondVar space_cv;  // reader: below the in-flight cap
+  std::deque<Pending> queue GUARDED_BY(mutex);
+  /// The entry the responder serves now.
+  whyprov_ticket* active GUARDED_BY(mutex) = nullptr;
+  /// No further entries will arrive.
+  bool reader_done GUARDED_BY(mutex) = false;
+  /// A write failed or the error entry was served: drain the rest
+  /// without touching the socket.
+  bool failed GUARDED_BY(mutex) = false;
 };
 
 }  // namespace internal
@@ -50,7 +55,7 @@ using internal::ServerSession;
 
 /// Cancels every ticket the session still holds (queued + active).
 void CancelSession(ServerSession& session) {
-  const std::lock_guard<std::mutex> lock(session.mutex);
+  const util::MutexLock lock(session.mutex);
   for (auto& pending : session.queue) {
     if (pending.ticket != nullptr) whyprov_ticket_cancel(pending.ticket);
   }
@@ -61,9 +66,10 @@ void CancelSession(ServerSession& session) {
 /// entry — the reader-side half of the per-connection bound.
 void Push(ServerSession& session, ServerSession::Pending pending,
           std::size_t cap) {
-  std::unique_lock<std::mutex> lock(session.mutex);
-  session.space_cv.wait(
-      lock, [&] { return session.queue.size() < cap || session.failed; });
+  const util::MutexLock lock(session.mutex);
+  while (session.queue.size() >= cap && !session.failed) {
+    session.space_cv.Wait(session.mutex);
+  }
   if (session.failed) {
     // The connection is already dead; don't leave the ticket to leak.
     if (pending.ticket != nullptr) {
@@ -73,7 +79,7 @@ void Push(ServerSession& session, ServerSession::Pending pending,
     return;
   }
   session.queue.push_back(std::move(pending));
-  session.work_cv.notify_all();
+  session.work_cv.NotifyAll();
 }
 
 /// The responder's single write point: once a write fails the session
@@ -82,19 +88,19 @@ void Push(ServerSession& session, ServerSession::Pending pending,
 bool WriteOrFail(ServerSession& session, std::uint8_t type,
                  const std::string& body) {
   {
-    const std::lock_guard<std::mutex> lock(session.mutex);
+    const util::MutexLock lock(session.mutex);
     if (session.failed) return false;
   }
   if (WriteFrame(session.socket, type, body).ok()) return true;
   {
-    const std::lock_guard<std::mutex> lock(session.mutex);
+    const util::MutexLock lock(session.mutex);
     session.failed = true;
     for (auto& pending : session.queue) {
       if (pending.ticket != nullptr) whyprov_ticket_cancel(pending.ticket);
     }
     if (session.active != nullptr) whyprov_ticket_cancel(session.active);
   }
-  session.space_cv.notify_all();
+  session.space_cv.NotifyAll();
   return false;
 }
 
@@ -194,7 +200,7 @@ Server::~Server() { Stop(); }
 
 util::Status Server::Start(std::uint16_t port) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (started_) return util::Status::InvalidArgument("Start called twice");
     started_ = true;
   }
@@ -207,27 +213,32 @@ util::Status Server::Start(std::uint16_t port) {
 
 void Server::Stop() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (!started_ || stopped_) return;
     stopped_ = true;
   }
   listener_.Close();  // a blocked Accept returns kCancelled
   if (accept_thread_.joinable()) accept_thread_.join();
-  // The accept loop has exited, so the session list is frozen now.
-  for (auto& session : sessions_) {
+  // The accept loop has exited, so the session list is frozen: take it
+  // over under the lock, then tear the sessions down without it.
+  std::vector<std::unique_ptr<internal::ServerSession>> sessions;
+  {
+    const util::MutexLock lock(mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions) {
     // Wake a reader blocked in recv (it sees EOF and cancels the
     // session's tickets) and fail any in-flight responder write.
     session->socket.ShutdownBoth();
   }
-  for (auto& session : sessions_) {
+  for (auto& session : sessions) {
     if (session->reader.joinable()) session->reader.join();
     if (session->responder.joinable()) session->responder.join();
   }
-  sessions_.clear();
 }
 
 std::size_t Server::connections_accepted() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return connections_accepted_;
 }
 
@@ -239,7 +250,7 @@ void Server::AcceptLoop() {
     session->socket = std::move(accepted).value();
     ServerSession* raw = session.get();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       if (stopped_) return;  // raced with Stop; drop the connection
       ++connections_accepted_;
       sessions_.push_back(std::move(session));
@@ -387,10 +398,10 @@ void Server::RunReader(ServerSession& session) {
   }
 
   {
-    const std::lock_guard<std::mutex> lock(session.mutex);
+    const util::MutexLock lock(session.mutex);
     session.reader_done = true;
   }
-  session.work_cv.notify_all();
+  session.work_cv.NotifyAll();
   // Cancel-on-disconnect: a vanished client must not keep a SAT
   // enumeration running (or its model snapshot pinned) to the end.
   if (disconnected) CancelSession(session);
@@ -400,16 +411,16 @@ void Server::RunResponder(ServerSession& session) {
   while (true) {
     ServerSession::Pending pending;
     {
-      std::unique_lock<std::mutex> lock(session.mutex);
-      session.work_cv.wait(lock, [&] {
-        return !session.queue.empty() || session.reader_done;
-      });
+      const util::MutexLock lock(session.mutex);
+      while (session.queue.empty() && !session.reader_done) {
+        session.work_cv.Wait(session.mutex);
+      }
       if (session.queue.empty()) break;  // reader done, everything served
       pending = std::move(session.queue.front());
       session.queue.pop_front();
       session.active = pending.ticket;
     }
-    session.space_cv.notify_all();
+    session.space_cv.NotifyAll();
 
     if (pending.kind == 0) {
       // The connection-level error entry: report, then end the session.
@@ -438,7 +449,7 @@ void Server::RunResponder(ServerSession& session) {
 
     whyprov_ticket* done = pending.ticket;
     {
-      const std::lock_guard<std::mutex> lock(session.mutex);
+      const util::MutexLock lock(session.mutex);
       session.active = nullptr;
     }
     // Destroy only after `active` is cleared: CancelSession must never

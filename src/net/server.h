@@ -43,14 +43,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/whyprov_c.h"
 #include "net/wire.h"
+#include "util/mutex.h"
 #include "util/socket.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace whyprov::net {
 
@@ -105,11 +106,14 @@ class Server {
   util::ListenSocket listener_;
   std::thread accept_thread_;
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<internal::ServerSession>> sessions_;
-  std::size_t connections_accepted_ = 0;
-  bool started_ = false;
-  bool stopped_ = false;
+  mutable util::Mutex mutex_;
+  /// Only the accept loop appends; Stop() iterates after joining it, so
+  /// the list is frozen by then (hence no annotation on the iteration).
+  std::vector<std::unique_ptr<internal::ServerSession>> sessions_
+      GUARDED_BY(mutex_);
+  std::size_t connections_accepted_ GUARDED_BY(mutex_) = 0;
+  bool started_ GUARDED_BY(mutex_) = false;
+  bool stopped_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace whyprov::net

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -16,6 +15,7 @@
 #include "provenance/proof_tree.h"
 #include "service/service.h"
 #include "shard/sharded_service.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace {
@@ -69,7 +69,7 @@ void CopyError(const wp::util::Status& status, char* buffer,
 struct whyprov_service {
   std::unique_ptr<wp::Service> single;
   std::unique_ptr<wp::ShardedService> sharded;
-  std::shared_ptr<std::mutex> parse_mutex;
+  std::shared_ptr<wp::util::Mutex> parse_mutex;
 
   const wp::Engine& engine() const {
     return single ? single->engine() : sharded->engine();
@@ -197,7 +197,7 @@ whyprov_status whyprov_service_create(const char* program_text,
     // The ABI parses candidate facts itself, so the engine must share
     // its symbol-table lock with us: inject one instead of letting the
     // engine make a private one.
-    engine_options.parse_mutex = std::make_shared<std::mutex>();
+    engine_options.parse_mutex = std::make_shared<wp::util::Mutex>();
     auto engine = wp::Engine::FromText(program_text, database_text,
                                        answer_predicate, engine_options);
     if (!engine.ok()) {
@@ -302,7 +302,7 @@ whyprov_status whyprov_submit_decide(whyprov_service* service,
   {
     // DecideRequest carries parsed facts, so the ABI parses here — under
     // the engine's own symbol-table lock.
-    const std::lock_guard<std::mutex> lock(*service->parse_mutex);
+    const wp::util::MutexLock lock(*service->parse_mutex);
     const auto& symbols = service->engine().program().symbols_ptr();
     for (std::size_t i = 0; i < num_candidate_facts; ++i) {
       if (candidate_facts[i] == nullptr) return WHYPROV_INVALID_ARGUMENT;
@@ -479,7 +479,7 @@ int whyprov_ticket_explanation(whyprov_ticket* ticket,
                  out_num_facts);
   {
     // ProofTree::ToString reads the shared symbol table.
-    const std::lock_guard<std::mutex> lock(*ticket->owner->parse_mutex);
+    const wp::util::MutexLock lock(*ticket->owner->parse_mutex);
     ticket->text = response.explanation->tree.ToString(
         ticket->owner->engine().program().symbols());
   }

@@ -473,7 +473,13 @@ util::Result<StatsReplyFrame> DecodeStatsReply(std::string_view body) {
     frame.stats.retained_snapshot_bytes = static_cast<std::size_t>(value);
   }
   reader.GetU64(&frame.stats.snapshot_evictions);
-  if (reader.GetU8(&flag)) frame.stats.snapshot_alarm = flag != 0;
+  if (reader.GetU8(&flag)) {
+    // Fuzzing found this decoder accepting any non-zero byte as "alarm
+    // set", which broke the documented Encode/Decode symmetry (the
+    // encoder only ever writes 0 or 1). Reject non-canonical flags.
+    if (flag > 1) return Malformed("non-canonical snapshot_alarm flag");
+    frame.stats.snapshot_alarm = flag != 0;
+  }
   reader.GetU64(&frame.stats.version_skew);
   if (reader.GetU64(&value)) {
     frame.stats.num_shards = static_cast<std::size_t>(value);

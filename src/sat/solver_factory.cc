@@ -25,6 +25,8 @@ SolverFactory::SolverFactory() {
   };
   creators_["dimacs-pipe"] = [](const SolverOptions& options)
       -> util::Result<std::unique_ptr<SolverInterface>> {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; the
+    // process never calls setenv, so there is no writer to race with.
     const char* command = std::getenv("WHYPROV_DIMACS_SOLVER");
     if (command == nullptr || command[0] == '\0') {
       return util::Status::NotFound(

@@ -14,35 +14,33 @@ namespace si = whyprov::serving_internal;
 // --- MemberStream --------------------------------------------------------
 
 bool MemberStream::OnMember(std::vector<dl::Fact> member) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   // Backpressure: block the producing worker until the consumer pops or
   // abandons the stream. This is what keeps memory bounded by `capacity_`
   // instead of the family size.
-  producer_cv_.wait(lock,
-                    [this] { return closed_ || buffer_.size() < capacity_; });
+  while (!closed_ && buffer_.size() >= capacity_) producer_cv_.Wait(mutex_);
   if (closed_) return false;
   buffer_.push_back(std::move(member));
-  consumer_cv_.notify_one();
+  consumer_cv_.NotifyOne();
   return true;
 }
 
 void MemberStream::OnComplete(const util::Status& status) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     complete_ = true;
     status_ = status;
   }
-  consumer_cv_.notify_all();
+  consumer_cv_.NotifyAll();
 }
 
 std::optional<std::vector<dl::Fact>> MemberStream::Pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  consumer_cv_.wait(
-      lock, [this] { return !buffer_.empty() || complete_ || closed_; });
+  const util::MutexLock lock(mutex_);
+  while (buffer_.empty() && !complete_ && !closed_) consumer_cv_.Wait(mutex_);
   if (!buffer_.empty()) {
     std::vector<dl::Fact> member = std::move(buffer_.front());
     buffer_.pop_front();
-    producer_cv_.notify_one();
+    producer_cv_.NotifyOne();
     return member;
   }
   return std::nullopt;
@@ -50,21 +48,21 @@ std::optional<std::vector<dl::Fact>> MemberStream::Pop() {
 
 void MemberStream::Close() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     closed_ = true;
     buffer_.clear();  // an abandoned stream keeps no members alive
   }
-  producer_cv_.notify_all();
-  consumer_cv_.notify_all();
+  producer_cv_.NotifyAll();
+  consumer_cv_.NotifyAll();
 }
 
 bool MemberStream::finished() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return complete_ || closed_;
 }
 
 util::Status MemberStream::final_status() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return status_;
 }
 
@@ -104,7 +102,7 @@ std::uint64_t Ticket::id() const { return shared_ ? shared_->id : 0; }
 
 bool Ticket::done() const {
   if (!shared_) return true;
-  const std::lock_guard<std::mutex> lock(shared_->mutex);
+  const util::MutexLock lock(shared_->mutex);
   return shared_->done;
 }
 
@@ -119,15 +117,15 @@ void Ticket::Cancel() {
 const Response& Ticket::Wait() const {
   static const Response kEmpty;
   if (!shared_) return kEmpty;
-  std::unique_lock<std::mutex> lock(shared_->mutex);
-  shared_->cv.wait(lock, [this] { return shared_->done; });
+  const util::MutexLock lock(shared_->mutex);
+  while (!shared_->done) shared_->cv.Wait(shared_->mutex);
   return shared_->response;
 }
 
 Response Ticket::Take() {
   if (!shared_) return Response();
-  std::unique_lock<std::mutex> lock(shared_->mutex);
-  shared_->cv.wait(lock, [this] { return shared_->done; });
+  const util::MutexLock lock(shared_->mutex);
+  while (!shared_->done) shared_->cv.Wait(shared_->mutex);
   Response response = std::move(shared_->response);
   // Keep the terminal scalars observable through later Wait() calls; only
   // the heavy payloads move out.
@@ -140,9 +138,15 @@ Response Ticket::Take() {
 
 bool Ticket::WaitFor(double seconds) const {
   if (!shared_) return true;
-  std::unique_lock<std::mutex> lock(shared_->mutex);
-  return shared_->cv.wait_for(lock, std::chrono::duration<double>(seconds),
-                              [this] { return shared_->done; });
+  const util::MutexLock lock(shared_->mutex);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  while (!shared_->done) {
+    if (shared_->cv.WaitUntil(shared_->mutex, deadline)) break;
+  }
+  return shared_->done;
 }
 
 // --- Service -------------------------------------------------------------
@@ -171,8 +175,8 @@ Service::~Service() {
   // Shared pool: its owner decides when it dies; this service only waits
   // until none of its own requests remain queued or executing (each
   // holds a `this` capture).
-  std::unique_lock<std::mutex> lock(outstanding_mutex_);
-  outstanding_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  const util::MutexLock lock(outstanding_mutex_);
+  while (outstanding_ != 0) outstanding_cv_.Wait(outstanding_mutex_);
 }
 
 util::Result<Ticket> Service::Submit(Request request,
@@ -190,12 +194,12 @@ util::Result<Ticket> Service::Submit(Request request,
   // Count the submission (and stamp the id) before the task can run, so
   // no observer ever sees completed > submitted; roll back on rejection.
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     ++stats_.submitted;
     state->id = ++next_id_;
   }
   {
-    const std::lock_guard<std::mutex> lock(outstanding_mutex_);
+    const util::MutexLock lock(outstanding_mutex_);
     ++outstanding_;
   }
   // The notify happens under the mutex: with it outside, the destructor
@@ -204,19 +208,19 @@ util::Result<Ticket> Service::Submit(Request request,
   // signal.
   const util::Status admitted = executor_->TrySubmit([this, state] {
     Execute(state);
-    const std::lock_guard<std::mutex> lock(outstanding_mutex_);
+    const util::MutexLock lock(outstanding_mutex_);
     --outstanding_;
-    outstanding_cv_.notify_all();
+    outstanding_cv_.NotifyAll();
   });
   if (!admitted.ok()) {
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const util::MutexLock lock(stats_mutex_);
       --stats_.submitted;
       ++stats_.rejected;
     }
-    const std::lock_guard<std::mutex> lock(outstanding_mutex_);
+    const util::MutexLock lock(outstanding_mutex_);
     --outstanding_;
-    outstanding_cv_.notify_all();
+    outstanding_cv_.NotifyAll();
     return admitted;
   }
   return Ticket(state);
@@ -295,7 +299,7 @@ void Service::ExecuteEnumerate(const std::shared_ptr<Ticket::State>& state,
     response.status = util::Status::ResourceExhausted(
         "snapshot GC: the request's pinned model version trailed the "
         "engine by more than max_snapshot_lag deltas");
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     ++stats_.snapshot_evictions;
   }
   if (response.status.ok() && sink_stopped) {
@@ -308,7 +312,7 @@ void Service::ExecuteEnumerate(const std::shared_ptr<Ticket::State>& state,
 
 void Service::Execute(const std::shared_ptr<Ticket::State>& state) {
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     ++started_;
   }
   Response response;
@@ -411,13 +415,17 @@ void Service::Execute(const std::shared_ptr<Ticket::State>& state) {
 
 void Service::Finish(const std::shared_ptr<Ticket::State>& state,
                      Response response) {
-  si::FinishTicket(state, std::move(response), stats_, stats_mutex_);
+  {
+    const util::MutexLock lock(stats_mutex_);
+    si::CountOutcome(response, stats_);
+  }
+  si::CompleteTicket(state, std::move(response));
 }
 
 ServiceStats Service::stats() const {
   ServiceStats snapshot;
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     snapshot = stats_;
     // Derived from the counters (not the executor, which may be shared
     // with sibling shards): exact per-service gauges either way.

@@ -1,12 +1,10 @@
 #ifndef WHYPROV_SERVICE_SERVICE_H_
 #define WHYPROV_SERVICE_SERVICE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <variant>
@@ -15,7 +13,9 @@
 #include "engine/engine.h"
 #include "util/cancellation.h"
 #include "util/executor.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace whyprov {
 
@@ -125,13 +125,13 @@ class MemberStream final : public MemberSink {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable producer_cv_;
-  std::condition_variable consumer_cv_;
-  std::deque<std::vector<datalog::Fact>> buffer_;
-  util::Status status_;
-  bool complete_ = false;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar producer_cv_;
+  util::CondVar consumer_cv_;
+  std::deque<std::vector<datalog::Fact>> buffer_ GUARDED_BY(mutex_);
+  util::Status status_ GUARDED_BY(mutex_);
+  bool complete_ GUARDED_BY(mutex_) = false;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 /// A future-style handle on one submitted request. Copyable (shares the
@@ -395,15 +395,16 @@ class Service {
   Engine engine_;
   ServiceOptions options_;
   util::Timer uptime_;  ///< denominator of queries_per_second
-  mutable std::mutex stats_mutex_;
-  ServiceStats stats_;
-  std::uint64_t started_ = 0;  ///< requests whose execution began
-  std::uint64_t next_id_ = 0;
+  mutable util::Mutex stats_mutex_;
+  ServiceStats stats_ GUARDED_BY(stats_mutex_);
+  /// Requests whose execution began.
+  std::uint64_t started_ GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t next_id_ GUARDED_BY(stats_mutex_) = 0;
   /// Counts this service's requests living in the executor (queued or
   /// executing); a shared-pool service must drain to zero before dying.
-  mutable std::mutex outstanding_mutex_;
-  std::condition_variable outstanding_cv_;
-  std::size_t outstanding_ = 0;
+  mutable util::Mutex outstanding_mutex_;
+  util::CondVar outstanding_cv_;
+  std::size_t outstanding_ GUARDED_BY(outstanding_mutex_) = 0;
   const bool owns_executor_;
   /// Declared last: workers touch everything above, so an owned executor
   /// must be destroyed (drained + joined) first. A shared executor

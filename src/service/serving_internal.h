@@ -9,17 +9,17 @@
 // machinery instead of growing a second copy.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "service/service.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace whyprov {
@@ -34,10 +34,10 @@ struct Ticket::State {
   util::CancellationSource cancel;
   util::Timer submit_timer;  ///< starts at admission; measures queue wait
 
-  mutable std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;
-  Response response;
+  mutable util::Mutex mutex;
+  util::CondVar cv;
+  bool done GUARDED_BY(mutex) = false;
+  Response response GUARDED_BY(mutex);
 };
 
 namespace serving_internal {
@@ -55,39 +55,42 @@ inline RequestKind KindOf(const Request& request) {
   }
 }
 
-/// The terminal bookkeeping every front end shares: count the outcome,
-/// complete the sink *before* publishing the response (a consumer woken
-/// by the ticket must find its stream already terminal), publish, wake
-/// waiters.
-inline void FinishTicket(const std::shared_ptr<Ticket::State>& state,
-                         Response response, ServiceStats& stats,
-                         std::mutex& stats_mutex) {
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex);
-    ++stats.completed;
-    switch (response.status.code()) {
-      case util::StatusCode::kOk:
-        ++stats.succeeded;
-        break;
-      case util::StatusCode::kCancelled:
-        ++stats.cancelled;
-        break;
-      case util::StatusCode::kDeadlineExceeded:
-        ++stats.deadline_exceeded;
-        break;
-      default:
-        ++stats.failed;
-        break;
-    }
-    stats.members_delivered += response.members_emitted;
+/// The counting half of the terminal bookkeeping every front end
+/// shares. Callers hold the lock guarding their `stats` (split from
+/// CompleteTicket so no guarded ServiceStats is ever passed by
+/// reference without its mutex — the thread-safety analysis checks
+/// reference passing too).
+inline void CountOutcome(const Response& response, ServiceStats& stats) {
+  ++stats.completed;
+  switch (response.status.code()) {
+    case util::StatusCode::kOk:
+      ++stats.succeeded;
+      break;
+    case util::StatusCode::kCancelled:
+      ++stats.cancelled;
+      break;
+    case util::StatusCode::kDeadlineExceeded:
+      ++stats.deadline_exceeded;
+      break;
+    default:
+      ++stats.failed;
+      break;
   }
+  stats.members_delivered += response.members_emitted;
+}
+
+/// The publish half: complete the sink *before* publishing the response
+/// (a consumer woken by the ticket must find its stream already
+/// terminal), publish, wake waiters. Call after CountOutcome.
+inline void CompleteTicket(const std::shared_ptr<Ticket::State>& state,
+                           Response response) {
   if (state->sink) state->sink->OnComplete(response.status);
   {
-    const std::lock_guard<std::mutex> lock(state->mutex);
+    const util::MutexLock lock(state->mutex);
     state->response = std::move(response);
     state->done = true;
   }
-  state->cv.notify_all();
+  state->cv.NotifyAll();
 }
 
 /// The aggregate tail both blocking batch flavours share.

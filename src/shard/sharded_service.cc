@@ -49,7 +49,7 @@ TargetRef TargetOf(Request& request) {
 // --- construction --------------------------------------------------------
 
 ShardedService::ShardedService(ShardMap map, ShardedServiceOptions options,
-                               std::shared_ptr<std::mutex> parse_mutex,
+                               std::shared_ptr<util::Mutex> parse_mutex,
                                std::shared_ptr<util::Executor> executor)
     : map_(std::move(map)),
       options_(std::move(options)),
@@ -76,7 +76,7 @@ util::Result<std::unique_ptr<ShardedService>> ShardedService::Create(
   // parse mutex — otherwise two shards parsing fact text concurrently
   // would race on the table.
   if (!options.engine.parse_mutex) {
-    options.engine.parse_mutex = std::make_shared<std::mutex>();
+    options.engine.parse_mutex = std::make_shared<util::Mutex>();
   }
   auto executor = std::make_shared<util::Executor>(util::Executor::Options{
       options.service.num_threads,
@@ -170,7 +170,7 @@ util::Result<std::size_t> ShardedService::RouteRead(Request& request) const {
   // the text (no interning on the router).
   if (!target.text->empty()) {
     const std::string name = PredicateNameOf(*target.text);
-    const std::lock_guard<std::mutex> lock(*parse_mutex_);
+    const util::MutexLock lock(*parse_mutex_);
     util::Result<dl::PredicateId> predicate =
         engine().model().symbols().FindPredicate(name);
     if (!predicate.ok()) return std::size_t{0};  // shard surfaces the error
@@ -243,7 +243,7 @@ BatchDecideResult ShardedService::DecideBatch(
 // --- the write path: ordered delta lane ----------------------------------
 
 util::Status ShardedService::ParseDeltaTexts(DeltaRequest& delta) {
-  const std::lock_guard<std::mutex> lock(*parse_mutex_);
+  const util::MutexLock lock(*parse_mutex_);
   const std::shared_ptr<dl::SymbolTable>& symbols =
       engine().model().symbols_ptr();
   for (auto [texts, facts] :
@@ -282,7 +282,7 @@ bool ShardedService::CoveredByAnyShard(dl::PredicateId predicate) const {
 }
 
 util::Status ShardedService::EnqueueDelta(std::function<void()> task) {
-  const std::lock_guard<std::mutex> lock(lane_mutex_);
+  const util::MutexLock lock(lane_mutex_);
   // The write path honours the same admission bound as the read path: a
   // drain in progress must not let the lane grow without limit.
   if (lane_.size() >= lane_capacity_) {
@@ -307,7 +307,7 @@ void ShardedService::DrainDeltaLane() {
   while (true) {
     std::function<void()> task;
     {
-      const std::lock_guard<std::mutex> lock(lane_mutex_);
+      const util::MutexLock lock(lane_mutex_);
       if (lane_.empty()) {
         lane_draining_ = false;
         return;
@@ -363,7 +363,7 @@ util::Result<Ticket> ShardedService::SubmitDelta(Request request) {
                               : options_.service.default_deadline_seconds;
   if (deadline > 0) state->cancel.SetTimeout(deadline);
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     ++stats_.submitted;
     state->id = ++next_id_;
   }
@@ -386,7 +386,11 @@ util::Result<Ticket> ShardedService::SubmitDelta(Request request) {
       Response response;
       response.kind = RequestKind::kApplyDelta;
       response.status = parsed;
-      si::FinishTicket(state, std::move(response), stats_, stats_mutex_);
+      {
+        const util::MutexLock lock(stats_mutex_);
+        si::CountOutcome(response, stats_);
+      }
+      si::CompleteTicket(state, std::move(response));
       return Ticket(state);
     }
     targets = map_.ShardsForDelta(DeltaPredicates(delta));
@@ -417,7 +421,7 @@ util::Result<Ticket> ShardedService::SubmitDelta(Request request) {
         ExecuteDelta(state, targets);
       });
   if (!enqueued.ok()) {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     --stats_.submitted;
     ++stats_.rejected;
     return enqueued;
@@ -507,7 +511,11 @@ void ShardedService::ExecuteDelta(const std::shared_ptr<Ticket::State>& state,
     }
   }
   response.exec_seconds = exec_timer.ElapsedSeconds();
-  si::FinishTicket(state, std::move(response), stats_, stats_mutex_);
+  {
+    const util::MutexLock lock(stats_mutex_);
+    si::CountOutcome(response, stats_);
+  }
+  si::CompleteTicket(state, std::move(response));
 }
 
 DeltaRequest ShardedService::SplitDeltaFor(std::size_t shard,
@@ -533,11 +541,11 @@ DeltaRequest ShardedService::SplitDeltaFor(std::size_t shard,
 ServiceStats ShardedService::stats() const {
   ServiceStats total;
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     total = stats_;
   }
   {
-    const std::lock_guard<std::mutex> lock(lane_mutex_);
+    const util::MutexLock lock(lane_mutex_);
     total.queue_depth += lane_.size();
     total.in_flight += lane_active_.load(std::memory_order_relaxed);
   }

@@ -7,7 +7,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -15,6 +14,8 @@
 #include "service/service.h"
 #include "shard/shard_map.h"
 #include "util/executor.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace whyprov {
 
@@ -140,7 +141,7 @@ class ShardedService {
   };
 
   ShardedService(ShardMap map, ShardedServiceOptions options,
-                 std::shared_ptr<std::mutex> parse_mutex,
+                 std::shared_ptr<util::Mutex> parse_mutex,
                  std::shared_ptr<util::Executor> executor);
 
   /// Picks the owning shard for a read request, canonicalising the target
@@ -192,18 +193,19 @@ class ShardedService {
 
   ShardMap map_;
   ShardedServiceOptions options_;
-  std::shared_ptr<std::mutex> parse_mutex_;  ///< shared with every engine
+  std::shared_ptr<util::Mutex> parse_mutex_;  ///< shared with every engine
   util::Timer uptime_;
-  mutable std::mutex stats_mutex_;
-  ServiceStats stats_;  ///< the router's own traffic: the delta lane
-  std::uint64_t next_id_ = 0;
+  mutable util::Mutex stats_mutex_;
+  /// The router's own traffic: the delta lane.
+  ServiceStats stats_ GUARDED_BY(stats_mutex_);
+  std::uint64_t next_id_ GUARDED_BY(stats_mutex_) = 0;
 
   // The ordered delta lane: tasks run FIFO on the shared executor, one at
   // a time — every shard observes the same write order (lockstep for
   // replicas) while each delta only touches its target shards' engines.
-  mutable std::mutex lane_mutex_;
-  std::deque<std::function<void()>> lane_;
-  bool lane_draining_ = false;
+  mutable util::Mutex lane_mutex_;
+  std::deque<std::function<void()>> lane_ GUARDED_BY(lane_mutex_);
+  bool lane_draining_ GUARDED_BY(lane_mutex_) = false;
   std::size_t lane_capacity_ = 1;  ///< admission bound of the write path
   /// Deltas currently executing on the lane (0 or 1): popped from lane_
   /// but not yet finished, so stats() can still count them in-flight.

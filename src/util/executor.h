@@ -3,17 +3,17 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace whyprov::util {
 
@@ -70,9 +70,9 @@ class Executor {
   /// Enqueues `task` for a worker. Refuses with kResourceExhausted when
   /// the queue is at capacity and with kInvalidArgument after Shutdown —
   /// callers surface the former as server-overloaded to their clients.
-  Status TrySubmit(std::function<void()> task) {
+  Status TrySubmit(std::function<void()> task) EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (shutdown_) {
         return Status::InvalidArgument("the executor is shut down");
       }
@@ -83,7 +83,7 @@ class Executor {
       }
       queue_.push_back(std::move(task));
     }
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
     return Status::Ok();
   }
 
@@ -91,22 +91,22 @@ class Executor {
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Tasks admitted but not yet started.
-  std::size_t pending() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t pending() const EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return queue_.size();
   }
 
   /// Tasks currently executing on workers.
-  std::size_t active() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t active() const EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return active_;
   }
 
   /// Stops admission, drains every queued task, joins the workers.
   /// Idempotent.
-  void Shutdown() {
+  void Shutdown() EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (shutdown_) {
         // A second Shutdown (e.g. destructor after an explicit call) must
         // still wait for the joins below, but they already happened.
@@ -114,7 +114,7 @@ class Executor {
       }
       shutdown_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (std::thread& worker : workers_) {
       if (worker.joinable()) worker.join();
     }
@@ -134,8 +134,8 @@ class Executor {
     struct Shared {
       std::atomic<std::size_t> next{0};
       std::atomic<std::size_t> live_helpers{0};
-      std::mutex mutex;
-      std::condition_variable done_cv;
+      Mutex mutex;
+      CondVar done_cv;
     };
     const auto shared = std::make_shared<Shared>();
     const auto drain = [shared, n, &fn] {
@@ -157,8 +157,8 @@ class Executor {
         drain();
         if (shared->live_helpers.fetch_sub(1, std::memory_order_acq_rel) ==
             1) {
-          const std::lock_guard<std::mutex> lock(shared->mutex);
-          shared->done_cv.notify_all();
+          const MutexLock lock(shared->mutex);
+          shared->done_cv.NotifyAll();
         }
       });
       if (!submitted.ok()) {
@@ -169,20 +169,20 @@ class Executor {
     }
     drain();  // the calling thread participates
     if (enqueued > 0) {
-      std::unique_lock<std::mutex> lock(shared->mutex);
-      shared->done_cv.wait(lock, [&shared] {
-        return shared->live_helpers.load(std::memory_order_acquire) == 0;
-      });
+      const MutexLock lock(shared->mutex);
+      while (shared->live_helpers.load(std::memory_order_acquire) != 0) {
+        shared->done_cv.Wait(shared->mutex);
+      }
     }
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() EXCLUDES(mutex_) {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        MutexLock lock(mutex_);
+        while (!shutdown_ && queue_.empty()) work_cv_.Wait(mutex_);
         if (queue_.empty()) return;  // shutdown with a drained queue
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -190,18 +190,18 @@ class Executor {
       }
       task();
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         --active_;
       }
     }
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mutex_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  std::size_t active_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,120 @@
+#ifndef WHYPROV_UTIL_MUTEX_H_
+#define WHYPROV_UTIL_MUTEX_H_
+
+// Annotated synchronization primitives. These are thin, zero-overhead
+// wrappers over std::mutex / std::condition_variable that carry the
+// capability attributes from util/thread_annotations.h, so Clang's
+// thread-safety analysis (-Werror=thread-safety in CI) can prove at
+// compile time that every GUARDED_BY field is only touched with its
+// mutex held and every *Locked() helper is only called under the lock.
+//
+// Project rule (enforced by tools/lint.py): outside src/util/ these are
+// the ONLY synchronization primitives — no raw std::mutex,
+// std::lock_guard, std::unique_lock, or std::condition_variable.
+//
+// Waiting convention: condition waits are written as explicit loops,
+//
+//   MutexLock lock(mutex_);
+//   while (!done_) cv_.Wait(mutex_);
+//
+// rather than predicate lambdas, because the analysis checks a lambda
+// body as a separate function and cannot see that it runs under the
+// caller's lock. The loop form keeps every guarded access inside the
+// annotated scope.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace whyprov::util {
+
+/// A non-recursive mutual-exclusion capability. Same cost and semantics
+/// as the std::mutex it wraps; the wrapper only adds annotations.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mutex_.lock(); }
+  void Unlock() RELEASE() { mutex_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// Tells the analysis this thread holds the mutex when it cannot see
+  /// the acquisition (e.g. inside a callback invoked under the lock).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;  // waits on the wrapped handle directly
+  std::mutex mutex_;
+};
+
+/// RAII lock: acquires in the constructor, releases in the destructor.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over util::Mutex. Wraps std::condition_variable
+/// (not _any), adopting the wrapped handle for the duration of each
+/// wait, so the fast native futex path is preserved.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex` and blocks until notified (or a
+  /// spurious wakeup); reacquires before returning. Callers loop on
+  /// their predicate.
+  void Wait(Mutex& mutex) REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the mutex
+  }
+
+  /// As Wait, but gives up once `deadline` passes. Returns true iff the
+  /// deadline passed (the predicate may still have become true — the
+  /// caller's loop rechecks it under the reacquired lock).
+  bool WaitUntil(Mutex& mutex, std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    const bool timed_out = cv_.wait_until(lock, deadline) ==
+                           std::cv_status::timeout;
+    lock.release();
+    return timed_out;
+  }
+
+  /// As WaitUntil, with a relative timeout in seconds (<= 0 expires
+  /// immediately, after one lock release/reacquire).
+  bool WaitFor(Mutex& mutex, double seconds) REQUIRES(mutex) {
+    return WaitUntil(
+        mutex, std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::
+                                                  duration>(
+                       std::chrono::duration<double>(seconds)));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace whyprov::util
+
+#endif  // WHYPROV_UTIL_MUTEX_H_

@@ -7,14 +7,18 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
+#include <system_error>
 
 namespace whyprov::util {
 
 namespace {
 
 Status ErrnoStatus(const char* what) {
-  return Status::Error(std::string(what) + ": " + std::strerror(errno));
+  // std::error_code::message instead of strerror: the latter returns a
+  // pointer into shared static storage, and these helpers run on every
+  // server session thread concurrently.
+  const std::error_code code(errno, std::generic_category());
+  return Status::Error(std::string(what) + ": " + code.message());
 }
 
 }  // namespace

@@ -28,7 +28,12 @@ std::string_view StatusCodeName(StatusCode code);
 /// Lightweight error-handling primitive (the project builds without
 /// exceptions in its public API). A `Status` is either OK or carries an
 /// error code plus a human-readable message.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed error, so every
+/// function returning one must have its result inspected (or explicitly
+/// discarded with a (void) cast at the handful of sites where failure
+/// is genuinely irrelevant).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -91,15 +96,17 @@ class Status {
 
 /// A value-or-error wrapper: either holds a `T` or an error `Status`.
 /// Use `ok()` to discriminate; accessing `value()` on an error aborts in
-/// debug builds.
+/// debug builds. [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
-  /// Constructs a successful result (implicit to allow `return value;`).
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a successful result.
+  // NOLINTNEXTLINE(runtime/explicit): implicit to allow `return value;`
+  Result(T value) : value_(std::move(value)) {}
 
-  /// Constructs a failed result (implicit to allow `return status;`).
-  Result(Status status) : status_(std::move(status)) {  // NOLINT
+  /// Constructs a failed result.
+  // NOLINTNEXTLINE(runtime/explicit): implicit to allow `return status;`
+  Result(Status status) : status_(std::move(status)) {
     assert(!status_.ok() && "Result(Status) requires an error status");
   }
 

@@ -1,0 +1,75 @@
+#ifndef WHYPROV_UTIL_THREAD_ANNOTATIONS_H_
+#define WHYPROV_UTIL_THREAD_ANNOTATIONS_H_
+
+// Macros for Clang's thread-safety analysis (-Wthread-safety), after
+// the canonical mutex.h example in the Clang documentation. On Clang
+// they expand to the capability attributes; on other compilers they
+// expand to nothing, so annotated code builds everywhere while CI's
+// clang job (-Werror=thread-safety) proves the lock discipline at
+// compile time.
+//
+// Vocabulary (all applied to util::Mutex and friends, see util/mutex.h):
+//
+//   GUARDED_BY(mu)    — field may only be read/written with mu held.
+//   PT_GUARDED_BY(mu) — the pointee of this pointer is guarded by mu.
+//   REQUIRES(mu)      — caller must hold mu (the `FooLocked()` helpers).
+//   EXCLUDES(mu)      — caller must NOT hold mu (the function takes it).
+//   ACQUIRE/RELEASE   — the function takes/releases the capability.
+//   CAPABILITY        — the class is a lockable capability (Mutex).
+//   SCOPED_CAPABILITY — RAII class acquiring in ctor, releasing in dtor.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define WHYPROV_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define WHYPROV_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) WHYPROV_THREAD_ANNOTATION__(capability(x))
+
+#define SCOPED_CAPABILITY WHYPROV_THREAD_ANNOTATION__(scoped_lockable)
+
+#define GUARDED_BY(x) WHYPROV_THREAD_ANNOTATION__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) WHYPROV_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  WHYPROV_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  WHYPROV_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  WHYPROV_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  WHYPROV_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  WHYPROV_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  WHYPROV_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  WHYPROV_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  WHYPROV_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  WHYPROV_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  WHYPROV_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) WHYPROV_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  WHYPROV_THREAD_ANNOTATION__(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) WHYPROV_THREAD_ANNOTATION__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  WHYPROV_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // WHYPROV_UTIL_THREAD_ANNOTATIONS_H_

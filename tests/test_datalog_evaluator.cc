@@ -213,6 +213,7 @@ TEST(GrounderTest, MultipleDerivationsYieldMultipleInstances) {
   const Model model = Evaluator::Evaluate(w.program, w.database);
   const Grounder grounder(w.program, model);
   auto fact = Parser::ParseFact(w.symbols, "p(a)");
+  ASSERT_TRUE(fact.ok());
   const FactId id = *model.Find(fact.value());
   EXPECT_EQ(grounder.InstancesWithHead(id).size(), 2u);
 }
@@ -223,6 +224,7 @@ TEST(GrounderTest, BodySetCollapsesDuplicateFacts) {
   const Model model = Evaluator::Evaluate(w.program, w.database);
   const Grounder grounder(w.program, model);
   auto fact = Parser::ParseFact(w.symbols, "p(a)");
+  ASSERT_TRUE(fact.ok());
   const FactId id = *model.Find(fact.value());
   const auto instances = grounder.InstancesWithHead(id);
   ASSERT_EQ(instances.size(), 1u);

@@ -6,9 +6,7 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -21,6 +19,7 @@
 #include "engine/plan_cache.h"
 #include "provenance/query_plan.h"
 #include "scenarios/scenarios.h"
+#include "util/mutex.h"
 #include "tests/workspace.h"
 #include "whyprov.h"
 
@@ -458,14 +457,14 @@ TEST(EnginePlanCacheTest, GetOrBuildCoalescesConcurrentMisses) {
   plan->set_model_version(kVersion);
 
   PlanCache cache(/*capacity=*/4);
-  std::mutex gate_mutex;
-  std::condition_variable gate_cv;
+  util::Mutex gate_mutex;
+  util::CondVar gate_cv;
   bool gate_open = false;
   std::atomic<std::size_t> builds{0};
   const auto build = [&] {
     ++builds;
-    std::unique_lock<std::mutex> lock(gate_mutex);
-    gate_cv.wait(lock, [&] { return gate_open; });
+    const util::MutexLock lock(gate_mutex);
+    while (!gate_open) gate_cv.Wait(gate_mutex);
     return plan;
   };
 
@@ -485,10 +484,10 @@ TEST(EnginePlanCacheTest, GetOrBuildCoalescesConcurrentMisses) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   {
-    const std::lock_guard<std::mutex> lock(gate_mutex);
+    const util::MutexLock lock(gate_mutex);
     gate_open = true;
   }
-  gate_cv.notify_all();
+  gate_cv.NotifyAll();
   for (std::thread& thread : threads) thread.join();
 
   EXPECT_EQ(builds.load(), 1u);

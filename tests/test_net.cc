@@ -270,6 +270,23 @@ TEST(WireRejectionTest, HostileListCountFailsWithoutAllocating) {
   EXPECT_FALSE(DecodeMembers(members.buffer()).ok());
 }
 
+TEST(WireRejectionTest, NonCanonicalStatsReplyAlarmFails) {
+  // Shrunken fuzzer finding: a stats reply whose snapshot_alarm byte is
+  // 2 used to decode successfully (as "alarm set") but re-encode as 1,
+  // violating the encode/decode symmetry the protocol documents. The
+  // encoder only writes 0 or 1; anything else is now malformed.
+  StatsReplyFrame frame;
+  frame.request_id = 9;
+  frame.stats.snapshot_alarm = true;
+  std::string body = Encode(frame);
+  // The alarm flag sits after request_id, ten u64 counters, the f64
+  // rate, and four more u64s: 8 + 80 + 8 + 32 = byte 128.
+  ASSERT_EQ(body[128], 1);
+  EXPECT_TRUE(DecodeStatsReply(body).ok());
+  body[128] = 2;
+  EXPECT_FALSE(DecodeStatsReply(body).ok());
+}
+
 TEST(WireRejectionTest, UnknownFinalKindFails) {
   WireWriter writer;
   writer.PutU64(1);   // request_id
