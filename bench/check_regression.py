@@ -28,6 +28,8 @@ Usage:
   check_regression.py --baseline BENCH_service.json \
       --current build/BENCH_service.json --latency-threshold 1.0 \
       --min-shard-scaling 0.75
+  check_regression.py --baseline BENCH_durability.json \
+      --current build/BENCH_durability.json --min-wal-throughput 0.75
 """
 
 import argparse
@@ -44,12 +46,17 @@ KEY_FIELDS = (
     "clients",
     "delta_size",
     "direction",
+    "wal",
+    "tail_records",
 )
 
 # Higher-is-better metrics compared against the baseline with the drop
 # threshold. speedup_vs_rebuild is deliberately NOT here: machine-ratio
 # metrics swing too much across CI hardware for a drop gate; the absolute
 # --min-speedup floor (with its wide margin at delta_size 1) guards it.
+# deltas_per_second is likewise absent: the WAL-on/WAL-off ratio is gated
+# self-relatively by --min-wal-throughput instead, and the absolute rate
+# swings with the runner's filesystem.
 METRIC_FIELDS = ("queries_per_second",)
 
 # Lower-is-better metrics (tail latency of BENCH_service.json), gated by
@@ -149,6 +156,43 @@ def check_shard_scaling(current_rows, current_path, min_scaling, failures):
     return checks
 
 
+def check_wal_throughput(current_rows, current_path, min_ratio, failures):
+    """Self-relative WAL-overhead gate on BENCH_durability.json: for every
+    (scenario, database) with both a wal=on and a wal=off throughput row
+    in the *current* run, the WAL-on deltas/second must be at least
+    `min_ratio` times the WAL-off rate. Self-relative, so the gate holds
+    regardless of the runner's absolute disk speed."""
+    checks = 0
+    by_group = {}
+    for row in current_rows:
+        if "wal" not in row or "deltas_per_second" not in row:
+            continue
+        group = tuple((f, row[f]) for f in ("scenario", "database")
+                      if f in row)
+        by_group.setdefault(group, {})[row["wal"]] = row
+    for group, by_wal in by_group.items():
+        base = by_wal.get("off")
+        gated = by_wal.get("on")
+        if base is None or gated is None:
+            continue
+        base_rate = metric_value(base, "deltas_per_second", current_path)
+        if base_rate <= 0:
+            continue
+        checks += 1
+        rate = metric_value(gated, "deltas_per_second", current_path)
+        floor = base_rate * min_ratio
+        status = "ok" if rate >= floor else "REGRESSION"
+        print(f"{status:>10}  WAL overhead: wal-on {rate:.2f} deltas/s vs "
+              f"wal-off {base_rate:.2f} (floor {floor:.2f} = "
+              f"{min_ratio:.2f}x)  [{format_key(group)}]")
+        if rate < floor:
+            failures.append(
+                f"WAL-on delta throughput is {rate / base_rate:.2f}x the "
+                f"WAL-off throughput (< {min_ratio:.2f}x floor) on "
+                f"[{format_key(group)}]")
+    return checks
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -168,6 +212,10 @@ def main():
     parser.add_argument("--min-shard-scaling", type=float, default=None,
                         help="floor for (N-shard q/s) / (1-shard q/s) "
                              "within the current file; ignored when unset")
+    parser.add_argument("--min-wal-throughput", type=float, default=None,
+                        help="floor for (wal-on deltas/s) / (wal-off "
+                             "deltas/s) within the current file; ignored "
+                             "when unset")
     args = parser.parse_args()
 
     baseline_rows = load_rows(args.baseline, "baseline")
@@ -251,6 +299,10 @@ def main():
     if args.min_shard_scaling is not None:
         checks += check_shard_scaling(current_rows, args.current,
                                       args.min_shard_scaling, failures)
+
+    if args.min_wal_throughput is not None:
+        checks += check_wal_throughput(current_rows, args.current,
+                                       args.min_wal_throughput, failures)
 
     if checks == 0:
         print("error: no comparable metrics found "

@@ -6,6 +6,7 @@
 //   ./build/whyprov_server                         # demo program, port 0
 //   ./build/whyprov_server --port=7411
 //   ./build/whyprov_server --program=p.dl --database=d.dl --answer=path
+//   ./build/whyprov_server --data-dir=/var/lib/whyprov  # durable deltas
 //   ./build/whyprov_server --selfcheck             # CI smoke test
 //
 // Prints the bound port (ephemeral with --port=0, the default), then
@@ -14,10 +15,20 @@
 // client to itself, runs one streaming enumeration, one decision, and a
 // stats probe, prints what came back, and exits 0 on success — the CI
 // loopback smoke test.
+//
+// --data-dir=PATH turns on the durability tier (docs/STORAGE_FORMAT.md):
+// committed deltas are appended to a write-ahead log under PATH and the
+// model is checkpointed periodically; a restarted server pointed at the
+// same PATH recovers the pre-crash state. Combined with --selfcheck the
+// smoke test also applies a delta over the wire, tears the whole stack
+// down, rebuilds it from PATH, and verifies the recovered server returns
+// byte-identical answers.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -112,6 +123,122 @@ int SelfCheck(std::uint16_t port, const std::string& target) {
   return 0;
 }
 
+/// Renders the materialised answer to every target into one string, so
+/// pre-restart and post-recovery states can be compared byte for byte.
+bool CaptureTranscript(whyprov::net::Client& client,
+                       const std::vector<std::string>& targets,
+                       std::string& out) {
+  out.clear();
+  for (const std::string& target : targets) {
+    auto outcome = client.Enumerate(target, /*max_members=*/64);
+    if (!outcome.ok()) return false;
+    out += target;
+    out += " -> status ";
+    out += std::to_string(outcome.value().final.status_code);
+    out += "\n";
+    for (const auto& member : outcome.value().final.members) {
+      out += "  {";
+      for (std::size_t i = 0; i < member.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += member[i];
+      }
+      out += "}\n";
+    }
+  }
+  return true;
+}
+
+// The durability leg of --selfcheck: mutate the model over the wire,
+// snapshot the answers, tear the serving stack down, rebuild it from
+// the same --data-dir, and require the recovered server to (a) report
+// that it replayed the logged delta and (b) produce byte-identical
+// answers. On success the caller's server/service are replaced by the
+// recovered stack (so shutdown in main stays uniform).
+int DurableSelfCheck(std::unique_ptr<whyprov::net::Server>& server,
+                     whyprov_service*& service, whyprov_options options,
+                     const std::string& program_text,
+                     const std::string& database_text,
+                     const std::string& answer_predicate) {
+  const std::vector<std::string> targets = {kDemoTarget, "path(c, d)"};
+
+  auto writer = whyprov::net::Client::Connect("127.0.0.1", server->port());
+  if (!writer.ok()) {
+    std::fprintf(stderr, "selfcheck: durable connect failed: %s\n",
+                 writer.status().message().c_str());
+    return 1;
+  }
+  auto delta = writer.value().ApplyDelta({"edge(c, d)"}, {});
+  if (!delta.ok() || !delta.value().ok()) {
+    std::fprintf(stderr, "selfcheck: durable delta failed\n");
+    return 1;
+  }
+  std::string before;
+  if (!CaptureTranscript(writer.value(), targets, before)) {
+    std::fprintf(stderr, "selfcheck: transcript capture failed\n");
+    return 1;
+  }
+
+  // Tear the whole stack down — server, service, engine — and rebuild
+  // it from the data directory alone.
+  server->Stop();
+  server.reset();
+  whyprov_service_destroy(service);
+  service = nullptr;
+
+  char error_message[256];
+  const whyprov_status recovered = whyprov_service_create(
+      program_text.c_str(), database_text.c_str(), answer_predicate.c_str(),
+      &options, &service, error_message, sizeof(error_message));
+  if (recovered != WHYPROV_OK) {
+    std::fprintf(stderr, "selfcheck: recovery create failed: %s (%s)\n",
+                 error_message, whyprov_status_name(recovered));
+    return 1;
+  }
+  server = std::make_unique<whyprov::net::Server>(service);
+  if (auto status = server->Start(/*port=*/0); !status.ok()) {
+    std::fprintf(stderr, "selfcheck: recovery start failed: %s\n",
+                 status.message().c_str());
+    return 1;
+  }
+
+  auto reader = whyprov::net::Client::Connect("127.0.0.1", server->port());
+  if (!reader.ok()) {
+    std::fprintf(stderr, "selfcheck: recovery connect failed: %s\n",
+                 reader.status().message().c_str());
+    return 1;
+  }
+  auto stats = reader.value().Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "selfcheck: recovery stats failed: %s\n",
+                 stats.status().message().c_str());
+    return 1;
+  }
+  if (stats.value().recovery_replayed_deltas == 0 &&
+      stats.value().model_version == 0) {
+    std::fprintf(stderr,
+                 "selfcheck: recovered server saw neither a checkpoint nor "
+                 "a WAL tail\n");
+    return 1;
+  }
+  std::string after;
+  if (!CaptureTranscript(reader.value(), targets, after)) {
+    std::fprintf(stderr, "selfcheck: recovered transcript capture failed\n");
+    return 1;
+  }
+  if (before != after) {
+    std::fprintf(stderr,
+                 "selfcheck: recovered answers differ\n--- before ---\n%s"
+                 "--- after ---\n%s",
+                 before.c_str(), after.c_str());
+    return 1;
+  }
+  std::printf(
+      "selfcheck: recovered stack replayed %llu delta(s), answers "
+      "byte-identical\n",
+      static_cast<unsigned long long>(stats.value().recovery_replayed_deltas));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,6 +246,7 @@ int main(int argc, char** argv) {
   const char* program_path = nullptr;
   const char* database_path = nullptr;
   const char* answer = nullptr;
+  const char* data_dir = nullptr;
   std::size_t shards = 0;
   bool selfcheck = false;
   for (int i = 1; i < argc; ++i) {
@@ -131,6 +259,8 @@ int main(int argc, char** argv) {
       database_path = arg + 11;
     } else if (std::strncmp(arg, "--answer=", 9) == 0) {
       answer = arg + 9;
+    } else if (std::strncmp(arg, "--data-dir=", 11) == 0) {
+      data_dir = arg + 11;
     } else if (std::strncmp(arg, "--shards=", 9) == 0) {
       shards = static_cast<std::size_t>(std::atol(arg + 9));
     } else if (std::strcmp(arg, "--selfcheck") == 0) {
@@ -138,7 +268,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--program=FILE --database=FILE "
-                   "--answer=PREDICATE] [--shards=N] [--selfcheck]\n",
+                   "--answer=PREDICATE] [--data-dir=DIR] [--shards=N] "
+                   "[--selfcheck]\n",
                    argv[0]);
       return 2;
     }
@@ -174,6 +305,7 @@ int main(int argc, char** argv) {
   whyprov_options options;
   whyprov_options_init(&options);
   options.num_shards = shards;
+  if (data_dir != nullptr) options.data_dir = data_dir;
   whyprov_service* service = nullptr;
   char error_message[256];
   const whyprov_status created = whyprov_service_create(
@@ -185,15 +317,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  whyprov::net::Server server(service);
-  if (auto status = server.Start(static_cast<std::uint16_t>(port));
+  auto server = std::make_unique<whyprov::net::Server>(service);
+  if (auto status = server->Start(static_cast<std::uint16_t>(port));
       !status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.message().c_str());
     whyprov_service_destroy(service);
     return 1;
   }
   std::printf("whyprov_server: serving '%s' on 127.0.0.1:%u\n",
-              answer_predicate.c_str(), server.port());
+              answer_predicate.c_str(), server->port());
   std::fflush(stdout);
 
   int exit_code = 0;
@@ -206,7 +338,11 @@ int main(int argc, char** argv) {
                    "error: --selfcheck works with the built-in demo only\n");
       exit_code = 2;
     } else {
-      exit_code = SelfCheck(server.port(), kDemoTarget);
+      exit_code = SelfCheck(server->port(), kDemoTarget);
+      if (exit_code == 0 && data_dir != nullptr) {
+        exit_code = DurableSelfCheck(server, service, options, program_text,
+                                     database_text, answer_predicate);
+      }
     }
   } else {
     std::printf("whyprov_server: reading stdin; EOF (Ctrl-D) stops\n");
@@ -216,7 +352,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  server.Stop();
+  if (server != nullptr) server->Stop();
   whyprov_service_destroy(service);
   return exit_code;
 }

@@ -1,0 +1,122 @@
+// libFuzzer harness for the WAL record decoder and the torn-tail replay
+// scan (storage/wal.h) — the code that reads whatever bytes a crashed
+// process left on disk, so it must be total on hostile input.
+//
+// Input layout: the first byte selects the entry point; the remainder is
+// the bytes under test.
+//
+//   0x01  DecodeWalRecord on the raw record payload. Oracle: whenever a
+//         decode succeeds, EncodeWalRecord(decoded) must reproduce the
+//         payload byte for byte (the pair is documented as symmetric; a
+//         mismatch means the decoder accepted a non-canonical payload).
+//   else  ReplayWalBuffer over the bytes as a WAL record region (what
+//         Open() scans after the file header). Oracles: the scan never
+//         crashes, the reported valid prefix length never exceeds the
+//         input, and re-framing the decoded records (length | CRC-32C |
+//         payload) rebuilds that prefix exactly — replay must only ever
+//         accept bytes the writer could have produced.
+//
+// Build modes match fuzz_wire.cc: the libFuzzer entry point for the CI
+// fuzz smoke, and -DWHYPROV_FUZZ_STANDALONE for the corpus-replay ctest
+// that runs under every toolchain.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "storage/wal.h"
+#include "util/crc32c.h"
+#include "util/wire_format.h"
+
+namespace {
+
+using whyprov::storage::DecodeWalRecord;
+using whyprov::storage::EncodeWalRecord;
+using whyprov::storage::ReplayWalBuffer;
+using whyprov::storage::WalReplay;
+
+void FuzzRecordDecoder(std::string_view payload) {
+  const auto decoded = DecodeWalRecord(payload);
+  if (!decoded.ok()) return;
+  const std::string reencoded = EncodeWalRecord(decoded.value());
+  if (reencoded == payload) return;
+  std::fprintf(stderr,
+               "round-trip mismatch: decoded %zu-byte WAL payload "
+               "re-encoded to %zu bytes\n",
+               payload.size(), reencoded.size());
+  std::abort();
+}
+
+void FuzzReplay(std::string_view region) {
+  const WalReplay replay = ReplayWalBuffer(region);
+  if (replay.valid_bytes > region.size()) {
+    std::fprintf(stderr, "replay claims %zu valid bytes of a %zu-byte input\n",
+                 replay.valid_bytes, region.size());
+    std::abort();
+  }
+  // Rebuild the accepted prefix from the decoded records; replay must
+  // only accept byte sequences the WAL writer could have emitted.
+  std::string rebuilt;
+  for (const auto& record : replay.records) {
+    const std::string payload = EncodeWalRecord(record);
+    whyprov::util::WireWriter frame;
+    frame.PutU32(static_cast<std::uint32_t>(payload.size()));
+    frame.PutU32(whyprov::util::Crc32c(payload));
+    rebuilt += frame.Take();
+    rebuilt += payload;
+  }
+  if (rebuilt != region.substr(0, replay.valid_bytes)) {
+    std::fprintf(stderr,
+                 "replay accepted a %zu-byte prefix that re-frames to "
+                 "%zu different bytes\n",
+                 replay.valid_bytes, rebuilt.size());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::string_view rest(reinterpret_cast<const char*>(data + 1),
+                              size - 1);
+  if (data[0] == 0x01) {
+    FuzzRecordDecoder(rest);
+  } else {
+    FuzzReplay(rest);
+  }
+  return 0;
+}
+
+#ifdef WHYPROV_FUZZ_STANDALONE
+// Corpus-replay driver for toolchains without libFuzzer, mirroring
+// fuzz_wire.cc: each argument is one corpus file, executed once.
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* file = std::fopen(argv[i], "rb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open corpus file %s\n", argv[i]);
+      return 1;
+    }
+    std::string contents;
+    char chunk[4096];
+    std::size_t read_bytes = 0;
+    while ((read_bytes = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+      contents.append(chunk, read_bytes);
+    }
+    std::fclose(file);
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(contents.data()),
+        contents.size());
+    ++replayed;
+  }
+  std::fprintf(stderr, "replayed %d corpus file(s) without a crash\n",
+               replayed);
+  return 0;
+}
+#endif  // WHYPROV_FUZZ_STANDALONE

@@ -719,6 +719,18 @@ util::Result<DeltaStats> Engine::AdoptDelta(const EvaluatedDelta& delta) {
   return AdoptLocked(delta, delta.model.Clone());
 }
 
+void Engine::AdoptRecovered(dl::Model model, std::uint64_t version) {
+  const util::MutexLock update_lock(*update_mutex_);
+  const auto old_state = snapshot();
+  // The successor constructor inherits program/options/parse_mutex and
+  // starts the plan cache from the predecessor's counters without its
+  // entries — exactly right here, where every old plan is invalid.
+  auto next = std::make_shared<EngineState>(*old_state, std::move(model),
+                                            version, /*eval_seconds_in=*/0);
+  const util::MutexLock lock(*state_mutex_);
+  state_ = std::move(next);
+}
+
 util::Result<DeltaStats> Engine::ApplyDelta(const DeltaRequest& request) {
   // One delta at a time; readers keep serving the published snapshot.
   const util::MutexLock update_lock(*update_mutex_);

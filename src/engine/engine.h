@@ -72,6 +72,21 @@ struct EngineOptions {
   /// sharded service's replicas — must inject one shared mutex here, or
   /// concurrent parses on two engines would race on the shared table.
   std::shared_ptr<util::Mutex> parse_mutex;
+  /// Durability (consumed by the serving layer, not the engine itself):
+  /// directory holding the write-ahead delta log and checkpoints. When
+  /// non-empty, Service/ShardedService open a storage::DurableStore
+  /// there, recover checkpoint + WAL tail on construction, and log
+  /// every committed delta before applying it. Empty = memory-only.
+  /// Deltas applied directly through Engine::ApplyDelta (bypassing the
+  /// serving layer) are NOT logged.
+  std::string data_dir;
+  /// fsync the WAL on every append (durable against power loss, not
+  /// just process crash). Off by default: the bench_durability numbers
+  /// gate the non-fsync path.
+  bool wal_fsync = false;
+  /// Committed deltas between snapshot checkpoints; 0 = never
+  /// checkpoint (recovery replays the full log).
+  std::size_t checkpoint_interval = 32;
 };
 
 /// Parameters of Engine::Enumerate.
@@ -660,6 +675,22 @@ class Engine {
   /// sharded serving — one shard evaluates, every lockstep replica
   /// adopts.
   util::Result<EvaluatedDelta> EvaluateDelta(const DeltaRequest& request) const;
+
+  /// Pins the current state snapshot for out-of-band readers (the
+  /// storage tier serializes `model` + `model_version` from it without
+  /// stalling queries; checkpoint encoding must additionally hold the
+  /// snapshot's parse_mutex while reading the symbol table).
+  std::shared_ptr<const EngineState> PinSnapshot() const {
+    return snapshot();
+  }
+
+  /// Publishes a recovered model under an explicit version (the
+  /// checkpoint-restore path of the durability tier). Builds a
+  /// successor state inheriting this engine's program, options, and
+  /// parse mutex; the plan cache starts cold (plans compiled against
+  /// the pre-recovery fact-id space would be wrong). Must run before
+  /// the engine starts serving deltas for versions to stay monotonic.
+  void AdoptRecovered(datalog::Model model, std::uint64_t version);
 
   /// The publish half of ApplyDelta: clones `delta.model` (cheap —
   /// structurally shared chunks), runs this engine's own selective

@@ -172,6 +172,13 @@ whyprov_status whyprov_service_create(const char* program_text,
   if (options->solver_backend != nullptr && options->solver_backend[0]) {
     engine_options.solver_backend = options->solver_backend;
   }
+  if (options->data_dir != nullptr && options->data_dir[0]) {
+    engine_options.data_dir = options->data_dir;
+    engine_options.wal_fsync = options->wal_fsync != 0;
+    if (options->checkpoint_interval > 0) {
+      engine_options.checkpoint_interval = options->checkpoint_interval;
+    }
+  }
   wp::ServiceOptions service_options;
   service_options.num_threads = options->num_threads;
   if (options->queue_capacity > 0) {
@@ -208,6 +215,16 @@ whyprov_status whyprov_service_create(const char* program_text,
                                                    service_options);
   }
   handle->parse_mutex = handle->engine().options().parse_mutex;
+  // A requested-but-failed durability tier fails creation: callers that
+  // set data_dir asked for persistence, and serving memory-only behind
+  // their back would silently lose every delta.
+  const wp::util::Status durability =
+      handle->single ? handle->single->durability_status()
+                     : handle->sharded->durability_status();
+  if (!durability.ok()) {
+    CopyError(durability, error_message, error_message_size);
+    return ToC(durability);
+  }
   *out_service = handle.release();
   return WHYPROV_OK;
 }
@@ -237,6 +254,10 @@ void whyprov_service_stats(const whyprov_service* service,
   out_stats->snapshot_alarm = stats.snapshot_alarm ? 1 : 0;
   out_stats->version_skew = stats.version_skew;
   out_stats->num_shards = std::max<std::size_t>(1, stats.shards.size());
+  out_stats->wal_appends = stats.wal_appends;
+  out_stats->wal_bytes = stats.wal_bytes;
+  out_stats->checkpoints_written = stats.checkpoints_written;
+  out_stats->recovery_replayed_deltas = stats.recovery_replayed_deltas;
 }
 
 namespace {

@@ -75,6 +75,14 @@ typedef struct whyprov_options {
   size_t max_snapshot_lag;        /* snapshot GC knob; 0 = never evict */
   size_t snapshot_alarm_bytes;    /* retained-bytes alarm; 0 = off */
   const char* solver_backend;     /* "cdcl", "dpll", ...; NULL = default */
+  /* Durability (docs/STORAGE_FORMAT.md): directory for the write-ahead
+   * delta log + snapshot checkpoints. NULL/empty = memory-only. When
+   * set, creation recovers the persisted state (checkpoint + WAL tail)
+   * before serving, and every committed delta is logged first; a store
+   * that fails to open fails whyprov_service_create. */
+  const char* data_dir;
+  int wal_fsync;             /* 1 = fsync the WAL on every append */
+  size_t checkpoint_interval; /* deltas between checkpoints; 0 = default (32) */
 } whyprov_options;
 
 void whyprov_options_init(whyprov_options* options);
@@ -116,6 +124,11 @@ typedef struct whyprov_stats {
   int snapshot_alarm;          /* 1 while retained bytes exceed the alarm */
   uint64_t version_skew;       /* sharded only: newest - oldest version */
   size_t num_shards;           /* 1 for a single-engine service */
+  /* Durability tier counters (all zero when data_dir was not set). */
+  uint64_t wal_appends;        /* delta records logged this process */
+  uint64_t wal_bytes;          /* framed WAL bytes appended */
+  uint64_t checkpoints_written;
+  uint64_t recovery_replayed_deltas; /* WAL tail replayed at create */
 } whyprov_stats;
 
 void whyprov_service_stats(const whyprov_service* service,

@@ -38,6 +38,7 @@
 #include "net/whyprov_c.h"
 #include "util/socket.h"
 #include "util/status.h"
+#include "util/wire_format.h"
 
 namespace whyprov::net {
 
@@ -61,51 +62,12 @@ inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
 
 // --- low-level primitives --------------------------------------------------
 
-/// Append-only little-endian encoder for one frame body.
-class WireWriter {
- public:
-  void PutU8(std::uint8_t value);
-  void PutU32(std::uint32_t value);
-  void PutU64(std::uint64_t value);
-  void PutF64(double value);
-  void PutString(std::string_view value);
-  void PutStringList(const std::vector<std::string>& values);
-
-  const std::string& buffer() const { return buffer_; }
-  std::string Take() { return std::move(buffer_); }
-
- private:
-  std::string buffer_;
-};
-
-/// Bounds-checked decoder over one frame body. Every getter returns
-/// false (and poisons the reader) on underrun; check ok() — or the
-/// individual returns — before trusting the outputs. Decoding never
-/// reads past `size`, so a truncated body fails cleanly.
-class WireReader {
- public:
-  WireReader(const void* data, std::size_t size)
-      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
-  explicit WireReader(std::string_view payload)
-      : WireReader(payload.data(), payload.size()) {}
-
-  bool GetU8(std::uint8_t* value);
-  bool GetU32(std::uint32_t* value);
-  bool GetU64(std::uint64_t* value);
-  bool GetF64(double* value);
-  bool GetString(std::string* value);
-  bool GetStringList(std::vector<std::string>* values);
-
-  bool ok() const { return ok_; }
-  /// True iff every byte was consumed — trailing garbage is an error.
-  bool exhausted() const { return ok_ && position_ == size_; }
-
- private:
-  const std::uint8_t* data_;
-  std::size_t size_;
-  std::size_t position_ = 0;
-  bool ok_ = true;
-};
+// The little-endian encode/decode primitives live in
+// util/wire_format.h so the on-disk storage formats (src/storage/) can
+// share them without depending on the network tier; these aliases keep
+// the net-facing spelling stable.
+using WireWriter = util::WireWriter;
+using WireReader = util::WireReader;
 
 /// Writes one framed message (length prefix + type + body) to `socket`.
 util::Status WriteFrame(util::Socket& socket, std::uint8_t type,

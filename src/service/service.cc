@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "service/serving_internal.h"
+#include "storage/durable_store.h"
 #include "util/timer.h"
 
 namespace whyprov {
@@ -157,14 +159,62 @@ Service::Service(Engine engine, ServiceOptions options)
       owns_executor_(true),
       executor_(std::make_shared<util::Executor>(util::Executor::Options{
           options.num_threads,
-          options.queue_capacity == 0 ? 1 : options.queue_capacity})) {}
+          options.queue_capacity == 0 ? 1 : options.queue_capacity})) {
+  OpenDurability();
+}
 
 Service::Service(Engine engine, std::shared_ptr<util::Executor> executor,
                  ServiceOptions options)
     : engine_(std::move(engine)),
       options_(options),
       owns_executor_(false),
-      executor_(std::move(executor)) {}
+      executor_(std::move(executor)) {
+  OpenDurability();
+}
+
+void Service::OpenDurability() {
+  const EngineOptions& engine_options = engine_.options();
+  if (engine_options.data_dir.empty()) return;
+  storage::DurabilityOptions durability;
+  durability.data_dir = engine_options.data_dir;
+  durability.wal_fsync = engine_options.wal_fsync;
+  durability.checkpoint_interval = engine_options.checkpoint_interval;
+  util::Result<std::unique_ptr<storage::DurableStore>> opened =
+      storage::DurableStore::Open(durability);
+  if (!opened.ok()) {
+    durability_status_ = opened.status();
+    return;
+  }
+  store_ = std::move(opened).value();
+
+  // Recovery: restore the checkpoint when one decodes against this
+  // stack's parsed program/database, then replay the WAL tail through
+  // the normal delta path. A checkpoint that fails to decode is
+  // recoverable — the WAL is never compacted, so full-log replay (the
+  // folded sequence stays 0) reproduces the same state.
+  if (store_->has_checkpoint()) {
+    util::Result<storage::RecoveredCheckpoint> recovered =
+        store_->RestoreCheckpoint(engine_.PinSnapshot()->model.symbols_ptr());
+    if (recovered.ok()) {
+      storage::RecoveredCheckpoint checkpoint = std::move(recovered).value();
+      engine_.AdoptRecovered(std::move(checkpoint.model),
+                             checkpoint.model_version);
+    }
+  }
+  std::uint64_t replayed = 0;
+  for (const storage::WalRecord& record : store_->TailRecords()) {
+    DeltaRequest delta;
+    delta.added_fact_texts = record.added;
+    delta.removed_fact_texts = record.removed;
+    // A record that fails to apply failed identically when it was first
+    // logged (replay is deterministic): log-then-apply admits records
+    // whose apply was later refused, and replay must skip them the same
+    // way rather than abort recovery.
+    (void)engine_.ApplyDelta(delta);
+    ++replayed;
+  }
+  store_->FinishRecovery(replayed);
+}
 
 Service::~Service() {
   if (owns_executor_) {
@@ -399,7 +449,7 @@ void Service::Execute(const std::shared_ptr<Ticket::State>& state) {
       // (The evaluation itself is not interruptible: a delta is either
       // applied or not, never half-propagated.)
       util::Result<DeltaStats> delta =
-          engine_.ApplyDelta(std::get<DeltaRequest>(state->request.op));
+          ExecuteDelta(std::get<DeltaRequest>(state->request.op));
       if (delta.ok()) {
         response.model_version = delta.value().model_version;
         response.delta = std::move(delta).value();
@@ -411,6 +461,44 @@ void Service::Execute(const std::shared_ptr<Ticket::State>& state) {
   }
   response.exec_seconds = exec_timer.ElapsedSeconds();
   Finish(state, std::move(response));
+}
+
+util::Result<DeltaStats> Service::ExecuteDelta(const DeltaRequest& request) {
+  if (store_ == nullptr) return engine_.ApplyDelta(request);
+  // The WAL stores the text form only: render any parsed facts so a
+  // replaying process (which has no access to this one's fact ids)
+  // reconstructs the identical delta.
+  std::vector<std::string> added = request.added_fact_texts;
+  for (const dl::Fact& fact : request.added_facts) {
+    added.push_back(engine_.FactToText(fact));
+  }
+  std::vector<std::string> removed = request.removed_fact_texts;
+  for (const dl::Fact& fact : request.removed_facts) {
+    removed.push_back(engine_.FactToText(fact));
+  }
+  // Deltas execute on arbitrary worker threads; the order mutex is what
+  // makes WAL append order equal engine apply order — without it two
+  // concurrent deltas could log in one order and apply in the other,
+  // and replay would diverge.
+  const util::MutexLock order(store_->order_mutex());
+  if (util::Status logged = store_->AppendDelta(added, removed);
+      !logged.ok()) {
+    // Never apply what was not durably logged — refusing the delta keeps
+    // the log a superset of the applied history.
+    return logged;
+  }
+  util::Result<DeltaStats> applied = engine_.ApplyDelta(request);
+  MaybeCheckpoint();
+  return applied;
+}
+
+void Service::MaybeCheckpoint() {
+  if (!store_->ShouldCheckpoint()) return;
+  const std::shared_ptr<const EngineState> state = engine_.PinSnapshot();
+  // A failed checkpoint write is not fatal: the WAL still holds the full
+  // history, and the next interval retries.
+  (void)store_->WriteCheckpoint(state->model, state->model_version,
+                                *state->parse_mutex);
 }
 
 void Service::Finish(const std::shared_ptr<Ticket::State>& state,
@@ -435,6 +523,13 @@ ServiceStats Service::stats() const {
         static_cast<std::size_t>(started_ - stats_.completed);
   }
   snapshot.model_version = engine_.model_version();
+  if (store_ != nullptr) {
+    const storage::DurabilityCounters durability = store_->counters();
+    snapshot.wal_appends = durability.wal_appends;
+    snapshot.wal_bytes = durability.wal_bytes;
+    snapshot.checkpoints_written = durability.checkpoints_written;
+    snapshot.recovery_replayed_deltas = durability.recovery_replayed_deltas;
+  }
   const SnapshotStats snapshots = engine_.snapshot_stats();
   snapshot.retained_snapshots = snapshots.retained_snapshots;
   snapshot.retained_snapshot_bytes = snapshots.approx_bytes;

@@ -19,6 +19,10 @@
 
 namespace whyprov {
 
+namespace storage {
+class DurableStore;  // storage/durable_store.h (serving .cc files only)
+}  // namespace storage
+
 /// Which operation a service `Request` carries (mirrors the variant's
 /// alternatives; also reported back in the `Response`).
 enum class RequestKind { kEnumerate, kDecide, kExplain, kApplyDelta };
@@ -289,6 +293,14 @@ struct ServiceStats {
   /// untouched shards keep serving an older version), and one row per
   /// shard. Empty / zero on a single-engine service.
   std::uint64_t version_skew = 0;
+  /// Durability tier (ROADMAP "Durability"): activity of the stack's
+  /// write-ahead delta log and snapshot checkpoints. All zero when the
+  /// engine options carry no data_dir (memory-only serving).
+  std::uint64_t wal_appends = 0;  ///< delta records logged this process
+  std::uint64_t wal_bytes = 0;    ///< framed WAL bytes appended
+  std::uint64_t checkpoints_written = 0;
+  /// WAL-tail records replayed during recovery at construction.
+  std::uint64_t recovery_replayed_deltas = 0;
   std::vector<ShardStats> shards;
 };
 
@@ -378,8 +390,31 @@ class Service {
   std::size_t num_threads() const { return executor_->num_threads(); }
   const ServiceOptions& options() const { return options_; }
 
+  /// Durability health: Ok when the engine options carry no data_dir or
+  /// the store opened (and recovered) cleanly; the open error otherwise.
+  /// A service with a failed store serves memory-only — callers that
+  /// must not accept silent non-durability should check after
+  /// construction (whyprov_service_create does).
+  util::Status durability_status() const { return durability_status_; }
+
  private:
   friend class ShardedService;  ///< drives the shard engines' delta path
+
+  /// Opens the DurableStore named by the engine options' data_dir (no-op
+  /// when empty) and recovers: restore the checkpoint if one decodes,
+  /// then replay the WAL tail through the normal delta path. Runs in the
+  /// constructor, before any request can be admitted.
+  void OpenDurability();
+
+  /// The write path: logs the delta to the WAL (when durable) before
+  /// applying it to the engine, holding the store's order mutex across
+  /// {append -> apply -> checkpoint} so log order equals apply order
+  /// even with deltas on arbitrary worker threads.
+  util::Result<DeltaStats> ExecuteDelta(const DeltaRequest& request);
+
+  /// Writes a snapshot checkpoint when enough WAL records accumulated
+  /// (caller holds the store's order mutex).
+  void MaybeCheckpoint();
 
   void Execute(const std::shared_ptr<Ticket::State>& state);
   void Finish(const std::shared_ptr<Ticket::State>& state,
@@ -393,6 +428,13 @@ class Service {
       std::optional<provenance::AcyclicityEncoding> acyclicity) const;
 
   Engine engine_;
+  /// The durability tier (null = memory-only). Opened from the engine
+  /// options' data_dir by the owning constructor; a shard service inside
+  /// a ShardedService sees a cleared data_dir (the group shares one
+  /// store) and opens nothing. Declared before the executor so workers
+  /// never outlive it.
+  std::unique_ptr<storage::DurableStore> store_;
+  util::Status durability_status_;  ///< set once in OpenDurability
   ServiceOptions options_;
   util::Timer uptime_;  ///< denominator of queries_per_second
   mutable util::Mutex stats_mutex_;

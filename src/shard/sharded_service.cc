@@ -6,6 +6,7 @@
 
 #include "datalog/parser.h"
 #include "service/serving_internal.h"
+#include "storage/durable_store.h"
 
 namespace whyprov {
 
@@ -86,6 +87,12 @@ util::Result<std::unique_ptr<ShardedService>> ShardedService::Create(
   std::unique_ptr<ShardedService> service(
       new ShardedService(std::move(map).value(), options,
                          options.engine.parse_mutex, executor));
+  // Durability belongs to the group, not the replicas: the shards get a
+  // cleared data_dir (so their inner Services open no store of their
+  // own) and the sharded service opens ONE store below, once the
+  // engines exist to recover into.
+  EngineOptions shard_engine_options = options.engine;
+  shard_engine_options.data_dir.clear();
   const ShardMap& shard_map = service->map_;
   for (std::size_t s = 0; s < shard_map.num_shards(); ++s) {
     auto shard = std::make_unique<Shard>();
@@ -102,11 +109,70 @@ util::Result<std::unique_ptr<ShardedService>> ShardedService::Create(
     // enumeration is not required.)
     shard->service = std::make_unique<Service>(
         Engine::FromParts(program, database, answer_predicate,
-                          options.engine),
+                          shard_engine_options),
         executor, options.service);
     service->shards_.push_back(std::move(shard));
   }
+  service->OpenDurability();
   return service;
+}
+
+void ShardedService::OpenDurability() {
+  const EngineOptions& engine_options = options_.engine;
+  if (engine_options.data_dir.empty()) return;
+  storage::DurabilityOptions durability;
+  durability.data_dir = engine_options.data_dir;
+  durability.wal_fsync = engine_options.wal_fsync;
+  // By-predicate shards apply diverging splits of the deltas, so no
+  // single engine holds "the" logical state a checkpoint could pin;
+  // the WAL (never compacted) is the whole story there and recovery
+  // replays it end to end.
+  durability.checkpoint_interval =
+      map_.policy() == ShardPolicy::kByFactRange
+          ? engine_options.checkpoint_interval
+          : 0;
+  util::Result<std::unique_ptr<storage::DurableStore>> opened =
+      storage::DurableStore::Open(durability);
+  if (!opened.ok()) {
+    durability_status_ = opened.status();
+    return;
+  }
+  store_ = std::move(opened).value();
+
+  if (map_.policy() == ShardPolicy::kByFactRange && store_->has_checkpoint()) {
+    // One decode, adopted by every replica: lockstep fact-id spaces are
+    // preserved because each shard publishes the same recovered model
+    // (COW clones) under the same version. A checkpoint that fails to
+    // decode is recoverable — the folded sequence stays 0 and the full
+    // log replays below.
+    util::Result<storage::RecoveredCheckpoint> recovered =
+        store_->RestoreCheckpoint(engine().PinSnapshot()->model.symbols_ptr());
+    if (recovered.ok()) {
+      storage::RecoveredCheckpoint checkpoint = std::move(recovered).value();
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        ShardEngine(s).AdoptRecovered(checkpoint.model.Clone(),
+                                      checkpoint.model_version);
+      }
+    }
+  }
+  std::uint64_t replayed = 0;
+  for (const storage::WalRecord& record : store_->TailRecords()) {
+    DeltaRequest delta;
+    delta.added_fact_texts = record.added;
+    delta.removed_fact_texts = record.removed;
+    ReplayDelta(std::move(delta));
+    ++replayed;
+  }
+  store_->FinishRecovery(replayed);
+}
+
+void ShardedService::ReplayDelta(DeltaRequest delta) {
+  // A record that fails to plan or apply failed identically when it was
+  // first logged (replay is deterministic): skip it like the original
+  // write path refused it, rather than abort recovery.
+  util::Result<std::vector<std::size_t>> targets = DeltaTargets(delta);
+  if (!targets.ok()) return;
+  (void)ApplyToTargets(delta, targets.value());
 }
 
 util::Result<std::unique_ptr<ShardedService>> ShardedService::FromText(
@@ -355,6 +421,41 @@ void MergeDeltaStats(const DeltaStats& shard_stats, bool first,
 
 }  // namespace
 
+util::Result<std::vector<std::size_t>> ShardedService::DeltaTargets(
+    DeltaRequest& delta) {
+  if (map_.policy() == ShardPolicy::kByFactRange) {
+    return map_.ShardsForDelta({});
+  }
+  // By-predicate routing needs every fact's predicate, so text facts
+  // are parsed once here (the shards then never re-parse).
+  if (util::Status parsed = ParseDeltaTexts(delta); !parsed.ok()) {
+    return parsed;
+  }
+  std::vector<std::size_t> targets =
+      map_.ShardsForDelta(DeltaPredicates(delta));
+  // Facts over predicates outside every shard's partition (predicates
+  // no rule mentions) still belong in the logical database; they land
+  // on shard 0, where predicate routing also defaults — so a client
+  // that writes them can read them back.
+  bool orphans = false;
+  for (const std::vector<dl::Fact>* facts :
+       {&delta.added_facts, &delta.removed_facts}) {
+    for (const dl::Fact& fact : *facts) {
+      if (!CoveredByAnyShard(fact.predicate)) {
+        orphans = true;
+        break;
+      }
+    }
+    if (orphans) break;
+  }
+  if (orphans &&
+      std::find(targets.begin(), targets.end(), std::size_t{0}) ==
+          targets.end()) {
+    targets.insert(targets.begin(), 0);
+  }
+  return targets;
+}
+
 util::Result<Ticket> ShardedService::SubmitDelta(Request request) {
   auto state = std::make_shared<Ticket::State>();
   state->request = std::move(request);
@@ -372,52 +473,24 @@ util::Result<Ticket> ShardedService::SubmitDelta(Request request) {
   // trivially "all shards"); the lane then executes deltas one at a time
   // in admission order, so every shard observes one consistent write
   // order while only the intersecting shards' engines are ever written.
-  std::vector<std::size_t> targets;
-  if (map_.policy() == ShardPolicy::kByFactRange) {
-    targets = map_.ShardsForDelta({});
-  } else {
-    // By-predicate routing needs every fact's predicate, so text facts
-    // are parsed once here (the shards then never re-parse). A malformed
-    // text fails the whole delta through the ticket, exactly like the
-    // unsharded engine's own delta parsing.
-    DeltaRequest& delta = std::get<DeltaRequest>(state->request.op);
-    const util::Status parsed = ParseDeltaTexts(delta);
-    if (!parsed.ok()) {
-      Response response;
-      response.kind = RequestKind::kApplyDelta;
-      response.status = parsed;
-      {
-        const util::MutexLock lock(stats_mutex_);
-        si::CountOutcome(response, stats_);
-      }
-      si::CompleteTicket(state, std::move(response));
-      return Ticket(state);
+  util::Result<std::vector<std::size_t>> targets =
+      DeltaTargets(std::get<DeltaRequest>(state->request.op));
+  if (!targets.ok()) {
+    // A malformed text fact fails the whole delta through the ticket,
+    // exactly like the unsharded engine's own delta parsing.
+    Response response;
+    response.kind = RequestKind::kApplyDelta;
+    response.status = targets.status();
+    {
+      const util::MutexLock lock(stats_mutex_);
+      si::CountOutcome(response, stats_);
     }
-    targets = map_.ShardsForDelta(DeltaPredicates(delta));
-    // Facts over predicates outside every shard's partition (predicates
-    // no rule mentions) still belong in the logical database; they land
-    // on shard 0, where predicate routing also defaults — so a client
-    // that writes them can read them back.
-    bool orphans = false;
-    for (const std::vector<dl::Fact>* facts :
-         {&delta.added_facts, &delta.removed_facts}) {
-      for (const dl::Fact& fact : *facts) {
-        if (!CoveredByAnyShard(fact.predicate)) {
-          orphans = true;
-          break;
-        }
-      }
-      if (orphans) break;
-    }
-    if (orphans &&
-        std::find(targets.begin(), targets.end(), std::size_t{0}) ==
-            targets.end()) {
-      targets.insert(targets.begin(), 0);
-    }
+    si::CompleteTicket(state, std::move(response));
+    return Ticket(state);
   }
 
   const util::Status enqueued =
-      EnqueueDelta([this, state, targets = std::move(targets)] {
+      EnqueueDelta([this, state, targets = std::move(targets).value()] {
         ExecuteDelta(state, targets);
       });
   if (!enqueued.ok()) {
@@ -440,74 +513,18 @@ void ShardedService::ExecuteDelta(const std::shared_ptr<Ticket::State>& state,
 
   if (token.ShouldStop()) {
     // Cancelled or expired while queued in the lane: no shard applied
-    // anything, so the abort is trivially all-or-nothing.
+    // anything (and nothing was logged), so the abort is trivially
+    // all-or-nothing.
     response.status = token.InterruptionStatus();
-  } else if (targets.empty()) {
-    // The delta intersects no shard's partition: an applied no-op.
-    DeltaStats stats;
-    for (const auto& shard : shards_) {
-      stats.model_version = std::max(
-          stats.model_version, shard->service->engine().model_version());
-      shard->deltas_skipped.fetch_add(1, std::memory_order_relaxed);
-    }
-    stats.total_seconds = exec_timer.ElapsedSeconds();
-    response.model_version = stats.model_version;
-    response.delta = stats;
-  } else if (map_.policy() == ShardPolicy::kByFactRange) {
-    // Evaluate once on the lead replica, adopt everywhere: N shards pay
-    // one semi-naive propagation plus N cheap snapshot publishes (each
-    // with its own selective plan invalidation), and their fact-id
-    // spaces stay lockstep.
-    util::Result<EvaluatedDelta> evaluated =
-        ShardEngine(targets.front()).EvaluateDelta(delta);
-    if (!evaluated.ok()) {
-      response.status = evaluated.status();
-    } else {
-      DeltaStats merged;
-      bool first = true;
-      for (const std::size_t s : targets) {
-        util::Result<DeltaStats> adopted =
-            ShardEngine(s).AdoptDelta(evaluated.value());
-        if (!adopted.ok()) {
-          response.status = adopted.status();
-          break;
-        }
-        shards_[s]->deltas_applied.fetch_add(1, std::memory_order_relaxed);
-        MergeDeltaStats(adopted.value(), first, merged);
-        first = false;
-      }
-      if (response.status.ok()) {
-        merged.total_seconds = exec_timer.ElapsedSeconds();
-        response.model_version = merged.model_version;
-        response.delta = merged;
-      }
-    }
   } else {
-    // By-predicate: each intersecting shard applies its split of the
-    // delta (facts its dependency closure covers; shard 0 additionally
-    // takes the facts no partition covers); the others are skipped
-    // outright and keep serving their current version.
-    DeltaStats merged;
-    bool first = true;
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      if (std::find(targets.begin(), targets.end(), s) == targets.end()) {
-        shards_[s]->deltas_skipped.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      util::Result<DeltaStats> applied = ShardEngine(s).ApplyDelta(
-          SplitDeltaFor(s, delta, /*take_orphans=*/s == 0));
-      if (!applied.ok()) {
-        response.status = applied.status();
-        break;
-      }
-      shards_[s]->deltas_applied.fetch_add(1, std::memory_order_relaxed);
-      MergeDeltaStats(applied.value(), first, merged);
-      first = false;
-    }
-    if (response.status.ok()) {
-      merged.total_seconds = exec_timer.ElapsedSeconds();
-      response.model_version = merged.model_version;
-      response.delta = merged;
+    util::Result<DeltaStats> applied = LogAndApply(delta, targets);
+    if (applied.ok()) {
+      DeltaStats stats = applied.value();
+      stats.total_seconds = exec_timer.ElapsedSeconds();
+      response.model_version = stats.model_version;
+      response.delta = stats;
+    } else {
+      response.status = applied.status();
     }
   }
   response.exec_seconds = exec_timer.ElapsedSeconds();
@@ -516,6 +533,100 @@ void ShardedService::ExecuteDelta(const std::shared_ptr<Ticket::State>& state,
     si::CountOutcome(response, stats_);
   }
   si::CompleteTicket(state, std::move(response));
+}
+
+util::Result<DeltaStats> ShardedService::LogAndApply(
+    const DeltaRequest& delta, const std::vector<std::size_t>& targets) {
+  if (store_ == nullptr) return ApplyToTargets(delta, targets);
+  // The WAL stores the text form only: render any parsed facts so a
+  // replaying process (with a different fact-id space) reconstructs the
+  // identical delta. By-predicate admission parses every text into the
+  // fact vectors, so rendering covers that path too.
+  std::vector<std::string> added = delta.added_fact_texts;
+  for (const dl::Fact& fact : delta.added_facts) {
+    added.push_back(engine().FactToText(fact));
+  }
+  std::vector<std::string> removed = delta.removed_fact_texts;
+  for (const dl::Fact& fact : delta.removed_facts) {
+    removed.push_back(engine().FactToText(fact));
+  }
+  // The lane is already a single serialization point; the order mutex
+  // is held anyway so the append->apply->checkpoint window has the same
+  // shape (and the same replay guarantee) as the unsharded Service's.
+  const util::MutexLock order(store_->order_mutex());
+  if (util::Status logged = store_->AppendDelta(added, removed);
+      !logged.ok()) {
+    // Never apply what was not durably logged.
+    return logged;
+  }
+  util::Result<DeltaStats> applied = ApplyToTargets(delta, targets);
+  MaybeCheckpoint();
+  return applied;
+}
+
+void ShardedService::MaybeCheckpoint() {
+  if (!store_->ShouldCheckpoint()) return;
+  // Fact-range replicas are lockstep, so the lead replica's pinned
+  // snapshot IS the logical state (under by-predicate the store's
+  // checkpoint interval is 0 and this never fires).
+  const std::shared_ptr<const EngineState> state = engine().PinSnapshot();
+  // A failed checkpoint write is not fatal: the WAL still holds the
+  // full history, and the next interval retries.
+  (void)store_->WriteCheckpoint(state->model, state->model_version,
+                                *state->parse_mutex);
+}
+
+util::Result<DeltaStats> ShardedService::ApplyToTargets(
+    const DeltaRequest& delta, const std::vector<std::size_t>& targets) {
+  if (targets.empty()) {
+    // The delta intersects no shard's partition: an applied no-op.
+    DeltaStats stats;
+    for (const auto& shard : shards_) {
+      stats.model_version = std::max(
+          stats.model_version, shard->service->engine().model_version());
+      shard->deltas_skipped.fetch_add(1, std::memory_order_relaxed);
+    }
+    return stats;
+  }
+  if (map_.policy() == ShardPolicy::kByFactRange) {
+    // Evaluate once on the lead replica, adopt everywhere: N shards pay
+    // one semi-naive propagation plus N cheap snapshot publishes (each
+    // with its own selective plan invalidation), and their fact-id
+    // spaces stay lockstep.
+    util::Result<EvaluatedDelta> evaluated =
+        ShardEngine(targets.front()).EvaluateDelta(delta);
+    if (!evaluated.ok()) return evaluated.status();
+    DeltaStats merged;
+    bool first = true;
+    for (const std::size_t s : targets) {
+      util::Result<DeltaStats> adopted =
+          ShardEngine(s).AdoptDelta(evaluated.value());
+      if (!adopted.ok()) return adopted.status();
+      shards_[s]->deltas_applied.fetch_add(1, std::memory_order_relaxed);
+      MergeDeltaStats(adopted.value(), first, merged);
+      first = false;
+    }
+    return merged;
+  }
+  // By-predicate: each intersecting shard applies its split of the
+  // delta (facts its dependency closure covers; shard 0 additionally
+  // takes the facts no partition covers); the others are skipped
+  // outright and keep serving their current version.
+  DeltaStats merged;
+  bool first = true;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (std::find(targets.begin(), targets.end(), s) == targets.end()) {
+      shards_[s]->deltas_skipped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    util::Result<DeltaStats> applied = ShardEngine(s).ApplyDelta(
+        SplitDeltaFor(s, delta, /*take_orphans=*/s == 0));
+    if (!applied.ok()) return applied.status();
+    shards_[s]->deltas_applied.fetch_add(1, std::memory_order_relaxed);
+    MergeDeltaStats(applied.value(), first, merged);
+    first = false;
+  }
+  return merged;
 }
 
 DeltaRequest ShardedService::SplitDeltaFor(std::size_t shard,
@@ -589,6 +700,13 @@ ServiceStats ShardedService::stats() const {
   }
   total.model_version = max_version;
   total.version_skew = shards_.empty() ? 0 : max_version - min_version;
+  if (store_ != nullptr) {
+    const storage::DurabilityCounters durability = store_->counters();
+    total.wal_appends = durability.wal_appends;
+    total.wal_bytes = durability.wal_bytes;
+    total.checkpoints_written = durability.checkpoints_written;
+    total.recovery_replayed_deltas = durability.recovery_replayed_deltas;
+  }
   const double uptime = uptime_.ElapsedSeconds();
   total.queries_per_second =
       uptime > 0 ? static_cast<double>(total.completed) / uptime : 0;

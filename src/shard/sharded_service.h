@@ -133,6 +133,11 @@ class ShardedService {
   std::size_t num_threads() const { return executor_->num_threads(); }
   const ShardedServiceOptions& options() const { return options_; }
 
+  /// Durability health of the group's single DurableStore (see
+  /// Service::durability_status): Ok when the engine options carry no
+  /// data_dir or the store opened cleanly, the open error otherwise.
+  util::Status durability_status() const { return durability_status_; }
+
  private:
   struct Shard {
     std::unique_ptr<Service> service;
@@ -154,10 +159,44 @@ class ShardedService {
   /// The write path: split/fan-out decision, then one ordered lane task.
   util::Result<Ticket> SubmitDelta(Request request);
 
-  /// The lane task: evaluate-once/adopt-everywhere (fact-range) or
-  /// split-and-apply per intersecting shard (by-predicate).
+  /// The fan-out decision of the write path: normalises text facts into
+  /// the fact vectors (by-predicate needs every fact's predicate) and
+  /// returns the shards whose partition the delta intersects, including
+  /// shard 0 for orphaned predicates. Shared by admission and recovery
+  /// replay, so a replayed delta fans out exactly like the original.
+  util::Result<std::vector<std::size_t>> DeltaTargets(DeltaRequest& delta);
+
+  /// The lane task: logs the delta to the group's WAL (when durable),
+  /// then ApplyToTargets.
   void ExecuteDelta(const std::shared_ptr<Ticket::State>& state,
                     const std::vector<std::size_t>& targets);
+
+  /// The apply core: evaluate-once/adopt-everywhere (fact-range) or
+  /// split-and-apply per intersecting shard (by-predicate). Shared by
+  /// the lane and recovery replay.
+  util::Result<DeltaStats> ApplyToTargets(
+      const DeltaRequest& delta, const std::vector<std::size_t>& targets);
+
+  /// WAL append -> ApplyToTargets -> MaybeCheckpoint under the store's
+  /// order mutex (identity when no store is open).
+  util::Result<DeltaStats> LogAndApply(const DeltaRequest& delta,
+                                       const std::vector<std::size_t>& targets);
+
+  /// Opens the group's DurableStore (one for all shards) and recovers:
+  /// under fact-range, restore the checkpoint into every replica and
+  /// replay the WAL tail; under by-predicate, replay the full log
+  /// through the normal split-and-apply path (no checkpoints — shard
+  /// models diverge, so no single engine holds "the" state). Runs at
+  /// Create, after the shards exist and before serving starts.
+  void OpenDurability();
+
+  /// Writes a checkpoint of the lead replica when enough WAL records
+  /// accumulated (fact-range only; caller holds the order mutex).
+  void MaybeCheckpoint();
+
+  /// Replays one recovered WAL record through the normal write path
+  /// (fan-out decision + apply core), without a ticket.
+  void ReplayDelta(DeltaRequest delta);
 
   /// Parses a delta's text-form facts into its fact vectors (one parse at
   /// the router instead of one per shard); fails exactly like the
@@ -212,6 +251,11 @@ class ShardedService {
   std::atomic<std::size_t> lane_active_{0};
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// The group's single durability tier (null = memory-only): the inner
+  /// per-shard Services see a cleared data_dir and open nothing, so the
+  /// whole stack shares one WAL + checkpoint regardless of shard count.
+  std::unique_ptr<storage::DurableStore> store_;
+  util::Status durability_status_;  ///< set once in OpenDurability
   /// Declared last (after the shards that share it): the destructor
   /// shuts it down first, draining every queued request and lane task.
   std::shared_ptr<util::Executor> executor_;

@@ -1,0 +1,304 @@
+#include "storage/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/crc32c.h"
+#include "util/wire_format.h"
+
+namespace whyprov::storage {
+
+namespace dl = whyprov::datalog;
+
+namespace {
+
+util::Status Corrupt(const std::string& what) {
+  return util::Status::InvalidArgument("corrupt checkpoint: " + what);
+}
+
+util::Status Errno(const std::string& what) {
+  return util::Status::Error(what + ": " + std::strerror(errno));
+}
+
+util::Status WriteFully(int fd, std::string_view data) {
+  const char* cursor = data.data();
+  std::size_t remaining = data.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd, cursor, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Errno("checkpoint write failed");
+    }
+    cursor += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  return util::Status::Ok();
+}
+
+/// Extends `symbols` to the checkpoint's table, verifying the existing
+/// entries are an exact prefix (same spelling at the same dense id). A
+/// mismatch means the data dir was written by a different
+/// program/database — refuse rather than serve the wrong answers.
+util::Status RestoreSymbols(util::WireReader& reader,
+                            const std::shared_ptr<dl::SymbolTable>& symbols) {
+  std::uint32_t num_constants = 0;
+  if (!reader.GetU32(&num_constants)) return Corrupt("constant count");
+  if (num_constants < symbols->NumConstants()) {
+    return util::Status::InvalidArgument(
+        "checkpoint does not match this program/database: it has fewer "
+        "constants than the parsed inputs");
+  }
+  for (std::uint32_t id = 0; id < num_constants; ++id) {
+    std::string name;
+    if (!reader.GetString(&name)) return Corrupt("constant name");
+    if (symbols->InternConstant(name) != id) {
+      return util::Status::InvalidArgument(
+          "checkpoint does not match this program/database: constant '" +
+          name + "' does not intern at id " + std::to_string(id));
+    }
+  }
+  std::uint32_t num_predicates = 0;
+  if (!reader.GetU32(&num_predicates)) return Corrupt("predicate count");
+  if (num_predicates < symbols->NumPredicates()) {
+    return util::Status::InvalidArgument(
+        "checkpoint does not match this program/database: it has fewer "
+        "predicates than the parsed inputs");
+  }
+  for (std::uint32_t id = 0; id < num_predicates; ++id) {
+    std::string name;
+    std::uint32_t arity = 0;
+    if (!reader.GetString(&name) || !reader.GetU32(&arity)) {
+      return Corrupt("predicate entry");
+    }
+    util::Result<dl::PredicateId> registered =
+        symbols->RegisterPredicate(name, static_cast<int>(arity));
+    if (!registered.ok()) return registered.status();
+    if (registered.value() != id) {
+      return util::Status::InvalidArgument(
+          "checkpoint does not match this program/database: predicate '" +
+          name + "' does not register at id " + std::to_string(id));
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeCheckpoint(const dl::Model& model,
+                             std::uint64_t model_version,
+                             std::uint64_t wal_records_folded) {
+  util::WireWriter body;
+  body.PutU64(model_version);
+  body.PutU64(wal_records_folded);
+
+  const dl::SymbolTable& symbols = model.symbols();
+  body.PutU32(static_cast<std::uint32_t>(symbols.NumConstants()));
+  for (std::uint32_t id = 0; id < symbols.NumConstants(); ++id) {
+    body.PutString(symbols.ConstantName(id));
+  }
+  body.PutU32(static_cast<std::uint32_t>(symbols.NumPredicates()));
+  for (std::uint32_t id = 0; id < symbols.NumPredicates(); ++id) {
+    const dl::PredicateInfo& info = symbols.Predicate(id);
+    body.PutString(info.name);
+    body.PutU32(static_cast<std::uint32_t>(info.arity));
+  }
+
+  // The whole id space, live and tombstoned, in id order: ids are the
+  // identity a restored stack must reproduce.
+  body.PutU32(static_cast<std::uint32_t>(model.size()));
+  for (dl::FactId id = 0; id < model.size(); ++id) {
+    const dl::Fact& fact = model.fact(id);
+    body.PutU32(fact.predicate);
+    body.PutU32(static_cast<std::uint32_t>(fact.args.size()));
+    for (const dl::SymbolId arg : fact.args) body.PutU32(arg);
+    body.PutU32(static_cast<std::uint32_t>(model.rank(id)));
+    body.PutU8(model.alive(id) ? 1 : 0);
+  }
+
+  // Per-predicate relation lists in their historical insertion order
+  // (a revived fact sits at the END of its list, not at its id's
+  // position) — this is what makes the restore order-exact.
+  for (std::uint32_t p = 0; p < symbols.NumPredicates(); ++p) {
+    const std::vector<dl::FactId>& relation = model.Relation(p);
+    body.PutU32(static_cast<std::uint32_t>(relation.size()));
+    for (const dl::FactId id : relation) body.PutU32(id);
+  }
+
+  std::string image(kCheckpointMagic);
+  image.push_back(static_cast<char>(kCheckpointFormatVersion));
+  util::WireWriter crc;
+  crc.PutU32(util::Crc32c(body.buffer()));
+  image.append(crc.buffer());
+  image.append(body.buffer());
+  return image;
+}
+
+util::Result<RecoveredCheckpoint> DecodeCheckpoint(
+    std::string_view image,
+    const std::shared_ptr<dl::SymbolTable>& symbols) {
+  const std::size_t header_size = kCheckpointMagic.size() + 1 + 4;
+  if (image.size() < header_size ||
+      image.substr(0, kCheckpointMagic.size()) != kCheckpointMagic) {
+    return Corrupt("bad magic");
+  }
+  const auto version =
+      static_cast<std::uint8_t>(image[kCheckpointMagic.size()]);
+  if (version != kCheckpointFormatVersion) {
+    return util::Status::InvalidArgument(
+        "checkpoint has unsupported format version " +
+        std::to_string(version));
+  }
+  util::WireReader crc_reader(image.data() + kCheckpointMagic.size() + 1, 4);
+  std::uint32_t expected_crc = 0;
+  crc_reader.GetU32(&expected_crc);
+  const std::string_view body = image.substr(header_size);
+  if (util::Crc32c(body) != expected_crc) return Corrupt("CRC mismatch");
+
+  util::WireReader reader(body);
+  RecoveredCheckpoint recovered{dl::Model(symbols), 0, 0};
+  if (!reader.GetU64(&recovered.model_version) ||
+      !reader.GetU64(&recovered.wal_records_folded)) {
+    return Corrupt("version header");
+  }
+
+  if (util::Status status = RestoreSymbols(reader, symbols); !status.ok()) {
+    return status;
+  }
+  const auto num_predicates =
+      static_cast<std::uint32_t>(symbols->NumPredicates());
+
+  // Pass 1: re-intern every fact in id order. A fresh model assigns
+  // sequential ids, so Add(fact, rank) must land each fact exactly at
+  // its recorded id (a duplicate fact or id skew means corruption).
+  std::uint32_t fact_count = 0;
+  if (!reader.GetU32(&fact_count)) return Corrupt("fact count");
+  dl::Model& model = recovered.model;
+  std::vector<std::uint32_t> ranks(fact_count, 0);
+  std::vector<dl::FactId> dead;
+  for (dl::FactId id = 0; id < fact_count; ++id) {
+    dl::Fact fact;
+    std::uint32_t arg_count = 0;
+    if (!reader.GetU32(&fact.predicate) || !reader.GetU32(&arg_count)) {
+      return Corrupt("fact entry");
+    }
+    if (fact.predicate >= num_predicates) return Corrupt("fact predicate id");
+    const auto arity = static_cast<std::uint32_t>(
+        symbols->Predicate(fact.predicate).arity);
+    if (arg_count != arity) return Corrupt("fact arity");
+    fact.args.resize(arg_count);
+    for (std::uint32_t i = 0; i < arg_count; ++i) {
+      if (!reader.GetU32(&fact.args[i])) return Corrupt("fact argument");
+      if (fact.args[i] >= symbols->NumConstants()) {
+        return Corrupt("fact argument symbol id");
+      }
+    }
+    std::uint8_t alive = 0;
+    if (!reader.GetU32(&ranks[id]) || !reader.GetU8(&alive)) {
+      return Corrupt("fact rank/liveness");
+    }
+    if (alive > 1) return Corrupt("non-canonical liveness flag");
+    const auto [assigned, live] =
+        model.Add(std::move(fact), static_cast<int>(ranks[id]));
+    if (assigned != id || !live) return Corrupt("duplicate fact in id space");
+    if (alive == 0) dead.push_back(id);
+  }
+  model.RemoveBatch(dead);
+
+  // Pass 2: fix up relation order. After pass 1 every relation list is
+  // in id order; a recorded list that differs (revived facts re-append
+  // at the end) is emptied and re-Added in recorded order — revival
+  // appends at the end, reproducing the history byte-for-byte.
+  for (std::uint32_t p = 0; p < num_predicates; ++p) {
+    std::uint32_t count = 0;
+    if (!reader.GetU32(&count)) return Corrupt("relation list count");
+    std::vector<dl::FactId> recorded(count);
+    std::unordered_set<dl::FactId> seen;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (!reader.GetU32(&recorded[i])) return Corrupt("relation list entry");
+      const dl::FactId id = recorded[i];
+      if (id >= fact_count || !model.alive(id) ||
+          model.fact(id).predicate != p || !seen.insert(id).second) {
+        return Corrupt("relation list names a wrong or repeated fact");
+      }
+    }
+    // Copy: RemoveBatch compacts the very list Relation() returns.
+    const std::vector<dl::FactId> current = model.Relation(p);
+    if (current.size() != recorded.size()) {
+      return Corrupt("relation list disagrees with liveness");
+    }
+    if (current == recorded) continue;
+    model.RemoveBatch(current);
+    for (const dl::FactId id : recorded) {
+      dl::Fact fact = model.fact(id);
+      const auto [assigned, live] =
+          model.Add(std::move(fact), static_cast<int>(ranks[id]));
+      if (assigned != id || !live) return Corrupt("relation re-add skewed");
+    }
+  }
+
+  if (!reader.exhausted()) return Corrupt("trailing bytes");
+  return recovered;
+}
+
+util::Status WriteCheckpointFile(const std::string& path,
+                                 std::string_view image) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("cannot create '" + tmp + "'");
+  util::Status status = WriteFully(fd, image);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Errno("cannot fsync '" + tmp + "'");
+  }
+  ::close(fd);
+  if (!status.ok()) return status;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("cannot rename '" + tmp + "' into place");
+  }
+  // fsync the directory so the rename itself is durable.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::string> ReadCheckpointFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return util::Status::NotFound("no checkpoint at '" + path + "'");
+    }
+    return Errno("cannot open '" + path + "'");
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const util::Status status = Errno("cannot read '" + path + "'");
+      ::close(fd);
+      return status;
+    }
+    if (got == 0) break;
+    contents.append(buffer, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return contents;
+}
+
+}  // namespace whyprov::storage

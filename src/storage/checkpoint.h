@@ -1,0 +1,83 @@
+#ifndef WHYPROV_STORAGE_CHECKPOINT_H_
+#define WHYPROV_STORAGE_CHECKPOINT_H_
+
+// Snapshot checkpoints of the durability tier.
+//
+// A checkpoint captures one pinned model version *exactly* — the whole
+// fact-id space in id order (payload, rank, liveness), the symbol
+// table, and every predicate's relation list in its historical
+// insertion order. Exactness matters: fact ids and relation order
+// drive the CNF variable layout and enumeration order, so a restored
+// stack must reproduce them bit-for-bit for post-recovery answers to
+// be byte-identical to the never-restarted process. Set-equality of
+// facts would not be enough (a fact removed and re-added re-appends at
+// the END of its relation list, diverging from id order).
+//
+// Restoration goes entirely through the Model's public API: facts are
+// re-Added in id order (ids are assigned sequentially), tombstones are
+// re-applied with RemoveBatch, and any predicate whose recorded
+// relation order differs from id order is emptied and re-Added in
+// recorded order (revival re-appends at the end, reproducing the
+// order). The symbol table is restored by verify-prefix-extend: the
+// freshly parsed program/database must intern an exact prefix of the
+// checkpoint's table, or the data dir belongs to different inputs.
+//
+// File layout (docs/STORAGE_FORMAT.md is the normative spec):
+//
+//   8-byte magic "WHYPCKPT" + u8 format version
+//   u32 CRC-32C of the body | body
+//
+// Files are written to a temp name and renamed into place, so a crash
+// mid-write never leaves a half checkpoint; a corrupt checkpoint is
+// detected by the CRC and recovery falls back to full-log replay (the
+// WAL is never compacted, so that is always valid).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "datalog/evaluator.h"
+#include "datalog/symbol_table.h"
+#include "util/status.h"
+
+namespace whyprov::storage {
+
+inline constexpr std::string_view kCheckpointMagic = "WHYPCKPT";
+inline constexpr std::uint8_t kCheckpointFormatVersion = 1;
+
+/// A decoded checkpoint: the exact model plus the version it pins and
+/// the WAL sequence it folds (recovery replays only records beyond it).
+struct RecoveredCheckpoint {
+  datalog::Model model;
+  std::uint64_t model_version = 0;
+  std::uint64_t wal_records_folded = 0;
+};
+
+/// Serializes `model` (with its symbol table) into a complete
+/// checkpoint file image (header + CRC + body). The caller must hold
+/// the engine's parse mutex: concurrent fact-text parsing interns
+/// constants into the shared symbol table while this reads it. Model
+/// reads are thread-safe, so readers are not stalled.
+std::string EncodeCheckpoint(const datalog::Model& model,
+                             std::uint64_t model_version,
+                             std::uint64_t wal_records_folded);
+
+/// Rebuilds the checkpointed model over `symbols` (the freshly parsed
+/// stack's table, which must be a prefix of the checkpoint's).
+/// Validates the header, CRC, and internal consistency; hostile input
+/// fails cleanly.
+util::Result<RecoveredCheckpoint> DecodeCheckpoint(
+    std::string_view image,
+    const std::shared_ptr<datalog::SymbolTable>& symbols);
+
+/// Writes `image` to `path` atomically (temp file + rename + fsync).
+util::Status WriteCheckpointFile(const std::string& path,
+                                 std::string_view image);
+
+/// Reads the raw checkpoint image at `path`. kNotFound when absent.
+util::Result<std::string> ReadCheckpointFile(const std::string& path);
+
+}  // namespace whyprov::storage
+
+#endif  // WHYPROV_STORAGE_CHECKPOINT_H_

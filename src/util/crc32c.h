@@ -1,0 +1,26 @@
+#ifndef WHYPROV_UTIL_CRC32C_H_
+#define WHYPROV_UTIL_CRC32C_H_
+
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41): the checksum guarding
+// every WAL record and checkpoint file on disk (docs/STORAGE_FORMAT.md).
+// Software table implementation — the storage tier's bottleneck is
+// fsync, not checksumming, so no hardware dispatch is needed.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace whyprov::util {
+
+/// CRC-32C over `size` bytes, continuing from `seed` (pass 0 to start a
+/// fresh checksum; chain calls by passing the previous result).
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32c(std::string_view data, std::uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace whyprov::util
+
+#endif  // WHYPROV_UTIL_CRC32C_H_

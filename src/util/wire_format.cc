@@ -1,0 +1,104 @@
+#include "util/wire_format.h"
+
+#include <cstring>
+#include <utility>
+
+namespace whyprov::util {
+
+// --- WireWriter ------------------------------------------------------------
+
+void WireWriter::PutU8(std::uint8_t value) {
+  buffer_.push_back(static_cast<char>(value));
+}
+
+void WireWriter::PutU32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+void WireWriter::PutU64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+void WireWriter::PutF64(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view value) {
+  PutU32(static_cast<std::uint32_t>(value.size()));
+  buffer_.append(value.data(), value.size());
+}
+
+void WireWriter::PutStringList(const std::vector<std::string>& values) {
+  PutU32(static_cast<std::uint32_t>(values.size()));
+  for (const auto& value : values) PutString(value);
+}
+
+// --- WireReader ------------------------------------------------------------
+
+bool WireReader::GetU8(std::uint8_t* value) {
+  if (!ok_ || size_ - position_ < 1) return ok_ = false;
+  *value = data_[position_++];
+  return true;
+}
+
+bool WireReader::GetU32(std::uint32_t* value) {
+  if (!ok_ || size_ - position_ < 4) return ok_ = false;
+  std::uint32_t out = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    out |= static_cast<std::uint32_t>(data_[position_++]) << shift;
+  }
+  *value = out;
+  return true;
+}
+
+bool WireReader::GetU64(std::uint64_t* value) {
+  if (!ok_ || size_ - position_ < 8) return ok_ = false;
+  std::uint64_t out = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    out |= static_cast<std::uint64_t>(data_[position_++]) << shift;
+  }
+  *value = out;
+  return true;
+}
+
+bool WireReader::GetF64(double* value) {
+  std::uint64_t bits = 0;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(value, &bits, sizeof(*value));
+  return true;
+}
+
+bool WireReader::GetString(std::string* value) {
+  std::uint32_t length = 0;
+  if (!GetU32(&length)) return false;
+  if (size_ - position_ < length) return ok_ = false;
+  value->assign(reinterpret_cast<const char*>(data_ + position_), length);
+  position_ += length;
+  return true;
+}
+
+bool WireReader::GetStringList(std::vector<std::string>* values) {
+  std::uint32_t count = 0;
+  if (!GetU32(&count)) return false;
+  // Each element costs at least its 4-byte length prefix, so a count
+  // larger than the remaining bytes / 4 cannot be honest — reject it
+  // before reserving memory for it.
+  if (count > (size_ - position_) / 4) return ok_ = false;
+  values->clear();
+  values->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string value;
+    if (!GetString(&value)) return false;
+    values->push_back(std::move(value));
+  }
+  return true;
+}
+
+}  // namespace whyprov::util

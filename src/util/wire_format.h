@@ -1,0 +1,71 @@
+#ifndef WHYPROV_UTIL_WIRE_FORMAT_H_
+#define WHYPROV_UTIL_WIRE_FORMAT_H_
+
+// The little-endian encode/decode primitives shared by every binary
+// format in the tree: the network wire protocol (net/wire.h) and the
+// on-disk WAL / checkpoint formats (src/storage/). Both layers frame
+// payloads built from exactly these primitives, so there is a single
+// definition of how an integer, string, or list is laid out in bytes.
+//
+// Primitives: unsigned integers are little-endian; f64 is the IEEE-754
+// bit pattern as a u64; a string is u32 length + raw bytes; a list is
+// u32 count + elements. docs/WIRE_PROTOCOL.md and
+// docs/STORAGE_FORMAT.md are the normative specs.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whyprov::util {
+
+/// Append-only little-endian encoder for one payload.
+class WireWriter {
+ public:
+  void PutU8(std::uint8_t value);
+  void PutU32(std::uint32_t value);
+  void PutU64(std::uint64_t value);
+  void PutF64(double value);
+  void PutString(std::string_view value);
+  void PutStringList(const std::vector<std::string>& values);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked decoder over one payload. Every getter returns
+/// false (and poisons the reader) on underrun; check ok() — or the
+/// individual returns — before trusting the outputs. Decoding never
+/// reads past `size`, so a truncated payload fails cleanly.
+class WireReader {
+ public:
+  WireReader(const void* data, std::size_t size)
+      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+  explicit WireReader(std::string_view payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  bool GetU8(std::uint8_t* value);
+  bool GetU32(std::uint32_t* value);
+  bool GetU64(std::uint64_t* value);
+  bool GetF64(double* value);
+  bool GetString(std::string* value);
+  bool GetStringList(std::vector<std::string>* values);
+
+  bool ok() const { return ok_; }
+  /// True iff every byte was consumed — trailing garbage is an error.
+  bool exhausted() const { return ok_ && position_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t position_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace whyprov::util
+
+#endif  // WHYPROV_UTIL_WIRE_FORMAT_H_
