@@ -70,6 +70,14 @@ struct Run {
   double queries_per_second = 0;
   double p50_seconds = 0;
   double p99_seconds = 0;
+  /// Flood rows only (empty qos = ordinary mixed-workload row): the
+  /// scheduler under test ("fair" or "fifo"), the lane this row's
+  /// latency quantiles describe, and the number of flooding batch
+  /// tenants. check_regression.py keys rows on these and gates the
+  /// fair-vs-fifo interactive p99 ratio.
+  std::string qos;
+  std::string lane;
+  std::size_t tenants = 0;
 };
 
 /// The same scaled-down representatives the throughput bench serves.
@@ -141,7 +149,10 @@ void RunMixedWorkload(ServiceT& service, std::size_t total_requests,
   }
 
   // The delta slice: one database fact per write, removed then restored.
-  const std::vector<dl::Fact>& db_facts =
+  // Copied by value: database() references the current snapshot, which the
+  // workload's own deltas retire mid-loop (a reference here dangles and the
+  // per-rep delta count goes nondeterministic).
+  const std::vector<dl::Fact> db_facts =
       service.engine().database().facts();
   const dl::Fact churn_fact =
       db_facts.empty() ? dl::Fact() : db_facts[db_facts.size() / 2];
@@ -221,6 +232,126 @@ void RunMixedWorkload(ServiceT& service, std::size_t total_requests,
   }
 }
 
+/// The adversarial mixed-tenant flood: `kFloodBatchTenants` batch
+/// tenants saturate the queue with wide enumerations while one
+/// interactive tenant threads narrow point queries through the same
+/// front door (4 batch submissions per interactive one, so the queue is
+/// batch-dominated throughout). Per-lane latency quantiles make the QoS
+/// win measurable: under FIFO the interactive p99 is queue-depth
+/// execution times; with the fair scheduler the interactive lane
+/// overtakes the flood. check_regression.py gates the fair/fifo
+/// interactive-p99 ratio self-relatively (same run, same hardware).
+constexpr std::size_t kFloodBatchTenants = 4;
+/// Members per flooding enumeration: wide enough that each batch task
+/// costs real SAT work (the head-of-line blocking the probe measures).
+constexpr std::size_t kFloodBatchMembers = 64;
+
+std::vector<Run> RunFloodConfiguration(const SuiteEntry& entry, bool fair,
+                                       std::size_t total_requests,
+                                       std::size_t reps) {
+  auto scenario = entry.make();
+  whyprov::ServiceOptions service_options;
+  // Two workers regardless of the host: the flood must actually queue
+  // (on a many-core box an all-core pool drains the queue as fast as
+  // one submitter fills it and both schedulers look alike).
+  service_options.num_threads = 2;
+  service_options.queue_capacity = 64;
+  service_options.qos.fair_queueing = fair;
+  whyprov::Service service(scenario.MakeEngine(whyprov::EngineOptions()),
+                           service_options);
+
+  const auto targets =
+      service.engine().SampleAnswers(whyprov::bench::kTuplesPerDatabase);
+
+  Run interactive;
+  interactive.scenario = entry.scenario;
+  interactive.database = entry.database;
+  interactive.threads_requested = 2;
+  interactive.threads = 2;
+  interactive.qos = fair ? "fair" : "fifo";
+  interactive.lane = "interactive";
+  interactive.tenants = kFloodBatchTenants;
+  Run batch = interactive;
+  batch.lane = "batch";
+  if (targets.empty()) return {interactive, batch};
+
+  for (std::size_t rep = 0; rep < std::max<std::size_t>(1, reps); ++rep) {
+    std::vector<whyprov::Ticket> tickets;
+    std::vector<bool> is_interactive;
+    tickets.reserve(total_requests);
+    is_interactive.reserve(total_requests);
+    std::uint64_t rejected = 0;
+    whyprov::util::Timer timer;
+    for (std::size_t i = 0; i < total_requests; ++i) {
+      // Period of kFloodBatchTenants + 1: the flood, then one probe.
+      const std::size_t phase = i % (kFloodBatchTenants + 1);
+      const bool probe = phase == kFloodBatchTenants;
+      whyprov::EnumerateRequest enumerate;
+      enumerate.target = targets[i % targets.size()];
+      // Wide batch enumerations vs one-member interactive probes: the
+      // adversarial shape — cheap queries stuck behind expensive ones —
+      // is exactly what the lanes exist for.
+      enumerate.max_members = probe ? 1 : kFloodBatchMembers;
+      whyprov::Request request;
+      request.op = std::move(enumerate);
+      request.qos_class = probe ? whyprov::qos::QosClass::kInteractive
+                                : whyprov::qos::QosClass::kBatch;
+      request.tenant =
+          probe ? "latency-probe" : "flood-" + std::to_string(phase);
+      tickets.push_back(
+          SubmitWithBackpressure(service, request, tickets, rejected));
+      is_interactive.push_back(probe);
+    }
+
+    std::size_t lane_requests[2] = {0, 0};
+    std::size_t lane_succeeded[2] = {0, 0};
+    std::size_t lane_failed[2] = {0, 0};
+    std::vector<double> lane_latencies[2];
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const whyprov::Response& response = tickets[i].Wait();
+      const std::size_t lane = is_interactive[i] ? 0 : 1;
+      ++lane_requests[lane];
+      ++(response.status.ok() ? lane_succeeded : lane_failed)[lane];
+      lane_latencies[lane].push_back(response.queue_seconds +
+                                     response.exec_seconds);
+    }
+    const double wall_seconds = timer.ElapsedSeconds();
+    // Best rep = the one with the best overall throughput (the same
+    // selection rule as the mixed workload, applied to both lanes of
+    // the rep together so the two rows describe one run).
+    const double qps =
+        wall_seconds > 0
+            ? static_cast<double>(tickets.size()) / wall_seconds
+            : 0;
+    const double best_so_far =
+        interactive.wall_seconds > 0
+            ? static_cast<double>(interactive.requests + batch.requests) /
+                  interactive.wall_seconds
+            : 0;
+    if (rep == 0 || qps > best_so_far) {
+      Run* rows[2] = {&interactive, &batch};
+      for (std::size_t lane = 0; lane < 2; ++lane) {
+        Run& row = *rows[lane];
+        std::sort(lane_latencies[lane].begin(), lane_latencies[lane].end());
+        row.requests = lane_requests[lane];
+        row.enumerates = lane_requests[lane];
+        row.succeeded = lane_succeeded[lane];
+        row.failed = lane_failed[lane];
+        row.rejected = rejected;
+        row.wall_seconds = wall_seconds;
+        row.queries_per_second =
+            wall_seconds > 0
+                ? static_cast<double>(lane_requests[lane]) / wall_seconds
+                : 0;
+        row.p50_seconds = Percentile(lane_latencies[lane], 0.50);
+        row.p99_seconds =
+            Percentile(std::move(lane_latencies[lane]), 0.99);
+      }
+    }
+  }
+  return {interactive, batch};
+}
+
 Run RunConfiguration(const SuiteEntry& entry, std::size_t threads,
                      std::size_t shards, std::size_t total_requests,
                      std::size_t reps) {
@@ -273,16 +404,24 @@ void WriteJson(std::FILE* out, const std::vector<Run>& runs) {
   std::fprintf(out, "[\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Run& run = runs[i];
+    // Flood rows carry the extra identity fields the regression gate
+    // keys on; ordinary rows keep the historical schema.
+    std::string qos_fields;
+    if (!run.qos.empty()) {
+      qos_fields = "\"qos\": \"" + run.qos + "\", \"lane\": \"" + run.lane +
+                   "\", \"tenants\": " + std::to_string(run.tenants) + ", ";
+    }
     std::fprintf(
         out,
-        "  {\"scenario\": \"%s\", \"database\": \"%s\", "
+        "  {\"scenario\": \"%s\", \"database\": \"%s\", %s"
         "\"threads_requested\": %zu, \"threads\": %zu, \"shards\": %zu, "
         "\"requests\": %zu, \"enumerates\": %zu, \"decides\": %zu, "
         "\"deltas\": %zu, \"succeeded\": %zu, \"failed\": %zu, "
         "\"rejected\": %llu, \"wall_seconds\": %.6f, "
         "\"queries_per_second\": %.2f, \"p50_seconds\": %.6f, "
         "\"p99_seconds\": %.6f}%s\n",
-        run.scenario.c_str(), run.database.c_str(), run.threads_requested,
+        run.scenario.c_str(), run.database.c_str(), qos_fields.c_str(),
+        run.threads_requested,
         run.threads, run.shards, run.requests, run.enumerates, run.decides,
         run.deltas, run.succeeded, run.failed,
         static_cast<unsigned long long>(run.rejected), run.wall_seconds,
@@ -334,6 +473,29 @@ int main(int argc, char** argv) {
           run.shards, run.queries_per_second, run.p50_seconds,
           run.p99_seconds, run.enumerates, run.decides, run.deltas,
           run.succeeded, run.failed);
+    }
+  }
+
+  // The QoS flood: one scenario, fair scheduler vs plain FIFO, per-lane
+  // rows. TransClosure's enumerations are expensive enough that an
+  // interactive probe stuck behind a FIFO queue of them measures real
+  // head-of-line blocking; the gate is self-relative so one scenario
+  // suffices.
+  const SuiteEntry flood_entry{"TransClosure", "Dbitcoin~", [] {
+    return whyprov::scenarios::MakeTransClosure(
+        whyprov::scenarios::GraphKind::kSparse, 600, 900,
+        whyprov::bench::kSuiteSeed);
+  }};
+  for (const bool fair : {true, false}) {
+    for (Run& run : RunFloodConfiguration(flood_entry, fair, flags.requests,
+                                          flags.reps)) {
+      std::printf(
+          "%-14s %-12s flood qos=%-4s lane=%-11s %8.1f q/s  p50 %.4fs  "
+          "p99 %.4fs  (%zu ok / %zu failed)\n",
+          run.scenario.c_str(), run.database.c_str(), run.qos.c_str(),
+          run.lane.c_str(), run.queries_per_second, run.p50_seconds,
+          run.p99_seconds, run.succeeded, run.failed);
+      runs.push_back(std::move(run));
     }
   }
 

@@ -48,6 +48,9 @@ KEY_FIELDS = (
     "direction",
     "wal",
     "tail_records",
+    "qos",
+    "lane",
+    "tenants",
 )
 
 # Higher-is-better metrics compared against the baseline with the drop
@@ -193,6 +196,49 @@ def check_wal_throughput(current_rows, current_path, min_ratio, failures):
     return checks
 
 
+def check_flood_p99(current_rows, current_path, max_ratio, failures):
+    """Self-relative QoS gate on BENCH_service.json's flood rows: for
+    every flood group with an interactive-lane row under both the fair
+    scheduler (qos=fair) and the FIFO queue (qos=fifo) in the *current*
+    run, the fair interactive p99 must be at most `max_ratio` times the
+    FIFO interactive p99. This is the subsystem's reason to exist —
+    interactive tail latency bounded under a batch flood — gated
+    self-relatively so it holds on any hardware."""
+    checks = 0
+    by_group = {}
+    for row in current_rows:
+        if row.get("lane") != "interactive" or "qos" not in row:
+            continue
+        if "p99_seconds" not in row:
+            continue
+        group = tuple((f, row[f]) for f in ("scenario", "database",
+                                            "threads_requested", "tenants")
+                      if f in row)
+        by_group.setdefault(group, {})[row["qos"]] = row
+    for group, by_qos in by_group.items():
+        fifo = by_qos.get("fifo")
+        fair = by_qos.get("fair")
+        if fifo is None or fair is None:
+            continue
+        fifo_p99 = metric_value(fifo, "p99_seconds", current_path)
+        if fifo_p99 <= 0:
+            continue
+        checks += 1
+        fair_p99 = metric_value(fair, "p99_seconds", current_path)
+        ceiling = fifo_p99 * max_ratio
+        status = "ok" if fair_p99 <= ceiling else "REGRESSION"
+        print(f"{status:>10}  flood p99: fair-queueing interactive "
+              f"{fair_p99:.6f}s vs FIFO {fifo_p99:.6f}s (ceiling "
+              f"{ceiling:.6f} = {max_ratio:.2f}x)  [{format_key(group)}]")
+        if fair_p99 > ceiling:
+            failures.append(
+                f"interactive p99 under flood is {fair_p99 / fifo_p99:.2f}x "
+                f"the FIFO p99 (> {max_ratio:.2f}x ceiling) on "
+                f"[{format_key(group)}] — the priority lane stopped "
+                "protecting interactive tail latency")
+    return checks
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -216,6 +262,10 @@ def main():
                         help="floor for (wal-on deltas/s) / (wal-off "
                              "deltas/s) within the current file; ignored "
                              "when unset")
+    parser.add_argument("--max-flood-p99-ratio", type=float, default=None,
+                        help="ceiling for (fair-queueing interactive p99) /"
+                             " (FIFO interactive p99) on the current file's"
+                             " flood rows; ignored when unset")
     args = parser.parse_args()
 
     baseline_rows = load_rows(args.baseline, "baseline")
@@ -303,6 +353,10 @@ def main():
     if args.min_wal_throughput is not None:
         checks += check_wal_throughput(current_rows, args.current,
                                        args.min_wal_throughput, failures)
+
+    if args.max_flood_p99_ratio is not None:
+        checks += check_flood_p99(current_rows, args.current,
+                                  args.max_flood_p99_ratio, failures)
 
     if checks == 0:
         print("error: no comparable metrics found "

@@ -5,11 +5,15 @@
 // socket minus the length prefix); the remainder is the frame body
 // handed to the selected Decode*.
 //
-// Oracle, beyond "no crash under ASan/UBSan": the Encode/Decode pairs
-// are documented as exactly symmetric, so whenever a decode succeeds,
-// re-encoding the decoded struct must reproduce the input body byte for
-// byte. A mismatch means the decoder accepted a non-canonical frame
-// (e.g. skipped bytes or defaulted a field) and is reported as a crash.
+// Oracle, beyond "no crash under ASan/UBSan": the protocol evolves by
+// appending fields only (docs/WIRE_PROTOCOL.md), so whenever a decode
+// succeeds, re-encoding the decoded struct must (a) reproduce the input
+// body as an exact byte prefix — older frames gain only the appended
+// fields at their decoded defaults, current frames round-trip byte for
+// byte — and (b) be a fixed point: the canonical re-encoding decodes
+// and re-encodes to itself exactly. A violation means the decoder
+// accepted a non-canonical frame (skipped bytes, defaulted a mandatory
+// field) and is reported as a crash.
 //
 // Build modes:
 //   * libFuzzer (clang -fsanitize=fuzzer,address,undefined): the usual
@@ -42,86 +46,75 @@ using whyprov::net::DecodeStats;
 using whyprov::net::DecodeStatsReply;
 using whyprov::net::Encode;
 
-/// Aborts (a fuzzer "crash") when a successfully decoded body does not
-/// re-encode to the original bytes — the decoders must be exactly
-/// inverse to the encoders on every body they accept.
-void CheckRoundTrip(const std::string& reencoded, std::string_view body,
+/// Runs one decoder with the round-trip oracle on success: the input
+/// body must be an exact byte prefix of the canonical re-encoding
+/// (append-only protocol evolution — a pre-extension frame gains only
+/// the appended fields at their decoded defaults), and the canonical
+/// re-encoding must be a fixed point of decode∘encode. Decoders that
+/// reject the body must do so via an error Result, never a crash.
+template <typename Decoder>
+void CheckRoundTrip(Decoder decode, std::string_view body,
                     const char* kind) {
-  if (reencoded == body) return;
-  std::fprintf(stderr,
-               "round-trip mismatch for %s: decoded %zu-byte body "
-               "re-encoded to %zu bytes\n",
-               kind, body.size(), reencoded.size());
-  std::abort();
+  const auto decoded = decode(body);
+  if (!decoded.ok()) return;
+  const std::string canonical = Encode(decoded.value());
+  if (canonical.size() < body.size() ||
+      std::string_view(canonical).substr(0, body.size()) != body) {
+    std::fprintf(stderr,
+                 "round-trip mismatch for %s: decoded %zu-byte body is "
+                 "not a prefix of its %zu-byte re-encoding\n",
+                 kind, body.size(), canonical.size());
+    std::abort();
+  }
+  const auto redecoded = decode(canonical);
+  if (!redecoded.ok() || Encode(redecoded.value()) != canonical) {
+    std::fprintf(stderr,
+                 "canonical form of %s is not a decode/encode fixed "
+                 "point (%zu bytes)\n",
+                 kind, canonical.size());
+    std::abort();
+  }
 }
 
-/// Runs one decoder, with the round-trip oracle on success. Decoders
-/// that reject the body must do so via an error Result, never a crash.
+/// Dispatches one fuzz input to the decoder its type byte selects.
 void FuzzOne(std::uint8_t type, std::string_view body) {
   switch (type) {
-    case whyprov::net::kFrameEnumerate: {
-      const auto decoded = DecodeEnumerate(body);
-      if (decoded.ok()) {
-        CheckRoundTrip(Encode(decoded.value()), body, "EnumerateFrame");
-      }
+    case whyprov::net::kFrameEnumerate:
+      CheckRoundTrip([](std::string_view b) { return DecodeEnumerate(b); },
+                     body, "EnumerateFrame");
       break;
-    }
-    case whyprov::net::kFrameDecide: {
-      const auto decoded = DecodeDecide(body);
-      if (decoded.ok()) {
-        CheckRoundTrip(Encode(decoded.value()), body, "DecideFrame");
-      }
+    case whyprov::net::kFrameDecide:
+      CheckRoundTrip([](std::string_view b) { return DecodeDecide(b); },
+                     body, "DecideFrame");
       break;
-    }
-    case whyprov::net::kFrameExplain: {
-      const auto decoded = DecodeExplain(body);
-      if (decoded.ok()) {
-        CheckRoundTrip(Encode(decoded.value()), body, "ExplainFrame");
-      }
+    case whyprov::net::kFrameExplain:
+      CheckRoundTrip([](std::string_view b) { return DecodeExplain(b); },
+                     body, "ExplainFrame");
       break;
-    }
-    case whyprov::net::kFrameDelta: {
-      const auto decoded = DecodeDelta(body);
-      if (decoded.ok()) {
-        CheckRoundTrip(Encode(decoded.value()), body, "DeltaFrame");
-      }
+    case whyprov::net::kFrameDelta:
+      CheckRoundTrip([](std::string_view b) { return DecodeDelta(b); },
+                     body, "DeltaFrame");
       break;
-    }
-    case whyprov::net::kFrameStats: {
-      const auto decoded = DecodeStats(body);
-      if (decoded.ok()) {
-        CheckRoundTrip(Encode(decoded.value()), body, "StatsFrame");
-      }
+    case whyprov::net::kFrameStats:
+      CheckRoundTrip([](std::string_view b) { return DecodeStats(b); },
+                     body, "StatsFrame");
       break;
-    }
-    case whyprov::net::kFrameMembers: {
-      const auto decoded = DecodeMembers(body);
-      if (decoded.ok()) {
-        CheckRoundTrip(Encode(decoded.value()), body, "MembersFrame");
-      }
+    case whyprov::net::kFrameMembers:
+      CheckRoundTrip([](std::string_view b) { return DecodeMembers(b); },
+                     body, "MembersFrame");
       break;
-    }
-    case whyprov::net::kFrameFinal: {
-      const auto decoded = DecodeFinal(body);
-      if (decoded.ok()) {
-        CheckRoundTrip(Encode(decoded.value()), body, "FinalFrame");
-      }
+    case whyprov::net::kFrameFinal:
+      CheckRoundTrip([](std::string_view b) { return DecodeFinal(b); },
+                     body, "FinalFrame");
       break;
-    }
-    case whyprov::net::kFrameError: {
-      const auto decoded = DecodeError(body);
-      if (decoded.ok()) {
-        CheckRoundTrip(Encode(decoded.value()), body, "ErrorFrame");
-      }
+    case whyprov::net::kFrameError:
+      CheckRoundTrip([](std::string_view b) { return DecodeError(b); },
+                     body, "ErrorFrame");
       break;
-    }
-    case whyprov::net::kFrameStatsReply: {
-      const auto decoded = DecodeStatsReply(body);
-      if (decoded.ok()) {
-        CheckRoundTrip(Encode(decoded.value()), body, "StatsReplyFrame");
-      }
+    case whyprov::net::kFrameStatsReply:
+      CheckRoundTrip([](std::string_view b) { return DecodeStatsReply(b); },
+                     body, "StatsReplyFrame");
       break;
-    }
     default:
       // Unknown type bytes are rejected before body decoding by the
       // server; nothing to fuzz here, but keeping them accepted lets

@@ -431,6 +431,29 @@ util::Result<dl::FactId> Engine::FactIdOf(std::string_view fact_text) const {
   return FactIdOn(*snapshot(), fact_text);
 }
 
+PlanCostPeek Engine::PeekPlanCost(
+    dl::FactId target, const std::string& target_text,
+    std::optional<pv::AcyclicityEncoding> acyclicity) const {
+  PlanCostPeek peek;
+  const auto state = snapshot();
+  peek.database_facts = state->database().facts().size();
+  util::Result<dl::FactId> resolved =
+      ResolveTarget(*state, target, target_text);
+  if (!resolved.ok()) return peek;  // unknown target: fallback pricing
+  const std::shared_ptr<const pv::QueryPlan> plan =
+      state->plan_cache.Peek(
+          resolved.value(),
+          acyclicity.value_or(state->options.acyclicity),
+          state->model_version);
+  if (plan == nullptr) return peek;
+  peek.plan_cached = true;
+  peek.closure_facts = plan->closure().nodes().size();
+  peek.cnf_clauses = plan->formula().num_clauses();
+  peek.cnf_variables = static_cast<std::size_t>(
+      plan->formula().num_vars > 0 ? plan->formula().num_vars : 0);
+  return peek;
+}
+
 std::string Engine::FactToText(dl::FactId id) const {
   const auto state = snapshot();
   // Rendering reads the symbol table FactIdOf may be interning into from

@@ -84,6 +84,16 @@ struct EngineOptions {
   /// just process crash). Off by default: the bench_durability numbers
   /// gate the non-fsync path.
   bool wal_fsync = false;
+  /// Group commit: with wal_fsync on, coalesce fsyncs across
+  /// consecutive ordered-lane deltas — each delta is appended
+  /// immediately, but the fsync is deferred until no further delta is
+  /// already waiting behind it (then one fsync covers the whole run).
+  /// The committed data is identical; what moves is the moment the
+  /// "durable against power loss" guarantee attaches: a delta's ticket
+  /// may complete a few records before its fsync. Recovery is
+  /// unaffected — a torn tail truncates exactly as without batching.
+  /// Ignored when wal_fsync is off.
+  bool wal_group_commit = false;
   /// Committed deltas between snapshot checkpoints; 0 = never
   /// checkpoint (recovery replays the full log).
   std::size_t checkpoint_interval = 32;
@@ -203,6 +213,20 @@ struct EvaluatedDelta {
   datalog::Model model;  ///< the post-delta model (COW; = base when noop)
   std::vector<datalog::FactId> touched;  ///< sorted; plan invalidation key
   DeltaStats stats;  ///< fact counters + eval time (plan fields unset)
+};
+
+/// Side-effect-free cost signals for one query target, read by
+/// Engine::PeekPlanCost for the QoS admission layer (qos/cost.h prices
+/// them). `plan_cached` means a plan for the target is cached at the
+/// *current* model version, in which case the closure/CNF sizes are the
+/// cached plan's; otherwise they are 0 and `database_facts` is the
+/// fallback size proxy.
+struct PlanCostPeek {
+  bool plan_cached = false;
+  std::size_t closure_facts = 0;
+  std::size_t cnf_clauses = 0;
+  std::size_t cnf_variables = 0;
+  std::size_t database_facts = 0;
 };
 
 /// Snapshot-retention accounting of one engine (see Engine::snapshot_
@@ -717,6 +741,15 @@ class Engine {
   /// Parses a fact like "path(a, b)" and returns its model id.
   /// Thread-safe (parsing is serialised internally).
   util::Result<datalog::FactId> FactIdOf(std::string_view fact_text) const;
+
+  /// Cost signals for pricing a request *before* admitting it: resolves
+  /// the target against the current snapshot and peeks the plan cache —
+  /// never compiles a plan or touches the cache's counters/LRU order.
+  /// An unresolvable target returns the fallback signals (database size
+  /// only); pricing must stay cheap even for garbage input.
+  PlanCostPeek PeekPlanCost(
+      datalog::FactId target, const std::string& target_text,
+      std::optional<provenance::AcyclicityEncoding> acyclicity) const;
 
   /// Renders a fact id / fact for display.
   std::string FactToText(datalog::FactId id) const;

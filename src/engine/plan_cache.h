@@ -143,6 +143,22 @@ class PlanCache {
     }
   }
 
+  /// Side-effect-free lookup for cost estimation (the QoS admission
+  /// path): the cached plan for the key at `expected_version`, or null.
+  /// Touches no counters, drops no stale entry, and does not bump the
+  /// LRU order — a peek is not a use.
+  std::shared_ptr<const provenance::QueryPlan> Peek(
+      datalog::FactId target, provenance::AcyclicityEncoding acyclicity,
+      std::uint64_t expected_version) const EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
+    const auto it = index_.find(MakeKey(target, acyclicity));
+    if (it == index_.end()) return nullptr;
+    if (it->second->second->model_version() != expected_version) {
+      return nullptr;
+    }
+    return it->second->second;
+  }
+
   /// One cached plan together with its key, for delta carry-over.
   struct Entry {
     datalog::FactId target;

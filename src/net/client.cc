@@ -115,6 +115,8 @@ util::Result<Outcome> Client::Enumerate(const std::string& target,
   frame.deadline_seconds = deadline_seconds;
   frame.stream = stream ? 1 : 0;
   frame.batch_size = batch_size;
+  frame.qos_class = qos_class_;
+  frame.tenant = tenant_;
   if (auto status = Send(frame); !status.ok()) return status;
   return AwaitFinal(frame.request_id, on_member);
 }
@@ -129,6 +131,8 @@ util::Result<Outcome> Client::Decide(
   frame.tree_class = static_cast<std::uint8_t>(tree_class);
   frame.candidate_facts = candidate_facts;
   frame.deadline_seconds = deadline_seconds;
+  frame.qos_class = qos_class_;
+  frame.tenant = tenant_;
   if (auto status = Send(frame); !status.ok()) return status;
   return AwaitFinal(frame.request_id);
 }
@@ -141,6 +145,8 @@ util::Result<Outcome> Client::Explain(const std::string& target,
   frame.target = target;
   frame.member_index = member_index;
   frame.deadline_seconds = deadline_seconds;
+  frame.qos_class = qos_class_;
+  frame.tenant = tenant_;
   if (auto status = Send(frame); !status.ok()) return status;
   return AwaitFinal(frame.request_id);
 }
@@ -153,11 +159,19 @@ util::Result<Outcome> Client::ApplyDelta(
   frame.added_facts = added_facts;
   frame.removed_facts = removed_facts;
   frame.deadline_seconds = deadline_seconds;
+  frame.qos_class = qos_class_;
+  frame.tenant = tenant_;
   if (auto status = Send(frame); !status.ok()) return status;
   return AwaitFinal(frame.request_id);
 }
 
 util::Result<whyprov_stats> Client::Stats() {
+  auto reply = StatsWithTenants();
+  if (!reply.ok()) return reply.status();
+  return reply.value().stats;
+}
+
+util::Result<StatsReplyFrame> Client::StatsWithTenants() {
   StatsFrame frame;
   frame.request_id = NextRequestId();
   if (auto status = Send(frame); !status.ok()) return status;
@@ -174,7 +188,7 @@ util::Result<whyprov_stats> Client::Stats() {
         return util::Status::Error(
             "stats reply for an unexpected request id");
       }
-      return reply.value().stats;
+      return std::move(reply).value();
     }
     if (type == kFrameError) {
       auto error = DecodeError(body);

@@ -65,6 +65,17 @@ class Client {
   /// drop the connection mid-stream, deliberately.
   void Close() { socket_.Close(); }
 
+  /// Sets the QoS identity stamped on every subsequent high-level
+  /// request from this client: the priority lane and the tenant the
+  /// server schedules and accounts it under. The default (interactive,
+  /// "") is the shared default identity, under which requests behave
+  /// exactly like pre-QoS traffic. Low-level Send callers set the
+  /// frame fields themselves.
+  void SetQos(whyprov_qos_class qos_class, std::string tenant) {
+    qos_class_ = static_cast<std::uint8_t>(qos_class);
+    tenant_ = std::move(tenant);
+  }
+
   // --- high-level synchronous calls ------------------------------------
 
   /// Enumerate `target`. With `stream` the members arrive as batch
@@ -93,6 +104,11 @@ class Client {
       double deadline_seconds = 0);
 
   util::Result<whyprov_stats> Stats();
+
+  /// As Stats, but returns the whole decoded reply including the
+  /// appended per-tenant/per-lane rows (empty when talking to a
+  /// pre-QoS server).
+  util::Result<StatsReplyFrame> StatsWithTenants();
 
   // --- low-level access -------------------------------------------------
 
@@ -123,6 +139,8 @@ class Client {
  private:
   util::Socket socket_;
   std::uint64_t next_id_ = 0;
+  std::uint8_t qos_class_ = WHYPROV_QOS_INTERACTIVE;
+  std::string tenant_;
 };
 
 }  // namespace whyprov::net

@@ -1,5 +1,6 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <deque>
 #include <string>
 #include <utility>
@@ -31,6 +32,10 @@ struct ServerSession {
   };
 
   util::Socket socket;
+  /// The connection's identity in the server's per-connection rate
+  /// limiter ("conn-<n>"); set by the accept loop before the threads
+  /// start, immutable afterwards.
+  std::string rate_identity;
   std::thread reader;
   std::thread responder;
 
@@ -52,6 +57,16 @@ struct ServerSession {
 namespace {
 
 using internal::ServerSession;
+
+/// Maps the server's rate-limit knobs onto a QoS admission
+/// configuration: a pure token bucket (no outstanding-cost budget),
+/// one bucket per connection identity.
+qos::QosOptions RateLimitOptions(const ServerOptions& options) {
+  qos::QosOptions qos;
+  qos.refill_per_second = options.max_requests_per_second;
+  qos.burst = options.rate_limit_burst;
+  return qos;
+}
 
 /// Cancels every ticket the session still holds (queued + active).
 void CancelSession(ServerSession& session) {
@@ -194,7 +209,9 @@ void ServeTicket(ServerSession& session, ServerSession::Pending& pending) {
 }  // namespace
 
 Server::Server(whyprov_service* service, ServerOptions options)
-    : service_(service), options_(options) {}
+    : service_(service),
+      options_(options),
+      rate_limiter_(RateLimitOptions(options_)) {}
 
 Server::~Server() { Stop(); }
 
@@ -253,6 +270,7 @@ void Server::AcceptLoop() {
       const util::MutexLock lock(mutex_);
       if (stopped_) return;  // raced with Stop; drop the connection
       ++connections_accepted_;
+      raw->rate_identity = "conn-" + std::to_string(connections_accepted_);
       sessions_.push_back(std::move(session));
     }
     raw->reader = std::thread([this, raw] { RunReader(*raw); });
@@ -282,6 +300,16 @@ void Server::RunReader(ServerSession& session) {
       break;
     }
 
+    // Per-connection rate limiting: work frames charge one unit from
+    // the connection's token bucket; an empty bucket answers the
+    // request with a RESOURCE_EXHAUSTED final frame (the client can
+    // back off and retry) instead of submitting it. Stats polls stay
+    // free so a throttled client can still observe the service.
+    const bool rate_limited =
+        type >= kFrameEnumerate && type <= kFrameDelta &&
+        !rate_limiter_.unlimited() &&
+        !rate_limiter_.Admit(session.rate_identity, 1.0).ok();
+
     ServerSession::Pending pending;
     pending.kind = type;
     bool malformed = false;
@@ -299,11 +327,14 @@ void Server::RunReader(ServerSession& session) {
         pending.batch_size = frame.value().batch_size > 0
                                  ? frame.value().batch_size
                                  : options_.default_batch_size;
+        if (rate_limited) break;
         whyprov_ticket* ticket = nullptr;
-        pending.submit_status = whyprov_submit_enumerate(
+        pending.submit_status = whyprov_submit_enumerate_qos(
             service_, frame.value().target.c_str(),
             frame.value().max_members, frame.value().deadline_seconds,
-            pending.stream ? pending.batch_size : 0, &ticket);
+            pending.stream ? pending.batch_size : 0,
+            static_cast<int>(frame.value().qos_class),
+            frame.value().tenant.c_str(), &ticket);
         pending.ticket = ticket;
         break;
       }
@@ -315,17 +346,20 @@ void Server::RunReader(ServerSession& session) {
           break;
         }
         pending.request_id = frame.value().request_id;
+        if (rate_limited) break;
         std::vector<const char*> candidates;
         candidates.reserve(frame.value().candidate_facts.size());
         for (const auto& fact : frame.value().candidate_facts) {
           candidates.push_back(fact.c_str());
         }
         whyprov_ticket* ticket = nullptr;
-        pending.submit_status = whyprov_submit_decide(
+        pending.submit_status = whyprov_submit_decide_qos(
             service_, frame.value().target.c_str(), candidates.data(),
             candidates.size(),
             static_cast<whyprov_tree_class>(frame.value().tree_class),
-            frame.value().deadline_seconds, &ticket);
+            frame.value().deadline_seconds,
+            static_cast<int>(frame.value().qos_class),
+            frame.value().tenant.c_str(), &ticket);
         pending.ticket = ticket;
         break;
       }
@@ -337,11 +371,13 @@ void Server::RunReader(ServerSession& session) {
           break;
         }
         pending.request_id = frame.value().request_id;
+        if (rate_limited) break;
         whyprov_ticket* ticket = nullptr;
-        pending.submit_status = whyprov_submit_explain(
+        pending.submit_status = whyprov_submit_explain_qos(
             service_, frame.value().target.c_str(),
             frame.value().member_index, frame.value().deadline_seconds,
-            &ticket);
+            static_cast<int>(frame.value().qos_class),
+            frame.value().tenant.c_str(), &ticket);
         pending.ticket = ticket;
         break;
       }
@@ -353,6 +389,7 @@ void Server::RunReader(ServerSession& session) {
           break;
         }
         pending.request_id = frame.value().request_id;
+        if (rate_limited) break;
         std::vector<const char*> added;
         std::vector<const char*> removed;
         added.reserve(frame.value().added_facts.size());
@@ -364,9 +401,11 @@ void Server::RunReader(ServerSession& session) {
           removed.push_back(fact.c_str());
         }
         whyprov_ticket* ticket = nullptr;
-        pending.submit_status = whyprov_submit_delta(
+        pending.submit_status = whyprov_submit_delta_qos(
             service_, added.data(), added.size(), removed.data(),
-            removed.size(), frame.value().deadline_seconds, &ticket);
+            removed.size(), frame.value().deadline_seconds,
+            static_cast<int>(frame.value().qos_class),
+            frame.value().tenant.c_str(), &ticket);
         pending.ticket = ticket;
         break;
       }
@@ -393,6 +432,10 @@ void Server::RunReader(ServerSession& session) {
       error.error_message = std::move(malformed_message);
       Push(session, std::move(error), options_.max_session_tickets);
       break;
+    }
+    if (rate_limited) {
+      pending.submit_status = WHYPROV_RESOURCE_EXHAUSTED;
+      pending.error_message = "per-connection rate limit exceeded";
     }
     Push(session, std::move(pending), options_.max_session_tickets);
   }
@@ -434,14 +477,41 @@ void Server::RunResponder(ServerSession& session) {
       StatsReplyFrame reply;
       reply.request_id = pending.request_id;
       whyprov_service_stats(service_, &reply.stats);
+      // The appended per-tenant section: size the buffer from the
+      // ABI's row count (a second call is fine — rows only ever grow).
+      const std::size_t rows =
+          whyprov_service_tenant_stats(service_, nullptr, 0);
+      if (rows > 0) {
+        std::vector<whyprov_tenant_stats> buffer(rows);
+        const std::size_t copied = std::min(
+            rows,
+            whyprov_service_tenant_stats(service_, buffer.data(), rows));
+        reply.tenants.reserve(copied);
+        for (std::size_t i = 0; i < copied; ++i) {
+          WireTenantStats row;
+          row.tenant = buffer[i].tenant;
+          row.qos_class = static_cast<std::uint8_t>(buffer[i].qos_class);
+          row.queued = buffer[i].queued;
+          row.served = buffer[i].served;
+          row.rejected = buffer[i].rejected;
+          row.cancelled = buffer[i].cancelled;
+          row.cost_served = buffer[i].cost_served;
+          row.queue_p50_seconds = buffer[i].queue_p50_seconds;
+          row.queue_p99_seconds = buffer[i].queue_p99_seconds;
+          reply.tenants.push_back(std::move(row));
+        }
+      }
       WriteOrFail(session, kFrameStatsReply, Encode(reply));
     } else if (pending.ticket == nullptr) {
-      // Admission (or argument) failure: the submit itself refused.
+      // Admission (or argument) failure: the submit itself refused, or
+      // the connection's rate limiter refused before it.
       FinalFrame final;
       final.request_id = pending.request_id;
       final.kind = pending.kind;
       final.status_code = pending.submit_status;
-      final.status_message = whyprov_status_name(pending.submit_status);
+      final.status_message = pending.error_message.empty()
+                                 ? whyprov_status_name(pending.submit_status)
+                                 : pending.error_message;
       WriteOrFail(session, kFrameFinal, Encode(final));
     } else {
       ServeTicket(session, pending);

@@ -13,6 +13,8 @@
 #include "datalog/parser.h"
 #include "engine/engine.h"
 #include "provenance/proof_tree.h"
+#include "qos/qos.h"
+#include "qos/tenant_registry.h"
 #include "service/service.h"
 #include "shard/sharded_service.h"
 #include "util/mutex.h"
@@ -46,6 +48,10 @@ static_assert(WHYPROV_TREE_MINIMAL_DEPTH ==
               static_cast<int>(wp::provenance::TreeClass::kMinimalDepth));
 static_assert(WHYPROV_TREE_UNAMBIGUOUS ==
               static_cast<int>(wp::provenance::TreeClass::kUnambiguous));
+static_assert(WHYPROV_QOS_INTERACTIVE ==
+              static_cast<int>(wp::qos::QosClass::kInteractive));
+static_assert(WHYPROV_QOS_BATCH ==
+              static_cast<int>(wp::qos::QosClass::kBatch));
 
 whyprov_status ToC(const wp::util::Status& status) {
   return static_cast<whyprov_status>(status.code());
@@ -179,6 +185,7 @@ whyprov_status whyprov_service_create(const char* program_text,
       engine_options.checkpoint_interval = options->checkpoint_interval;
     }
   }
+  engine_options.wal_group_commit = options->wal_group_commit != 0;
   wp::ServiceOptions service_options;
   service_options.num_threads = options->num_threads;
   if (options->queue_capacity > 0) {
@@ -186,6 +193,18 @@ whyprov_status whyprov_service_create(const char* program_text,
   }
   service_options.default_deadline_seconds =
       options->default_deadline_seconds;
+  // Zero-initialised options mean "QoS on with defaults" (invariant:
+  // default-class traffic then behaves exactly like the pre-QoS FIFO).
+  service_options.qos.fair_queueing = options->qos_disable == 0;
+  if (options->qos_quantum > 0) {
+    service_options.qos.quantum = options->qos_quantum;
+  }
+  if (options->qos_batch_escape > 0) {
+    service_options.qos.batch_escape = options->qos_batch_escape;
+  }
+  service_options.qos.tenant_cost_budget = options->qos_tenant_cost_budget;
+  service_options.qos.refill_per_second = options->qos_refill_per_second;
+  service_options.qos.burst = options->qos_burst;
 
   auto handle = std::make_unique<whyprov_service>();
   if (options->num_shards >= 2) {
@@ -260,7 +279,44 @@ void whyprov_service_stats(const whyprov_service* service,
   out_stats->recovery_replayed_deltas = stats.recovery_replayed_deltas;
 }
 
+size_t whyprov_service_tenant_stats(const whyprov_service* service,
+                                    whyprov_tenant_stats* out_rows,
+                                    size_t capacity) {
+  if (service == nullptr) return 0;
+  const wp::ServiceStats stats = service->stats();
+  const std::size_t copied = std::min(capacity, stats.tenants.size());
+  for (std::size_t i = 0; i < copied; ++i) {
+    const wp::qos::TenantStats& row = stats.tenants[i];
+    whyprov_tenant_stats& out = out_rows[i];
+    std::memset(&out, 0, sizeof(out));
+    const std::size_t n =
+        std::min(row.tenant.size(), sizeof(out.tenant) - 1);
+    std::memcpy(out.tenant, row.tenant.data(), n);
+    out.tenant[n] = '\0';
+    out.qos_class = static_cast<int>(row.lane);
+    out.queued = row.queued;
+    out.served = row.served;
+    out.rejected = row.rejected;
+    out.cancelled = row.cancelled;
+    out.cost_served = row.cost_served;
+    out.queue_p50_seconds = row.queue_p50_seconds;
+    out.queue_p99_seconds = row.queue_p99_seconds;
+  }
+  return stats.tenants.size();
+}
+
 namespace {
+
+// Validates and stamps a submit's QoS identity onto the request.
+bool StampQos(int qos_class, const char* tenant, wp::Request& request) {
+  if (qos_class != WHYPROV_QOS_INTERACTIVE &&
+      qos_class != WHYPROV_QOS_BATCH) {
+    return false;
+  }
+  request.qos_class = static_cast<wp::qos::QosClass>(qos_class);
+  if (tenant != nullptr) request.tenant = tenant;
+  return true;
+}
 
 // Shared tail of every submit: runs Submit, wraps the ticket handle.
 whyprov_status FinishSubmit(whyprov_service* service, wp::Request request,
@@ -278,12 +334,10 @@ whyprov_status FinishSubmit(whyprov_service* service, wp::Request request,
 
 }  // namespace
 
-whyprov_status whyprov_submit_enumerate(whyprov_service* service,
-                                        const char* target,
-                                        uint64_t max_members,
-                                        double deadline_seconds,
-                                        size_t stream_capacity,
-                                        whyprov_ticket** out_ticket) {
+whyprov_status whyprov_submit_enumerate_qos(
+    whyprov_service* service, const char* target, uint64_t max_members,
+    double deadline_seconds, size_t stream_capacity, int qos_class,
+    const char* tenant, whyprov_ticket** out_ticket) {
   if (service == nullptr || target == nullptr || out_ticket == nullptr) {
     return WHYPROV_INVALID_ARGUMENT;
   }
@@ -298,19 +352,30 @@ whyprov_status whyprov_submit_enumerate(whyprov_service* service,
     stream = std::make_shared<wp::MemberStream>(stream_capacity);
   }
   wp::Request request;
+  if (!StampQos(qos_class, tenant, request)) return WHYPROV_INVALID_ARGUMENT;
   request.op = std::move(op);
   request.deadline_seconds = deadline_seconds;
   return FinishSubmit(service, std::move(request), std::move(stream),
                       out_ticket);
 }
 
-whyprov_status whyprov_submit_decide(whyprov_service* service,
-                                     const char* target,
-                                     const char* const* candidate_facts,
-                                     size_t num_candidate_facts,
-                                     whyprov_tree_class tree_class,
-                                     double deadline_seconds,
-                                     whyprov_ticket** out_ticket) {
+whyprov_status whyprov_submit_enumerate(whyprov_service* service,
+                                        const char* target,
+                                        uint64_t max_members,
+                                        double deadline_seconds,
+                                        size_t stream_capacity,
+                                        whyprov_ticket** out_ticket) {
+  return whyprov_submit_enumerate_qos(service, target, max_members,
+                                      deadline_seconds, stream_capacity,
+                                      WHYPROV_QOS_INTERACTIVE, nullptr,
+                                      out_ticket);
+}
+
+whyprov_status whyprov_submit_decide_qos(
+    whyprov_service* service, const char* target,
+    const char* const* candidate_facts, size_t num_candidate_facts,
+    whyprov_tree_class tree_class, double deadline_seconds, int qos_class,
+    const char* tenant, whyprov_ticket** out_ticket) {
   if (service == nullptr || target == nullptr || out_ticket == nullptr ||
       (num_candidate_facts > 0 && candidate_facts == nullptr)) {
     return WHYPROV_INVALID_ARGUMENT;
@@ -333,6 +398,41 @@ whyprov_status whyprov_submit_decide(whyprov_service* service,
     }
   }
   wp::Request request;
+  if (!StampQos(qos_class, tenant, request)) return WHYPROV_INVALID_ARGUMENT;
+  request.op = std::move(op);
+  request.deadline_seconds = deadline_seconds;
+  return FinishSubmit(service, std::move(request), nullptr, out_ticket);
+}
+
+whyprov_status whyprov_submit_decide(whyprov_service* service,
+                                     const char* target,
+                                     const char* const* candidate_facts,
+                                     size_t num_candidate_facts,
+                                     whyprov_tree_class tree_class,
+                                     double deadline_seconds,
+                                     whyprov_ticket** out_ticket) {
+  return whyprov_submit_decide_qos(service, target, candidate_facts,
+                                   num_candidate_facts, tree_class,
+                                   deadline_seconds,
+                                   WHYPROV_QOS_INTERACTIVE, nullptr,
+                                   out_ticket);
+}
+
+whyprov_status whyprov_submit_explain_qos(whyprov_service* service,
+                                          const char* target,
+                                          uint64_t member_index,
+                                          double deadline_seconds,
+                                          int qos_class, const char* tenant,
+                                          whyprov_ticket** out_ticket) {
+  if (service == nullptr || target == nullptr || out_ticket == nullptr) {
+    return WHYPROV_INVALID_ARGUMENT;
+  }
+  *out_ticket = nullptr;
+  wp::ExplainRequest op;
+  op.target_text = target;
+  op.member_index = static_cast<std::size_t>(member_index);
+  wp::Request request;
+  if (!StampQos(qos_class, tenant, request)) return WHYPROV_INVALID_ARGUMENT;
   request.op = std::move(op);
   request.deadline_seconds = deadline_seconds;
   return FinishSubmit(service, std::move(request), nullptr, out_ticket);
@@ -343,26 +443,17 @@ whyprov_status whyprov_submit_explain(whyprov_service* service,
                                       uint64_t member_index,
                                       double deadline_seconds,
                                       whyprov_ticket** out_ticket) {
-  if (service == nullptr || target == nullptr || out_ticket == nullptr) {
-    return WHYPROV_INVALID_ARGUMENT;
-  }
-  *out_ticket = nullptr;
-  wp::ExplainRequest op;
-  op.target_text = target;
-  op.member_index = static_cast<std::size_t>(member_index);
-  wp::Request request;
-  request.op = std::move(op);
-  request.deadline_seconds = deadline_seconds;
-  return FinishSubmit(service, std::move(request), nullptr, out_ticket);
+  return whyprov_submit_explain_qos(service, target, member_index,
+                                    deadline_seconds,
+                                    WHYPROV_QOS_INTERACTIVE, nullptr,
+                                    out_ticket);
 }
 
-whyprov_status whyprov_submit_delta(whyprov_service* service,
-                                    const char* const* added_facts,
-                                    size_t num_added,
-                                    const char* const* removed_facts,
-                                    size_t num_removed,
-                                    double deadline_seconds,
-                                    whyprov_ticket** out_ticket) {
+whyprov_status whyprov_submit_delta_qos(
+    whyprov_service* service, const char* const* added_facts,
+    size_t num_added, const char* const* removed_facts, size_t num_removed,
+    double deadline_seconds, int qos_class, const char* tenant,
+    whyprov_ticket** out_ticket) {
   if (service == nullptr || out_ticket == nullptr ||
       (num_added > 0 && added_facts == nullptr) ||
       (num_removed > 0 && removed_facts == nullptr)) {
@@ -381,9 +472,24 @@ whyprov_status whyprov_submit_delta(whyprov_service* service,
     op.removed_fact_texts.emplace_back(removed_facts[i]);
   }
   wp::Request request;
+  if (!StampQos(qos_class, tenant, request)) return WHYPROV_INVALID_ARGUMENT;
   request.op = std::move(op);
   request.deadline_seconds = deadline_seconds;
   return FinishSubmit(service, std::move(request), nullptr, out_ticket);
+}
+
+whyprov_status whyprov_submit_delta(whyprov_service* service,
+                                    const char* const* added_facts,
+                                    size_t num_added,
+                                    const char* const* removed_facts,
+                                    size_t num_removed,
+                                    double deadline_seconds,
+                                    whyprov_ticket** out_ticket) {
+  return whyprov_submit_delta_qos(service, added_facts, num_added,
+                                  removed_facts, num_removed,
+                                  deadline_seconds,
+                                  WHYPROV_QOS_INTERACTIVE, nullptr,
+                                  out_ticket);
 }
 
 int whyprov_ticket_done(const whyprov_ticket* ticket) {

@@ -55,6 +55,14 @@ typedef enum whyprov_tree_class {
   WHYPROV_TREE_UNAMBIGUOUS = 3
 } whyprov_tree_class;
 
+/* Mirrors whyprov::qos::QosClass value for value (static_asserted in
+ * whyprov_c.cc). Interactive is the default class everywhere; batch
+ * yields to interactive traffic (with starvation protection). */
+typedef enum whyprov_qos_class {
+  WHYPROV_QOS_INTERACTIVE = 0,
+  WHYPROV_QOS_BATCH = 1
+} whyprov_qos_class;
+
 /* Flags reported by whyprov_ticket_enumerate_flags. */
 #define WHYPROV_ENUM_EXHAUSTED 0x1u      /* full family emitted */
 #define WHYPROV_ENUM_INCOMPLETE 0x2u     /* backend gave up (kUnknown) */
@@ -83,6 +91,19 @@ typedef struct whyprov_options {
   const char* data_dir;
   int wal_fsync;             /* 1 = fsync the WAL on every append */
   size_t checkpoint_interval; /* deltas between checkpoints; 0 = default (32) */
+  /* Multi-tenant QoS (appended fields — zero-initialised means "QoS on
+   * with defaults", which behaves exactly like the pre-QoS FIFO for
+   * default-class requests). */
+  int qos_disable;           /* 1 = plain FIFO scheduling, no fair queueing */
+  double qos_quantum;        /* deficit round-robin quantum; 0 = default (16) */
+  size_t qos_batch_escape;   /* consecutive interactive pops before one
+                              * queued batch task is served; 0 = default (8) */
+  double qos_tenant_cost_budget; /* outstanding-cost cap per tenant;
+                                  * 0 = unlimited */
+  double qos_refill_per_second;  /* admission token-bucket refill rate in
+                                  * cost units/s per tenant; 0 = unlimited */
+  double qos_burst;          /* token-bucket depth; 0 = one second of refill */
+  int wal_group_commit;      /* 1 = coalesce WAL fsyncs across queued deltas */
 } whyprov_options;
 
 void whyprov_options_init(whyprov_options* options);
@@ -133,6 +154,30 @@ typedef struct whyprov_stats {
 
 void whyprov_service_stats(const whyprov_service* service,
                            whyprov_stats* out_stats);
+
+/* One per-tenant/per-lane observability row (see whyprov::qos::
+ * TenantStats). Tenant names longer than the buffer are truncated with a
+ * NUL kept. */
+typedef struct whyprov_tenant_stats {
+  char tenant[64];           /* "" is the shared default tenant */
+  int qos_class;             /* whyprov_qos_class of this row */
+  uint64_t queued;           /* admitted, not yet completed */
+  uint64_t served;           /* completed without cancellation */
+  uint64_t rejected;         /* refused by admission (queue or budget) */
+  uint64_t cancelled;        /* completed cancelled / past deadline */
+  double cost_served;        /* summed estimated cost of served requests */
+  double queue_p50_seconds;  /* median queue wait (recent window) */
+  double queue_p99_seconds;  /* tail queue wait (recent window) */
+} whyprov_tenant_stats;
+
+/* Copies up to `capacity` per-tenant rows (sorted by tenant, then lane)
+ * into `out_rows` and returns the TOTAL number of rows available — call
+ * with capacity 0 to size a buffer, or with a fixed buffer and treat the
+ * return value as the row count when it fits. One registry snapshot per
+ * call. */
+size_t whyprov_service_tenant_stats(const whyprov_service* service,
+                                    whyprov_tenant_stats* out_rows,
+                                    size_t capacity);
 
 /* --- submission --------------------------------------------------------
  *
@@ -186,6 +231,39 @@ whyprov_status whyprov_submit_delta(whyprov_service* service,
                                     size_t num_removed,
                                     double deadline_seconds,
                                     whyprov_ticket** out_ticket);
+
+/* --- QoS submission variants --------------------------------------------
+ *
+ * Each mirrors its base submit with an explicit QoS identity: the lane
+ * (`qos_class`, one of whyprov_qos_class — anything else is
+ * WHYPROV_INVALID_ARGUMENT) and the tenant name (`tenant`; NULL or ""
+ * is the shared default tenant). The base submits are exactly the
+ * `_qos` variants with (WHYPROV_QOS_INTERACTIVE, NULL).
+ */
+
+whyprov_status whyprov_submit_enumerate_qos(
+    whyprov_service* service, const char* target, uint64_t max_members,
+    double deadline_seconds, size_t stream_capacity, int qos_class,
+    const char* tenant, whyprov_ticket** out_ticket);
+
+whyprov_status whyprov_submit_decide_qos(
+    whyprov_service* service, const char* target,
+    const char* const* candidate_facts, size_t num_candidate_facts,
+    whyprov_tree_class tree_class, double deadline_seconds, int qos_class,
+    const char* tenant, whyprov_ticket** out_ticket);
+
+whyprov_status whyprov_submit_explain_qos(whyprov_service* service,
+                                          const char* target,
+                                          uint64_t member_index,
+                                          double deadline_seconds,
+                                          int qos_class, const char* tenant,
+                                          whyprov_ticket** out_ticket);
+
+whyprov_status whyprov_submit_delta_qos(
+    whyprov_service* service, const char* const* added_facts,
+    size_t num_added, const char* const* removed_facts, size_t num_removed,
+    double deadline_seconds, int qos_class, const char* tenant,
+    whyprov_ticket** out_ticket);
 
 /* --- ticket lifecycle -------------------------------------------------- */
 

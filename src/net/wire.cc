@@ -67,6 +67,31 @@ util::Status ReadFrame(util::Socket& socket, std::uint8_t* type,
 
 // --- encode ----------------------------------------------------------------
 
+namespace {
+
+/// The appended QoS identity tail every request frame carries (see the
+/// compatibility appendix: fields are only ever appended).
+void PutQosTail(WireWriter& writer, std::uint8_t qos_class,
+                const std::string& tenant) {
+  writer.PutU8(qos_class);
+  writer.PutString(tenant);
+}
+
+/// Reads the appended QoS identity if present; a frame ending at the
+/// pre-QoS boundary keeps the defaults. A present-but-invalid class
+/// poisons the decode through the canonicality check below.
+bool GetQosTail(WireReader& reader, std::uint8_t* qos_class,
+                std::string* tenant) {
+  if (reader.exhausted()) return true;  // pre-QoS frame: defaults hold
+  if (!reader.GetU8(qos_class)) return false;
+  if (!reader.GetString(tenant)) return false;
+  // The encoder only ever writes 0 or 1 (mirrors whyprov_qos_class);
+  // anything else is a protocol violation, not a future lane.
+  return *qos_class <= WHYPROV_QOS_BATCH;
+}
+
+}  // namespace
+
 std::string Encode(const EnumerateFrame& frame) {
   WireWriter writer;
   writer.PutU64(frame.request_id);
@@ -75,6 +100,7 @@ std::string Encode(const EnumerateFrame& frame) {
   writer.PutF64(frame.deadline_seconds);
   writer.PutU8(frame.stream);
   writer.PutU32(frame.batch_size);
+  PutQosTail(writer, frame.qos_class, frame.tenant);
   return writer.Take();
 }
 
@@ -85,6 +111,7 @@ std::string Encode(const DecideFrame& frame) {
   writer.PutU8(frame.tree_class);
   writer.PutStringList(frame.candidate_facts);
   writer.PutF64(frame.deadline_seconds);
+  PutQosTail(writer, frame.qos_class, frame.tenant);
   return writer.Take();
 }
 
@@ -94,6 +121,7 @@ std::string Encode(const ExplainFrame& frame) {
   writer.PutString(frame.target);
   writer.PutU64(frame.member_index);
   writer.PutF64(frame.deadline_seconds);
+  PutQosTail(writer, frame.qos_class, frame.tenant);
   return writer.Take();
 }
 
@@ -103,6 +131,7 @@ std::string Encode(const DeltaFrame& frame) {
   writer.PutStringList(frame.added_facts);
   writer.PutStringList(frame.removed_facts);
   writer.PutF64(frame.deadline_seconds);
+  PutQosTail(writer, frame.qos_class, frame.tenant);
   return writer.Take();
 }
 
@@ -218,6 +247,19 @@ std::string Encode(const StatsReplyFrame& frame) {
   writer.PutU64(frame.stats.wal_bytes);
   writer.PutU64(frame.stats.checkpoints_written);
   writer.PutU64(frame.stats.recovery_replayed_deltas);
+  // Appended per-tenant section (u32 count + rows).
+  writer.PutU32(static_cast<std::uint32_t>(frame.tenants.size()));
+  for (const WireTenantStats& row : frame.tenants) {
+    writer.PutString(row.tenant);
+    writer.PutU8(row.qos_class);
+    writer.PutU64(row.queued);
+    writer.PutU64(row.served);
+    writer.PutU64(row.rejected);
+    writer.PutU64(row.cancelled);
+    writer.PutF64(row.cost_served);
+    writer.PutF64(row.queue_p50_seconds);
+    writer.PutF64(row.queue_p99_seconds);
+  }
   return writer.Take();
 }
 
@@ -251,6 +293,9 @@ util::Result<EnumerateFrame> DecodeEnumerate(std::string_view body) {
   reader.GetF64(&frame.deadline_seconds);
   reader.GetU8(&frame.stream);
   reader.GetU32(&frame.batch_size);
+  if (!GetQosTail(reader, &frame.qos_class, &frame.tenant)) {
+    return Malformed("non-canonical qos identity tail");
+  }
   return FinishDecode(reader, std::move(frame), "enumerate");
 }
 
@@ -262,6 +307,9 @@ util::Result<DecideFrame> DecodeDecide(std::string_view body) {
   reader.GetU8(&frame.tree_class);
   reader.GetStringList(&frame.candidate_facts);
   reader.GetF64(&frame.deadline_seconds);
+  if (!GetQosTail(reader, &frame.qos_class, &frame.tenant)) {
+    return Malformed("non-canonical qos identity tail");
+  }
   return FinishDecode(reader, std::move(frame), "decide");
 }
 
@@ -272,6 +320,9 @@ util::Result<ExplainFrame> DecodeExplain(std::string_view body) {
   reader.GetString(&frame.target);
   reader.GetU64(&frame.member_index);
   reader.GetF64(&frame.deadline_seconds);
+  if (!GetQosTail(reader, &frame.qos_class, &frame.tenant)) {
+    return Malformed("non-canonical qos identity tail");
+  }
   return FinishDecode(reader, std::move(frame), "explain");
 }
 
@@ -282,6 +333,9 @@ util::Result<DeltaFrame> DecodeDelta(std::string_view body) {
   reader.GetStringList(&frame.added_facts);
   reader.GetStringList(&frame.removed_facts);
   reader.GetF64(&frame.deadline_seconds);
+  if (!GetQosTail(reader, &frame.qos_class, &frame.tenant)) {
+    return Malformed("non-canonical qos identity tail");
+  }
   return FinishDecode(reader, std::move(frame), "delta");
 }
 
@@ -399,6 +453,29 @@ util::Result<StatsReplyFrame> DecodeStatsReply(std::string_view body) {
   reader.GetU64(&frame.stats.wal_bytes);
   reader.GetU64(&frame.stats.checkpoints_written);
   reader.GetU64(&frame.stats.recovery_replayed_deltas);
+  // Appended per-tenant section; a frame ending at the pre-QoS boundary
+  // decodes with no rows.
+  if (!reader.exhausted()) {
+    std::uint32_t count = 0;
+    if (reader.GetU32(&count)) {
+      for (std::uint32_t i = 0; i < count && reader.ok(); ++i) {
+        WireTenantStats row;
+        reader.GetString(&row.tenant);
+        reader.GetU8(&row.qos_class);
+        if (row.qos_class > WHYPROV_QOS_BATCH) {
+          return Malformed("non-canonical tenant stats lane");
+        }
+        reader.GetU64(&row.queued);
+        reader.GetU64(&row.served);
+        reader.GetU64(&row.rejected);
+        reader.GetU64(&row.cancelled);
+        reader.GetF64(&row.cost_served);
+        reader.GetF64(&row.queue_p50_seconds);
+        reader.GetF64(&row.queue_p99_seconds);
+        frame.tenants.push_back(std::move(row));
+      }
+    }
+  }
   return FinishDecode(reader, std::move(frame), "stats reply");
 }
 

@@ -82,6 +82,13 @@ util::Status ReadFrame(util::Socket& socket, std::uint8_t* type,
 
 // --- request frames --------------------------------------------------------
 
+// Every request frame ends with the appended QoS identity fields
+// (compatibility appendix of docs/WIRE_PROTOCOL.md: fields are only ever
+// appended): `qos_class` u8 (0 interactive / 1 batch; anything else is
+// malformed) then `tenant` string ("" = the shared default tenant). A
+// frame that ends before them decodes with the defaults, so pre-QoS
+// clients keep working unchanged.
+
 struct EnumerateFrame {
   std::uint64_t request_id = 0;
   std::string target;
@@ -89,6 +96,8 @@ struct EnumerateFrame {
   double deadline_seconds = 0;    ///< <= 0 = none; server maps to token
   std::uint8_t stream = 0;        ///< 1 = member-batch frames, 0 = in final
   std::uint32_t batch_size = 0;   ///< members per kFrameMembers; 0 = default
+  std::uint8_t qos_class = WHYPROV_QOS_INTERACTIVE;  ///< appended
+  std::string tenant;                                ///< appended
 };
 
 struct DecideFrame {
@@ -97,6 +106,8 @@ struct DecideFrame {
   std::uint8_t tree_class = WHYPROV_TREE_UNAMBIGUOUS;
   std::vector<std::string> candidate_facts;
   double deadline_seconds = 0;
+  std::uint8_t qos_class = WHYPROV_QOS_INTERACTIVE;  ///< appended
+  std::string tenant;                                ///< appended
 };
 
 struct ExplainFrame {
@@ -104,6 +115,8 @@ struct ExplainFrame {
   std::string target;
   std::uint64_t member_index = 0;
   double deadline_seconds = 0;
+  std::uint8_t qos_class = WHYPROV_QOS_INTERACTIVE;  ///< appended
+  std::string tenant;                                ///< appended
 };
 
 struct DeltaFrame {
@@ -111,6 +124,8 @@ struct DeltaFrame {
   std::vector<std::string> added_facts;
   std::vector<std::string> removed_facts;
   double deadline_seconds = 0;
+  std::uint8_t qos_class = WHYPROV_QOS_INTERACTIVE;  ///< appended
+  std::string tenant;                                ///< appended
 };
 
 struct StatsFrame {
@@ -160,9 +175,25 @@ struct ErrorFrame {
   std::string message;
 };
 
+/// One per-tenant/per-lane stats row of the appended StatsReply section
+/// (mirrors whyprov_tenant_stats without the fixed-size name buffer).
+struct WireTenantStats {
+  std::string tenant;
+  std::uint8_t qos_class = WHYPROV_QOS_INTERACTIVE;
+  std::uint64_t queued = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  double cost_served = 0;
+  double queue_p50_seconds = 0;
+  double queue_p99_seconds = 0;
+};
+
 struct StatsReplyFrame {
   std::uint64_t request_id = 0;
   whyprov_stats stats = {};
+  /// Appended section (u32 count + rows); absent in pre-QoS frames.
+  std::vector<WireTenantStats> tenants;
 };
 
 // --- encode/decode (exactly symmetric per kind) ----------------------------

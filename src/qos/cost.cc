@@ -1,0 +1,107 @@
+#include "qos/cost.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace whyprov::qos {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double CostEstimator::Query(const CostSignals& signals) {
+  if (signals.plan_cached) {
+    // Execution replays the compiled CNF into a fresh solver; the
+    // search itself scales with the formula, but compilation — the
+    // dominant term — is already paid.
+    return kMinCost +
+           static_cast<double>(signals.cnf_clauses) / 4096.0;
+  }
+  if (signals.closure_facts > 0 || signals.cnf_clauses > 0) {
+    return kMinCost +
+           static_cast<double>(signals.closure_facts) / 256.0 +
+           static_cast<double>(signals.cnf_clauses) / 512.0 +
+           static_cast<double>(signals.cnf_variables) / 1024.0;
+  }
+  // Nothing target-specific is known (unresolved target, cold cache):
+  // price by database size, the upper bound on the closure.
+  return kMinCost + static_cast<double>(signals.database_facts) / 512.0;
+}
+
+double CostEstimator::Delta(const CostSignals& signals) {
+  // A delta re-derives through the affected stratum and invalidates
+  // plans; the touched-fact count scales the risk, the database size
+  // bounds it.
+  return 2.0 * kMinCost +
+         static_cast<double>(signals.delta_facts) * 0.5 +
+         static_cast<double>(signals.database_facts) / 1024.0;
+}
+
+AdmissionController::AdmissionController(const QosOptions& options)
+    : budget_(options.tenant_cost_budget),
+      refill_per_second_(options.refill_per_second),
+      burst_(options.burst > 0 ? options.burst
+                               : options.refill_per_second) {}
+
+util::Status AdmissionController::Admit(const std::string& tenant,
+                                        double cost) {
+  return AdmitAt(tenant, cost, MonotonicSeconds());
+}
+
+util::Status AdmissionController::AdmitAt(const std::string& tenant,
+                                          double cost,
+                                          double now_seconds) {
+  if (unlimited()) return util::Status::Ok();
+  const double charge = std::max(0.0, cost);
+  const util::MutexLock lock(mutex_);
+  Bucket& bucket = buckets_[tenant];
+  if (budget_ > 0 && bucket.outstanding + charge > budget_) {
+    return util::Status::ResourceExhausted(
+        "tenant '" + tenant + "' exceeds its outstanding cost budget (" +
+        std::to_string(budget_) + " units)");
+  }
+  if (refill_per_second_ > 0) {
+    if (!bucket.primed) {
+      bucket.tokens = burst_;
+      bucket.last_refill_seconds = now_seconds;
+      bucket.primed = true;
+    } else if (now_seconds > bucket.last_refill_seconds) {
+      bucket.tokens = std::min(
+          burst_, bucket.tokens + (now_seconds -
+                                   bucket.last_refill_seconds) *
+                                      refill_per_second_);
+      bucket.last_refill_seconds = now_seconds;
+    }
+    if (bucket.tokens < charge) {
+      return util::Status::ResourceExhausted(
+          "tenant '" + tenant + "' exceeds its admission rate (" +
+          std::to_string(refill_per_second_) + " cost units/s)");
+    }
+    bucket.tokens -= charge;
+  }
+  bucket.outstanding += charge;
+  return util::Status::Ok();
+}
+
+void AdmissionController::Release(const std::string& tenant, double cost) {
+  if (unlimited()) return;
+  const util::MutexLock lock(mutex_);
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) return;
+  it->second.outstanding =
+      std::max(0.0, it->second.outstanding - std::max(0.0, cost));
+}
+
+double AdmissionController::Outstanding(const std::string& tenant) const {
+  const util::MutexLock lock(mutex_);
+  const auto it = buckets_.find(tenant);
+  return it == buckets_.end() ? 0 : it->second.outstanding;
+}
+
+}  // namespace whyprov::qos

@@ -1,0 +1,83 @@
+#ifndef WHYPROV_QOS_TENANT_REGISTRY_H_
+#define WHYPROV_QOS_TENANT_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qos/qos.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace whyprov::qos {
+
+/// One per-tenant/per-lane observability row, as surfaced in
+/// ServiceStats::tenants, the C ABI (`whyprov_tenant_stats`), and the
+/// appended per-tenant section of the STATS wire reply.
+struct TenantStats {
+  std::string tenant;  ///< "" is the default tenant
+  QosClass lane = QosClass::kInteractive;
+  std::uint64_t queued = 0;     ///< admitted, not yet completed
+  std::uint64_t served = 0;     ///< completed (any terminal status but cancel)
+  std::uint64_t rejected = 0;   ///< refused at admission
+  std::uint64_t cancelled = 0;  ///< cancelled or deadline-exceeded
+  double cost_served = 0;       ///< estimated cost of served requests
+  double queue_p50_seconds = 0;  ///< median queue wait (sampled)
+  double queue_p99_seconds = 0;  ///< p99 queue wait (sampled)
+};
+
+/// Exact per-(tenant, lane) serving counters plus a bounded ring of
+/// queue-wait samples for the latency percentiles. One registry is
+/// shared by every shard of a serving stack so the rows are exact
+/// across the shared pool; all state sits behind one annotated mutex
+/// (the touch per request is a handful of increments).
+class TenantRegistry {
+ public:
+  /// A request was admitted and queued.
+  void RecordQueued(const std::string& tenant, QosClass lane)
+      EXCLUDES(mutex_);
+
+  /// A request was refused at admission (never queued).
+  void RecordRejected(const std::string& tenant, QosClass lane)
+      EXCLUDES(mutex_);
+
+  /// An admitted request reached its terminal state. `cancelled` covers
+  /// cancellation and deadline expiry; everything else counts as
+  /// served. `queue_seconds` feeds the wait-percentile ring.
+  void RecordCompleted(const std::string& tenant, QosClass lane,
+                       bool cancelled, double cost, double queue_seconds)
+      EXCLUDES(mutex_);
+
+  /// Snapshot of every row, sorted by (tenant, lane) for deterministic
+  /// output; percentiles are computed over the current sample rings.
+  std::vector<TenantStats> Snapshot() const EXCLUDES(mutex_);
+
+ private:
+  /// Queue-wait samples kept per row; enough for a stable p99 while
+  /// bounding memory per tenant.
+  static constexpr std::size_t kSampleCapacity = 512;
+
+  struct Row {
+    std::uint64_t queued = 0;
+    std::uint64_t served = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t cancelled = 0;
+    double cost_served = 0;
+    std::vector<double> waits;  ///< ring buffer, capacity kSampleCapacity
+    std::size_t next_wait = 0;
+  };
+
+  Row& RowFor(const std::string& tenant, QosClass lane) REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  /// std::map for the sorted snapshot order.
+  std::map<std::string, std::array<Row, kNumLanes>> rows_
+      GUARDED_BY(mutex_);
+};
+
+}  // namespace whyprov::qos
+
+#endif  // WHYPROV_QOS_TENANT_REGISTRY_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <string>
 
+#include "qos/scheduler.h"
 #include "service/serving_internal.h"
 #include "storage/durable_store.h"
 #include "util/timer.h"
@@ -153,20 +154,48 @@ bool Ticket::WaitFor(double seconds) const {
 
 // --- Service -------------------------------------------------------------
 
+namespace {
+
+/// The worker pool of an executor-owning service: the configured fair
+/// scheduler as the queue discipline, or the plain FIFO when QoS fair
+/// queueing is disabled.
+std::shared_ptr<util::Executor> MakeServiceExecutor(
+    const ServiceOptions& options) {
+  util::Executor::Options exec;
+  exec.num_threads = options.num_threads;
+  exec.queue_capacity = options.queue_capacity == 0 ? 1
+                                                    : options.queue_capacity;
+  if (options.qos.fair_queueing) {
+    exec.queue = std::make_shared<qos::FairScheduler>(options.qos);
+  }
+  return std::make_shared<util::Executor>(std::move(exec));
+}
+
+}  // namespace
+
 Service::Service(Engine engine, ServiceOptions options)
     : engine_(std::move(engine)),
       options_(options),
+      tenants_(std::make_shared<qos::TenantRegistry>()),
+      admission_(std::make_shared<qos::AdmissionController>(options.qos)),
       owns_executor_(true),
-      executor_(std::make_shared<util::Executor>(util::Executor::Options{
-          options.num_threads,
-          options.queue_capacity == 0 ? 1 : options.queue_capacity})) {
+      executor_(MakeServiceExecutor(options)) {
   OpenDurability();
 }
 
 Service::Service(Engine engine, std::shared_ptr<util::Executor> executor,
-                 ServiceOptions options)
+                 ServiceOptions options,
+                 std::shared_ptr<qos::TenantRegistry> tenants,
+                 std::shared_ptr<qos::AdmissionController> admission)
     : engine_(std::move(engine)),
       options_(options),
+      tenants_(tenants != nullptr
+                   ? std::move(tenants)
+                   : std::make_shared<qos::TenantRegistry>()),
+      admission_(admission != nullptr
+                     ? std::move(admission)
+                     : std::make_shared<qos::AdmissionController>(
+                           options.qos)),
       owns_executor_(false),
       executor_(std::move(executor)) {
   OpenDurability();
@@ -178,6 +207,7 @@ void Service::OpenDurability() {
   storage::DurabilityOptions durability;
   durability.data_dir = engine_options.data_dir;
   durability.wal_fsync = engine_options.wal_fsync;
+  durability.wal_group_commit = engine_options.wal_group_commit;
   durability.checkpoint_interval = engine_options.checkpoint_interval;
   util::Result<std::unique_ptr<storage::DurableStore>> opened =
       storage::DurableStore::Open(durability);
@@ -186,6 +216,8 @@ void Service::OpenDurability() {
     return;
   }
   store_ = std::move(opened).value();
+  wal_group_commit_ =
+      engine_options.wal_fsync && engine_options.wal_group_commit;
 
   // Recovery: restore the checkpoint when one decodes against this
   // stack's parsed program/database, then replay the WAL tail through
@@ -241,6 +273,23 @@ util::Result<Ticket> Service::Submit(Request request,
   // exactly like a client-side deadline would.
   if (deadline > 0) state->cancel.SetTimeout(deadline);
 
+  // QoS: price the request, then run cost-based admission before it can
+  // occupy a queue slot. The charge is refunded exactly once, in Finish
+  // (cancellation included — refund-on-cancel is the same path).
+  const qos::QosClass lane = state->request.qos_class;
+  const std::string& tenant = state->request.tenant;
+  state->estimated_cost = EstimateCost(state->request);
+  if (util::Status priced =
+          admission_->Admit(tenant, state->estimated_cost);
+      !priced.ok()) {
+    {
+      const util::MutexLock lock(stats_mutex_);
+      ++stats_.rejected;
+    }
+    tenants_->RecordRejected(tenant, lane);
+    return priced;
+  }
+
   // Count the submission (and stamp the id) before the task can run, so
   // no observer ever sees completed > submitted; roll back on rejection.
   {
@@ -252,28 +301,86 @@ util::Result<Ticket> Service::Submit(Request request,
     const util::MutexLock lock(outstanding_mutex_);
     ++outstanding_;
   }
+  // Counted before the task can run: its Finish may be the burst
+  // boundary that flushes the coalesced WAL fsync.
+  const bool group_commit_delta =
+      wal_group_commit_ && si::KindOf(state->request) == RequestKind::kApplyDelta;
+  if (group_commit_delta) {
+    delta_backlog_.fetch_add(1, std::memory_order_relaxed);
+  }
+  util::TaskTag tag;
+  tag.lane = static_cast<std::uint8_t>(lane);
+  tag.tenant = tenant;
+  tag.shard = options_.qos_shard;
+  tag.cost = state->estimated_cost;
   // The notify happens under the mutex: with it outside, the destructor
   // could observe outstanding_ == 0 between a worker's unlock and its
   // notify_all and free the condition variable the worker is about to
   // signal.
-  const util::Status admitted = executor_->TrySubmit([this, state] {
-    Execute(state);
-    const util::MutexLock lock(outstanding_mutex_);
-    --outstanding_;
-    outstanding_cv_.NotifyAll();
-  });
+  const util::Status admitted = executor_->TrySubmit(
+      [this, state] {
+        Execute(state);
+        const util::MutexLock lock(outstanding_mutex_);
+        --outstanding_;
+        outstanding_cv_.NotifyAll();
+      },
+      tag);
   if (!admitted.ok()) {
     {
       const util::MutexLock lock(stats_mutex_);
       --stats_.submitted;
       ++stats_.rejected;
     }
-    const util::MutexLock lock(outstanding_mutex_);
-    --outstanding_;
-    outstanding_cv_.NotifyAll();
+    {
+      const util::MutexLock lock(outstanding_mutex_);
+      --outstanding_;
+      outstanding_cv_.NotifyAll();
+    }
+    if (group_commit_delta) {
+      delta_backlog_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    admission_->Release(tenant, state->estimated_cost);
+    tenants_->RecordRejected(tenant, lane);
     return admitted;
   }
+  tenants_->RecordQueued(tenant, lane);
   return Ticket(state);
+}
+
+double Service::EstimateCost(const Request& request) const {
+  qos::CostSignals signals;
+  if (si::KindOf(request) == RequestKind::kApplyDelta) {
+    const DeltaRequest& delta = std::get<DeltaRequest>(request.op);
+    signals.delta_facts =
+        delta.added_facts.size() + delta.added_fact_texts.size() +
+        delta.removed_facts.size() + delta.removed_fact_texts.size();
+    signals.database_facts = engine_.database().facts().size();
+    return qos::CostEstimator::Delta(signals);
+  }
+  PlanCostPeek peek;
+  switch (request.op.index()) {
+    case 0: {
+      const EnumerateRequest& op = std::get<EnumerateRequest>(request.op);
+      peek = engine_.PeekPlanCost(op.target, op.target_text, op.acyclicity);
+      break;
+    }
+    case 1: {
+      const DecideRequest& op = std::get<DecideRequest>(request.op);
+      peek = engine_.PeekPlanCost(op.target, op.target_text, op.acyclicity);
+      break;
+    }
+    default: {
+      const ExplainRequest& op = std::get<ExplainRequest>(request.op);
+      peek = engine_.PeekPlanCost(op.target, op.target_text, op.acyclicity);
+      break;
+    }
+  }
+  signals.plan_cached = peek.plan_cached;
+  signals.closure_facts = peek.closure_facts;
+  signals.cnf_clauses = peek.cnf_clauses;
+  signals.cnf_variables = peek.cnf_variables;
+  signals.database_facts = peek.database_facts;
+  return qos::CostEstimator::Query(signals);
 }
 
 util::Result<PreparedQuery> Service::PrepareFor(
@@ -503,6 +610,23 @@ void Service::MaybeCheckpoint() {
 
 void Service::Finish(const std::shared_ptr<Ticket::State>& state,
                      Response response) {
+  // The single release point for the admission charge: success, failure,
+  // and cancellation all pass through here exactly once, so a cancelled
+  // request's budget is refunded the moment its ticket goes terminal.
+  admission_->Release(state->request.tenant, state->estimated_cost);
+  const bool cancelled =
+      response.status.code() == util::StatusCode::kCancelled ||
+      response.status.code() == util::StatusCode::kDeadlineExceeded;
+  tenants_->RecordCompleted(state->request.tenant, state->request.qos_class,
+                            cancelled, state->estimated_cost,
+                            response.queue_seconds);
+  // Group commit: the delta that empties the backlog closes the burst
+  // and flushes the one coalesced fsync covering all of it.
+  if (wal_group_commit_ &&
+      si::KindOf(state->request) == RequestKind::kApplyDelta &&
+      delta_backlog_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    (void)store_->SyncWal();
+  }
   {
     const util::MutexLock lock(stats_mutex_);
     si::CountOutcome(response, stats_);
@@ -522,6 +646,7 @@ ServiceStats Service::stats() const {
     snapshot.in_flight =
         static_cast<std::size_t>(started_ - stats_.completed);
   }
+  snapshot.tenants = tenants_->Snapshot();
   snapshot.model_version = engine_.model_version();
   if (store_ != nullptr) {
     const storage::DurabilityCounters durability = store_->counters();

@@ -1,6 +1,7 @@
 #ifndef WHYPROV_SERVICE_SERVICE_H_
 #define WHYPROV_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -11,6 +12,9 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "qos/cost.h"
+#include "qos/qos.h"
+#include "qos/tenant_registry.h"
 #include "util/cancellation.h"
 #include "util/executor.h"
 #include "util/mutex.h"
@@ -41,6 +45,12 @@ struct Request {
   /// the request sits in line). <= 0 means no deadline (the service's
   /// `default_deadline_seconds` may still apply).
   double deadline_seconds = 0;
+  /// QoS identity (multi-tenant serving). The defaults — interactive
+  /// lane, the "" tenant — are what every pre-QoS caller implicitly
+  /// sent, and requests carrying them are scheduled exactly like the
+  /// old FIFO (architecture invariant 6).
+  qos::QosClass qos_class = qos::QosClass::kInteractive;
+  std::string tenant;
 };
 
 /// Outcome of one submitted request, delivered through its `Ticket`.
@@ -239,6 +249,14 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;
   /// Deadline applied to requests that carry none (<= 0 = none).
   double default_deadline_seconds = 0;
+  /// Multi-tenant QoS policy: scheduling lanes/weights and cost-based
+  /// admission. The default is fair queueing with no per-tenant limits,
+  /// under which default-class traffic behaves exactly like the pre-QoS
+  /// FIFO.
+  qos::QosOptions qos;
+  /// The shard this service serves inside a ShardedService pool — the
+  /// scheduler's shard-fairness key. Single-engine services leave it 0.
+  std::size_t qos_shard = 0;
 };
 
 /// One shard's row inside a sharded service's `ServiceStats` — the
@@ -302,6 +320,10 @@ struct ServiceStats {
   /// WAL-tail records replayed during recovery at construction.
   std::uint64_t recovery_replayed_deltas = 0;
   std::vector<ShardStats> shards;
+  /// Multi-tenant QoS: one row per (tenant, lane) that ever submitted,
+  /// sorted by tenant then lane. Exact across shards (the registry is
+  /// shared by the whole serving stack).
+  std::vector<qos::TenantStats> tenants;
 };
 
 /// The serving front door over a `whyprov::Engine`: submission-based,
@@ -341,9 +363,13 @@ class Service {
   /// the queue/worker-pool/deadline plumbing per shard. The caller must
   /// keep the executor alive and drained past this service's destruction
   /// (the destructor waits for this service's own requests, then leaves
-  /// the pool running).
+  /// the pool running). `tenants`/`admission` (optional) share one
+  /// registry and one admission controller across every service on the
+  /// pool, like the parse mutex — null creates private ones.
   Service(Engine engine, std::shared_ptr<util::Executor> executor,
-          ServiceOptions options = ServiceOptions());
+          ServiceOptions options = ServiceOptions(),
+          std::shared_ptr<qos::TenantRegistry> tenants = nullptr,
+          std::shared_ptr<qos::AdmissionController> admission = nullptr);
 
   ~Service();
 
@@ -416,6 +442,11 @@ class Service {
   /// (caller holds the store's order mutex).
   void MaybeCheckpoint();
 
+  /// Prices `request` for scheduling and admission: queries peek the
+  /// plan cache (a cached plan prices near the floor), deltas price by
+  /// touched facts. Never compiles anything.
+  double EstimateCost(const Request& request) const;
+
   void Execute(const std::shared_ptr<Ticket::State>& state);
   void Finish(const std::shared_ptr<Ticket::State>& state,
               Response response);
@@ -435,6 +466,13 @@ class Service {
   /// never outlive it.
   std::unique_ptr<storage::DurableStore> store_;
   util::Status durability_status_;  ///< set once in OpenDurability
+  /// Group commit is active (wal_fsync + wal_group_commit, store open):
+  /// WAL appends defer their fsync and the last pending delta of a
+  /// burst flushes it (see delta_backlog_).
+  bool wal_group_commit_ = false;
+  /// Admitted-but-unfinished delta requests; the finish that drops it
+  /// to zero is the burst boundary that syncs the WAL.
+  std::atomic<std::uint64_t> delta_backlog_{0};
   ServiceOptions options_;
   util::Timer uptime_;  ///< denominator of queries_per_second
   mutable util::Mutex stats_mutex_;
@@ -447,6 +485,10 @@ class Service {
   mutable util::Mutex outstanding_mutex_;
   util::CondVar outstanding_cv_;
   std::size_t outstanding_ GUARDED_BY(outstanding_mutex_) = 0;
+  /// QoS: per-(tenant, lane) observability and cost-based admission.
+  /// Shared across a ShardedService's shard services; private otherwise.
+  std::shared_ptr<qos::TenantRegistry> tenants_;
+  std::shared_ptr<qos::AdmissionController> admission_;
   const bool owns_executor_;
   /// Declared last: workers touch everything above, so an owned executor
   /// must be destroyed (drained + joined) first. A shared executor

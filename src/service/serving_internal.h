@@ -33,6 +33,10 @@ struct Ticket::State {
   std::shared_ptr<MemberSink> sink;
   util::CancellationSource cancel;
   util::Timer submit_timer;  ///< starts at admission; measures queue wait
+  /// QoS: the cost charged at admission, refunded once at completion
+  /// (success, failure, or cancellation alike — refund-on-cancel is the
+  /// same code path).
+  double estimated_cost = 0;
 
   mutable util::Mutex mutex;
   util::CondVar cv;

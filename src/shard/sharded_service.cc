@@ -5,6 +5,7 @@
 #include <string>
 
 #include "datalog/parser.h"
+#include "qos/scheduler.h"
 #include "service/serving_internal.h"
 #include "storage/durable_store.h"
 
@@ -79,14 +80,24 @@ util::Result<std::unique_ptr<ShardedService>> ShardedService::Create(
   if (!options.engine.parse_mutex) {
     options.engine.parse_mutex = std::make_shared<util::Mutex>();
   }
-  auto executor = std::make_shared<util::Executor>(util::Executor::Options{
-      options.service.num_threads,
-      options.service.queue_capacity == 0 ? 1
-                                          : options.service.queue_capacity});
+  util::Executor::Options exec;
+  exec.num_threads = options.service.num_threads;
+  exec.queue_capacity = options.service.queue_capacity == 0
+                            ? 1
+                            : options.service.queue_capacity;
+  if (options.service.qos.fair_queueing) {
+    exec.queue = std::make_shared<qos::FairScheduler>(options.service.qos);
+  }
+  auto executor = std::make_shared<util::Executor>(std::move(exec));
 
   std::unique_ptr<ShardedService> service(
       new ShardedService(std::move(map).value(), options,
                          options.engine.parse_mutex, executor));
+  // One QoS identity plane for the whole group: tenant budgets and stats
+  // rows span every shard instead of fragmenting per replica.
+  service->tenants_ = std::make_shared<qos::TenantRegistry>();
+  service->admission_ =
+      std::make_shared<qos::AdmissionController>(options.service.qos);
   // Durability belongs to the group, not the replicas: the shards get a
   // cleared data_dir (so their inner Services open no store of their
   // own) and the sharded service opens ONE store below, once the
@@ -107,10 +118,15 @@ util::Result<std::unique_ptr<ShardedService>> ShardedService::Create(
     // touch. The `datalog/partition.h` slicers remain available for
     // offline per-shard model reduction where order-identical
     // enumeration is not required.)
+    // Each shard tags its tasks with its own index, so the shared fair
+    // scheduler can round-robin a tenant's work across shards.
+    ServiceOptions shard_service_options = options.service;
+    shard_service_options.qos_shard = s;
     shard->service = std::make_unique<Service>(
         Engine::FromParts(program, database, answer_predicate,
                           shard_engine_options),
-        executor, options.service);
+        executor, shard_service_options, service->tenants_,
+        service->admission_);
     service->shards_.push_back(std::move(shard));
   }
   service->OpenDurability();
@@ -123,6 +139,7 @@ void ShardedService::OpenDurability() {
   storage::DurabilityOptions durability;
   durability.data_dir = engine_options.data_dir;
   durability.wal_fsync = engine_options.wal_fsync;
+  durability.wal_group_commit = engine_options.wal_group_commit;
   // By-predicate shards apply diverging splits of the deltas, so no
   // single engine holds "the" logical state a checkpoint could pin;
   // the WAL (never compacted) is the whole story there and recovery
@@ -376,7 +393,7 @@ void ShardedService::DrainDeltaLane() {
       const util::MutexLock lock(lane_mutex_);
       if (lane_.empty()) {
         lane_draining_ = false;
-        return;
+        break;
       }
       task = std::move(lane_.front());
       lane_.pop_front();
@@ -387,6 +404,11 @@ void ShardedService::DrainDeltaLane() {
     task();
     lane_active_.fetch_sub(1, std::memory_order_relaxed);
   }
+  // Group commit: the lane just drained — flush the one coalesced
+  // fsync covering the whole burst. (A delta enqueued after the empty
+  // check starts its own drain; an extra sync of its fresh append is
+  // harmless.) A no-op outside group-commit mode.
+  if (store_ != nullptr) (void)store_->SyncWal();
 }
 
 namespace {
@@ -463,6 +485,31 @@ util::Result<Ticket> ShardedService::SubmitDelta(Request request) {
                               ? state->request.deadline_seconds
                               : options_.service.default_deadline_seconds;
   if (deadline > 0) state->cancel.SetTimeout(deadline);
+
+  // Writes bypass Service::Submit, so the lane prices and admits on its
+  // own — against the same shared admission controller the read paths
+  // charge, keeping one tenant budget for the whole deployment.
+  const qos::QosClass lane_class = state->request.qos_class;
+  const std::string tenant = state->request.tenant;
+  {
+    const DeltaRequest& delta = std::get<DeltaRequest>(state->request.op);
+    qos::CostSignals signals;
+    signals.delta_facts =
+        delta.added_facts.size() + delta.added_fact_texts.size() +
+        delta.removed_facts.size() + delta.removed_fact_texts.size();
+    signals.database_facts = engine().database().facts().size();
+    state->estimated_cost = qos::CostEstimator::Delta(signals);
+  }
+  if (util::Status priced = admission_->Admit(tenant, state->estimated_cost);
+      !priced.ok()) {
+    {
+      const util::MutexLock lock(stats_mutex_);
+      ++stats_.rejected;
+    }
+    tenants_->RecordRejected(tenant, lane_class);
+    return priced;
+  }
+
   {
     const util::MutexLock lock(stats_mutex_);
     ++stats_.submitted;
@@ -477,10 +524,17 @@ util::Result<Ticket> ShardedService::SubmitDelta(Request request) {
       DeltaTargets(std::get<DeltaRequest>(state->request.op));
   if (!targets.ok()) {
     // A malformed text fact fails the whole delta through the ticket,
-    // exactly like the unsharded engine's own delta parsing.
+    // exactly like the unsharded engine's own delta parsing. It never
+    // queued, but it did charge: pair the queue/complete records so the
+    // gauge balances and the refund lands.
     Response response;
     response.kind = RequestKind::kApplyDelta;
     response.status = targets.status();
+    admission_->Release(tenant, state->estimated_cost);
+    tenants_->RecordQueued(tenant, lane_class);
+    tenants_->RecordCompleted(tenant, lane_class, /*cancelled=*/false,
+                              state->estimated_cost,
+                              state->submit_timer.ElapsedSeconds());
     {
       const util::MutexLock lock(stats_mutex_);
       si::CountOutcome(response, stats_);
@@ -494,11 +548,16 @@ util::Result<Ticket> ShardedService::SubmitDelta(Request request) {
         ExecuteDelta(state, targets);
       });
   if (!enqueued.ok()) {
-    const util::MutexLock lock(stats_mutex_);
-    --stats_.submitted;
-    ++stats_.rejected;
+    {
+      const util::MutexLock lock(stats_mutex_);
+      --stats_.submitted;
+      ++stats_.rejected;
+    }
+    admission_->Release(tenant, state->estimated_cost);
+    tenants_->RecordRejected(tenant, lane_class);
     return enqueued;
   }
+  tenants_->RecordQueued(tenant, lane_class);
   return Ticket(state);
 }
 
@@ -528,6 +587,15 @@ void ShardedService::ExecuteDelta(const std::shared_ptr<Ticket::State>& state,
     }
   }
   response.exec_seconds = exec_timer.ElapsedSeconds();
+  // The lane's single release point mirrors Service::Finish: refund the
+  // admission charge and record the completion (cancellation included).
+  admission_->Release(state->request.tenant, state->estimated_cost);
+  const bool cancelled =
+      response.status.code() == util::StatusCode::kCancelled ||
+      response.status.code() == util::StatusCode::kDeadlineExceeded;
+  tenants_->RecordCompleted(state->request.tenant, state->request.qos_class,
+                            cancelled, state->estimated_cost,
+                            response.queue_seconds);
   {
     const util::MutexLock lock(stats_mutex_);
     si::CountOutcome(response, stats_);
@@ -700,6 +768,10 @@ ServiceStats ShardedService::stats() const {
   }
   total.model_version = max_version;
   total.version_skew = shards_.empty() ? 0 : max_version - min_version;
+  // One shared registry serves every shard; snapshot it once (the
+  // per-shard ServiceStats carry the same rows — summing would double
+  // count).
+  total.tenants = tenants_->Snapshot();
   if (store_ != nullptr) {
     const storage::DurabilityCounters durability = store_->counters();
     total.wal_appends = durability.wal_appends;

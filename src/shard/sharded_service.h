@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "qos/cost.h"
+#include "qos/tenant_registry.h"
 #include "service/service.h"
 #include "shard/shard_map.h"
 #include "util/executor.h"
@@ -249,6 +251,14 @@ class ShardedService {
   /// Deltas currently executing on the lane (0 or 1): popped from lane_
   /// but not yet finished, so stats() can still count them in-flight.
   std::atomic<std::size_t> lane_active_{0};
+
+  /// The group's QoS identity plane, shared across every shard: one
+  /// registry and one admission controller, so a tenant's budget and its
+  /// stats rows span the whole deployment rather than fragmenting per
+  /// shard. The delta lane charges/records through them directly (writes
+  /// bypass Service::Submit).
+  std::shared_ptr<qos::TenantRegistry> tenants_;
+  std::shared_ptr<qos::AdmissionController> admission_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   /// The group's single durability tier (null = memory-only): the inner

@@ -231,9 +231,16 @@ TEST(WireRejectionTest, EveryTruncationOfABodyFails) {
   enumerate.target = "path(a, b)";
   enumerate.batch_size = 3;
   const std::string body = Encode(enumerate);
+  // One truncation point is valid by design: cutting exactly before the
+  // appended QoS identity tail (u8 qos_class + empty tenant string =
+  // 5 bytes) yields a well-formed pre-QoS frame, which must keep
+  // decoding (with the default identity) for backward compatibility.
+  // Every other prefix fails.
+  const std::size_t pre_qos_size = body.size() - 5;
   for (std::size_t cut = 0; cut < body.size(); ++cut) {
-    EXPECT_FALSE(DecodeEnumerate(body.substr(0, cut)).ok())
-        << "prefix of " << cut << " bytes decoded";
+    EXPECT_EQ(DecodeEnumerate(body.substr(0, cut)).ok(),
+              cut == pre_qos_size)
+        << "prefix of " << cut << " bytes";
   }
 
   FinalFrame final;

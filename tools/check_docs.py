@@ -17,6 +17,11 @@ Checks (all must pass; exit 1 with a per-failure report otherwise):
      docs/*.md resolves to an existing file in the repository.
      (Links to http(s), mailto, pure anchors, and paths that escape
      the repo — the README's badge links — are out of scope.)
+  5. The QoS surface: the whyprov_qos_class enumerators of
+     src/net/whyprov_c.h agree with qos::QosClass (src/qos/qos.h),
+     docs/WIRE_PROTOCOL.md states their values, and its per-tenant
+     stats table lists exactly the fields of `struct WireTenantStats`
+     (src/net/wire.h), in declaration order.
 
 Usage: python3 tools/check_docs.py   (from anywhere; paths are
 repo-relative to this script's parent directory)
@@ -205,6 +210,83 @@ def check_storage_constants(failures):
             )
 
 
+QOS_H = REPO / "src/qos/qos.h"
+
+
+def check_qos_surface(failures):
+    """The QoS lane values and the per-tenant stats row layout."""
+    abi = parse_sequential_enum(
+        C_ABI_H.read_text(),
+        r"typedef enum whyprov_qos_class\s*\{(.*?)\}",
+        r"(WHYPROV_QOS_[A-Z_]+)\s*(?:=\s*(\d+))?\s*,?",
+        C_ABI_H,
+    )
+    cpp = parse_sequential_enum(
+        QOS_H.read_text(),
+        r"enum class QosClass[^{]*\{(.*?)\}",
+        r"(k\w+)\s*(?:=\s*(\d+))?\s*,?",
+        QOS_H,
+    )
+    pairs = [("WHYPROV_QOS_INTERACTIVE", "kInteractive"),
+             ("WHYPROV_QOS_BATCH", "kBatch")]
+    for abi_name, cpp_name in pairs:
+        if abi_name not in abi or cpp_name not in cpp:
+            failures.append(
+                f"QoS enums: {abi_name} ({C_ABI_H.name}) or {cpp_name} "
+                f"({QOS_H.name}) is missing"
+            )
+        elif abi[abi_name] != cpp[cpp_name]:
+            failures.append(
+                f"QoS enums: {abi_name} = {abi[abi_name]} but {cpp_name} "
+                f"= {cpp[cpp_name]} — the lane byte must agree across "
+                "the C ABI and qos/qos.h"
+            )
+
+    doc = WIRE_DOC.read_text()
+    interactive = abi.get("WHYPROV_QOS_INTERACTIVE", 0)
+    batch = abi.get("WHYPROV_QOS_BATCH", 1)
+    phrase = f"{interactive} = interactive, {batch} = batch"
+    if phrase not in doc:
+        failures.append(
+            f"{WIRE_DOC.name}: does not state the qos_class values "
+            f'(expected the phrase "{phrase}")'
+        )
+
+    # The per-tenant table of WIRE_PROTOCOL.md vs struct WireTenantStats:
+    # same field names, same order.
+    struct = re.search(
+        r"struct WireTenantStats\s*\{(.*?)\};", WIRE_H.read_text(), re.DOTALL
+    )
+    if not struct:
+        failures.append(f"{WIRE_H.name}: cannot find struct WireTenantStats")
+        return
+    struct_fields = re.findall(
+        r"^\s*(?:std::\w+|double|float|bool)\s+(\w+)",
+        struct.group(1),
+        re.MULTILINE,
+    )
+    section = re.search(
+        r"per-tenant section\*\*.*?\n\n(.*?)\n\n", doc, re.DOTALL
+    )
+    if not section:
+        failures.append(
+            f"{WIRE_DOC.name}: cannot find the per-tenant section table "
+            "of kFrameStatsReply"
+        )
+        return
+    doc_fields = [
+        cells[0]
+        for cells in parse_doc_table(section.group(1), r"\w+")
+        if cells[0] != "field"
+    ]
+    if doc_fields != struct_fields:
+        failures.append(
+            f"{WIRE_DOC.name}: per-tenant stats table fields {doc_fields} "
+            f"!= WireTenantStats fields {struct_fields} (net/wire.h, "
+            "declaration order)"
+        )
+
+
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
@@ -230,6 +312,7 @@ def main():
     check_frame_table(failures)
     check_status_table(failures)
     check_storage_constants(failures)
+    check_qos_surface(failures)
     check_links(failures)
     if failures:
         for failure in failures:
@@ -237,8 +320,9 @@ def main():
         print(f"\ncheck_docs: {len(failures)} failure(s)")
         return 1
     print(
-        "check_docs: frame table, status table, storage constants, and "
-        f"{len(LINKED_DOCS)} files' links all match the sources"
+        "check_docs: frame table, status table, storage constants, QoS "
+        f"surface, and {len(LINKED_DOCS)} files' links all match the "
+        "sources"
     )
     return 0
 
