@@ -56,6 +56,11 @@ constexpr std::size_t kDecidesPerPeriod = 4;
 struct Run {
   std::string scenario;
   std::string database;
+  /// Plan-time CNF simplification mode of the engines under test. The
+  /// service bench always serves at the engine default (fast) — the key
+  /// exists so rows stay addressable alongside bench_throughput's
+  /// off/fast pairs in check_regression.py's row identity.
+  std::string simplify = "fast";
   std::size_t threads_requested = 0;
   std::size_t threads = 0;
   std::size_t shards = 1;  ///< 1 = plain Service, >1 = ShardedService
@@ -413,15 +418,16 @@ void WriteJson(std::FILE* out, const std::vector<Run>& runs) {
     }
     std::fprintf(
         out,
-        "  {\"scenario\": \"%s\", \"database\": \"%s\", %s"
+        "  {\"scenario\": \"%s\", \"database\": \"%s\", "
+        "\"simplify\": \"%s\", %s"
         "\"threads_requested\": %zu, \"threads\": %zu, \"shards\": %zu, "
         "\"requests\": %zu, \"enumerates\": %zu, \"decides\": %zu, "
         "\"deltas\": %zu, \"succeeded\": %zu, \"failed\": %zu, "
         "\"rejected\": %llu, \"wall_seconds\": %.6f, "
         "\"queries_per_second\": %.2f, \"p50_seconds\": %.6f, "
         "\"p99_seconds\": %.6f}%s\n",
-        run.scenario.c_str(), run.database.c_str(), qos_fields.c_str(),
-        run.threads_requested,
+        run.scenario.c_str(), run.database.c_str(), run.simplify.c_str(),
+        qos_fields.c_str(), run.threads_requested,
         run.threads, run.shards, run.requests, run.enumerates, run.decides,
         run.deltas, run.succeeded, run.failed,
         static_cast<unsigned long long>(run.rejected), run.wall_seconds,

@@ -1,15 +1,18 @@
 // bench_throughput: queries/sec of the serving path, with and without
-// the plan cache, across scenario instances.
+// the plan cache and plan-time CNF simplification, across all six
+// scenario families.
 //
 // Each configuration evaluates one scenario database, samples a small set
 // of answer tuples, and replays a workload of enumeration requests that
 // revisits each tuple many times (the serving pattern the plan cache
 // targets). The workload is served through the asynchronous
 // `whyprov::Service` front door (submission queue + worker pool — the
-// production path since the service layer landed), once on an engine
-// with the cache enabled and once with it disabled, single-threaded and
-// with the full worker pool, so the JSON records both the caching and
-// the batching speedups.
+// production path since the service layer landed). Cache-enabled
+// configurations run twice, with `plan_simplify` off and fast, so the
+// JSON records the cache-hit speedup that plan-time inprocessing buys
+// (the pair bench/check_regression.py's --min-simplify-speedup gate
+// compares); an uncached pass at the serving default rounds out the
+// caching-speedup dimension.
 //
 // Usage:
 //   bench_throughput [--requests=N] [--reps=R] [--out=PATH] [output.json]
@@ -25,10 +28,10 @@
 // against the committed baseline via bench/check_regression.py.
 //
 // The JSON is a flat array of runs, one object per
-// (scenario, database, cache, threads) combination — the perf-trajectory
-// format the BENCH_*.json files follow. `threads_requested` records the
-// configured thread count (0 = all cores) so baselines match across
-// machines with different core counts.
+// (scenario, database, cache, simplify, threads) combination — the
+// perf-trajectory format the BENCH_*.json files follow.
+// `threads_requested` records the configured thread count (0 = all cores)
+// so baselines match across machines with different core counts.
 
 #include <algorithm>
 #include <cstdio>
@@ -43,21 +46,28 @@
 namespace {
 
 using whyprov::bench::SuiteEntry;
+using whyprov::sat::SimplifyMode;
 
 constexpr std::size_t kDefaultRequests = 200;  ///< workload per configuration
 constexpr std::size_t kMaxMembersPerRequest = 8;
+
+const char* SimplifyName(SimplifyMode mode) {
+  return mode == SimplifyMode::kOff ? "off" : "fast";
+}
 
 struct Run {
   std::string scenario;
   std::string database;
   bool cache_enabled = false;
+  SimplifyMode simplify = SimplifyMode::kOff;
   std::size_t threads_requested = 0;
   std::size_t threads = 0;
   whyprov::BatchStats stats;
 };
 
-/// The scenario slice: one representative per family, small enough that
-/// the whole benchmark finishes in well under a minute.
+/// The scenario slice: one representative per family (both TransClosure
+/// graphs), small enough that the whole benchmark finishes in well under
+/// a minute.
 std::vector<SuiteEntry> ThroughputSuite() {
   using whyprov::bench::kSuiteSeed;
   namespace scenarios = whyprov::scenarios;
@@ -67,19 +77,29 @@ std::vector<SuiteEntry> ThroughputSuite() {
          return scenarios::MakeTransClosure(scenarios::GraphKind::kSparse,
                                             600, 900, kSuiteSeed);
        }},
+      {"TransClosure", "Dfacebook~",
+       [] {
+         return scenarios::MakeTransClosure(scenarios::GraphKind::kSocial,
+                                            96, 300, kSuiteSeed);
+       }},
       {"Doctors-1", "D1",
        [] { return scenarios::MakeDoctors(1, 400, kSuiteSeed); }},
+      {"Galen", "D1",
+       [] { return scenarios::MakeGalen(20, kSuiteSeed); }},
       {"Andersen", "D1",
        [] { return scenarios::MakeAndersen(500, kSuiteSeed); }},
+      {"CSDA", "Dhttpd~",
+       [] { return scenarios::MakeCsda("httpd", 800, kSuiteSeed); }},
   };
 }
 
 Run RunWorkload(const SuiteEntry& entry, bool cache_enabled,
-                std::size_t threads, std::size_t total_requests,
-                std::size_t reps) {
+                SimplifyMode simplify, std::size_t threads,
+                std::size_t total_requests, std::size_t reps) {
   auto scenario = entry.make();
   whyprov::EngineOptions options;
   options.plan_cache_capacity = cache_enabled ? 64 : 0;
+  options.plan_simplify = simplify;
   whyprov::ServiceOptions service_options;
   service_options.num_threads = threads;
   whyprov::Service service(scenario.MakeEngine(options), service_options);
@@ -105,6 +125,7 @@ Run RunWorkload(const SuiteEntry& entry, bool cache_enabled,
   run.scenario = entry.scenario;
   run.database = entry.database;
   run.cache_enabled = cache_enabled;
+  run.simplify = simplify;
   run.threads_requested = threads;
   run.threads = whyprov::util::ResolveThreadCount(threads);
   for (std::size_t rep = 0; rep < std::max<std::size_t>(1, reps); ++rep) {
@@ -126,13 +147,15 @@ void WriteJson(std::FILE* out, const std::vector<Run>& runs) {
     std::fprintf(
         out,
         "  {\"scenario\": \"%s\", \"database\": \"%s\", "
-        "\"plan_cache\": %s, \"threads_requested\": %zu, "
+        "\"plan_cache\": %s, \"simplify\": \"%s\", "
+        "\"threads_requested\": %zu, "
         "\"threads\": %zu, \"requests\": %zu, "
         "\"succeeded\": %zu, \"failed\": %zu, \"members\": %zu, "
         "\"wall_seconds\": %.6f, \"queries_per_second\": %.2f, "
         "\"cache_hits\": %zu, \"cache_misses\": %zu}%s\n",
         run.scenario.c_str(), run.database.c_str(),
-        run.cache_enabled ? "true" : "false", run.threads_requested,
+        run.cache_enabled ? "true" : "false", SimplifyName(run.simplify),
+        run.threads_requested,
         run.threads, s.requests,
         s.succeeded, s.failed, s.members_emitted, s.wall_seconds,
         s.queries_per_second, s.plan_cache_hits, s.plan_cache_misses,
@@ -140,6 +163,13 @@ void WriteJson(std::FILE* out, const std::vector<Run>& runs) {
   }
   std::fprintf(out, "]\n");
 }
+
+/// One (cache, simplify, threads) cell of the per-scenario grid.
+struct Config {
+  bool cache_enabled;
+  SimplifyMode simplify;
+  std::size_t threads;
+};
 
 }  // namespace
 
@@ -156,22 +186,30 @@ int main(int argc, char** argv) {
   const std::size_t reps = flags.reps;
   const std::string output_path = flags.out;
 
+  // Cache-on rows come in off/fast pairs (the simplify-speedup gate's
+  // input); the single uncached row uses the serving default (fast).
+  const Config kConfigs[] = {
+      {false, SimplifyMode::kFast, 0},
+      {true, SimplifyMode::kOff, 1},
+      {true, SimplifyMode::kFast, 1},
+      {true, SimplifyMode::kOff, 0},
+      {true, SimplifyMode::kFast, 0},
+  };
+
   std::vector<Run> runs;
   for (const SuiteEntry& entry : ThroughputSuite()) {
-    for (const bool cache_enabled : {false, true}) {
-      for (const std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
-        runs.push_back(RunWorkload(entry, cache_enabled, threads,
-                                   total_requests, reps));
-        const Run& run = runs.back();
-        std::printf(
-            "%-14s %-12s cache=%-3s threads=%-2zu  %8.1f q/s  "
-            "(%zu requests, %.3fs, %zu hits / %zu misses)\n",
-            run.scenario.c_str(), run.database.c_str(),
-            run.cache_enabled ? "on" : "off", run.threads,
-            run.stats.queries_per_second, run.stats.requests,
-            run.stats.wall_seconds, run.stats.plan_cache_hits,
-            run.stats.plan_cache_misses);
-      }
+    for (const Config& config : kConfigs) {
+      runs.push_back(RunWorkload(entry, config.cache_enabled, config.simplify,
+                                 config.threads, total_requests, reps));
+      const Run& run = runs.back();
+      std::printf(
+          "%-14s %-12s cache=%-3s simplify=%-4s threads=%-2zu  %8.1f q/s  "
+          "(%zu requests, %.3fs, %zu hits / %zu misses)\n",
+          run.scenario.c_str(), run.database.c_str(),
+          run.cache_enabled ? "on" : "off", SimplifyName(run.simplify),
+          run.threads, run.stats.queries_per_second, run.stats.requests,
+          run.stats.wall_seconds, run.stats.plan_cache_hits,
+          run.stats.plan_cache_misses);
     }
   }
 

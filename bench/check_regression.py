@@ -8,8 +8,8 @@ speedup floor the acceptance criteria promise, or when sharded serving
 stops scaling (2-shard q/s vs 1-shard q/s in the *current* run).
 
 Rows are matched on their identity fields (scenario, database, plan_cache,
-threads_requested, shards, clients, delta_size, direction — whichever are
-present),
+simplify, threads_requested, shards, clients, delta_size, direction —
+whichever are present),
 so a baseline recorded on a machine with a different core count still
 matches: `threads_requested` (0 = all cores) is stable while the resolved
 `threads` is not.
@@ -23,6 +23,8 @@ about them.
 Usage:
   check_regression.py --baseline BENCH_throughput.json \
       --current build/BENCH_throughput.json [--threshold 0.25]
+  check_regression.py --baseline BENCH_throughput.json \
+      --current build/BENCH_throughput.json --min-simplify-speedup 1.05
   check_regression.py --baseline BENCH_incremental.json \
       --current build/BENCH_incremental.json --min-speedup 5
   check_regression.py --baseline BENCH_service.json \
@@ -41,6 +43,7 @@ KEY_FIELDS = (
     "scenario",
     "database",
     "plan_cache",
+    "simplify",
     "threads_requested",
     "shards",
     "clients",
@@ -239,6 +242,57 @@ def check_flood_p99(current_rows, current_path, max_ratio, failures):
     return checks
 
 
+def check_simplify_speedup(current_rows, current_path, min_speedup, failures):
+    """Self-relative plan-simplification gate on BENCH_throughput.json:
+    within the *current* run, compare each cache-enabled simplify=fast row
+    against its simplify=off twin (same scenario/database/threads). At
+    least two distinct (scenario, database) pairs must show a fast/off q/s
+    ratio of at least `min_speedup` — the ISSUE's "improves on >= 2 of the
+    six scenarios" acceptance bar, held self-relatively so it gates on any
+    hardware. Individual below-floor pairs are informational (small
+    formulas can be simplify-neutral); the gate fails only when the
+    improvement disappears almost everywhere."""
+    checks = 0
+    by_group = {}
+    for row in current_rows:
+        if row.get("plan_cache") is not True or "simplify" not in row:
+            continue
+        if "queries_per_second" not in row:
+            continue
+        group = tuple((f, row[f]) for f in ("scenario", "database",
+                                            "threads_requested")
+                      if f in row)
+        by_group.setdefault(group, {})[row["simplify"]] = row
+    improved = set()
+    compared = set()
+    for group, by_mode in sorted(by_group.items()):
+        base = by_mode.get("off")
+        fast = by_mode.get("fast")
+        if base is None or fast is None:
+            continue
+        base_qps = metric_value(base, "queries_per_second", current_path)
+        if base_qps <= 0:
+            continue
+        checks += 1
+        qps = metric_value(fast, "queries_per_second", current_path)
+        ratio = qps / base_qps
+        scenario = tuple(v for f, v in group if f in ("scenario", "database"))
+        compared.add(scenario)
+        status = "ok" if ratio >= min_speedup else "below"
+        if ratio >= min_speedup:
+            improved.add(scenario)
+        print(f"{status:>10}  simplify speedup: fast {qps:.2f} q/s vs off "
+              f"{base_qps:.2f} ({ratio:.2f}x, floor {min_speedup:.2f}x)  "
+              f"[{format_key(group)}]")
+    if checks and len(improved) < min(2, len(compared)):
+        failures.append(
+            f"plan simplification sped up cache-hit serving by >= "
+            f"{min_speedup:.2f}x on only {len(improved)} of "
+            f"{len(compared)} scenario databases (need >= 2) — the "
+            "inprocessing pass stopped paying for itself")
+    return checks
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -262,6 +316,11 @@ def main():
                         help="floor for (wal-on deltas/s) / (wal-off "
                              "deltas/s) within the current file; ignored "
                              "when unset")
+    parser.add_argument("--min-simplify-speedup", type=float, default=None,
+                        help="floor for (plan_simplify=fast q/s) / "
+                             "(plan_simplify=off q/s) on the current file's "
+                             "cache-enabled rows; at least two scenario "
+                             "databases must clear it; ignored when unset")
     parser.add_argument("--max-flood-p99-ratio", type=float, default=None,
                         help="ceiling for (fair-queueing interactive p99) /"
                              " (FIFO interactive p99) on the current file's"
@@ -353,6 +412,10 @@ def main():
     if args.min_wal_throughput is not None:
         checks += check_wal_throughput(current_rows, args.current,
                                        args.min_wal_throughput, failures)
+
+    if args.min_simplify_speedup is not None:
+        checks += check_simplify_speedup(current_rows, args.current,
+                                         args.min_simplify_speedup, failures)
 
     if args.max_flood_p99_ratio is not None:
         checks += check_flood_p99(current_rows, args.current,

@@ -248,6 +248,7 @@ int main(int argc, char** argv) {
   const char* answer = nullptr;
   const char* data_dir = nullptr;
   std::size_t shards = 0;
+  int plan_simplify = WHYPROV_SIMPLIFY_DEFAULT;
   bool selfcheck = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -263,13 +264,26 @@ int main(int argc, char** argv) {
       data_dir = arg + 11;
     } else if (std::strncmp(arg, "--shards=", 9) == 0) {
       shards = static_cast<std::size_t>(std::atol(arg + 9));
+    } else if (std::strncmp(arg, "--plan-simplify=", 16) == 0) {
+      const char* mode = arg + 16;
+      if (std::strcmp(mode, "off") == 0) {
+        plan_simplify = WHYPROV_SIMPLIFY_OFF;
+      } else if (std::strcmp(mode, "fast") == 0) {
+        plan_simplify = WHYPROV_SIMPLIFY_FAST;
+      } else if (std::strcmp(mode, "full") == 0) {
+        plan_simplify = WHYPROV_SIMPLIFY_FULL;
+      } else {
+        std::fprintf(stderr,
+                     "error: --plan-simplify must be off, fast, or full\n");
+        return 2;
+      }
     } else if (std::strcmp(arg, "--selfcheck") == 0) {
       selfcheck = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--program=FILE --database=FILE "
                    "--answer=PREDICATE] [--data-dir=DIR] [--shards=N] "
-                   "[--selfcheck]\n",
+                   "[--plan-simplify=off|fast|full] [--selfcheck]\n",
                    argv[0]);
       return 2;
     }
@@ -305,6 +319,7 @@ int main(int argc, char** argv) {
   whyprov_options options;
   whyprov_options_init(&options);
   options.num_shards = shards;
+  options.plan_simplify = plan_simplify;
   if (data_dir != nullptr) options.data_dir = data_dir;
   whyprov_service* service = nullptr;
   char error_message[256];

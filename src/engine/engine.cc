@@ -210,8 +210,12 @@ std::shared_ptr<const pv::QueryPlan> EngineState::PlanFor(
   return plan_cache.GetOrBuild(target, acyclicity, model_version, [&] {
     pv::CnfEncoder::Options encoder_options;
     encoder_options.acyclicity = acyclicity;
-    auto plan = pv::QueryPlan::Build(program, model, target, encoder_options);
+    sat::SimplifyOptions simplify;
+    simplify.mode = options.plan_simplify;
+    auto plan = pv::QueryPlan::Build(program, model, target, encoder_options,
+                                     simplify);
     plan->set_model_version(model_version);
+    if (plan->simplified()) plan_cache.RecordSimplify(plan->simplify_stats());
     return plan;
   });
 }

@@ -21,6 +21,7 @@
 #include "provenance/enumerator.h"
 #include "provenance/proof_tree.h"
 #include "provenance/query_plan.h"
+#include "sat/simplify.h"
 #include "sat/solver_interface.h"
 #include "util/cancellation.h"
 #include "util/mutex.h"
@@ -53,6 +54,14 @@ struct EngineOptions {
   /// Plans kept by the LRU plan cache behind Enumerate/Decide/Explain
   /// (keyed by target fact and acyclicity encoding; 0 disables caching).
   std::size_t plan_cache_capacity = 64;
+  /// Plan-time CNF inprocessing (sat/simplify.h), run once under the
+  /// plan-cache single-flight latch; every execution of the plan then
+  /// replays the cheaper formula. Semantics are unchanged: the pass
+  /// preserves the exact model set projected onto the fact-selector
+  /// variables, so enumeration families and decision answers are
+  /// identical to kOff. kFast (default) is one budgeted round; kFull
+  /// iterates with larger budgets.
+  sat::SimplifyMode plan_simplify = sat::SimplifyMode::kFast;
   /// Snapshot GC policy (serving-side): the number of deltas a running
   /// request may trail the published model by while keeping its snapshot
   /// pinned. When > 0, the serving layer fails an enumeration whose

@@ -11,6 +11,7 @@
 
 #include "datalog/evaluator.h"
 #include "provenance/query_plan.h"
+#include "sat/simplify.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -29,6 +30,13 @@ struct PlanCacheStats {
                               ///< compiling the plan themselves
   std::size_t size = 0;       ///< plans currently cached
   std::size_t capacity = 0;   ///< configured capacity (0 = disabled)
+
+  // Cumulative plan-time CNF inprocessing counters (sat/simplify.h),
+  // recorded once per plan build when EngineOptions::plan_simplify is on.
+  std::uint64_t plans_simplified = 0;
+  std::uint64_t simplify_vars_removed = 0;
+  std::uint64_t simplify_clauses_removed = 0;
+  std::uint64_t simplify_micros = 0;  ///< total simplify wall time, µs
 };
 
 /// A thread-safe LRU cache of query plans, keyed by (target fact,
@@ -62,7 +70,11 @@ class PlanCache {
         misses_(carried.misses),
         evictions_(carried.evictions),
         invalidated_(carried.invalidated),
-        coalesced_(carried.coalesced) {}
+        coalesced_(carried.coalesced),
+        plans_simplified_(carried.plans_simplified),
+        simplify_vars_removed_(carried.simplify_vars_removed),
+        simplify_clauses_removed_(carried.simplify_clauses_removed),
+        simplify_micros_(carried.simplify_micros) {}
 
   /// Returns the cached plan for the key if present and stamped with
   /// `expected_version`; a stale entry is dropped (counted under
@@ -188,6 +200,19 @@ class PlanCache {
     invalidated_ += count;
   }
 
+  /// Records one plan build's inprocessing outcome (the builder thread of
+  /// GetOrBuild calls this right after QueryPlan::Build).
+  void RecordSimplify(const sat::SimplifyStats& stats) EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
+    ++plans_simplified_;
+    simplify_vars_removed_ += stats.vars_before - stats.vars_after;
+    simplify_clauses_removed_ +=
+        stats.clauses_before > stats.clauses_after
+            ? stats.clauses_before - stats.clauses_after
+            : 0;
+    simplify_micros_ += static_cast<std::uint64_t>(stats.seconds * 1e6);
+  }
+
   PlanCacheStats stats() const EXCLUDES(mutex_) {
     const util::MutexLock lock(mutex_);
     PlanCacheStats stats;
@@ -198,6 +223,10 @@ class PlanCache {
     stats.coalesced = coalesced_;
     stats.size = lru_.size();
     stats.capacity = capacity_;
+    stats.plans_simplified = plans_simplified_;
+    stats.simplify_vars_removed = simplify_vars_removed_;
+    stats.simplify_clauses_removed = simplify_clauses_removed_;
+    stats.simplify_micros = simplify_micros_;
     return stats;
   }
 
@@ -274,6 +303,10 @@ class PlanCache {
   std::size_t evictions_ GUARDED_BY(mutex_) = 0;
   std::size_t invalidated_ GUARDED_BY(mutex_) = 0;
   std::size_t coalesced_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t plans_simplified_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t simplify_vars_removed_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t simplify_clauses_removed_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t simplify_micros_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace whyprov

@@ -186,6 +186,19 @@ whyprov_status whyprov_service_create(const char* program_text,
     }
   }
   engine_options.wal_group_commit = options->wal_group_commit != 0;
+  switch (options->plan_simplify) {
+    case WHYPROV_SIMPLIFY_OFF:
+      engine_options.plan_simplify = wp::sat::SimplifyMode::kOff;
+      break;
+    case WHYPROV_SIMPLIFY_FAST:
+      engine_options.plan_simplify = wp::sat::SimplifyMode::kFast;
+      break;
+    case WHYPROV_SIMPLIFY_FULL:
+      engine_options.plan_simplify = wp::sat::SimplifyMode::kFull;
+      break;
+    default:  /* WHYPROV_SIMPLIFY_DEFAULT keeps the engine default */
+      break;
+  }
   wp::ServiceOptions service_options;
   service_options.num_threads = options->num_threads;
   if (options->queue_capacity > 0) {
@@ -277,6 +290,10 @@ void whyprov_service_stats(const whyprov_service* service,
   out_stats->wal_bytes = stats.wal_bytes;
   out_stats->checkpoints_written = stats.checkpoints_written;
   out_stats->recovery_replayed_deltas = stats.recovery_replayed_deltas;
+  out_stats->plans_simplified = stats.plans_simplified;
+  out_stats->simplify_vars_removed = stats.simplify_vars_removed;
+  out_stats->simplify_clauses_removed = stats.simplify_clauses_removed;
+  out_stats->simplify_micros = stats.simplify_micros;
 }
 
 size_t whyprov_service_tenant_stats(const whyprov_service* service,

@@ -104,7 +104,16 @@ typedef struct whyprov_options {
                                   * cost units/s per tenant; 0 = unlimited */
   double qos_burst;          /* token-bucket depth; 0 = one second of refill */
   int wal_group_commit;      /* 1 = coalesce WAL fsyncs across queued deltas */
+  /* Plan-time CNF inprocessing (EngineOptions::plan_simplify): one of
+   * the WHYPROV_SIMPLIFY_* values. 0 keeps the engine default (fast). */
+  int plan_simplify;
 } whyprov_options;
+
+/* Values for whyprov_options.plan_simplify. */
+#define WHYPROV_SIMPLIFY_DEFAULT 0 /* engine default (fast) */
+#define WHYPROV_SIMPLIFY_OFF 1     /* replay the encoder's CNF verbatim */
+#define WHYPROV_SIMPLIFY_FAST 2    /* one budgeted inprocessing round */
+#define WHYPROV_SIMPLIFY_FULL 3    /* iterate with larger budgets */
 
 void whyprov_options_init(whyprov_options* options);
 
@@ -150,6 +159,12 @@ typedef struct whyprov_stats {
   uint64_t wal_bytes;          /* framed WAL bytes appended */
   uint64_t checkpoints_written;
   uint64_t recovery_replayed_deltas; /* WAL tail replayed at create */
+  /* Plan-time CNF inprocessing counters (all zero when plan_simplify is
+   * off), summed across shards on a sharded service. */
+  uint64_t plans_simplified;         /* plan builds that ran the pass */
+  uint64_t simplify_vars_removed;    /* variables removed, cumulative */
+  uint64_t simplify_clauses_removed; /* clauses removed, cumulative */
+  uint64_t simplify_micros;          /* total simplify wall time, us */
 } whyprov_stats;
 
 void whyprov_service_stats(const whyprov_service* service,

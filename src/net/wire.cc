@@ -260,6 +260,12 @@ std::string Encode(const StatsReplyFrame& frame) {
     writer.PutF64(row.queue_p50_seconds);
     writer.PutF64(row.queue_p99_seconds);
   }
+  // Appended plan-simplify counters (append-only tail after the tenant
+  // section; older decoders stop before it, older frames decode as zero).
+  writer.PutU64(frame.stats.plans_simplified);
+  writer.PutU64(frame.stats.simplify_vars_removed);
+  writer.PutU64(frame.stats.simplify_clauses_removed);
+  writer.PutU64(frame.stats.simplify_micros);
   return writer.Take();
 }
 
@@ -475,6 +481,15 @@ util::Result<StatsReplyFrame> DecodeStatsReply(std::string_view body) {
         frame.tenants.push_back(std::move(row));
       }
     }
+  }
+  // Appended plan-simplify counters; a frame ending at the pre-simplify
+  // boundary decodes as all-zero (WireReader poisons on a partial tail,
+  // which FinishDecode rejects).
+  if (!reader.exhausted()) {
+    reader.GetU64(&frame.stats.plans_simplified);
+    reader.GetU64(&frame.stats.simplify_vars_removed);
+    reader.GetU64(&frame.stats.simplify_clauses_removed);
+    reader.GetU64(&frame.stats.simplify_micros);
   }
   return FinishDecode(reader, std::move(frame), "stats reply");
 }

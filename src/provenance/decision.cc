@@ -291,9 +291,10 @@ util::Result<bool> IsWhyUnMemberPrepared(const QueryPlan& plan,
   plan.LoadInto(solver);
   // Pin the leaves: support must be exactly D'.
   for (dl::FactId leaf : closure.DatabaseLeaves()) {
-    const sat::Var var = encoding.node_vars.at(leaf);
-    if (!solver.AddUnit(
-            sat::Lit::Make(var, /*negated=*/!dprime_ids.contains(leaf)))) {
+    // Fact selectors are frozen under plan simplification, so the mapped
+    // literal is always defined (identity for an unsimplified plan).
+    const sat::Lit lit = plan.SolverLitFor(encoding.node_vars.at(leaf));
+    if (!solver.AddUnit(dprime_ids.contains(leaf) ? lit : ~lit)) {
       return false;
     }
   }

@@ -108,29 +108,41 @@ std::optional<std::vector<dl::Fact>> WhyProvenanceEnumerator::Next() {
   const DownwardClosure& closure = plan_->closure();
   const Encoding& encoding = plan_->encoding();
 
+  // The solver's model is over the execution formula; witness extraction
+  // needs the original encoding variables, so translate (and, for a
+  // simplified plan, replay the reconstruction stack for variables the
+  // inprocessing pass removed).
+  const std::vector<sat::LBool> model = plan_->ReconstructModel(*solver_);
+
   // Record the witness: for each present internal fact, its selected
   // hyperedge (exactly one y_e is true for a present head).
   last_witness_choices_.clear();
   for (std::size_t e = 0; e < closure.edges().size(); ++e) {
-    if (solver_->ModelValue(encoding.hyperedge_vars[e]) != sat::LBool::kTrue)
-      continue;
+    const auto edge_var =
+        static_cast<std::size_t>(encoding.hyperedge_vars[e]);
+    if (model[edge_var] != sat::LBool::kTrue) continue;
     const dl::FactId head = closure.edges()[e].head;
-    const sat::Var head_var = encoding.node_vars.at(head);
-    if (solver_->ModelValue(head_var) == sat::LBool::kTrue) {
+    const auto head_var =
+        static_cast<std::size_t>(encoding.node_vars.at(head));
+    if (model[head_var] == sat::LBool::kTrue) {
       last_witness_choices_.emplace(head, e);
     }
   }
 
   // db(tau): the database facts of the closure whose node variable is true.
+  // Fact selectors are frozen, so each one has a live solver literal to
+  // block on.
   std::vector<dl::Fact> member;
   std::vector<sat::Lit> blocking;
   blocking.reserve(encoding.database_leaves.size());
   for (dl::FactId fact : encoding.database_leaves) {
     const sat::Var var = encoding.node_vars.at(fact);
-    const bool present = solver_->ModelValue(var) == sat::LBool::kTrue;
+    const bool present =
+        model[static_cast<std::size_t>(var)] == sat::LBool::kTrue;
     if (present) member.push_back(model_->fact(fact));
     // Blocking clause over S: flip at least one database fact.
-    blocking.push_back(sat::Lit::Make(var, present));
+    const sat::Lit lit = plan_->SolverLitFor(var);
+    blocking.push_back(present ? ~lit : lit);
   }
   if (!solver_->AddClause(std::move(blocking))) exhausted_ = true;
   delays_ms_.push_back(timer.ElapsedMillis());

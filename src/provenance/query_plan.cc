@@ -88,6 +88,15 @@ void SeedCanonicalWitness(const dl::Model& model,
 std::shared_ptr<const QueryPlan> QueryPlan::Build(
     const dl::Program& program, const dl::Model& model, dl::FactId target,
     const CnfEncoder::Options& options) {
+  sat::SimplifyOptions off;
+  off.mode = sat::SimplifyMode::kOff;
+  return Build(program, model, target, options, off);
+}
+
+std::shared_ptr<const QueryPlan> QueryPlan::Build(
+    const dl::Program& program, const dl::Model& model, dl::FactId target,
+    const CnfEncoder::Options& options,
+    const sat::SimplifyOptions& simplify) {
   auto plan = std::shared_ptr<QueryPlan>(new QueryPlan());
   plan->acyclicity_ = options.acyclicity;
 
@@ -105,7 +114,67 @@ std::shared_ptr<const QueryPlan> QueryPlan::Build(
   plan->encoding_ = CnfEncoder::Encode(plan->closure_, recorder, options);
   SeedCanonicalWitness(model, plan->closure_, plan->encoding_, recorder);
   plan->timings_.encode_seconds = timer.ElapsedSeconds();
+
+  if (simplify.mode != sat::SimplifyMode::kOff &&
+      !plan->encoding_.trivially_unsat) {
+    timer.Reset();
+    // Freeze the fact-selector variables of the database leaves: blocking
+    // clauses, membership pinning, and projected-model equivalence all run
+    // over them. Only the acyclicity auxiliaries (variables that are
+    // neither node, hyperedge, nor arc selectors) may be eliminated.
+    std::vector<sat::Var> frozen;
+    frozen.reserve(plan->encoding_.database_leaves.size());
+    for (dl::FactId leaf : plan->encoding_.database_leaves) {
+      frozen.push_back(plan->encoding_.node_vars.at(leaf));
+    }
+    std::vector<bool> structural(
+        static_cast<std::size_t>(plan->formula_.num_vars), false);
+    for (const auto& [fact, var] : plan->encoding_.node_vars) {
+      structural[static_cast<std::size_t>(var)] = true;
+    }
+    for (sat::Var var : plan->encoding_.hyperedge_vars) {
+      structural[static_cast<std::size_t>(var)] = true;
+    }
+    for (const Encoding::EdgeVar& z : plan->encoding_.edge_vars) {
+      structural[static_cast<std::size_t>(z.var)] = true;
+    }
+    std::vector<sat::Var> eliminable;
+    for (sat::Var v = 0; v < plan->formula_.num_vars; ++v) {
+      if (!structural[static_cast<std::size_t>(v)]) eliminable.push_back(v);
+    }
+    sat::SimplifyResult result =
+        sat::Simplify(plan->formula_, frozen, eliminable, simplify);
+    plan->formula_ = std::move(result.formula);
+    plan->var_map_ = std::move(result.var_map);
+    plan->stack_ = std::move(result.stack);
+    plan->num_original_vars_ = result.num_original_vars;
+    plan->simplify_stats_ = result.stats;
+    plan->simplified_ = true;
+    plan->timings_.simplify_seconds = timer.ElapsedSeconds();
+  }
   return plan;
+}
+
+std::vector<sat::LBool> QueryPlan::ReconstructModel(
+    const sat::SolverInterface& solver) const {
+  if (!simplified_) {
+    std::vector<sat::LBool> model(
+        static_cast<std::size_t>(formula_.num_vars), sat::LBool::kUndef);
+    for (sat::Var v = 0; v < formula_.num_vars; ++v) {
+      model[static_cast<std::size_t>(v)] = solver.ModelValue(v);
+    }
+    return model;
+  }
+  std::vector<sat::LBool> model(static_cast<std::size_t>(num_original_vars_),
+                                sat::LBool::kUndef);
+  for (sat::Var v = 0; v < num_original_vars_; ++v) {
+    const sat::Lit mapped = var_map_[static_cast<std::size_t>(v)];
+    if (!mapped.defined()) continue;
+    model[static_cast<std::size_t>(v)] =
+        sat::EvalLit(solver.ModelValue(mapped.var()), mapped);
+  }
+  stack_.Extend(model);
+  return model;
 }
 
 }  // namespace whyprov::provenance

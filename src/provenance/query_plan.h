@@ -5,20 +5,24 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_set>
+#include <vector>
 
 #include "datalog/evaluator.h"
 #include "datalog/program.h"
 #include "provenance/cnf_encoder.h"
 #include "provenance/downward_closure.h"
 #include "sat/cnf_formula.h"
+#include "sat/reconstruction.h"
+#include "sat/simplify.h"
 
 namespace whyprov::provenance {
 
 /// Phase timings of plan construction, for the construction-time figures
 /// (the paper's Figures 1/3).
 struct PlanTimings {
-  double closure_seconds = 0;  ///< downward-closure construction
-  double encode_seconds = 0;   ///< Boolean-formula construction
+  double closure_seconds = 0;   ///< downward-closure construction
+  double encode_seconds = 0;    ///< Boolean-formula construction
+  double simplify_seconds = 0;  ///< CNF inprocessing (0 when off)
 };
 
 /// The compile artifact of the prepare/execute split: the downward closure
@@ -42,12 +46,48 @@ class QueryPlan {
       const datalog::Program& program, const datalog::Model& model,
       datalog::FactId target, const CnfEncoder::Options& options);
 
+  /// As above, but additionally runs the plan-time CNF inprocessing pass
+  /// (sat/simplify.h) when `simplify.mode != kOff`: the stored formula is
+  /// the simplified one, the fact-selector variables of the database
+  /// leaves are frozen, and the reconstruction stack + variable map are
+  /// kept so executions can translate models and literals between the
+  /// original encoding space and the solver space.
+  static std::shared_ptr<const QueryPlan> Build(
+      const datalog::Program& program, const datalog::Model& model,
+      datalog::FactId target, const CnfEncoder::Options& options,
+      const sat::SimplifyOptions& simplify);
+
   datalog::FactId target() const { return closure_.target(); }
   AcyclicityEncoding acyclicity() const { return acyclicity_; }
   const DownwardClosure& closure() const { return closure_; }
   const Encoding& encoding() const { return encoding_; }
+
+  /// The execution formula `LoadInto` replays: the simplified formula when
+  /// inprocessing ran, otherwise the encoder's output verbatim. Its
+  /// variable space is the solver space — map encoding variables through
+  /// `SolverLitFor` before asserting or blocking on them.
   const sat::CnfFormula& formula() const { return formula_; }
   const PlanTimings& timings() const { return timings_; }
+
+  /// True iff the plan stores a simplified formula (variable spaces may
+  /// then differ; the identity fast paths below still hold when false).
+  bool simplified() const { return simplified_; }
+  const sat::SimplifyStats& simplify_stats() const { return simplify_stats_; }
+
+  /// Maps an original encoding variable to its literal over the execution
+  /// formula. Undefined iff the simplifier removed the variable — never
+  /// the case for frozen fact-selector variables of database leaves.
+  sat::Lit SolverLitFor(sat::Var original) const {
+    if (!simplified_) return sat::Lit::Make(original, false);
+    return var_map_[static_cast<std::size_t>(original)];
+  }
+
+  /// Reads the solver's model back into the original encoding's variable
+  /// space, replaying the reconstruction stack for removed variables.
+  /// Call only after a satisfiable Solve on a solver this plan was loaded
+  /// into.
+  std::vector<sat::LBool> ReconstructModel(
+      const sat::SolverInterface& solver) const;
 
   /// True iff `fact` is a node of the plan's downward closure (including
   /// the target and the database leaves). This is the set an incremental
@@ -90,6 +130,12 @@ class QueryPlan {
   PlanTimings timings_;
   AcyclicityEncoding acyclicity_ = AcyclicityEncoding::kVertexElimination;
   mutable std::atomic<std::uint64_t> model_version_{0};
+
+  bool simplified_ = false;
+  sat::ReconstructionStack stack_;
+  std::vector<sat::Lit> var_map_;  ///< Original var -> execution literal.
+  int num_original_vars_ = 0;
+  sat::SimplifyStats simplify_stats_;
 };
 
 }  // namespace whyprov::provenance

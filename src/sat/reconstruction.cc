@@ -1,0 +1,54 @@
+#include "sat/reconstruction.h"
+
+namespace whyprov::sat {
+
+namespace {
+
+/// A literal's value under the (possibly partial) model, with kUndef
+/// treated as false — the backend leaves a variable undefined only when
+/// nothing constrains it, so either completion is a model and the
+/// deterministic choice keeps reconstruction reproducible.
+bool LitTrue(const std::vector<LBool>& model, Lit lit) {
+  const LBool value = model[static_cast<std::size_t>(lit.var())];
+  if (value == LBool::kUndef) return lit.negated();
+  return EvalLit(value, lit) == LBool::kTrue;
+}
+
+}  // namespace
+
+void ReconstructionStack::Extend(std::vector<LBool>& model) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const Entry& entry = *it;
+    const auto v = static_cast<std::size_t>(entry.var);
+    switch (entry.kind) {
+      case Entry::kUnit:
+        model[v] = entry.value ? LBool::kTrue : LBool::kFalse;
+        break;
+      case Entry::kEquiv:
+        model[v] = LitTrue(model, entry.rep) ? LBool::kTrue : LBool::kFalse;
+        break;
+      case Entry::kEliminated: {
+        // v = false satisfies every clause that held ~v; flip to true iff
+        // a clause that held v is not covered by its other literals.
+        bool value = false;
+        for (const std::vector<Lit>& clause : entry.clauses) {
+          bool satisfied = false;
+          for (Lit lit : clause) {
+            if (LitTrue(model, lit)) {
+              satisfied = true;
+              break;
+            }
+          }
+          if (!satisfied) {
+            value = true;
+            break;
+          }
+        }
+        model[v] = value ? LBool::kTrue : LBool::kFalse;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace whyprov::sat

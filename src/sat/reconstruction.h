@@ -1,0 +1,82 @@
+#ifndef WHYPROV_SAT_RECONSTRUCTION_H_
+#define WHYPROV_SAT_RECONSTRUCTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace whyprov::sat {
+
+/// The witness side of CNF simplification (sat/simplify.h): a stack of
+/// "how to recover the value of a removed variable" records, pushed in
+/// the chronological order the simplifier removed variables and replayed
+/// in reverse by `Extend`. Every model of the simplified formula,
+/// translated back to the surviving original variables, extends through
+/// this stack to a full model of the *original* formula — the invariant
+/// the enumeration layer needs to read hyperedge/node witnesses that the
+/// simplifier substituted or eliminated away.
+///
+/// Entry kinds and their replay rules (all literals are in the original
+/// variable space):
+///
+///   * kUnit(v, value): unit propagation (or failed-literal probing)
+///     proved v takes `value` in every model. Replay sets it.
+///   * kEquiv(v, rep): the binary implication graph proved v equivalent
+///     to the literal `rep`; the simplifier substituted rep for v
+///     everywhere. Replay evaluates rep (already recovered — it survived
+///     or was removed later, hence replayed earlier) and copies it.
+///   * kEliminated(v, clauses): bounded variable elimination removed v by
+///     clause distribution; `clauses` are the clauses that contained the
+///     positive literal v at elimination time, minus that literal.
+///     Replay defaults v to false and flips it to true iff some recorded
+///     clause is unsatisfied by the other literals — the classic
+///     SatELite/CaDiCaL witness rule (if both polarities were violated,
+///     the corresponding resolvent would be falsified, contradicting the
+///     model).
+///
+/// The stack is immutable after the simplifier finishes, so one stack can
+/// serve any number of concurrent executions.
+class ReconstructionStack {
+ public:
+  void PushUnit(Var v, bool value) {
+    entries_.push_back(Entry{Entry::kUnit, v, kUndefLit, value, {}});
+  }
+
+  void PushEquiv(Var v, Lit rep) {
+    entries_.push_back(Entry{Entry::kEquiv, v, rep, false, {}});
+  }
+
+  void PushEliminated(Var v,
+                      std::vector<std::vector<Lit>> positive_clauses) {
+    entries_.push_back(Entry{Entry::kEliminated, v, kUndefLit, false,
+                             std::move(positive_clauses)});
+  }
+
+  /// Extends `model` (indexed by original variable, kUndef where the
+  /// simplifier removed the variable) to cover every removed variable.
+  /// Replays in reverse push order; literals a record depends on are
+  /// defined by then (they were alive when it was pushed). A dependency
+  /// that is still kUndef (an unconstrained variable the backend never
+  /// assigned) reads as false.
+  void Extend(std::vector<LBool>& model) const;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    enum Kind { kUnit, kEquiv, kEliminated };
+    Kind kind;
+    Var var;
+    Lit rep;     ///< kEquiv only
+    bool value;  ///< kUnit only
+    std::vector<std::vector<Lit>> clauses;  ///< kEliminated only
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace whyprov::sat
+
+#endif  // WHYPROV_SAT_RECONSTRUCTION_H_

@@ -648,6 +648,11 @@ ServiceStats Service::stats() const {
   }
   snapshot.tenants = tenants_->Snapshot();
   snapshot.model_version = engine_.model_version();
+  const PlanCacheStats plans = engine_.plan_cache_stats();
+  snapshot.plans_simplified = plans.plans_simplified;
+  snapshot.simplify_vars_removed = plans.simplify_vars_removed;
+  snapshot.simplify_clauses_removed = plans.simplify_clauses_removed;
+  snapshot.simplify_micros = plans.simplify_micros;
   if (store_ != nullptr) {
     const storage::DurabilityCounters durability = store_->counters();
     snapshot.wal_appends = durability.wal_appends;

@@ -319,6 +319,13 @@ struct ServiceStats {
   std::uint64_t checkpoints_written = 0;
   /// WAL-tail records replayed during recovery at construction.
   std::uint64_t recovery_replayed_deltas = 0;
+  /// Plan-time CNF inprocessing (EngineOptions::plan_simplify), summed
+  /// over the plan cache(s) — across shards on a sharded stack. All zero
+  /// when the knob is off.
+  std::uint64_t plans_simplified = 0;
+  std::uint64_t simplify_vars_removed = 0;
+  std::uint64_t simplify_clauses_removed = 0;
+  std::uint64_t simplify_micros = 0;
   std::vector<ShardStats> shards;
   /// Multi-tenant QoS: one row per (tenant, lane) that ever submitted,
   /// sorted by tenant then lane. Exact across shards (the registry is

@@ -307,6 +307,10 @@ PlanCacheStats ShardedService::AggregatePlanCacheStats() const {
     total.invalidated += stats.invalidated;
     total.size += stats.size;
     total.capacity += stats.capacity;
+    total.plans_simplified += stats.plans_simplified;
+    total.simplify_vars_removed += stats.simplify_vars_removed;
+    total.simplify_clauses_removed += stats.simplify_clauses_removed;
+    total.simplify_micros += stats.simplify_micros;
   }
   return total;
 }
@@ -747,6 +751,10 @@ ServiceStats ShardedService::stats() const {
     total.retained_snapshot_bytes += s.retained_snapshot_bytes;
     total.snapshot_evictions += s.snapshot_evictions;
     total.snapshot_alarm = total.snapshot_alarm || s.snapshot_alarm;
+    total.plans_simplified += s.plans_simplified;
+    total.simplify_vars_removed += s.simplify_vars_removed;
+    total.simplify_clauses_removed += s.simplify_clauses_removed;
+    total.simplify_micros += s.simplify_micros;
     min_version = std::min(min_version, s.model_version);
     max_version = std::max(max_version, s.model_version);
 

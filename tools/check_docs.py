@@ -22,6 +22,10 @@ Checks (all must pass; exit 1 with a per-failure report otherwise):
      docs/WIRE_PROTOCOL.md states their values, and its per-tenant
      stats table lists exactly the fields of `struct WireTenantStats`
      (src/net/wire.h), in declaration order.
+  6. The plan-simplify surface: whyprov_stats (src/net/whyprov_c.h)
+     ends with the four appended plan-simplify counters and the
+     plan-simplify section table of docs/WIRE_PROTOCOL.md lists
+     exactly those fields, in order.
 
 Usage: python3 tools/check_docs.py   (from anywhere; paths are
 repo-relative to this script's parent directory)
@@ -287,6 +291,61 @@ def check_qos_surface(failures):
         )
 
 
+def check_simplify_surface(failures):
+    """The plan-simplify counters: C ABI struct tail vs doc table.
+
+    The wire encoding of kFrameStatsReply writes whyprov_stats fields in
+    declaration order with the simplify counters as the appended tail, so
+    the doc table, the struct tail, and the field order must all agree.
+    """
+    expected = [
+        "plans_simplified",
+        "simplify_vars_removed",
+        "simplify_clauses_removed",
+        "simplify_micros",
+    ]
+    struct = re.search(
+        r"typedef struct whyprov_stats\s*\{(.*?)\}",
+        C_ABI_H.read_text(),
+        re.DOTALL,
+    )
+    if not struct:
+        failures.append(f"{C_ABI_H.name}: cannot find struct whyprov_stats")
+        return
+    fields = re.findall(
+        r"^\s*(?:uint64_t|size_t|double|int)\s+(\w+);",
+        struct.group(1),
+        re.MULTILINE,
+    )
+    if fields[-len(expected):] != expected:
+        failures.append(
+            f"{C_ABI_H.name}: whyprov_stats must end with the appended "
+            f"plan-simplify counters {expected} (wire append-only tail); "
+            f"found {fields[-len(expected):]}"
+        )
+    section = re.search(
+        r"plan-simplify\s*section\*\*.*?\n\n(.*?)\n\n",
+        WIRE_DOC.read_text(),
+        re.DOTALL,
+    )
+    if not section:
+        failures.append(
+            f"{WIRE_DOC.name}: cannot find the plan-simplify section "
+            "table of kFrameStatsReply"
+        )
+        return
+    doc_fields = [
+        cells[0]
+        for cells in parse_doc_table(section.group(1), r"\w+")
+        if cells[0] != "field"
+    ]
+    if doc_fields != expected:
+        failures.append(
+            f"{WIRE_DOC.name}: plan-simplify section fields {doc_fields} "
+            f"!= the appended whyprov_stats counters {expected}"
+        )
+
+
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
@@ -313,6 +372,7 @@ def main():
     check_status_table(failures)
     check_storage_constants(failures)
     check_qos_surface(failures)
+    check_simplify_surface(failures)
     check_links(failures)
     if failures:
         for failure in failures:
@@ -321,8 +381,8 @@ def main():
         return 1
     print(
         "check_docs: frame table, status table, storage constants, QoS "
-        f"surface, and {len(LINKED_DOCS)} files' links all match the "
-        "sources"
+        f"surface, simplify surface, and {len(LINKED_DOCS)} files' links "
+        "all match the sources"
     )
     return 0
 
